@@ -1,0 +1,103 @@
+// Command trial evaluates TriAL* expressions over a triplestore loaded
+// from a text file of triples.
+//
+// Usage:
+//
+//	trial -data triples.txt -query "join[1,3',3; 2=1'](E, E)"
+//	trial -data triples.txt -query-file q.trial -mode naive
+//
+// The data file holds one triple per line (tab-separated, or space-
+// separated with double quotes around names containing spaces); '#' starts
+// a comment. Directive lines extend the format: '@rel NAME' switches the
+// relation receiving subsequent triples (initially -rel, default E), and
+// '@value OBJ<TAB>f1<TAB>f2...' assigns a data-value tuple to an object
+// ('\N' is a null field), enabling the η conditions (p(i)=p(j)) of the
+// query language. The query syntax is documented in internal/trial
+// (Parse); see README.md for a tour.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "path to the triples file (required)")
+		rel       = flag.String("rel", "E", "relation name for the loaded triples")
+		query     = flag.String("query", "", "TriAL* expression to evaluate")
+		queryFile = flag.String("query-file", "", "file holding the expression (alternative to -query)")
+		mode      = flag.String("mode", "auto", "join strategy: auto (hash, Prop. 4) or naive (Thm. 3)")
+		limit     = flag.Int("limit", 0, "print at most this many triples (0 = all)")
+		quiet     = flag.Bool("count", false, "print only the result size")
+		explain   = flag.Bool("explain", false, "print the evaluation plan before the results")
+	)
+	flag.Parse()
+	if err := run(*dataPath, *rel, *query, *queryFile, *mode, *limit, *quiet, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "trial:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, rel, query, queryFile, mode string, limit int, quiet, explain bool) error {
+	if dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+	if (query == "") == (queryFile == "") {
+		return fmt.Errorf("exactly one of -query and -query-file is required")
+	}
+	if queryFile != "" {
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		query = string(b)
+	}
+	e, err := trial.Parse(query)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	store, err := triplestore.ReadStoreDefault(f, rel)
+	if err != nil {
+		return err
+	}
+	ev := trial.NewEvaluator(store)
+	switch mode {
+	case "auto":
+	case "naive":
+		ev.Mode = trial.ModeNaive
+	default:
+		return fmt.Errorf("unknown -mode %q (want auto or naive)", mode)
+	}
+	if explain {
+		fmt.Fprint(os.Stderr, trial.Explain(e, ev.Mode, ev.DisableReachStar))
+	}
+	result, err := ev.Eval(e)
+	if err != nil {
+		return err
+	}
+	if quiet {
+		fmt.Println(result.Len())
+		return nil
+	}
+	n := 0
+	for _, t := range result.Triples() {
+		if limit > 0 && n >= limit {
+			fmt.Printf("... (%d more)\n", result.Len()-n)
+			break
+		}
+		fmt.Println(store.FormatTriple(t))
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "%d triples\n", result.Len())
+	return nil
+}

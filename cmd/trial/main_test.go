@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeData(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.triples")
+	data := "a\tp\tb\nb\tp\tc\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQuery(t *testing.T) {
+	path := writeData(t)
+	if err := run(path, "E", "join[1,2,3'; 3=1'](E, E)", "", "auto", 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "E", "E", "", "naive", 1, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	path := writeData(t)
+	qf := filepath.Join(t.TempDir(), "q.trial")
+	if err := os.WriteFile(qf, []byte("rstar[1,2,3'; 3=1'](E)"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "E", "", qf, "auto", 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeData(t)
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"no data", func() error { return run("", "E", "E", "", "auto", 0, false, false) }},
+		{"no query", func() error { return run(path, "E", "", "", "auto", 0, false, false) }},
+		{"both queries", func() error { return run(path, "E", "E", "f", "auto", 0, false, false) }},
+		{"bad mode", func() error { return run(path, "E", "E", "", "turbo", 0, false, false) }},
+		{"bad query", func() error { return run(path, "E", "join[", "", "auto", 0, false, false) }},
+		{"missing file", func() error { return run(path+"x", "E", "E", "", "auto", 0, false, false) }},
+		{"unknown relation", func() error { return run(path, "E", "F", "", "auto", 0, false, false) }},
+	}
+	for _, c := range cases {
+		if c.err() == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command trialbench regenerates the paper-reproduction experiments
+// E1–E22 (see DESIGN.md for the index) and prints their tables.
+//
+// Usage:
+//
+//	trialbench              # all fast (witness) experiments
+//	trialbench -all         # everything, including the perf sweeps
+//	trialbench -exp E4,E12  # a specific subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "comma-separated experiment IDs (e.g. E4,E12)")
+		all    = flag.Bool("all", false, "run every experiment, including perf sweeps")
+		format = flag.String("format", "text", "output format: text or markdown")
+	)
+	flag.Parse()
+	if err := run(*exp, *all, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "trialbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, all bool, format string) error {
+	if format != "text" && format != "markdown" {
+		return fmt.Errorf("unknown -format %q (want text or markdown)", format)
+	}
+	var runners []experiments.Runner
+	switch {
+	case exp != "":
+		for _, id := range strings.Split(exp, ",") {
+			id = strings.TrimSpace(id)
+			r := experiments.ByID(id)
+			if r == nil {
+				return fmt.Errorf("unknown experiment %q (known: E1..E22)", id)
+			}
+			runners = append(runners, *r)
+		}
+	default:
+		for _, r := range experiments.All() {
+			if r.Perf && !all {
+				continue
+			}
+			runners = append(runners, r)
+		}
+	}
+	failed := 0
+	for _, r := range runners {
+		rep := r.Run()
+		if format == "markdown" {
+			fmt.Println(rep.Markdown())
+		} else {
+			fmt.Println(rep)
+		}
+		if !rep.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
+}

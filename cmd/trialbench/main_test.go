@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSubset(t *testing.T) {
+	if err := run("E1,E2,E21", false, "markdown"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("E999", false, "text"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	if err := run("E1", false, "yaml"); err == nil {
+		t.Error("unknown format should error")
+	}
+}

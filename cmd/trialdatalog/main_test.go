@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFiles(t *testing.T, prog string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.triples")
+	if err := os.WriteFile(data, []byte("a\tp\tb\nb\tp\tc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pf := filepath.Join(dir, "prog.dl")
+	if err := os.WriteFile(pf, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data, pf
+}
+
+func TestRunProgram(t *testing.T) {
+	data, pf := writeFiles(t, `Ans(?x, ?y, ?z) :- E(?x, ?y, ?z).`)
+	if err := run(data, "E", pf, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(data, "E", pf, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRecursive(t *testing.T) {
+	data, pf := writeFiles(t, `
+		S(?x, ?y, ?z) :- R(?x, ?y, ?z).
+		S(?x, ?y, ?w) :- S(?x, ?y, ?z), R(?z, ?q, ?w).
+		R(?x, ?y, ?z) :- E(?x, ?y, ?z).
+		@answer S.
+	`)
+	if err := run(data, "E", pf, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	data, pf := writeFiles(t, `Ans(?x, ?y, ?z) :- E(?x, ?y, ?z).`)
+	if err := run("", "E", pf, false); err == nil {
+		t.Error("missing data should error")
+	}
+	if err := run(data, "E", "", false); err == nil {
+		t.Error("missing program should error")
+	}
+	_, bad := writeFiles(t, `Ans(?x :-`)
+	if err := run(data, "E", bad, false); err == nil {
+		t.Error("bad program should error")
+	}
+	_, unsafe := writeFiles(t, `Ans(?x, ?y, ?w) :- E(?x, ?y, ?z).`)
+	if err := run(data, "E", unsafe, false); err == nil {
+		t.Error("unsafe program should error")
+	}
+}

@@ -1,0 +1,70 @@
+// Social: the §2.3 social-network model. Users and connections are all
+// objects; the data-value function ρ maps each object to a quintuple
+// (name, email, age, type, created) with nulls where a field does not
+// apply. Queries mix navigation (θ conditions on object identity) with
+// data comparisons (η conditions on ρ-values), which is exactly what the
+// triplestore model adds over plain graphs.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/fixtures"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+func main() {
+	store := fixtures.SocialNetwork()
+	ev := trial.NewEvaluator(store)
+	show := func(title string, e trial.Expr) {
+		r, err := ev.Eval(e)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s\n  expr: %s\n", title, e)
+		for _, t := range r.Triples() {
+			fmt.Printf("  %s  ρ(mid) = %v\n", store.FormatTriple(t), store.Value(t[1]))
+		}
+		if r.Len() == 0 {
+			fmt.Println("  (empty)")
+		}
+		fmt.Println()
+	}
+
+	// Connections typed "rival": select on component 3 of the middle
+	// object's value tuple.
+	rivalLit := triplestore.Value{
+		triplestore.Null(), triplestore.Null(), triplestore.Null(),
+		triplestore.F("rival"), triplestore.Null(),
+	}
+	show("Rival connections", trial.MustSelect(trial.R(fixtures.RelE), trial.Cond{
+		Val: []trial.ValAtom{{L: trial.RhoP(trial.L2), R: trial.Lit(rivalLit), Component: 3}},
+	}))
+
+	// Two-hop acquaintances: compose connections.
+	twoHop := trial.MustJoin(trial.R(fixtures.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.R(fixtures.RelE))
+	show("Two-hop acquaintances (keeping the first connection)", twoHop)
+
+	// Two-hop through connections created on the same date (component 4).
+	sameDate := trial.MustJoin(trial.R(fixtures.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{
+			Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))},
+			Val: []trial.ValAtom{{L: trial.RhoP(trial.L2), R: trial.RhoP(trial.R2), Component: 4}},
+		},
+		trial.R(fixtures.RelE))
+	show("Two-hop through same-day connections", sameDate)
+
+	// Connections between users born the same… well, with equal ages
+	// (component 2) — empty on this network.
+	show("Connections between same-age users", trial.MustSelect(trial.R(fixtures.RelE), trial.Cond{
+		Val: []trial.ValAtom{{L: trial.RhoP(trial.L1), R: trial.RhoP(trial.L3), Component: 2}},
+	}))
+
+	// The same queries can be written declaratively (§4). Here:
+	// acquaintances through connections of the same type, in Datalog:
+	fmt.Println("Datalog flavour (§4): see cmd/trialdatalog; e.g.")
+	fmt.Println(`  Ans(?x, ?c, ?y) :- E(?x, ?c, ?z), E(?z, ?d, ?y), ~3(?c, ?d).`)
+}

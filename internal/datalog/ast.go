@@ -1,0 +1,199 @@
+// Package datalog implements the declarative languages of §4 of the TriAL
+// paper: TripleDatalog¬ (capturing TriAL, Proposition 2) and
+// ReachTripleDatalog¬ (capturing TriAL*, Theorem 2).
+//
+// A program is a finite set of rules
+//
+//	S(x̄) ← S1(x̄1), S2(x̄2), ∼(y1,z1), ..., u1 = v1, ...
+//
+// where S, S1, S2 have arity at most 3, every relational atom and equality
+// or similarity atom may be negated, and all head and condition variables
+// occur in x̄1 or x̄2. The ∼ relation holds between objects with the same
+// data value (ρ(x) = ρ(y)).
+//
+// The package provides a text parser, syntactic validators for the two
+// fragments, a stratified bottom-up evaluator with semi-naive iteration
+// for recursive strata, and the two linear-time translations of the paper:
+// FromTriAL (algebra → program) and ToTriAL (program → algebra).
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a variable or an object constant (named; resolved against the
+// store at evaluation time).
+type Term struct {
+	Var     string
+	Const   string
+	IsConst bool
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(name string) Term { return Term{Const: name, IsConst: true} }
+
+func (t Term) String() string {
+	if t.IsConst {
+		if strings.ContainsAny(t.Const, " \t(),.:?!\"~") || t.Const == "" {
+			return "\"" + t.Const + "\""
+		}
+		return t.Const
+	}
+	return "?" + t.Var
+}
+
+// Atom is a relational atom S(t1, ..., tk), k ≤ 3, possibly negated.
+type Atom struct {
+	Pred string
+	Args []Term
+	Neg  bool
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	s := a.Pred + "(" + strings.Join(parts, ", ") + ")"
+	if a.Neg {
+		return "not " + s
+	}
+	return s
+}
+
+// SimAtom is ∼(l, r) — "l and r have the same data value" — possibly
+// negated. Component ≥ 0 selects the ∼i variant of §4 that compares the
+// i-th components of tuple values; -1 compares whole values.
+type SimAtom struct {
+	L, R      Term
+	Neg       bool
+	Component int
+}
+
+func (a SimAtom) String() string {
+	name := "~"
+	if a.Component >= 0 {
+		name = fmt.Sprintf("~%d", a.Component)
+	}
+	s := name + "(" + a.L.String() + ", " + a.R.String() + ")"
+	if a.Neg {
+		return "not " + s
+	}
+	return s
+}
+
+// EqAtom is l = r or l != r over terms.
+type EqAtom struct {
+	L, R Term
+	Neq  bool
+}
+
+func (a EqAtom) String() string {
+	op := " = "
+	if a.Neq {
+		op = " != "
+	}
+	return a.L.String() + op + a.R.String()
+}
+
+// Rule is a single Datalog rule. The head must not be negated.
+type Rule struct {
+	Head Atom
+	Body []Atom
+	Sims []SimAtom
+	Eqs  []EqAtom
+}
+
+func (r Rule) String() string {
+	var parts []string
+	for _, a := range r.Body {
+		parts = append(parts, a.String())
+	}
+	for _, a := range r.Sims {
+		parts = append(parts, a.String())
+	}
+	for _, a := range r.Eqs {
+		parts = append(parts, a.String())
+	}
+	if len(parts) == 0 {
+		return r.Head.String() + "."
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Program is a set of rules with a designated answer predicate.
+type Program struct {
+	Rules []Rule
+	// Ans names the answer predicate; Evaluate returns its extension.
+	Ans string
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Predicates returns all predicate names appearing in the program
+// (heads first, then body-only predicates), deduplicated in order.
+func (p *Program) Predicates() []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, r := range p.Rules {
+		add(r.Head.Pred)
+	}
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			add(a.Pred)
+		}
+	}
+	return names
+}
+
+// IDB returns the set of predicates appearing in some rule head.
+func (p *Program) IDB() map[string]bool {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	return idb
+}
+
+// arityError reports conflicting or oversized arities.
+func (p *Program) arities() (map[string]int, error) {
+	ar := map[string]int{}
+	check := func(a Atom) error {
+		if len(a.Args) == 0 || len(a.Args) > 3 {
+			return fmt.Errorf("datalog: predicate %s has arity %d, want 1..3", a.Pred, len(a.Args))
+		}
+		if prev, ok := ar[a.Pred]; ok && prev != len(a.Args) {
+			return fmt.Errorf("datalog: predicate %s used with arities %d and %d", a.Pred, prev, len(a.Args))
+		}
+		ar[a.Pred] = len(a.Args)
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := check(r.Head); err != nil {
+			return nil, err
+		}
+		for _, a := range r.Body {
+			if err := check(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ar, nil
+}

@@ -1,0 +1,415 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/triplestore"
+)
+
+func transport() *triplestore.Store {
+	s := triplestore.NewStore()
+	for _, t := range [][3]string{
+		{"St. Andrews", "Bus Op 1", "Edinburgh"},
+		{"Edinburgh", "Train Op 1", "London"},
+		{"London", "Train Op 2", "Brussels"},
+		{"Bus Op 1", "part_of", "NatExpress"},
+		{"Train Op 1", "part_of", "EastCoast"},
+		{"Train Op 2", "part_of", "Eurostar"},
+		{"EastCoast", "part_of", "NatExpress"},
+	} {
+		s.Add("E", t[0], t[1], t[2])
+	}
+	return s
+}
+
+func TestParseProgramBasics(t *testing.T) {
+	prog, err := ParseProgram(`
+		% copy rule with a condition
+		Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), ?x != ?z.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+	r := prog.Rules[0]
+	if r.Head.Pred != "Ans" || len(r.Body) != 1 || len(r.Eqs) != 1 || !r.Eqs[0].Neq {
+		t.Errorf("parsed rule = %s", r)
+	}
+	if prog.Ans != "Ans" {
+		t.Errorf("Ans = %q", prog.Ans)
+	}
+}
+
+func TestParseProgramFeatures(t *testing.T) {
+	prog, err := ParseProgram(`
+		@answer Out.
+		Out(?x, ?y, ?z) :- E(?x, ?y, ?z), not F(?x, ?y, ?z),
+		                   ~(?x, ?y), not ~2(?y, ?z),
+		                   ?x = "St. Andrews", not ?y = ?z.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Ans != "Out" {
+		t.Fatalf("Ans = %q", prog.Ans)
+	}
+	r := prog.Rules[0]
+	if len(r.Body) != 2 || !r.Body[1].Neg {
+		t.Errorf("body = %v", r.Body)
+	}
+	if len(r.Sims) != 2 || r.Sims[1].Component != 2 || !r.Sims[1].Neg {
+		t.Errorf("sims = %v", r.Sims)
+	}
+	if len(r.Eqs) != 2 || !r.Eqs[1].Neq {
+		t.Errorf("eqs = %v", r.Eqs)
+	}
+	// 'not ?y = ?z' flips to '?y != ?z'.
+	if r.Eqs[1].L.Var != "y" {
+		t.Errorf("eq = %v", r.Eqs[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"Ans(?x, ?y, ?z)",                      // missing period
+		"Ans(?x ?y) :- E(?x, ?y, ?z).",         // missing comma
+		"Ans(?x) :- E(?x, ?y, ?z), ? = ?y.",    // bad variable
+		"Ans(?x) :- E(?x, ?y, ?z, ?w).",        // arity 4
+		"@answer.",                             // missing name
+		"@foo Bar.",                            // unknown directive
+		`Ans(?x) :- E(?x, "unterminated, ?y).`, // string
+		"Ans(?x) :- E(?x, ?y, ?z), ~(?x, ?y",   // unclosed
+	} {
+		if _, err := ParseProgram(in); err == nil {
+			t.Errorf("ParseProgram(%q): want error", in)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	prog := MustParseProgram(`Ans(?x, ?y, ?z) :- E(?x, ?w, ?y), not ~(?x, ?z), ?x != Edinburgh.`)
+	got := strings.TrimSpace(prog.String())
+	reparsed, err := ParseProgram(got)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", got, err)
+	}
+	if strings.TrimSpace(reparsed.String()) != got {
+		t.Errorf("round trip changed rendering: %q vs %q", got, reparsed.String())
+	}
+}
+
+func TestEvaluateCopyRule(t *testing.T) {
+	s := transport()
+	prog := MustParseProgram(`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z).`)
+	res, err := prog.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := res.Answers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 7 {
+		t.Errorf("answers = %d, want 7", ans.Len())
+	}
+}
+
+func TestEvaluateJoinRule(t *testing.T) {
+	s := transport()
+	// Example 2 as a Datalog rule: operators lifted to their companies.
+	prog := MustParseProgram(`
+		Ans(?x, ?c, ?y) :- E(?x, ?op, ?y), E(?op, part_of, ?c).
+	`)
+	res, err := prog.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := res.Answers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[3]string]bool{
+		{"St. Andrews", "NatExpress", "Edinburgh"}: true,
+		{"Edinburgh", "EastCoast", "London"}:       true,
+		{"London", "Eurostar", "Brussels"}:         true,
+		// part_of is itself a triple with predicate part_of one level up:
+		{"EastCoast", "NatExpress", "NatExpress"}: false,
+	}
+	got := map[[3]string]bool{}
+	ans.ForEach(func(tr triplestore.Triple) {
+		got[[3]string{s.Name(tr[0]), s.Name(tr[1]), s.Name(tr[2])}] = true
+	})
+	for k, w := range want {
+		if w && !got[k] {
+			t.Errorf("missing %v (got %v)", k, got)
+		}
+	}
+}
+
+func TestEvaluateNegation(t *testing.T) {
+	s := triplestore.NewStore()
+	s.Add("E", "a", "p", "b")
+	s.Add("E", "b", "p", "c")
+	s.Add("F", "a", "p", "b")
+	prog := MustParseProgram(`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), not F(?x, ?y, ?z).`)
+	res, err := prog.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _ := res.Answers()
+	if ans.Len() != 1 {
+		t.Fatalf("answers = %d, want 1", ans.Len())
+	}
+	if !ans.Has(triplestore.Triple{s.Lookup("b"), s.Lookup("p"), s.Lookup("c")}) {
+		t.Error("wrong surviving triple")
+	}
+}
+
+func TestEvaluateSimilarity(t *testing.T) {
+	s := triplestore.NewStore()
+	s.SetValue("a", triplestore.V("red"))
+	s.SetValue("b", triplestore.V("red"))
+	s.SetValue("c", triplestore.V("blue"))
+	s.Add("E", "a", "p", "b")
+	s.Add("E", "a", "p", "c")
+	prog := MustParseProgram(`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), ~(?x, ?z).`)
+	res, err := prog.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _ := res.Answers()
+	if ans.Len() != 1 || !ans.Has(triplestore.Triple{s.Lookup("a"), s.Lookup("p"), s.Lookup("b")}) {
+		t.Errorf("similarity answers wrong: %s", s.FormatRelation(ans))
+	}
+	neg := MustParseProgram(`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), not ~(?x, ?z).`)
+	res2, err := neg.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans2, _ := res2.Answers()
+	if ans2.Len() != 1 || !ans2.Has(triplestore.Triple{s.Lookup("a"), s.Lookup("p"), s.Lookup("c")}) {
+		t.Errorf("negated similarity answers wrong: %s", s.FormatRelation(ans2))
+	}
+}
+
+func TestEvaluateComponentSimilarity(t *testing.T) {
+	s := triplestore.NewStore()
+	s.SetValue("a", triplestore.V("n1", "shared"))
+	s.SetValue("b", triplestore.V("n2", "shared"))
+	s.Add("E", "a", "p", "b")
+	prog := MustParseProgram(`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), ~1(?x, ?z).`)
+	res, err := prog.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _ := res.Answers()
+	if ans.Len() != 1 {
+		t.Errorf("component-1 similarity should hold: %d answers", ans.Len())
+	}
+	prog0 := MustParseProgram(`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), ~0(?x, ?z).`)
+	res0, err := prog0.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans0, _ := res0.Answers()
+	if ans0.Len() != 0 {
+		t.Errorf("component-0 similarity should fail: %d answers", ans0.Len())
+	}
+}
+
+// TestEvaluateTransitiveClosure checks recursion: part_of transitivity in
+// the reach shape of §4.
+func TestEvaluateTransitiveClosure(t *testing.T) {
+	s := transport()
+	prog := MustParseProgram(`
+		PartOf(?x, ?p, ?y) :- Base(?x, ?p, ?y).
+		PartOf(?x, ?p, ?z) :- PartOf(?x, ?p, ?y), Base(?y, ?q, ?z).
+		Base(?x, ?p, ?y) :- E(?x, ?p, ?y), ?p = part_of.
+		@answer PartOf.
+	`)
+	if err := prog.CheckReachShape(); err != nil {
+		t.Fatalf("reach shape: %v", err)
+	}
+	res, err := prog.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _ := res.Answers()
+	// Direct: 4 base triples. Derived: Bus Op 1 → NatExpress (direct),
+	// Train Op 1 → EastCoast → NatExpress adds one.
+	tr := triplestore.Triple{s.Lookup("Train Op 1"), s.Lookup("part_of"), s.Lookup("NatExpress")}
+	if !ans.Has(tr) {
+		t.Errorf("missing transitive part_of triple; got\n%s", s.FormatRelation(ans))
+	}
+	if ans.Len() != 5 {
+		t.Errorf("answers = %d, want 5", ans.Len())
+	}
+}
+
+func TestSafetyCheck(t *testing.T) {
+	bad := []string{
+		`Ans(?x, ?y, ?z) :- E(?x, ?y, ?w).`,                    // z unbound
+		`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), not F(?x, ?y, ?w).`, // w unbound in negation
+		`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), ~(?x, ?w).`,         // w unbound in ~
+		`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), ?w = ?x.`,           // w unbound in eq
+		`Ans(?x, ?y, ?z) :- not E(?x, ?y, ?z).`,                // all negative
+	}
+	for _, in := range bad {
+		prog := MustParseProgram(in)
+		if err := prog.CheckSafety(); err == nil {
+			t.Errorf("CheckSafety(%q): want error", in)
+		}
+		if _, err := prog.Evaluate(transport()); err == nil {
+			t.Errorf("Evaluate(%q): want error", in)
+		}
+	}
+	good := MustParseProgram(`Ans(?x, ?y, "London") :- E(?x, ?y, ?z), ?x = ?x.`)
+	if err := good.CheckSafety(); err != nil {
+		t.Errorf("CheckSafety: %v", err)
+	}
+}
+
+func TestTripleDatalogShape(t *testing.T) {
+	tooMany := MustParseProgram(`Ans(?x, ?y, ?z) :- E(?x, ?y, ?a), E(?a, ?y, ?b), E(?b, ?y, ?z).`)
+	if err := tooMany.CheckTripleDatalogShape(); err == nil {
+		t.Error("3-atom rule should be rejected")
+	}
+	ok := MustParseProgram(`Ans(?x, ?y, ?z) :- E(?x, ?y, ?a), E(?a, ?y, ?z).`)
+	if err := ok.CheckTripleDatalogShape(); err != nil {
+		t.Errorf("2-atom rule rejected: %v", err)
+	}
+}
+
+func TestNonrecursiveDetection(t *testing.T) {
+	nonrec := MustParseProgram(`
+		A(?x, ?y, ?z) :- E(?x, ?y, ?z).
+		B(?x, ?y, ?z) :- A(?x, ?y, ?z).
+	`)
+	if !nonrec.IsNonrecursive() {
+		t.Error("acyclic program reported recursive")
+	}
+	rec := MustParseProgram(`
+		A(?x, ?y, ?z) :- E(?x, ?y, ?z).
+		A(?x, ?y, ?z) :- A(?x, ?y, ?w), E(?w, ?y, ?z).
+	`)
+	if rec.IsNonrecursive() {
+		t.Error("recursive program reported nonrecursive")
+	}
+}
+
+func TestStratification(t *testing.T) {
+	prog := MustParseProgram(`
+		A(?x, ?y, ?z) :- E(?x, ?y, ?z).
+		B(?x, ?y, ?z) :- E(?x, ?y, ?z), not A(?x, ?y, ?z).
+	`)
+	strata, err := prog.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 2 {
+		t.Fatalf("strata = %v", strata)
+	}
+	// Negation through recursion is rejected.
+	bad := MustParseProgram(`
+		A(?x, ?y, ?z) :- E(?x, ?y, ?z), not B(?x, ?y, ?z).
+		B(?x, ?y, ?z) :- E(?x, ?y, ?z), not A(?x, ?y, ?z).
+	`)
+	if _, err := bad.Stratify(); err == nil {
+		t.Error("unstratifiable program accepted")
+	}
+}
+
+func TestReachShapeValidation(t *testing.T) {
+	good := MustParseProgram(`
+		S(?x, ?y, ?z) :- R(?x, ?y, ?z).
+		S(?x, ?y, ?w) :- S(?x, ?y, ?z), R(?z, ?q, ?w), ~(?x, ?z).
+		R(?x, ?y, ?z) :- E(?x, ?y, ?z).
+		@answer S.
+	`)
+	if err := good.CheckReachShape(); err != nil {
+		t.Errorf("good reach program rejected: %v", err)
+	}
+	threeRules := MustParseProgram(`
+		S(?x, ?y, ?z) :- R(?x, ?y, ?z).
+		S(?x, ?y, ?w) :- S(?x, ?y, ?z), R(?z, ?q, ?w).
+		S(?x, ?y, ?w) :- S(?x, ?w, ?z), R(?z, ?q, ?w).
+		R(?x, ?y, ?z) :- E(?x, ?y, ?z).
+	`)
+	if err := threeRules.CheckReachShape(); err == nil {
+		t.Error("three-rule recursive predicate accepted")
+	}
+	badBase := MustParseProgram(`
+		S(?x, ?y, ?z) :- R(?x, ?y, ?z), ?x != ?y.
+		S(?x, ?y, ?w) :- S(?x, ?y, ?z), R(?z, ?q, ?w).
+		R(?x, ?y, ?z) :- E(?x, ?y, ?z).
+	`)
+	if err := badBase.CheckReachShape(); err == nil {
+		t.Error("base rule with conditions accepted")
+	}
+	nonlinear := MustParseProgram(`
+		S(?x, ?y, ?z) :- R(?x, ?y, ?z).
+		S(?x, ?y, ?w) :- S(?x, ?y, ?z), S(?z, ?q, ?w).
+		R(?x, ?y, ?z) :- E(?x, ?y, ?z).
+	`)
+	if err := nonlinear.CheckReachShape(); err == nil {
+		t.Error("nonlinear recursion accepted")
+	}
+}
+
+func TestLowArityPredicates(t *testing.T) {
+	s := transport()
+	prog := MustParseProgram(`
+		City(?x) :- E(?x, ?p, ?y), ?p != part_of.
+		City(?y) :- E(?x, ?p, ?y), ?p != part_of.
+		Pair(?x, ?y) :- City(?x), City(?y), ?x != ?y.
+		@answer Pair.
+	`)
+	res, err := prog.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := res.Tuples("City")
+	if len(tuples) != 4 {
+		t.Errorf("cities = %d, want 4", len(tuples))
+	}
+	pairs := res.Tuples("Pair")
+	if len(pairs) != 12 {
+		t.Errorf("pairs = %d, want 12", len(pairs))
+	}
+	if _, err := res.Relation("Pair"); err == nil {
+		t.Error("Relation on arity-2 predicate should error")
+	}
+}
+
+func TestHeadConstantUnknown(t *testing.T) {
+	s := transport()
+	prog := MustParseProgram(`Ans(NoSuchObject, ?y, ?z) :- E(?x, ?y, ?z).`)
+	if _, err := prog.Evaluate(s); err == nil {
+		t.Error("unknown head constant should error")
+	}
+}
+
+func TestEqualityWithUnknownConstant(t *testing.T) {
+	s := transport()
+	eq := MustParseProgram(`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), ?x = NoSuchObject.`)
+	res, err := eq.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _ := res.Answers()
+	if ans.Len() != 0 {
+		t.Error("equality with unknown constant should be unsatisfiable")
+	}
+	neq := MustParseProgram(`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), ?x != NoSuchObject.`)
+	res2, err := neq.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans2, _ := res2.Answers()
+	if ans2.Len() != 7 {
+		t.Error("inequality with unknown constant should be trivially true")
+	}
+}

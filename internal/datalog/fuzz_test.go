@@ -1,0 +1,36 @@
+package datalog
+
+import "testing"
+
+// FuzzParseProgram checks that the Datalog parser never panics and that
+// parsed programs render/reparse stably.
+func FuzzParseProgram(f *testing.F) {
+	for _, seed := range []string{
+		`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z).`,
+		`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), not F(?x, ?y, ?z), ~(?x, ?y), ?x != London.`,
+		`S(?x, ?y, ?z) :- R(?x, ?y, ?z).
+		 S(?x, ?y, ?w) :- S(?x, ?y, ?z), R(?z, ?q, ?w), ~2(?x, ?z).
+		 @answer S.`,
+		`P(a, "b c", ?x) :- E(a, ?y, ?x), ?y = ?y.`,
+		`Fact(a, b, c).`,
+		`Ans(?x :-`,
+		`@answer`,
+		`~(?x)`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParseProgram(input)
+		if err != nil {
+			return
+		}
+		s1 := p.String()
+		p2, err := ParseProgram(s1)
+		if err != nil {
+			t.Fatalf("rendering of parsed program does not reparse: %q: %v", s1, err)
+		}
+		if s2 := p2.String(); s1 != s2 {
+			t.Fatalf("unstable rendering:\n%q\n%q", s1, s2)
+		}
+	})
+}

@@ -1,0 +1,372 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseProgram parses the textual Datalog syntax:
+//
+//	Ans(?x, ?y, ?z) :- E(?x, ?w, ?y), not F(?y, ?w, ?z),
+//	                   ~(?x, ?y), not ~2(?x, ?z), ?x != ?y, ?x = Edinburgh.
+//
+// Variables start with '?'; bare identifiers and quoted strings are object
+// constants. '~' is the same-data-value relation; '~N' compares component
+// N of tuple values. Each rule ends with '.'; '%' starts a line comment.
+// The answer predicate is "Ans" unless the program sets it with a line
+//
+//	@answer PredName.
+func ParseProgram(input string) (*Program, error) {
+	p := &dparser{lex: newDLexer(input)}
+	prog := &Program{}
+	for {
+		tok := p.lex.peek()
+		if tok.kind == dtokEOF {
+			break
+		}
+		if tok.kind == dtokPunct && tok.text == "@" {
+			p.lex.next()
+			name := p.lex.next()
+			if name.kind != dtokIdent || name.text != "answer" {
+				return nil, fmt.Errorf("datalog: unknown directive @%s", name.text)
+			}
+			pred := p.lex.next()
+			if pred.kind != dtokIdent {
+				return nil, fmt.Errorf("datalog: @answer needs a predicate name")
+			}
+			prog.Ans = pred.text
+			if err := p.expect("."); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, *r)
+	}
+	if prog.Ans == "" {
+		prog.Ans = "Ans"
+	}
+	return prog, nil
+}
+
+// MustParseProgram is ParseProgram, panicking on error.
+func MustParseProgram(input string) *Program {
+	p, err := ParseProgram(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type dtokKind int
+
+const (
+	dtokEOF dtokKind = iota
+	dtokIdent
+	dtokVar
+	dtokString
+	dtokPunct
+)
+
+type dtoken struct {
+	kind dtokKind
+	text string
+}
+
+type dlexer struct {
+	in  string
+	pos int
+	tok dtoken
+	err error
+}
+
+func newDLexer(in string) *dlexer {
+	l := &dlexer{in: in}
+	l.advance()
+	return l
+}
+
+func (l *dlexer) peek() dtoken { return l.tok }
+
+func (l *dlexer) next() dtoken {
+	t := l.tok
+	l.advance()
+	return t
+}
+
+func (l *dlexer) advance() {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if unicode.IsSpace(rune(c)) {
+			l.pos++
+			continue
+		}
+		if c == '%' {
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.in) {
+		l.tok = dtoken{kind: dtokEOF}
+		return
+	}
+	c := l.in[l.pos]
+	switch {
+	case c == '"':
+		j := strings.IndexByte(l.in[l.pos+1:], '"')
+		if j < 0 {
+			l.err = fmt.Errorf("datalog: unterminated string")
+			l.tok = dtoken{kind: dtokEOF}
+			return
+		}
+		l.tok = dtoken{kind: dtokString, text: l.in[l.pos+1 : l.pos+1+j]}
+		l.pos += j + 2
+	case c == '?':
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.in) && isDIdent(l.in[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start {
+			l.err = fmt.Errorf("datalog: '?' without variable name")
+			l.tok = dtoken{kind: dtokEOF}
+			return
+		}
+		l.tok = dtoken{kind: dtokVar, text: l.in[start:l.pos]}
+	case c == ':':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '-' {
+			l.tok = dtoken{kind: dtokPunct, text: ":-"}
+			l.pos += 2
+			return
+		}
+		l.err = fmt.Errorf("datalog: lone ':'")
+		l.tok = dtoken{kind: dtokEOF}
+	case c == '!':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			l.tok = dtoken{kind: dtokPunct, text: "!="}
+			l.pos += 2
+			return
+		}
+		l.err = fmt.Errorf("datalog: lone '!'")
+		l.tok = dtoken{kind: dtokEOF}
+	case c == '~':
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.in) && l.in[l.pos] >= '0' && l.in[l.pos] <= '9' {
+			l.pos++
+		}
+		l.tok = dtoken{kind: dtokPunct, text: "~" + l.in[start:l.pos]}
+	case strings.IndexByte("(),.=@", c) >= 0:
+		l.tok = dtoken{kind: dtokPunct, text: string(c)}
+		l.pos++
+	default:
+		start := l.pos
+		for l.pos < len(l.in) && isDIdent(l.in[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start {
+			l.err = fmt.Errorf("datalog: unexpected character %q", c)
+			l.tok = dtoken{kind: dtokEOF}
+			return
+		}
+		l.tok = dtoken{kind: dtokIdent, text: l.in[start:l.pos]}
+	}
+}
+
+func isDIdent(c byte) bool {
+	return c == '_' || c == '-' || c == ':' || c == '/' || c == '#' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+type dparser struct {
+	lex *dlexer
+}
+
+func (p *dparser) expect(text string) error {
+	tok := p.lex.next()
+	if tok.kind == dtokString || tok.text != text {
+		if p.lex.err != nil {
+			return p.lex.err
+		}
+		return fmt.Errorf("datalog: expected %q, got %q", text, tok.text)
+	}
+	return nil
+}
+
+func (p *dparser) parseRule() (*Rule, error) {
+	head, err := p.parsePredAtom(false)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{Head: *head}
+	tok := p.lex.next()
+	if tok.kind == dtokPunct && tok.text == "." {
+		return r, nil
+	}
+	if tok.kind != dtokPunct || tok.text != ":-" {
+		return nil, fmt.Errorf("datalog: expected ':-' or '.', got %q", tok.text)
+	}
+	for {
+		if err := p.parseBodyItem(r); err != nil {
+			return nil, err
+		}
+		tok := p.lex.next()
+		if tok.kind == dtokPunct && tok.text == "." {
+			return r, nil
+		}
+		if tok.kind != dtokPunct || tok.text != "," {
+			return nil, fmt.Errorf("datalog: expected ',' or '.', got %q", tok.text)
+		}
+	}
+}
+
+func (p *dparser) parseBodyItem(r *Rule) error {
+	neg := false
+	if t := p.lex.peek(); t.kind == dtokIdent && t.text == "not" {
+		p.lex.next()
+		neg = true
+	}
+	tok := p.lex.peek()
+	// Similarity atom.
+	if tok.kind == dtokPunct && strings.HasPrefix(tok.text, "~") {
+		p.lex.next()
+		comp := -1
+		if len(tok.text) > 1 {
+			n, err := strconv.Atoi(tok.text[1:])
+			if err != nil {
+				return fmt.Errorf("datalog: bad ~ component %q", tok.text)
+			}
+			comp = n
+		}
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		l, err := p.parseTerm()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(","); err != nil {
+			return err
+		}
+		rt, err := p.parseTerm()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		r.Sims = append(r.Sims, SimAtom{L: l, R: rt, Neg: neg, Component: comp})
+		return nil
+	}
+	// Equality: term (=|!=) term — distinguished from predicate atoms by
+	// the token after the first term.
+	if tok.kind == dtokVar || tok.kind == dtokString {
+		l, err := p.parseTerm()
+		if err != nil {
+			return err
+		}
+		return p.parseEqTail(r, l, neg)
+	}
+	if tok.kind == dtokIdent {
+		// Could be a predicate atom Name(...) or a constant in an equality.
+		name := p.lex.next()
+		after := p.lex.peek()
+		if after.kind == dtokPunct && after.text == "(" {
+			atom, err := p.parsePredArgs(name.text, neg)
+			if err != nil {
+				return err
+			}
+			r.Body = append(r.Body, *atom)
+			return nil
+		}
+		return p.parseEqTail(r, C(name.text), neg)
+	}
+	if p.lex.err != nil {
+		return p.lex.err
+	}
+	return fmt.Errorf("datalog: unexpected token %q in rule body", tok.text)
+}
+
+// parseEqTail parses "(=|!=) term" after a leading term. A 'not' prefix
+// flips the polarity.
+func (p *dparser) parseEqTail(r *Rule, l Term, neg bool) error {
+	op := p.lex.next()
+	var isNeq bool
+	switch {
+	case op.kind == dtokPunct && op.text == "=":
+		isNeq = false
+	case op.kind == dtokPunct && op.text == "!=":
+		isNeq = true
+	default:
+		return fmt.Errorf("datalog: expected '=' or '!=', got %q", op.text)
+	}
+	rt, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	if neg {
+		isNeq = !isNeq
+	}
+	r.Eqs = append(r.Eqs, EqAtom{L: l, R: rt, Neq: isNeq})
+	return nil
+}
+
+func (p *dparser) parsePredAtom(neg bool) (*Atom, error) {
+	tok := p.lex.next()
+	if tok.kind != dtokIdent {
+		if p.lex.err != nil {
+			return nil, p.lex.err
+		}
+		return nil, fmt.Errorf("datalog: expected predicate name, got %q", tok.text)
+	}
+	return p.parsePredArgs(tok.text, neg)
+}
+
+func (p *dparser) parsePredArgs(name string, neg bool) (*Atom, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	a := &Atom{Pred: name, Neg: neg}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		a.Args = append(a.Args, t)
+		tok := p.lex.next()
+		if tok.kind == dtokPunct && tok.text == ")" {
+			break
+		}
+		if tok.kind != dtokPunct || tok.text != "," {
+			return nil, fmt.Errorf("datalog: expected ',' or ')', got %q", tok.text)
+		}
+	}
+	if len(a.Args) > 3 {
+		return nil, fmt.Errorf("datalog: predicate %s has arity %d > 3", name, len(a.Args))
+	}
+	return a, nil
+}
+
+func (p *dparser) parseTerm() (Term, error) {
+	tok := p.lex.next()
+	switch tok.kind {
+	case dtokVar:
+		return V(tok.text), nil
+	case dtokString:
+		return C(tok.text), nil
+	case dtokIdent:
+		return C(tok.text), nil
+	}
+	if p.lex.err != nil {
+		return Term{}, p.lex.err
+	}
+	return Term{}, fmt.Errorf("datalog: expected term, got %q", tok.text)
+}

@@ -1,0 +1,298 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/trial"
+)
+
+// ToTriAL translates a TripleDatalog¬ or ReachTripleDatalog¬ program into
+// an equivalent TriAL (respectively TriAL*) expression, following the
+// constructions in the proofs of Proposition 2 and Theorem 2. All
+// predicates must have arity exactly 3 (the algebra is a language of
+// triples; the paper's fragments allow lower arities in intermediate
+// predicates but its translation, like ours, is stated for the ternary
+// case). Negated body atoms become complements, so the resulting
+// expression may use the universal relation U.
+func ToTriAL(p *Program) (trial.Expr, error) {
+	if err := p.CheckTripleDatalogShape(); err != nil {
+		return nil, err
+	}
+	arities, err := p.arities()
+	if err != nil {
+		return nil, err
+	}
+	for pred, a := range arities {
+		if a != 3 {
+			return nil, fmt.Errorf("datalog: ToTriAL requires arity 3, but %s has arity %d", pred, a)
+		}
+	}
+	recursive := p.recursivePredicates()
+	for pred := range recursive {
+		if !p.IDB()[pred] {
+			return nil, fmt.Errorf("datalog: recursive predicate %s is not defined by rules", pred)
+		}
+	}
+	if err := p.CheckReachShape(); err != nil {
+		return nil, err
+	}
+	c := &toCtx{
+		prog:      p,
+		recursive: recursive,
+		reach:     p.dependencyClosure(),
+		memo:      map[string]trial.Expr{},
+		idb:       p.IDB(),
+	}
+	ans := p.Ans
+	if ans == "" {
+		ans = "Ans"
+	}
+	return c.exprFor(ans)
+}
+
+type toCtx struct {
+	prog      *Program
+	recursive map[string]bool
+	reach     map[string]map[string]bool
+	idb       map[string]bool
+	memo      map[string]trial.Expr
+	building  []string
+}
+
+func (c *toCtx) exprFor(pred string) (trial.Expr, error) {
+	if e, ok := c.memo[pred]; ok {
+		return e, nil
+	}
+	if !c.idb[pred] {
+		// EDB: a store relation.
+		return trial.R(pred), nil
+	}
+	for _, b := range c.building {
+		if b == pred {
+			return nil, fmt.Errorf("datalog: unsupported recursion through %s (only reach-shaped self-recursion translates)", pred)
+		}
+	}
+	c.building = append(c.building, pred)
+	defer func() { c.building = c.building[:len(c.building)-1] }()
+
+	var rules []Rule
+	for _, r := range c.prog.Rules {
+		if r.Head.Pred == pred {
+			rules = append(rules, r)
+		}
+	}
+	var e trial.Expr
+	var err error
+	if c.recursive[pred] {
+		e, err = c.starFor(pred, rules)
+	} else {
+		for _, r := range rules {
+			re, rerr := c.ruleExpr(r)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if e == nil {
+				e = re
+			} else {
+				e = trial.Union{L: e, R: re}
+			}
+		}
+		if e == nil {
+			err = fmt.Errorf("datalog: predicate %s has no rules", pred)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.memo[pred] = e
+	return e, nil
+}
+
+// ruleExpr translates one nonrecursive rule into a join (or self-join for
+// single-atom rules).
+func (c *toCtx) ruleExpr(r Rule) (trial.Expr, error) {
+	if len(r.Body) == 0 {
+		return nil, fmt.Errorf("datalog: rule for %s has no relational atoms", r.Head.Pred)
+	}
+	atoms := r.Body
+	if len(atoms) == 1 {
+		// Duplicate the single atom: the right copy adds no constraints
+		// (it is nonempty whenever the left is), and all output positions
+		// refer to the left copy.
+		atoms = []Atom{atoms[0], atoms[0]}
+	}
+	if len(atoms) != 2 {
+		return nil, fmt.Errorf("datalog: rule for %s has %d relational atoms", r.Head.Pred, len(atoms))
+	}
+	left, right := atoms[0], atoms[1]
+	// A rule whose atoms are both negated is unsafe and was rejected by
+	// CheckTripleDatalogShape; a rule with one negated atom becomes a join
+	// against the complement, per the proof of Proposition 2.
+	le, err := c.operand(left)
+	if err != nil {
+		return nil, err
+	}
+	re, err := c.operand(right)
+	if err != nil {
+		return nil, err
+	}
+	frame := frameOf(left, right)
+	out, cond, err := frame.headAndCond(r)
+	if err != nil {
+		return nil, err
+	}
+	return trial.NewJoin(le, out, cond, re)
+}
+
+func (c *toCtx) operand(a Atom) (trial.Expr, error) {
+	e, err := c.exprFor(a.Pred)
+	if err != nil {
+		return nil, err
+	}
+	if a.Neg {
+		return trial.Complement(e), nil
+	}
+	return e, nil
+}
+
+// starFor translates a reach-shaped recursive predicate into a Kleene
+// closure, per the proof of Theorem 2.
+func (c *toCtx) starFor(pred string, rules []Rule) (trial.Expr, error) {
+	base, step := rules[0], rules[1]
+	otherOK := func(s, q string) bool { return q != s && !c.reach[q][s] }
+	if isReachStep(base, pred, otherOK) {
+		base, step = step, base
+	}
+	baseAtom := base.Body[0]
+	// Locate the self atom and the nonrecursive atom in the step rule.
+	var self, other Atom
+	var selfLeft bool
+	if step.Body[0].Pred == pred {
+		self, other, selfLeft = step.Body[0], step.Body[1], true
+	} else {
+		self, other, selfLeft = step.Body[1], step.Body[0], false
+	}
+	if other.Pred != baseAtom.Pred {
+		return nil, fmt.Errorf("datalog: predicate %s: base rule uses %s but step rule uses %s",
+			pred, baseAtom.Pred, other.Pred)
+	}
+	for i, t := range self.Args {
+		if t.IsConst {
+			return nil, fmt.Errorf("datalog: predicate %s: constants in the recursive atom are not supported", pred)
+		}
+		for j := 0; j < i; j++ {
+			if self.Args[j].Var == t.Var {
+				return nil, fmt.Errorf("datalog: predicate %s: repeated variables in the recursive atom are not supported", pred)
+			}
+		}
+	}
+	be, err := c.exprFor(baseAtom.Pred)
+	if err != nil {
+		return nil, err
+	}
+	// Frame: for a right closure (self atom first) the self atom holds
+	// positions 1..3 and the base holds 1'..3'; for a left closure the
+	// base holds 1..3.
+	var frame atomFrame
+	if selfLeft {
+		frame = frameOf(self, other)
+	} else {
+		frame = frameOf(other, self)
+	}
+	out, cond, err := frame.headAndCond(step)
+	if err != nil {
+		return nil, err
+	}
+	// The constraints contributed by the base atom's repeated variables or
+	// constants apply at every step of the closure; the Kleene star keys
+	// them into the condition, which NewStar accepts verbatim.
+	return trial.NewStar(be, out, cond, !selfLeft)
+}
+
+// atomFrame maps rule variables to join positions (first occurrence wins)
+// and records intra-frame equalities forced by repeated variables and by
+// constants in atom arguments.
+type atomFrame struct {
+	pos    map[string]trial.Pos
+	forced trial.Cond
+}
+
+func frameOf(left, right Atom) atomFrame {
+	f := atomFrame{pos: map[string]trial.Pos{}}
+	place := func(a Atom, basePos trial.Pos) {
+		for i, t := range a.Args {
+			p := basePos + trial.Pos(i)
+			if t.IsConst {
+				f.forced.Obj = append(f.forced.Obj, trial.Eq(trial.P(p), trial.Obj(t.Const)))
+				continue
+			}
+			if prev, ok := f.pos[t.Var]; ok {
+				f.forced.Obj = append(f.forced.Obj, trial.Eq(trial.P(prev), trial.P(p)))
+			} else {
+				f.pos[t.Var] = p
+			}
+		}
+	}
+	place(left, trial.L1)
+	place(right, trial.R1)
+	return f
+}
+
+// headAndCond computes the join's output positions from the rule head and
+// its condition from the forced equalities plus the rule's explicit
+// equality and similarity atoms.
+func (f atomFrame) headAndCond(r Rule) ([3]trial.Pos, trial.Cond, error) {
+	var out [3]trial.Pos
+	if len(r.Head.Args) != 3 {
+		return out, trial.Cond{}, fmt.Errorf("datalog: head of %s has arity %d, want 3", r.Head.Pred, len(r.Head.Args))
+	}
+	for i, t := range r.Head.Args {
+		if t.IsConst {
+			return out, trial.Cond{}, fmt.Errorf("datalog: constants in rule heads are not supported")
+		}
+		p, ok := f.pos[t.Var]
+		if !ok {
+			return out, trial.Cond{}, fmt.Errorf("datalog: head variable ?%s not bound in body", t.Var)
+		}
+		out[i] = p
+	}
+	cond := trial.Cond{
+		Obj: append([]trial.ObjAtom{}, f.forced.Obj...),
+		Val: append([]trial.ValAtom{}, f.forced.Val...),
+	}
+	objTerm := func(t Term) (trial.ObjTerm, error) {
+		if t.IsConst {
+			return trial.Obj(t.Const), nil
+		}
+		p, ok := f.pos[t.Var]
+		if !ok {
+			return trial.ObjTerm{}, fmt.Errorf("datalog: condition variable ?%s not bound in body", t.Var)
+		}
+		return trial.P(p), nil
+	}
+	for _, a := range r.Eqs {
+		l, err := objTerm(a.L)
+		if err != nil {
+			return out, trial.Cond{}, err
+		}
+		rt, err := objTerm(a.R)
+		if err != nil {
+			return out, trial.Cond{}, err
+		}
+		cond.Obj = append(cond.Obj, trial.ObjAtom{L: l, R: rt, Neq: a.Neq})
+	}
+	for _, a := range r.Sims {
+		lp, lok := f.pos[a.L.Var]
+		rp, rok := f.pos[a.R.Var]
+		if a.L.IsConst || a.R.IsConst || !lok || !rok {
+			return out, trial.Cond{}, fmt.Errorf("datalog: ~ atoms must relate bound variables")
+		}
+		cond.Val = append(cond.Val, trial.ValAtom{
+			L:         trial.RhoP(lp),
+			R:         trial.RhoP(rp),
+			Neq:       a.Neg,
+			Component: a.Component,
+		})
+	}
+	return out, cond, nil
+}

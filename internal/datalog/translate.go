@@ -1,0 +1,251 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/trial"
+)
+
+// FromTriAL translates a TriAL* expression into an equivalent Datalog
+// program, following the constructions in the proofs of Proposition 2 and
+// Theorem 2: one fresh predicate per algebra node, two rules for unions
+// and for Kleene closures, negated atoms for differences. relNames lists
+// the store's relation names; they are needed to define the universal
+// relation U (via active-domain predicates) whenever the expression uses
+// U. The translation is linear in the size of the expression (Corollary 1
+// relies on this).
+//
+// Expressions whose η conditions compare against data-value literals are
+// rejected: the relational vocabulary of §4 contains only the ∼ (and ∼i)
+// relations, not value constants — the paper makes the same simplification
+// in its proofs ("to avoid two-sorted structures").
+func FromTriAL(e trial.Expr, relNames []string) (*Program, error) {
+	c := &fromCtx{relNames: relNames}
+	top, err := c.translate(e)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Rules: c.rules, Ans: top}, nil
+}
+
+type fromCtx struct {
+	rules    []Rule
+	n        int
+	relNames []string
+	uPred    string
+}
+
+func (c *fromCtx) fresh() string {
+	c.n++
+	return fmt.Sprintf("P%d", c.n)
+}
+
+var xyz = []Term{V("x"), V("y"), V("z")}
+
+// sixVars are the canonical variables for the two atoms of a join rule,
+// mirroring the paper's x1..x3, x4..x6.
+var sixVars = []Term{V("x1"), V("x2"), V("x3"), V("x4"), V("x5"), V("x6")}
+
+func (c *fromCtx) translate(e trial.Expr) (string, error) {
+	switch x := e.(type) {
+	case trial.Rel:
+		p := c.fresh()
+		c.rules = append(c.rules, Rule{
+			Head: Atom{Pred: p, Args: xyz},
+			Body: []Atom{{Pred: x.Name, Args: xyz}},
+		})
+		return p, nil
+	case trial.Universe:
+		return c.universe()
+	case trial.Union:
+		a, err := c.translate(x.L)
+		if err != nil {
+			return "", err
+		}
+		b, err := c.translate(x.R)
+		if err != nil {
+			return "", err
+		}
+		p := c.fresh()
+		c.rules = append(c.rules,
+			Rule{Head: Atom{Pred: p, Args: xyz}, Body: []Atom{{Pred: a, Args: xyz}}},
+			Rule{Head: Atom{Pred: p, Args: xyz}, Body: []Atom{{Pred: b, Args: xyz}}},
+		)
+		return p, nil
+	case trial.Diff:
+		a, err := c.translate(x.L)
+		if err != nil {
+			return "", err
+		}
+		b, err := c.translate(x.R)
+		if err != nil {
+			return "", err
+		}
+		p := c.fresh()
+		c.rules = append(c.rules, Rule{
+			Head: Atom{Pred: p, Args: xyz},
+			Body: []Atom{
+				{Pred: a, Args: xyz},
+				{Pred: b, Args: xyz, Neg: true},
+			},
+		})
+		return p, nil
+	case trial.Select:
+		a, err := c.translate(x.E)
+		if err != nil {
+			return "", err
+		}
+		sims, eqs, err := condAtoms(x.Cond, sixVars[:3])
+		if err != nil {
+			return "", err
+		}
+		p := c.fresh()
+		c.rules = append(c.rules, Rule{
+			Head: Atom{Pred: p, Args: sixVars[:3]},
+			Body: []Atom{{Pred: a, Args: sixVars[:3]}},
+			Sims: sims,
+			Eqs:  eqs,
+		})
+		return p, nil
+	case trial.Join:
+		a, err := c.translate(x.L)
+		if err != nil {
+			return "", err
+		}
+		b, err := c.translate(x.R)
+		if err != nil {
+			return "", err
+		}
+		sims, eqs, err := condAtoms(x.Cond, sixVars)
+		if err != nil {
+			return "", err
+		}
+		p := c.fresh()
+		c.rules = append(c.rules, Rule{
+			Head: Atom{Pred: p, Args: outVars(x.Out)},
+			Body: []Atom{
+				{Pred: a, Args: sixVars[:3]},
+				{Pred: b, Args: sixVars[3:]},
+			},
+			Sims: sims,
+			Eqs:  eqs,
+		})
+		return p, nil
+	case trial.Star:
+		a, err := c.translate(x.E)
+		if err != nil {
+			return "", err
+		}
+		sims, eqs, err := condAtoms(x.Cond, sixVars)
+		if err != nil {
+			return "", err
+		}
+		p := c.fresh()
+		// Base rule: S(x̄) ← R(x̄).
+		c.rules = append(c.rules, Rule{
+			Head: Atom{Pred: p, Args: xyz},
+			Body: []Atom{{Pred: a, Args: xyz}},
+		})
+		// Step rule. For the right closure X_{k+1} = X_k ✶ e the recursive
+		// predicate supplies positions 1..3; for the left closure it
+		// supplies the primed positions.
+		selfAtom := Atom{Pred: p, Args: sixVars[:3]}
+		baseAtom := Atom{Pred: a, Args: sixVars[3:]}
+		body := []Atom{selfAtom, baseAtom}
+		if x.Left {
+			body = []Atom{
+				{Pred: a, Args: sixVars[:3]},
+				{Pred: p, Args: sixVars[3:]},
+			}
+		}
+		c.rules = append(c.rules, Rule{
+			Head: Atom{Pred: p, Args: outVars(x.Out)},
+			Body: body,
+			Sims: sims,
+			Eqs:  eqs,
+		})
+		return p, nil
+	}
+	return "", fmt.Errorf("datalog: cannot translate expression of type %T", e)
+}
+
+// universe emits the rules defining U over the active domain, once.
+func (c *fromCtx) universe() (string, error) {
+	if c.uPred != "" {
+		return c.uPred, nil
+	}
+	if len(c.relNames) == 0 {
+		return "", fmt.Errorf("datalog: expression uses U but no store relation names were supplied")
+	}
+	dom := "Dom0"
+	pair := "Dom1"
+	u := "U0"
+	for _, rel := range c.relNames {
+		for i := 0; i < 3; i++ {
+			args := []Term{V("x"), V("y"), V("z")}
+			head := []Term{args[i]}
+			c.rules = append(c.rules, Rule{
+				Head: Atom{Pred: dom, Args: head},
+				Body: []Atom{{Pred: rel, Args: args}},
+			})
+		}
+	}
+	c.rules = append(c.rules,
+		Rule{
+			Head: Atom{Pred: pair, Args: []Term{V("x"), V("y")}},
+			Body: []Atom{{Pred: dom, Args: []Term{V("x")}}, {Pred: dom, Args: []Term{V("y")}}},
+		},
+		Rule{
+			Head: Atom{Pred: u, Args: xyz},
+			Body: []Atom{{Pred: pair, Args: []Term{V("x"), V("y")}}, {Pred: dom, Args: []Term{V("z")}}},
+		},
+	)
+	c.uPred = u
+	return u, nil
+}
+
+func outVars(out [3]trial.Pos) []Term {
+	return []Term{sixVars[int(out[0])], sixVars[int(out[1])], sixVars[int(out[2])]}
+}
+
+// condAtoms converts a trial.Cond into equality and similarity atoms over
+// the given variable frame (3 variables for selections, 6 for joins).
+func condAtoms(c trial.Cond, frame []Term) ([]SimAtom, []EqAtom, error) {
+	term := func(t trial.ObjTerm) (Term, error) {
+		if t.IsConst {
+			return C(t.Name), nil
+		}
+		if int(t.Pos) >= len(frame) {
+			return Term{}, fmt.Errorf("datalog: condition mentions position %v outside the rule frame", t.Pos)
+		}
+		return frame[int(t.Pos)], nil
+	}
+	var eqs []EqAtom
+	for _, a := range c.Obj {
+		l, err := term(a.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := term(a.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		eqs = append(eqs, EqAtom{L: l, R: r, Neq: a.Neq})
+	}
+	var sims []SimAtom
+	for _, a := range c.Val {
+		if a.L.IsLit || a.R.IsLit {
+			return nil, nil, fmt.Errorf("datalog: data-value literals are not expressible in the ∼ vocabulary of §4")
+		}
+		if int(a.L.Pos) >= len(frame) || int(a.R.Pos) >= len(frame) {
+			return nil, nil, fmt.Errorf("datalog: data condition mentions position outside the rule frame")
+		}
+		sims = append(sims, SimAtom{
+			L:         frame[int(a.L.Pos)],
+			R:         frame[int(a.R.Pos)],
+			Neg:       a.Neq,
+			Component: a.Component,
+		})
+	}
+	return sims, eqs, nil
+}

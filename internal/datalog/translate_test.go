@@ -1,0 +1,267 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genstore"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// evalExpr evaluates a TriAL expression directly.
+func evalExpr(t *testing.T, s *triplestore.Store, e trial.Expr) *triplestore.Relation {
+	t.Helper()
+	ev := trial.NewEvaluator(s)
+	r, err := ev.Eval(e)
+	if err != nil {
+		t.Fatalf("algebra eval: %v", err)
+	}
+	return r
+}
+
+// evalProg evaluates a program's answer predicate.
+func evalProg(t *testing.T, s *triplestore.Store, p *Program) *triplestore.Relation {
+	t.Helper()
+	res, err := p.Evaluate(s)
+	if err != nil {
+		t.Fatalf("datalog eval: %v", err)
+	}
+	ans, err := res.Answers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans
+}
+
+// TestFromTriALExamples translates the paper's named queries to Datalog
+// and checks the programs compute the same relations (Proposition 2 and
+// Theorem 2, concrete side).
+func TestFromTriALExamples(t *testing.T) {
+	s := transport()
+	six, _ := trial.DistinctObjects(6)
+	exprs := map[string]trial.Expr{
+		"Example2":         trial.Example2("E"),
+		"Example2Extended": trial.Example2Extended("E"),
+		"ReachRight":       trial.ReachRight("E"),
+		"ReachUp":          trial.ReachUp("E"),
+		"SameLabelReach":   trial.SameLabelReach("E"),
+		"QueryQ":           trial.QueryQ("E"),
+		"DistinctObjects6": six,
+		"Complement":       trial.Complement(trial.R("E")),
+		"SelectConst": trial.MustSelect(trial.R("E"),
+			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L2), trial.Obj("part_of"))}}),
+	}
+	for name, e := range exprs {
+		prog, err := FromTriAL(e, []string{"E"})
+		if err != nil {
+			t.Errorf("%s: FromTriAL: %v", name, err)
+			continue
+		}
+		if err := prog.CheckTripleDatalogShape(); err != nil {
+			t.Errorf("%s: program outside TripleDatalog shape: %v", name, err)
+		}
+		want := evalExpr(t, s, e)
+		got := evalProg(t, s, prog)
+		if !got.Equal(want) {
+			t.Errorf("%s: program and expression disagree\nexpr: %s\nprogram:\n%s\nwant %d triples, got %d",
+				name, e, prog, want.Len(), got.Len())
+		}
+	}
+}
+
+// TestFromTriALNonrecursive: TriAL (star-free) expressions translate to
+// nonrecursive programs, as Proposition 2 requires.
+func TestFromTriALNonrecursive(t *testing.T) {
+	six, _ := trial.DistinctObjects(6)
+	for _, e := range []trial.Expr{
+		trial.Example2("E"),
+		trial.Complement(trial.R("E")),
+		six,
+	} {
+		prog, err := FromTriAL(e, []string{"E"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prog.IsNonrecursive() {
+			t.Errorf("translation of star-free %s is recursive", e)
+		}
+	}
+	// And a starred expression is recursive.
+	prog, err := FromTriAL(trial.ReachRight("E"), []string{"E"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.IsNonrecursive() {
+		t.Error("translation of a Kleene closure should be recursive")
+	}
+	if err := prog.CheckReachShape(); err != nil {
+		t.Errorf("star translation outside ReachTripleDatalog shape: %v", err)
+	}
+}
+
+// TestFromTriALRejectsLiterals: η literals are outside the ∼ vocabulary.
+func TestFromTriALRejectsLiterals(t *testing.T) {
+	e := trial.MustSelect(trial.R("E"),
+		trial.Cond{Val: []trial.ValAtom{trial.VEq(trial.RhoP(trial.L1), trial.Lit(triplestore.V("x")))}})
+	if _, err := FromTriAL(e, []string{"E"}); err == nil {
+		t.Error("want error for data-value literal")
+	}
+}
+
+// TestToTriALHandWritten translates hand-written programs to algebra.
+func TestToTriALHandWritten(t *testing.T) {
+	s := transport()
+	cases := []struct {
+		name string
+		prog string
+	}{
+		{"copy", `Ans(?x, ?y, ?z) :- E(?x, ?y, ?z).`},
+		{"permute", `Ans(?z, ?y, ?x) :- E(?x, ?y, ?z).`},
+		{"join", `Ans(?x, ?c, ?y) :- E(?x, ?op, ?y), E(?op, ?p, ?c), ?p = part_of.`},
+		{"const-in-atom", `Ans(?x, ?p, ?c) :- E(?x, ?p, ?c), E(?p, part_of, ?c2).`},
+		{"negated", `Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), not F(?x, ?y, ?z).
+		             F(?x, ?y, ?z) :- E(?x, ?y, ?z), ?x = Edinburgh.`},
+		{"repeat-var", `Ans(?x, ?x, ?z) :- E(?x, ?x, ?z).`},
+		{"union", `Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), ?y = part_of.
+		           Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), ?x = London.`},
+		{"reach", `S(?x, ?y, ?z) :- R(?x, ?y, ?z).
+		           S(?x, ?y, ?w) :- S(?x, ?y, ?z), R(?z, ?q, ?w).
+		           R(?x, ?y, ?z) :- E(?x, ?y, ?z).
+		           @answer S.`},
+		{"same-label-reach", `S(?x, ?y, ?z) :- R(?x, ?y, ?z).
+		           S(?x, ?y, ?w) :- S(?x, ?y, ?z), R(?z, ?y2, ?w), ?y = ?y2.
+		           R(?x, ?y, ?z) :- E(?x, ?y, ?z).
+		           @answer S.`},
+	}
+	for _, c := range cases {
+		prog := MustParseProgram(c.prog)
+		e, err := ToTriAL(prog)
+		if err != nil {
+			t.Errorf("%s: ToTriAL: %v", c.name, err)
+			continue
+		}
+		want := evalProg(t, s, prog)
+		got := evalExpr(t, s, e)
+		if !got.Equal(want) {
+			t.Errorf("%s: expression %s disagrees with program\nwant %d triples, got %d",
+				c.name, e, want.Len(), got.Len())
+		}
+	}
+}
+
+// TestToTriALErrors checks rejection of programs outside the fragment.
+func TestToTriALErrors(t *testing.T) {
+	cases := []string{
+		// Arity 2 predicate.
+		`Ans(?x, ?y, ?z) :- E(?x, ?y, ?z), P(?x, ?y).
+		 P(?x, ?y) :- E(?x, ?y, ?z).`,
+		// Mutual recursion.
+		`Ans(?x, ?y, ?z) :- B(?x, ?y, ?z).
+		 A(?x, ?y, ?z) :- B(?x, ?y, ?z), E(?x, ?y, ?z).
+		 B(?x, ?y, ?z) :- A(?x, ?y, ?z), E(?x, ?y, ?z).`,
+		// Recursive rule with repeated variable in the self atom.
+		`S(?x, ?y, ?z) :- R(?x, ?y, ?z).
+		 S(?x, ?x, ?w) :- S(?x, ?x, ?z), R(?z, ?q, ?w).
+		 R(?x, ?y, ?z) :- E(?x, ?y, ?z).
+		 @answer S.`,
+		// Head constant.
+		`Ans(London, ?y, ?z) :- E(?x, ?y, ?z).`,
+	}
+	for i, in := range cases {
+		prog := MustParseProgram(in)
+		if _, err := ToTriAL(prog); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+// TestRoundTripProperty is the E6/E7 experiment: random TriAL* expressions
+// translate to Datalog and back, and all three evaluations agree on random
+// stores.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	opts := genstore.ExprOptions{
+		Relations:       []string{"E"},
+		MaxDepth:        3,
+		AllowStar:       true,
+		AllowValueConds: true,
+		AllowUniverse:   true,
+	}
+	for i := 0; i < 150; i++ {
+		s := genstore.Random(rng, 4+rng.Intn(4), 4+rng.Intn(10), 2)
+		e := genstore.RandomExpr(rng, opts)
+		prog, err := FromTriAL(e, []string{"E"})
+		if err != nil {
+			t.Fatalf("FromTriAL(%s): %v", e, err)
+		}
+		want := evalExpr(t, s, e)
+		got := evalProg(t, s, prog)
+		if !got.Equal(want) {
+			t.Fatalf("program disagrees with expression %s\nprogram:\n%s", e, prog)
+		}
+		// Back-translation: only reach-shaped recursion round-trips, so
+		// restrict to cases where ToTriAL accepts the program.
+		back, err := ToTriAL(prog)
+		if err != nil {
+			continue
+		}
+		got2 := evalExpr(t, s, back)
+		if !got2.Equal(want) {
+			t.Fatalf("round-tripped expression disagrees\noriginal: %s\nback: %s", e, back)
+		}
+	}
+}
+
+// TestRoundTripReachPrograms: random reach-shaped programs translate to
+// TriAL* and agree (the Theorem 2 direction program → algebra).
+func TestRoundTripReachPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	heads := [][3]string{
+		{"x1", "x2", "x6"},
+		{"x4", "x5", "x3"},
+		{"x1", "x5", "x6"},
+		{"x4", "x2", "x3"},
+	}
+	for i := 0; i < 60; i++ {
+		s := genstore.Random(rng, 5, 12, 2)
+		h := heads[rng.Intn(len(heads))]
+		step := Rule{
+			Head: Atom{Pred: "S", Args: []Term{V(h[0]), V(h[1]), V(h[2])}},
+			Body: []Atom{
+				{Pred: "S", Args: []Term{V("x1"), V("x2"), V("x3")}},
+				{Pred: "R", Args: []Term{V("x4"), V("x5"), V("x6")}},
+			},
+			Eqs: []EqAtom{{L: V("x3"), R: V("x4")}},
+		}
+		if rng.Intn(2) == 0 {
+			step.Eqs = append(step.Eqs, EqAtom{L: V("x2"), R: V("x5")})
+		}
+		if rng.Intn(2) == 0 {
+			step.Sims = append(step.Sims, SimAtom{L: V("x1"), R: V("x6"), Component: -1})
+		}
+		prog := &Program{
+			Ans: "S",
+			Rules: []Rule{
+				{Head: Atom{Pred: "S", Args: []Term{V("x"), V("y"), V("z")}},
+					Body: []Atom{{Pred: "R", Args: []Term{V("x"), V("y"), V("z")}}}},
+				step,
+				{Head: Atom{Pred: "R", Args: []Term{V("x"), V("y"), V("z")}},
+					Body: []Atom{{Pred: "E", Args: []Term{V("x"), V("y"), V("z")}}}},
+			},
+		}
+		if err := prog.CheckReachShape(); err != nil {
+			t.Fatalf("generated program outside reach shape: %v\n%s", err, prog)
+		}
+		e, err := ToTriAL(prog)
+		if err != nil {
+			t.Fatalf("ToTriAL: %v\n%s", err, prog)
+		}
+		want := evalProg(t, s, prog)
+		got := evalExpr(t, s, e)
+		if !got.Equal(want) {
+			t.Fatalf("disagreement for program\n%s\nexpression %s\nwant %d got %d",
+				prog, e, want.Len(), got.Len())
+		}
+	}
+}

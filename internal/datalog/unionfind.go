@@ -1,0 +1,52 @@
+package datalog
+
+import "strings"
+
+// unionFind tracks equality classes of rule variables and constants for
+// the join-index planner: a variable equality-linked to a constant or to
+// an already-bound variable contributes an indexable key position.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: map[string]string{}}
+}
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	u.parent[u.find(a)] = u.find(b)
+}
+
+// resolve returns a term whose value determines the value of variable v:
+// a constant in v's equality class, or a class member variable present in
+// bound. Keys in the union-find are prefixed "v:" for variables and "c:"
+// for constants.
+func (u *unionFind) resolve(v string, bound map[string]bool) (Term, bool) {
+	root := u.find("v:" + v)
+	for member := range u.parent {
+		if u.find(member) != root {
+			continue
+		}
+		if name, ok := strings.CutPrefix(member, "c:"); ok {
+			return C(name), true
+		}
+		if name, ok := strings.CutPrefix(member, "v:"); ok && bound[name] {
+			return V(name), true
+		}
+	}
+	return Term{}, false
+}

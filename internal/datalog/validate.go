@@ -1,0 +1,327 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// CheckSafety verifies that every rule is safe for bottom-up evaluation:
+// all head variables and all variables in equality, similarity, and
+// negated atoms occur in some positive body atom — the condition (2) of
+// the paper's rule shape (1).
+func (p *Program) CheckSafety() error {
+	for i, r := range p.Rules {
+		bound := map[string]bool{}
+		for _, a := range r.Body {
+			if a.Neg {
+				continue
+			}
+			for _, t := range a.Args {
+				if !t.IsConst {
+					bound[t.Var] = true
+				}
+			}
+		}
+		need := func(t Term, where string) error {
+			if !t.IsConst && !bound[t.Var] {
+				return fmt.Errorf("datalog: rule %d (%s): variable ?%s in %s not bound by a positive body atom",
+					i, r.Head.Pred, t.Var, where)
+			}
+			return nil
+		}
+		for _, t := range r.Head.Args {
+			if err := need(t, "head"); err != nil {
+				return err
+			}
+		}
+		for _, a := range r.Body {
+			if !a.Neg {
+				continue
+			}
+			for _, t := range a.Args {
+				if err := need(t, "negated atom"); err != nil {
+					return err
+				}
+			}
+		}
+		for _, a := range r.Sims {
+			if err := need(a.L, "~ atom"); err != nil {
+				return err
+			}
+			if err := need(a.R, "~ atom"); err != nil {
+				return err
+			}
+		}
+		for _, a := range r.Eqs {
+			if err := need(a.L, "equality"); err != nil {
+				return err
+			}
+			if err := need(a.R, "equality"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTripleDatalogShape verifies the syntactic shape of TripleDatalog¬
+// rules (§4, rule form (1)): at most two relational atoms per body, all
+// predicates of arity at most 3.
+func (p *Program) CheckTripleDatalogShape() error {
+	if _, err := p.arities(); err != nil {
+		return err
+	}
+	for i, r := range p.Rules {
+		if len(r.Body) > 2 {
+			return fmt.Errorf("datalog: rule %d (%s) has %d relational atoms; TripleDatalog allows at most 2",
+				i, r.Head.Pred, len(r.Body))
+		}
+		if r.Head.Neg {
+			return fmt.Errorf("datalog: rule %d has negated head", i)
+		}
+	}
+	return p.CheckSafety()
+}
+
+// DependencyGraph returns, for each head predicate, the set of predicates
+// occurring in bodies of its rules, with a flag for negated occurrences.
+type depEdge struct {
+	from, to string
+	negated  bool
+}
+
+func (p *Program) depEdges() []depEdge {
+	var edges []depEdge
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			edges = append(edges, depEdge{from: r.Head.Pred, to: a.Pred, negated: a.Neg})
+		}
+	}
+	return edges
+}
+
+// IsNonrecursive reports whether the program's dependency graph is acyclic
+// — the defining condition for (nonrecursive) TripleDatalog¬ programs.
+func (p *Program) IsNonrecursive() bool {
+	_, err := p.Stratify()
+	if err != nil {
+		return false
+	}
+	adj := map[string][]string{}
+	for _, e := range p.depEdges() {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	// Cycle detection over IDB predicates.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	idb := p.IDB()
+	var visit func(string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		for _, m := range adj[n] {
+			if !idb[m] {
+				continue
+			}
+			switch color[m] {
+			case gray:
+				return false
+			case white:
+				if !visit(m) {
+					return false
+				}
+			}
+		}
+		color[n] = black
+		return true
+	}
+	for pred := range idb {
+		if color[pred] == white {
+			if !visit(pred) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Stratify orders the program's IDB predicates into strata such that
+// negated dependencies cross strictly downward. It returns an error if
+// negation occurs within a recursive cycle (the program then has no
+// stratified semantics).
+func (p *Program) Stratify() ([][]string, error) {
+	idb := p.IDB()
+	// Longest-path stratification: stratum(S) ≥ stratum(T) for positive
+	// edges S→T, stratum(S) > stratum(T) for negated edges, for IDB T.
+	stratum := map[string]int{}
+	for pred := range idb {
+		stratum[pred] = 0
+	}
+	edges := p.depEdges()
+	n := len(idb)
+	for iter := 0; ; iter++ {
+		changed := false
+		for _, e := range edges {
+			if !idb[e.to] {
+				continue
+			}
+			min := stratum[e.to]
+			if e.negated {
+				min++
+			}
+			if stratum[e.from] < min {
+				stratum[e.from] = min
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > n {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (negation through recursion)")
+		}
+	}
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	out := make([][]string, maxS+1)
+	for _, pred := range p.Predicates() {
+		if idb[pred] {
+			out[stratum[pred]] = append(out[stratum[pred]], pred)
+		}
+	}
+	return out, nil
+}
+
+// CheckReachShape verifies the ReachTripleDatalog¬ condition: every
+// recursive predicate S is the head of exactly two rules
+//
+//	S(x̄)  ← R(x̄)
+//	S(x̄′) ← S(x̄1), R(x̄2), V(y1,z1), ..., u1 (!)= v1, ...
+//
+// with the V atoms drawn from equalities and ∼ (they live in Rule.Eqs and
+// Rule.Sims here). The paper states "R is a nonrecursive predicate"; read
+// literally that would exclude the programs its own Theorem 2 translation
+// produces for nested Kleene closures (the outer star's R is the inner
+// star's recursive predicate), so we enforce the reading the theorem
+// needs: R must not depend on S — the recursion is stratified and linear.
+func (p *Program) CheckReachShape() error {
+	if err := p.CheckTripleDatalogShape(); err != nil {
+		return err
+	}
+	reach := p.dependencyClosure()
+	recursive := map[string]bool{}
+	for _, pred := range p.Predicates() {
+		if reach[pred][pred] {
+			recursive[pred] = true
+		}
+	}
+	// otherOK: may the non-self predicate of S's rules be q?
+	otherOK := func(s, q string) bool { return q != s && !reach[q][s] }
+	for pred := range recursive {
+		var rules []Rule
+		for _, r := range p.Rules {
+			if r.Head.Pred == pred {
+				rules = append(rules, r)
+			}
+		}
+		if len(rules) != 2 {
+			return fmt.Errorf("datalog: recursive predicate %s has %d rules, want exactly 2", pred, len(rules))
+		}
+		base, step := rules[0], rules[1]
+		if isReachStep(base, pred, otherOK) {
+			base, step = step, base
+		}
+		if err := checkReachBase(base, pred, otherOK); err != nil {
+			return err
+		}
+		if !isReachStep(step, pred, otherOK) {
+			return fmt.Errorf("datalog: predicate %s: second rule is not of the reach step form S ← S, R, conditions", pred)
+		}
+	}
+	return nil
+}
+
+func checkReachBase(r Rule, pred string, otherOK func(s, q string) bool) error {
+	if len(r.Body) != 1 || r.Body[0].Neg || !otherOK(pred, r.Body[0].Pred) ||
+		len(r.Sims) != 0 || len(r.Eqs) != 0 {
+		return fmt.Errorf("datalog: predicate %s: base rule must be S(x̄) ← R(x̄) with R independent of S", pred)
+	}
+	if len(r.Head.Args) != len(r.Body[0].Args) {
+		return fmt.Errorf("datalog: predicate %s: base rule arity mismatch", pred)
+	}
+	for i, t := range r.Head.Args {
+		b := r.Body[0].Args[i]
+		if t.IsConst || b.IsConst || t.Var != b.Var {
+			return fmt.Errorf("datalog: predicate %s: base rule head must copy the body atom verbatim", pred)
+		}
+	}
+	return nil
+}
+
+func isReachStep(r Rule, pred string, otherOK func(s, q string) bool) bool {
+	if len(r.Body) != 2 {
+		return false
+	}
+	var selfCount int
+	for _, a := range r.Body {
+		if a.Neg {
+			return false
+		}
+		if a.Pred == pred {
+			selfCount++
+		} else if !otherOK(pred, a.Pred) {
+			return false
+		}
+	}
+	return selfCount == 1
+}
+
+// dependencyClosure returns the transitive closure of the predicate
+// dependency relation: reach[a][b] means a's definition (transitively)
+// uses b.
+func (p *Program) dependencyClosure() map[string]map[string]bool {
+	adj := map[string]map[string]bool{}
+	for _, e := range p.depEdges() {
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	preds := p.Predicates()
+	reach := map[string]map[string]bool{}
+	for _, a := range preds {
+		reach[a] = map[string]bool{}
+		for b := range adj[a] {
+			reach[a][b] = true
+		}
+	}
+	for _, k := range preds {
+		for _, i := range preds {
+			if reach[i][k] {
+				for j := range reach[k] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// recursivePredicates returns the predicates that (transitively) depend on
+// themselves.
+func (p *Program) recursivePredicates() map[string]bool {
+	reach := p.dependencyClosure()
+	out := map[string]bool{}
+	for _, a := range p.Predicates() {
+		if reach[a][a] {
+			out[a] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestWitnessExperiments runs every fast (non-perf) experiment and asserts
+// the reproduced claim held.
+func TestWitnessExperiments(t *testing.T) {
+	for _, r := range All() {
+		if r.Perf {
+			continue
+		}
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			rep := r.Run()
+			if rep.ID != r.ID {
+				t.Errorf("report ID %q does not match runner ID %q", rep.ID, r.ID)
+			}
+			if !rep.Pass {
+				t.Errorf("experiment failed:\n%s", rep)
+			}
+			if len(rep.Rows) == 0 {
+				t.Errorf("experiment produced no table rows")
+			}
+		})
+	}
+}
+
+// TestPerfExperimentsSmoke runs the perf experiments (shape checks use
+// wide tolerance bands; see checkRatios). Skipped in -short mode.
+func TestPerfExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf experiments skipped in -short mode")
+	}
+	for _, r := range All() {
+		if !r.Perf {
+			continue
+		}
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			rep := r.Run()
+			if !rep.Pass {
+				t.Errorf("perf experiment failed:\n%s", rep)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if r := ByID("E4"); r == nil || r.ID != "E4" {
+		t.Error("ByID(E4) failed")
+	}
+	if r := ByID("E999"); r != nil {
+		t.Error("ByID should return nil for unknown IDs")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{ID: "EX", Title: "demo", Source: "here", Pass: true,
+		Header: []string{"a", "b"}}
+	rep.row("1", "2")
+	rep.notef("a note")
+	out := rep.String()
+	for _, want := range []string{"EX", "demo", "PASS", "a note"} {
+		if !contains(out, want) {
+			t.Errorf("report rendering missing %q:\n%s", want, out)
+		}
+	}
+	rep.failf("boom")
+	if !contains(rep.String(), "FAIL") {
+		t.Error("failed report should render FAIL")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

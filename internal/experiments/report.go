@@ -1,0 +1,166 @@
+// Package experiments reproduces, as executable checks, the claims of the
+// TriAL paper: worked examples (Examples 2–4), inexpressibility witnesses
+// (Proposition 1, Theorem 1, Theorems 4–8, Proposition 6), the capture
+// results (Proposition 2, Theorem 2) and the complexity bounds of §5
+// (Theorem 3, Propositions 4 and 5) as measured scaling curves.
+//
+// The paper has no experimental tables or figures — it is a theory paper —
+// so these experiments play that role: each one regenerates a table whose
+// shape the paper predicts. The experiment IDs (E1–E22) are indexed in
+// DESIGN.md; cmd/trialbench prints any subset; EXPERIMENTS.md records
+// paper-expected versus measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	// ID is the experiment identifier (E1..E22, per DESIGN.md).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Source cites the paper location being reproduced.
+	Source string
+	// Header and Rows form the regenerated table.
+	Header []string
+	Rows   [][]string
+	// Notes carries free-form observations.
+	Notes []string
+	// Pass reports whether the paper's claim held.
+	Pass bool
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "== %s: %s [%s] (%s)\n", r.ID, r.Title, status, r.Source)
+	if len(r.Header) > 0 {
+		widths := make([]int, len(r.Header))
+		for i, h := range r.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		line := func(cells []string) {
+			for i, c := range cells {
+				if i < len(widths) {
+					fmt.Fprintf(&b, "  %-*s", widths[i], c)
+				} else {
+					fmt.Fprintf(&b, "  %s", c)
+				}
+			}
+			b.WriteByte('\n')
+		}
+		line(r.Header)
+		for _, row := range r.Rows {
+			line(row)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a GitHub-flavored markdown section, for
+// pasting into EXPERIMENTS.md-style documents.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "### %s — %s\n\n**%s** (%s)\n\n", r.ID, r.Title, status, r.Source)
+	if len(r.Header) > 0 {
+		b.WriteString("| " + strings.Join(r.Header, " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat("---|", len(r.Header)) + "\n")
+		for _, row := range r.Rows {
+			b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "* %s\n", n)
+	}
+	return b.String()
+}
+
+func (r *Report) row(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+func (r *Report) notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) failf(format string, args ...interface{}) {
+	r.Pass = false
+	r.Notes = append(r.Notes, "FAIL: "+fmt.Sprintf(format, args...))
+}
+
+// Runner produces one report. Fast runners complete in well under a
+// second; perf runners (E9–E13) take seconds.
+type Runner struct {
+	ID   string
+	Perf bool
+	Run  func() *Report
+}
+
+// All returns every experiment runner, in ID order.
+func All() []Runner {
+	rs := []Runner{
+		{ID: "E1", Run: E1Example2},
+		{ID: "E2", Run: E2Example3},
+		{ID: "E3", Run: E3QueryQ},
+		{ID: "E4", Run: E4Prop1Witness},
+		{ID: "E5", Run: E5Thm1Witness},
+		{ID: "E6", Run: E6Prop2RoundTrip},
+		{ID: "E7", Run: E7Thm2RoundTrip},
+		{ID: "E8", Run: E8Membership},
+		{ID: "E9", Perf: true, Run: E9JoinScaling},
+		{ID: "E10", Perf: true, Run: E10StarScaling},
+		{ID: "E11", Perf: true, Run: E11HashJoinScaling},
+		{ID: "E12", Perf: true, Run: E12ReachStarScaling},
+		{ID: "E13", Perf: true, Run: E13DatalogScaling},
+		{ID: "E14", Run: E14FO3},
+		{ID: "E15", Run: E15CountingWitnesses},
+		{ID: "E16", Run: E16GXPathTranslation},
+		{ID: "E17", Run: E17GXPathData},
+		{ID: "E18", Run: E18CNRE},
+		{ID: "E19", Run: E19RegMem},
+		{ID: "E20", Run: E20SocialNetwork},
+		{ID: "E21", Run: E21SigmaFig2},
+		{ID: "E22", Run: E22TrCl3},
+	}
+	sort.Slice(rs, func(i, j int) bool { return idNum(rs[i].ID) < idNum(rs[j].ID) })
+	return rs
+}
+
+func idNum(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID returns the runner with the given ID, or nil.
+func ByID(id string) *Runner {
+	for _, r := range All() {
+		if r.ID == id {
+			rc := r
+			return &rc
+		}
+	}
+	return nil
+}

@@ -1,0 +1,1061 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/datalog"
+	"repro/internal/fixtures"
+	"repro/internal/fo"
+	"repro/internal/genstore"
+	"repro/internal/graph"
+	"repro/internal/gxpath"
+	"repro/internal/nre"
+	"repro/internal/rdf"
+	"repro/internal/regmem"
+	"repro/internal/rpq"
+	"repro/internal/translate"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+func mustEval(s *triplestore.Store, e trial.Expr) *triplestore.Relation {
+	ev := trial.NewEvaluator(s)
+	r, err := ev.Eval(e)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: eval %s: %v", e, err))
+	}
+	return r
+}
+
+func pairNames(s *triplestore.Store, r *triplestore.Relation) map[[2]string]bool {
+	out := map[[2]string]bool{}
+	r.ForEach(func(t triplestore.Triple) {
+		out[[2]string{s.Name(t[0]), s.Name(t[2])}] = true
+	})
+	return out
+}
+
+// E1Example2 regenerates the result table of Example 2.
+func E1Example2() *Report {
+	rep := &Report{
+		ID: "E1", Title: "Example 2: e = E ✶[1,3',3; 2=1'] E on the Figure 1 store",
+		Source: "§3, Example 2",
+		Header: []string{"subject", "company", "object"},
+		Pass:   true,
+	}
+	s := fixtures.Transport()
+	r := mustEval(s, trial.Example2(fixtures.RelE))
+	want := map[[3]string]bool{
+		{"St. Andrews", "NatExpress", "Edinburgh"}: true,
+		{"Edinburgh", "EastCoast", "London"}:       true,
+		{"London", "Eurostar", "Brussels"}:         true,
+	}
+	got := map[[3]string]bool{}
+	r.ForEach(func(t triplestore.Triple) {
+		k := [3]string{s.Name(t[0]), s.Name(t[1]), s.Name(t[2])}
+		got[k] = true
+		rep.row(k[0], k[1], k[2])
+	})
+	if len(got) != len(want) {
+		rep.failf("got %d triples, paper lists %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			rep.failf("missing paper row %v", k)
+		}
+	}
+	return rep
+}
+
+// E2Example3 reproduces the non-associativity demonstration of Example 3.
+func E2Example3() *Report {
+	rep := &Report{
+		ID: "E2", Title: "Example 3: right vs left Kleene closure of ✶[1,2,2'; 3=1']",
+		Source: "§3, Example 3",
+		Header: []string{"closure", "derived beyond E"},
+		Pass:   true,
+	}
+	s := fixtures.Example3()
+	cond := trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}}
+	right := mustEval(s, trial.MustStar(trial.R(fixtures.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R2}, cond, false))
+	left := mustEval(s, trial.MustStar(trial.R(fixtures.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R2}, cond, true))
+	derived := func(r *triplestore.Relation) string {
+		base := s.Relation(fixtures.RelE)
+		out := ""
+		for _, t := range r.Triples() {
+			if !base.Has(t) {
+				out += s.FormatTriple(t) + " "
+			}
+		}
+		return out
+	}
+	rep.row("right (e ✶)*", derived(right))
+	rep.row("left (✶ e)*", derived(left))
+	// Paper: right yields {(a,b,d),(a,b,e)}; left yields {(a,b,d)} only.
+	if right.Len() != 5 || left.Len() != 4 {
+		rep.failf("sizes: right %d (want 5), left %d (want 4)", right.Len(), left.Len())
+	}
+	abe := triplestore.Triple{s.Lookup("a"), s.Lookup("b"), s.Lookup("e")}
+	if !right.Has(abe) || left.Has(abe) {
+		rep.failf("(a,b,e) membership: right %v (want true), left %v (want false)", right.Has(abe), left.Has(abe))
+	}
+	return rep
+}
+
+// E3QueryQ reproduces the running query Q on the Figure 1 store.
+func E3QueryQ() *Report {
+	rep := &Report{
+		ID: "E3", Title: "Query Q: same-company reachability between cities",
+		Source: "§2.2, Theorem 1, Example 4",
+		Header: []string{"pair", "in Q(D)", "paper"},
+		Pass:   true,
+	}
+	s := fixtures.Transport()
+	pairs := pairNames(s, mustEval(s, trial.QueryQ(fixtures.RelE)))
+	checks := []struct {
+		from, to string
+		want     bool
+	}{
+		{"Edinburgh", "London", true},
+		{"St. Andrews", "London", true},
+		{"St. Andrews", "Brussels", false},
+	}
+	for _, c := range checks {
+		got := pairs[[2]string{c.from, c.to}]
+		rep.row(fmt.Sprintf("(%s, %s)", c.from, c.to), fmt.Sprint(got), fmt.Sprint(c.want))
+		if got != c.want {
+			rep.failf("pair (%s, %s): got %v want %v", c.from, c.to, got, c.want)
+		}
+	}
+	return rep
+}
+
+// enumerateNREs generates all NREs over the σ-alphabet with at most n
+// operator applications (breadth-limited), used to confirm empirically
+// that no small NRE distinguishes the Proposition 1 witnesses.
+func enumerateNREs(maxSize, cap int) []nre.Expr {
+	var atoms []nre.Expr
+	atoms = append(atoms, nre.Epsilon{})
+	for _, a := range []string{rdf.LabelNext, rdf.LabelEdge, rdf.LabelNode} {
+		atoms = append(atoms, nre.Label{A: a}, nre.Label{A: a, Inv: true})
+	}
+	levels := [][]nre.Expr{atoms}
+	all := append([]nre.Expr{}, atoms...)
+	for size := 1; size <= maxSize && len(all) < cap; size++ {
+		var next []nre.Expr
+		prev := levels[size-1]
+		for _, e := range prev {
+			next = append(next, nre.Star{E: e}, nre.Nest{E: e})
+		}
+		for _, l := range atoms {
+			for _, r := range prev {
+				next = append(next, nre.Concat{L: l, R: r}, nre.Union{L: l, R: r})
+			}
+		}
+		levels = append(levels, next)
+		all = append(all, next...)
+	}
+	if len(all) > cap {
+		all = all[:cap]
+	}
+	return all
+}
+
+// E4Prop1Witness reproduces the Proposition 1 proof: σ(D1) = σ(D2)
+// although Q(D1) ≠ Q(D2), so no NRE over σ(·) expresses Q.
+func E4Prop1Witness() *Report {
+	rep := &Report{
+		ID: "E4", Title: "Proposition 1 witness: σ(D1) = σ(D2) but Q(D1) ≠ Q(D2)",
+		Source: "Proposition 1 + appendix",
+		Header: []string{"check", "result"},
+		Pass:   true,
+	}
+	d1s, d2s := fixtures.D1(), fixtures.D2()
+	d1, err := rdf.FromStore(d1s, fixtures.RelE)
+	if err != nil {
+		panic(err)
+	}
+	d2, err := rdf.FromStore(d2s, fixtures.RelE)
+	if err != nil {
+		panic(err)
+	}
+	s1, s2 := d1.Sigma(), d2.Sigma()
+	eq := s1.Equal(s2)
+	rep.row("σ(D1) = σ(D2) as graphs", fmt.Sprint(eq))
+	if !eq {
+		rep.failf("the σ transformations differ — witness broken")
+	}
+	// Bounded NRE enumeration: every NRE agrees (trivially, since the
+	// graphs are equal — the point of the witness) — checked explicitly
+	// through both evaluation paths.
+	exprs := enumerateNREs(2, 400)
+	agree := 0
+	for _, e := range exprs {
+		a := nre.Eval(e, nre.GraphStructure{G: s1})
+		b := nre.Eval(e, nre.GraphStructure{G: s2})
+		if a.Equal(b) {
+			agree++
+		}
+	}
+	rep.row(fmt.Sprintf("NREs (size ≤ 2, %d sampled) agreeing on σ(D1)/σ(D2)", len(exprs)),
+		fmt.Sprintf("%d/%d", agree, len(exprs)))
+	if agree != len(exprs) {
+		rep.failf("%d NREs distinguish equal graphs (evaluator bug)", len(exprs)-agree)
+	}
+	// TriAL* distinguishes: (St Andrews, London) ∈ Q(D1) \ Q(D2).
+	q1 := pairNames(d1s, mustEval(d1s, trial.QueryQ(fixtures.RelE)))
+	q2 := pairNames(d2s, mustEval(d2s, trial.QueryQ(fixtures.RelE)))
+	key := [2]string{"St Andrews", "London"}
+	rep.row("(St Andrews, London) ∈ Q(D1)", fmt.Sprint(q1[key]))
+	rep.row("(St Andrews, London) ∈ Q(D2)", fmt.Sprint(q2[key]))
+	if !q1[key] || q2[key] {
+		rep.failf("Q evaluation: want in D1 only (got D1=%v, D2=%v)", q1[key], q2[key])
+	}
+	return rep
+}
+
+// E5Thm1Witness reproduces Theorem 1: the nSPARQL-style NRE semantics over
+// triples (next/edge/node axes) cannot express Q either, because it
+// factors through σ(·).
+func E5Thm1Witness() *Report {
+	rep := &Report{
+		ID: "E5", Title: "Theorem 1 witness: nSPARQL triple semantics agrees on D1/D2",
+		Source: "Theorem 1 + appendix",
+		Header: []string{"check", "result"},
+		Pass:   true,
+	}
+	d1, err := rdf.FromStore(fixtures.D1(), fixtures.RelE)
+	if err != nil {
+		panic(err)
+	}
+	d2, err := rdf.FromStore(fixtures.D2(), fixtures.RelE)
+	if err != nil {
+		panic(err)
+	}
+	t1 := nre.TripleStructure{D: d1}
+	t2 := nre.TripleStructure{D: d2}
+	exprs := enumerateNREs(2, 400)
+	agree := 0
+	for _, e := range exprs {
+		if nre.Eval(e, t1).Equal(nre.Eval(e, t2)) {
+			agree++
+		}
+	}
+	rep.row(fmt.Sprintf("NREs (size ≤ 2, %d sampled) agreeing under triple semantics", len(exprs)),
+		fmt.Sprintf("%d/%d", agree, len(exprs)))
+	if agree != len(exprs) {
+		rep.failf("nSPARQL semantics distinguishes D1/D2 — contradicts σ-factoring")
+	}
+	// And the semantics factors through σ: evaluating over σ(Di) as a
+	// graph gives the same relations.
+	factored := 0
+	sg := nre.GraphStructure{G: d1.Sigma()}
+	for _, e := range exprs {
+		if nre.Eval(e, t1).Equal(nre.Eval(e, sg)) {
+			factored++
+		}
+	}
+	rep.row("NREs whose triple semantics equals σ-graph semantics", fmt.Sprintf("%d/%d", factored, len(exprs)))
+	if factored != len(exprs) {
+		rep.failf("triple semantics does not factor through σ")
+	}
+	return rep
+}
+
+// E6Prop2RoundTrip samples the Proposition 2 equivalence: TriAL
+// expressions and their TripleDatalog¬ translations agree.
+func E6Prop2RoundTrip() *Report {
+	return roundTrip("E6", "Proposition 2: TriAL ≡ nonrecursive TripleDatalog¬", false)
+}
+
+// E7Thm2RoundTrip samples the Theorem 2 equivalence for TriAL*.
+func E7Thm2RoundTrip() *Report {
+	return roundTrip("E7", "Theorem 2: TriAL* ≡ ReachTripleDatalog¬", true)
+}
+
+func roundTrip(id, title string, stars bool) *Report {
+	rep := &Report{
+		ID: id, Title: title, Source: "§4",
+		Header: []string{"direction", "cases", "agreeing"},
+		Pass:   true,
+	}
+	rng := rand.New(rand.NewSource(99))
+	opts := genstore.ExprOptions{
+		Relations:       []string{"E"},
+		MaxDepth:        3,
+		AllowStar:       stars,
+		AllowValueConds: true,
+		AllowUniverse:   true,
+	}
+	const n = 60
+	fwd, back, backTried := 0, 0, 0
+	for i := 0; i < n; i++ {
+		s := genstore.Random(rng, 5, 8, 2)
+		e := genstore.RandomExpr(rng, opts)
+		prog, err := datalog.FromTriAL(e, []string{"E"})
+		if err != nil {
+			panic(err)
+		}
+		want := mustEval(s, e)
+		res, err := prog.Evaluate(s)
+		if err != nil {
+			panic(err)
+		}
+		got, err := res.Answers()
+		if err != nil {
+			panic(err)
+		}
+		if got.Equal(want) {
+			fwd++
+		}
+		if e2, err := datalog.ToTriAL(prog); err == nil {
+			backTried++
+			if mustEval(s, e2).Equal(want) {
+				back++
+			}
+		}
+	}
+	rep.row("algebra → Datalog", fmt.Sprint(n), fmt.Sprint(fwd))
+	rep.row("Datalog → algebra", fmt.Sprint(backTried), fmt.Sprint(back))
+	if fwd != n || back != backTried {
+		rep.failf("disagreements: forward %d/%d, back %d/%d", fwd, n, back, backTried)
+	}
+	return rep
+}
+
+// E8Membership checks the QueryEvaluation interface of Proposition 3:
+// membership tests agree with full computation.
+func E8Membership() *Report {
+	rep := &Report{
+		ID: "E8", Title: "Proposition 3: QueryEvaluation agrees with QueryComputation",
+		Source: "§5, Proposition 3",
+		Header: []string{"query", "triples checked", "agreeing"},
+		Pass:   true,
+	}
+	rng := rand.New(rand.NewSource(7))
+	s := genstore.Random(rng, 6, 20, 2)
+	ev := trial.NewEvaluator(s)
+	six, _ := trial.DistinctObjects(6)
+	queries := map[string]trial.Expr{
+		"Example2":   trial.Example2("E"),
+		"ReachRight": trial.ReachRight("E"),
+		"QueryQ":     trial.QueryQ("E"),
+		"Distinct6":  six,
+	}
+	dom := s.ActiveDomain()
+	for name, q := range queries {
+		full, err := ev.Eval(q)
+		if err != nil {
+			panic(err)
+		}
+		checked, ok := 0, 0
+		for _, a := range dom {
+			for _, b := range dom {
+				for _, c := range dom {
+					tr := triplestore.Triple{a, b, c}
+					holds, err := ev.Holds(q, tr)
+					if err != nil {
+						panic(err)
+					}
+					checked++
+					if holds == full.Has(tr) {
+						ok++
+					}
+				}
+			}
+		}
+		rep.row(name, fmt.Sprint(checked), fmt.Sprint(ok))
+		if ok != checked {
+			rep.failf("%s: %d mismatches", name, checked-ok)
+		}
+	}
+	return rep
+}
+
+// E14FO3 reproduces the FO³ ⊊ TriAL direction of Theorem 4: the
+// translation is checked on random formulas, and the four-distinct-objects
+// query separates T3 from T4 (which FO³ cannot distinguish, by the pebble
+// argument of the proof).
+func E14FO3() *Report {
+	rep := &Report{
+		ID: "E14", Title: "Theorem 4: FO³ ⊂ TriAL (translation + T3/T4 witness)",
+		Source: "Theorem 4, part 2",
+		Header: []string{"check", "result"},
+		Pass:   true,
+	}
+	// Random-translation agreement.
+	rng := rand.New(rand.NewSource(5))
+	agree, n := 0, 40
+	for i := 0; i < n; i++ {
+		s := genstore.Random(rng, 4, 7, 2)
+		f := randFO3(rng, 3)
+		e, err := fo.FO3ToTriAL(f, [3]string{"x1", "x2", "x3"})
+		if err != nil {
+			panic(err)
+		}
+		r := mustEval(s, e)
+		good := true
+		dom := s.ActiveDomain()
+		env := fo.Env{}
+		for _, a := range dom {
+			for _, b := range dom {
+				for _, c := range dom {
+					env["x1"], env["x2"], env["x3"] = a, b, c
+					want, err := fo.Eval(f, s, env)
+					if err != nil {
+						panic(err)
+					}
+					if r.Has(triplestore.Triple{a, b, c}) != want {
+						good = false
+					}
+				}
+			}
+		}
+		if good {
+			agree++
+		}
+	}
+	rep.row(fmt.Sprintf("random FO³ formulas (%d) matching their translations", n), fmt.Sprintf("%d/%d", agree, n))
+	if agree != n {
+		rep.failf("FO³ translation disagreed on %d formulas", n-agree)
+	}
+	// Part 1: TriAL ⊆ FO — the reverse translation on the named queries.
+	fwd := 0
+	fwdExprs := []trial.Expr{trial.Example2("E"), trial.Example2Extended("E"), trial.Complement(trial.R("E"))}
+	fwdStore := genstore.Random(rand.New(rand.NewSource(6)), 4, 7, 2)
+	for _, e := range fwdExprs {
+		f, err := fo.TriALToFO(e, []string{"E"}, [3]string{"o1", "o2", "o3"})
+		if err != nil {
+			panic(err)
+		}
+		want := mustEval(fwdStore, e)
+		good := true
+		env := fo.Env{}
+		for _, a := range fwdStore.ActiveDomain() {
+			for _, b := range fwdStore.ActiveDomain() {
+				for _, c := range fwdStore.ActiveDomain() {
+					env["o1"], env["o2"], env["o3"] = a, b, c
+					got, err := fo.Eval(f, fwdStore, env)
+					if err != nil {
+						panic(err)
+					}
+					if got != want.Has(triplestore.Triple{a, b, c}) {
+						good = false
+					}
+				}
+			}
+		}
+		if good {
+			fwd++
+		}
+	}
+	rep.row(fmt.Sprintf("named TriAL queries (%d) matching their FO translations", len(fwdExprs)),
+		fmt.Sprintf("%d/%d", fwd, len(fwdExprs)))
+	if fwd != len(fwdExprs) {
+		rep.failf("TriAL → FO translation disagreed")
+	}
+	// T3/T4 witness: four-distinct-objects query.
+	four, _ := trial.DistinctObjects(4)
+	e3 := mustEval(fixtures.CompleteStore(3), four)
+	e4 := mustEval(fixtures.CompleteStore(4), four)
+	rep.row("DistinctObjects(4) on T3 (empty expected)", fmt.Sprint(e3.Len() == 0))
+	rep.row("DistinctObjects(4) on T4 (nonempty expected)", fmt.Sprint(e4.Len() > 0))
+	rep.notef("T3 and T4 are L³∞ω-equivalent by the 3-pebble argument; the separation is TriAL-side only")
+	if e3.Len() != 0 || e4.Len() == 0 {
+		rep.failf("four-objects query misbehaved: |T3| = %d, |T4| = %d", e3.Len(), e4.Len())
+	}
+	return rep
+}
+
+func randFO3(rng *rand.Rand, depth int) fo.Formula {
+	vars := []string{"x1", "x2", "x3"}
+	tv := func() fo.Term { return fo.V(vars[rng.Intn(3)]) }
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return fo.Atom{Rel: "E", Args: [3]fo.Term{tv(), tv(), tv()}}
+		case 1:
+			return fo.Eq{L: tv(), R: tv()}
+		default:
+			return fo.Sim{L: tv(), R: tv(), Component: -1}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return randFO3(rng, 0)
+	case 1:
+		return fo.Not{F: randFO3(rng, depth-1)}
+	case 2:
+		return fo.And{L: randFO3(rng, depth-1), R: randFO3(rng, depth-1)}
+	case 3:
+		return fo.Or{L: randFO3(rng, depth-1), R: randFO3(rng, depth-1)}
+	case 4:
+		return fo.Exists{Var: vars[rng.Intn(3)], F: randFO3(rng, depth-1)}
+	default:
+		return fo.Forall{Var: vars[rng.Intn(3)], F: randFO3(rng, depth-1)}
+	}
+}
+
+// E15CountingWitnesses reproduces the Theorem 4 part 3 witnesses: the
+// six-distinct-objects query separates T5 from T6 (beyond FO⁵), and the
+// FO⁴ formula φ of the appendix separates structures A and B while a
+// family of TriAL expressions does not.
+func E15CountingWitnesses() *Report {
+	rep := &Report{
+		ID: "E15", Title: "Theorem 4 part 3: T5/T6 and structures A/B",
+		Source: "Theorem 4, part 3 + appendix",
+		Header: []string{"check", "result"},
+		Pass:   true,
+	}
+	six, _ := trial.DistinctObjects(6)
+	t5 := mustEval(fixtures.CompleteStore(5), six)
+	t6 := mustEval(fixtures.CompleteStore(6), six)
+	rep.row("DistinctObjects(6) empty on T5", fmt.Sprint(t5.Len() == 0))
+	rep.row("DistinctObjects(6) nonempty on T6", fmt.Sprint(t6.Len() > 0))
+	if t5.Len() != 0 || t6.Len() == 0 {
+		rep.failf("six-objects query misbehaved")
+	}
+
+	// Structures A and B: the appendix FO⁴ formula φ distinguishes them.
+	a, b := fixtures.StructureA(), fixtures.StructureB()
+	phi := appendixPhi()
+	va, err := fo.Eval(phi, a, fo.Env{})
+	if err != nil {
+		panic(err)
+	}
+	vb, err := fo.Eval(phi, b, fo.Env{})
+	if err != nil {
+		panic(err)
+	}
+	rep.row("FO⁴ formula φ holds on A", fmt.Sprint(va))
+	rep.row("FO⁴ formula φ holds on B", fmt.Sprint(vb))
+	if !va || vb {
+		rep.failf("φ should hold on A only (A=%v, B=%v)", va, vb)
+	}
+	// Spot-check: a family of TriAL expressions does not separate A and B
+	// on nonemptiness (the full claim — agreement of all join-game types —
+	// is proof-theoretic; we sample the named queries and random TriAL=
+	// expressions).
+	rng := rand.New(rand.NewSource(31))
+	opts := genstore.ExprOptions{Relations: []string{fixtures.RelE}, MaxDepth: 3, EqualityOnly: true}
+	agree, n := 0, 30
+	for i := 0; i < n; i++ {
+		e := genstore.RandomExpr(rng, opts)
+		ra := mustEval(a, e)
+		rb := mustEval(b, e)
+		if (ra.Len() == 0) == (rb.Len() == 0) {
+			agree++
+		}
+	}
+	rep.row(fmt.Sprintf("random TriAL= expressions (%d) agreeing on A/B nonemptiness", n),
+		fmt.Sprintf("%d/%d", agree, n))
+	if agree != n {
+		rep.failf("a sampled TriAL= expression separated A and B on nonemptiness")
+	}
+	return rep
+}
+
+// appendixPhi builds the FO⁴ separating formula of the Theorem 4 proof:
+//
+//	φ = ∃x∃y∃z∃w (ψ(x,y,w) ∧ ψ(x,w,z) ∧ ψ(w,y,z) ∧ ψ(x,y,z) ∧ pairwise ≠)
+//	ψ(x,y,z) = ∃w (E(x,w,y) ∧ E(y,w,x) ∧ E(y,w,z) ∧ E(x,w,z) ∧ E(z,w,x)
+//	             ∧ E(z,w,y) ∧ x≠y ∧ x≠z ∧ y≠z)
+//
+// (ψ says x, y, z are mutually connected in both directions through one
+// shared middle object w; reusing w inside ψ keeps the variable count at
+// four.)
+func appendixPhi() fo.Formula {
+	E := func(a, b, c string) fo.Formula {
+		return fo.Atom{Rel: fixtures.RelE, Args: [3]fo.Term{fo.V(a), fo.V(b), fo.V(c)}}
+	}
+	neq := func(a, b string) fo.Formula {
+		return fo.Not{F: fo.Eq{L: fo.V(a), R: fo.V(b)}}
+	}
+	conj := func(fs ...fo.Formula) fo.Formula {
+		out := fs[0]
+		for _, f := range fs[1:] {
+			out = fo.And{L: out, R: f}
+		}
+		return out
+	}
+	// ψ's internal quantifier reuses whichever of the four variables is
+	// not among its arguments — the standard FO⁴ variable-reuse trick; a
+	// fixed inner name would be captured when ψ is applied to w.
+	psi := func(x, y, z string) fo.Formula {
+		used := map[string]bool{x: true, y: true, z: true}
+		inner := ""
+		for _, v := range []string{"x", "y", "z", "w"} {
+			if !used[v] {
+				inner = v
+				break
+			}
+		}
+		return fo.Exists{Var: inner, F: conj(
+			neq(x, y), neq(x, z), neq(y, z),
+			E(x, inner, y), E(y, inner, x),
+			E(y, inner, z), E(z, inner, y),
+			E(x, inner, z), E(z, inner, x),
+		)}
+	}
+	return fo.Exists{Var: "x", F: fo.Exists{Var: "y", F: fo.Exists{Var: "z", F: fo.Exists{Var: "w", F: conj(
+		neq("x", "y"), neq("x", "z"), neq("x", "w"), neq("y", "z"), neq("y", "w"), neq("z", "w"),
+		psi("x", "y", "w"),
+		psi("x", "w", "z"),
+		psi("w", "y", "z"),
+		psi("x", "y", "z"),
+	)}}}}
+}
+
+// E22TrCl3 reproduces Theorem 6 (part 2): TrCl³ ⊆ TriAL*, via the
+// executable star construction of internal/fo.TrCl3ToTriAL.
+func E22TrCl3() *Report {
+	rep := &Report{
+		ID: "E22", Title: "Theorem 6: TrCl³ ⊂ TriAL* (translation equivalence)",
+		Source: "§6.1, Theorem 6",
+		Header: []string{"check", "result"},
+		Pass:   true,
+	}
+	rng := rand.New(rand.NewSource(71))
+	vars := []string{"x1", "x2", "x3"}
+	agree, n := 0, 30
+	for i := 0; i < n; i++ {
+		s := genstore.Random(rng, 4, 7, 2)
+		perm := rng.Perm(3)
+		f := fo.TrCl{
+			XVars: []string{vars[perm[0]]}, YVars: []string{vars[perm[1]]},
+			F:  randFO3(rng, 2),
+			T1: []fo.Term{fo.V(vars[rng.Intn(3)])},
+			T2: []fo.Term{fo.V(vars[rng.Intn(3)])},
+		}
+		e, err := fo.TrCl3ToTriAL(f, [3]string{"x1", "x2", "x3"})
+		if err != nil {
+			panic(err)
+		}
+		r := mustEval(s, e)
+		good := true
+		dom := s.ActiveDomain()
+		env := fo.Env{}
+		for _, a := range dom {
+			for _, b := range dom {
+				for _, c := range dom {
+					env["x1"], env["x2"], env["x3"] = a, b, c
+					want, err := fo.Eval(f, s, env)
+					if err != nil {
+						panic(err)
+					}
+					if r.Has(triplestore.Triple{a, b, c}) != want {
+						good = false
+					}
+				}
+			}
+		}
+		if good {
+			agree++
+		}
+	}
+	rep.row(fmt.Sprintf("random TrCl³ formulas (%d) matching their TriAL* translations", n),
+		fmt.Sprintf("%d/%d", agree, n))
+	if agree != n {
+		rep.failf("TrCl³ translation disagreed on %d formulas", n-agree)
+	}
+	rep.notef("the reverse separation (TriAL* ⊄ TrCl⁵) is the six-objects query of E15")
+	return rep
+}
+
+// E16GXPathTranslation samples Theorem 7: GXPath ⊆ TriAL*, plus the
+// four-distinct-nodes query beyond GXPath.
+func E16GXPathTranslation() *Report {
+	rep := &Report{
+		ID: "E16", Title: "Theorem 7: GXPath ⊆ TriAL* (sampled translation equivalence)",
+		Source: "§6.2.1, Theorem 7",
+		Header: []string{"check", "result"},
+		Pass:   true,
+	}
+	rng := rand.New(rand.NewSource(61))
+	agree, n := 0, 60
+	for i := 0; i < n; i++ {
+		g := randGraphE(rng, 4, 7, 2, 0)
+		p := randGXPath(rng, 3, false)
+		want := gxpath.EvalPath(p, g)
+		s := g.ToTriplestore()
+		got := pairNames(s, mustEval(s, translate.Path(p, graph.RelE)))
+		if len(got) == len(want) {
+			same := true
+			for pr := range got {
+				if !want[pr] {
+					same = false
+				}
+			}
+			if same {
+				agree++
+			}
+		}
+	}
+	rep.row(fmt.Sprintf("random GXPath paths (%d) matching translations", n), fmt.Sprintf("%d/%d", agree, n))
+	if agree != n {
+		rep.failf("%d GXPath translations disagreed", n-agree)
+	}
+	// Separation: ≥4 distinct nodes is TriAL-expressible but beyond
+	// GXPath ≡ (FO*)³ — verified on complete graphs K3 vs K4.
+	four, _ := trial.DistinctObjects(4)
+	k := func(n int) *triplestore.Store {
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					g.AddEdge(fmt.Sprintf("v%d", i), "a", fmt.Sprintf("v%d", j))
+				}
+			}
+		}
+		return g.ToTriplestore()
+	}
+	r3 := mustEval(k(3), four)
+	r4 := mustEval(k(4), four)
+	// Note: the encoded store's active domain includes the label "a", so
+	// the raw four-objects query counts it; the paper's separating query
+	// adds label-exclusion inequalities. We approximate by checking the
+	// five-distinct-objects query instead (4 nodes + 1 label).
+	five, _ := trial.DistinctObjects(5)
+	r3b := mustEval(k(3), five)
+	r4b := mustEval(k(4), five)
+	rep.row("5-distinct-objects (≈4 nodes + label) on K3 enc.", fmt.Sprint(r3b.Len() > 0))
+	rep.row("5-distinct-objects on K4 enc.", fmt.Sprint(r4b.Len() > 0))
+	if r3b.Len() != 0 || r4b.Len() == 0 {
+		rep.failf("counting query misbehaved on encodings (K3: %d, K4: %d)", r3b.Len(), r4b.Len())
+	}
+	_ = r3
+	_ = r4
+	return rep
+}
+
+// E17GXPathData samples Corollary 4: GXPath(∼) ⊆ TriAL*.
+func E17GXPathData() *Report {
+	rep := &Report{
+		ID: "E17", Title: "Corollary 4: GXPath(∼) ⊆ TriAL* (sampled translation equivalence)",
+		Source: "§6.2.2, Corollary 4",
+		Header: []string{"check", "result"},
+		Pass:   true,
+	}
+	rng := rand.New(rand.NewSource(62))
+	agree, n := 0, 60
+	for i := 0; i < n; i++ {
+		g := randGraphE(rng, 4, 7, 2, 2)
+		p := randGXPath(rng, 3, true)
+		want := gxpath.EvalPath(p, g)
+		s := g.ToTriplestore()
+		got := pairNames(s, mustEval(s, translate.Path(p, graph.RelE)))
+		same := len(got) == len(want)
+		for pr := range got {
+			if !want[pr] {
+				same = false
+			}
+		}
+		if same {
+			agree++
+		}
+	}
+	rep.row(fmt.Sprintf("random GXPath(∼) paths (%d) matching translations", n), fmt.Sprintf("%d/%d", agree, n))
+	if agree != n {
+		rep.failf("%d data-test translations disagreed", n-agree)
+	}
+	return rep
+}
+
+func randGraphE(rng *rand.Rand, nNodes, nEdges, nLabels, nValues int) *graph.Graph {
+	g := graph.New()
+	for g.NumEdges() < nEdges {
+		g.AddEdge(fmt.Sprintf("n%d", rng.Intn(nNodes)),
+			string(rune('a'+rng.Intn(nLabels))),
+			fmt.Sprintf("n%d", rng.Intn(nNodes)))
+	}
+	if nValues > 0 {
+		for _, v := range g.Nodes() {
+			if v[0] == 'n' {
+				g.SetValue(v, triplestore.V(string(rune('u'+rng.Intn(nValues)))))
+			}
+		}
+	}
+	return g
+}
+
+func randGXPath(rng *rand.Rand, depth int, data bool) gxpath.Path {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return gxpath.Eps{}
+		case 1:
+			return gxpath.Label{A: string(rune('a' + rng.Intn(2)))}
+		default:
+			return gxpath.Label{A: string(rune('a' + rng.Intn(2))), Inv: true}
+		}
+	}
+	n := 6
+	if data {
+		n = 7
+	}
+	switch rng.Intn(n) {
+	case 0:
+		return randGXPath(rng, 0, data)
+	case 1:
+		return gxpath.Concat{L: randGXPath(rng, depth-1, data), R: randGXPath(rng, depth-1, data)}
+	case 2:
+		return gxpath.Union{L: randGXPath(rng, depth-1, data), R: randGXPath(rng, depth-1, data)}
+	case 3:
+		return gxpath.Star{P: randGXPath(rng, depth-1, data)}
+	case 4:
+		return gxpath.Complement{P: randGXPath(rng, depth-1, data)}
+	case 5:
+		return gxpath.Test{N: gxpath.Diamond{P: randGXPath(rng, depth-1, data)}}
+	default:
+		return gxpath.DataCmp{P: randGXPath(rng, depth-1, data), Neq: rng.Intn(2) == 0}
+	}
+}
+
+// E18CNRE reproduces the Theorem 8 content: the 7-clique CRPQ witness, the
+// monotonicity counterexample, and the 3-variable CNRE translation.
+func E18CNRE() *Report {
+	rep := &Report{
+		ID: "E18", Title: "Theorem 8: CNREs vs TriAL*",
+		Source: "§6.2.1, Theorem 8 + appendix",
+		Header: []string{"check", "result"},
+		Pass:   true,
+	}
+	// (a) The k-clique CRPQ exists and behaves correctly (the 7-clique
+	// instance is the property beyond L⁶∞ω). We verify on k = 4 for speed.
+	k4 := rpq.Clique(4, "a")
+	complete := func(n int) *graph.Graph {
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					g.AddEdge(fmt.Sprintf("v%d", i), "a", fmt.Sprintf("v%d", j))
+				}
+			}
+		}
+		return g
+	}
+	in4 := len(rpq.EvalCRPQ(k4, complete(4))) > 0
+	in3 := len(rpq.EvalCRPQ(k4, complete(3))) > 0
+	rep.row("4-clique CRPQ on K4 / K3", fmt.Sprintf("%v / %v", in4, in3))
+	if !in4 || in3 {
+		rep.failf("clique CRPQ misbehaved")
+	}
+	// (b) Monotonicity counterexample: the TriAL query "pairs with no
+	// a-edge" shrinks when an edge is added; every CNRE is monotone.
+	small := graph.New()
+	small.AddEdge("v", "b", "v'")
+	large := graph.New()
+	large.AddEdge("v", "b", "v'")
+	large.AddEdge("v", "a", "v'")
+	noA := func(g *graph.Graph) bool {
+		s := g.ToTriplestore()
+		q := trial.Diff{
+			L: translate.AllNodePairs(graph.RelE),
+			R: translate.Path(gxpath.Label{A: "a"}, graph.RelE),
+		}
+		return pairNames(s, mustEval(s, q))[[2]string{"v", "v'"}]
+	}
+	inSmall, inLarge := noA(small), noA(large)
+	rep.row("(v,v') has-no-a-edge on G ⊂ G′", fmt.Sprintf("%v / %v", inSmall, inLarge))
+	if !inSmall || inLarge {
+		rep.failf("negation query should hold on G only")
+	}
+	mono := nre.Eval(nre.Star{E: nre.Union{L: nre.Label{A: "a"}, R: nre.Label{A: "b"}}},
+		nre.GraphStructure{G: small})
+	monoL := nre.Eval(nre.Star{E: nre.Union{L: nre.Label{A: "a"}, R: nre.Label{A: "b"}}},
+		nre.GraphStructure{G: large})
+	monotone := true
+	for p := range mono {
+		if !monoL[p] {
+			monotone = false
+		}
+	}
+	rep.row("sample NRE monotone under G ⊆ G′", fmt.Sprint(monotone))
+	if !monotone {
+		rep.failf("NRE lost answers when edges were added")
+	}
+	// (c) 3-variable CNRE translation equivalence (sampled).
+	rng := rand.New(rand.NewSource(63))
+	agree, n := 0, 25
+	for i := 0; i < n; i++ {
+		g := randGraphE(rng, 4, 6, 2, 0)
+		q := &nre.CNRE{
+			Free: []string{"x", "y", "z"},
+			Atoms: []nre.CAtom{
+				{X: "x", Y: "y", E: randNREexp(rng, 2)},
+				{X: "y", Y: "z", E: randNREexp(rng, 2)},
+			},
+		}
+		e, err := translate.CNRE(q, graph.RelE)
+		if err != nil {
+			panic(err)
+		}
+		want := nre.AnswerTuples(q, nre.GraphStructure{G: g})
+		s := g.ToTriplestore()
+		r := mustEval(s, e)
+		if r.Len() == len(want) {
+			agree++
+		}
+	}
+	rep.row(fmt.Sprintf("3-variable CNREs (%d) matching translations", n), fmt.Sprintf("%d/%d", agree, n))
+	if agree != n {
+		rep.failf("%d CNRE translations disagreed", n-agree)
+	}
+	return rep
+}
+
+func randNREexp(rng *rand.Rand, depth int) nre.Expr {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return nre.Epsilon{}
+		case 1:
+			return nre.Label{A: string(rune('a' + rng.Intn(2)))}
+		default:
+			return nre.Label{A: string(rune('a' + rng.Intn(2))), Inv: true}
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return randNREexp(rng, 0)
+	case 1:
+		return nre.Concat{L: randNREexp(rng, depth-1), R: randNREexp(rng, depth-1)}
+	case 2:
+		return nre.Union{L: randNREexp(rng, depth-1), R: randNREexp(rng, depth-1)}
+	case 3:
+		return nre.Star{E: randNREexp(rng, depth-1)}
+	default:
+		return nre.Nest{E: randNREexp(rng, depth-1)}
+	}
+}
+
+// E19RegMem reproduces Proposition 6: the register-automata witness eₙ
+// counts distinct data values (beyond TriAL*), while TriAL's negation
+// query is non-monotone (beyond register automata).
+func E19RegMem() *Report {
+	rep := &Report{
+		ID: "E19", Title: "Proposition 6: register automata vs TriAL*",
+		Source: "§6.2.2, Proposition 6",
+		Header: []string{"n", "eₙ on n distinct values", "eₙ on n−1 distinct values"},
+		Pass:   true,
+	}
+	path := func(n int) *graph.Graph {
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			g.SetValue(fmt.Sprintf("p%d", i), triplestore.V(fmt.Sprintf("v%d", i)))
+			if i > 0 {
+				g.AddEdge(fmt.Sprintf("p%d", i-1), "a", fmt.Sprintf("p%d", i))
+			}
+		}
+		return g
+	}
+	for n := 2; n <= 6; n++ {
+		e, err := regmem.ExprN(n, "a")
+		if err != nil {
+			panic(err)
+		}
+		big := len(regmem.Eval(e, path(n))) > 0
+		small := len(regmem.Eval(e, path(n-1))) > 0
+		rep.row(fmt.Sprint(n), fmt.Sprint(big), fmt.Sprint(small))
+		if !big || small {
+			rep.failf("e%d misbehaved (big=%v, small=%v)", n, big, small)
+		}
+	}
+	rep.notef("e₇ nonempty iff ≥7 distinct values: a property beyond L⁶∞ω ⊇ TriAL*")
+	rep.notef("conversely the non-monotone TriAL query of E18(b) is beyond register automata")
+	return rep
+}
+
+// E20SocialNetwork reproduces the §2.3 social-network modelling and
+// data-value joins.
+func E20SocialNetwork() *Report {
+	rep := &Report{
+		ID: "E20", Title: "§2.3 social network: attribute tuples and η-joins",
+		Source: "§2.3",
+		Header: []string{"query", "answers"},
+		Pass:   true,
+	}
+	s := fixtures.SocialNetwork()
+	// Rival-typed connections: component 3 of ρ(2) is "rival".
+	rivalLit := triplestore.Value{
+		triplestore.Null(), triplestore.Null(), triplestore.Null(),
+		triplestore.F("rival"), triplestore.Null(),
+	}
+	rival := trial.MustSelect(trial.R(fixtures.RelE), trial.Cond{
+		Val: []trial.ValAtom{{
+			L: trial.RhoP(trial.L2), R: trial.Lit(rivalLit), Component: 3,
+		}},
+	})
+	rr := mustEval(s, rival)
+	rep.row("rival-typed edges", fmt.Sprint(rr.Len()))
+	if rr.Len() != 1 || !rr.Has(triplestore.Triple{s.Lookup("o175"), s.Lookup("c163"), s.Lookup("o122")}) {
+		rep.failf("rival selection wrong: %s", s.FormatRelation(rr))
+	}
+	// Two-hop friendship.
+	twoHop := trial.MustJoin(trial.R(fixtures.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.R(fixtures.RelE))
+	th := mustEval(s, twoHop)
+	rep.row("two-hop connections", fmt.Sprint(th.Len()))
+	if th.Len() != 1 || !th.Has(triplestore.Triple{s.Lookup("o175"), s.Lookup("c137"), s.Lookup("o122")}) {
+		rep.failf("two-hop wrong: %s", s.FormatRelation(th))
+	}
+	// Two-hop with same creation date (component 4): Mario→Luigi (11-11-83)
+	// then Luigi→DK (12-07-89) differ, so the same-date variant is empty.
+	sameDate := trial.MustJoin(trial.R(fixtures.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{
+			Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))},
+			Val: []trial.ValAtom{{L: trial.RhoP(trial.L2), R: trial.RhoP(trial.R2), Component: 4}},
+		},
+		trial.R(fixtures.RelE))
+	sd := mustEval(s, sameDate)
+	rep.row("two-hop, same creation date", fmt.Sprint(sd.Len()))
+	if sd.Len() != 0 {
+		rep.failf("same-date two-hop should be empty: %s", s.FormatRelation(sd))
+	}
+	// Users with equal ages: none (23, 27, 117 pairwise distinct).
+	sameAge := trial.MustSelect(trial.R(fixtures.RelE), trial.Cond{
+		Val: []trial.ValAtom{{L: trial.RhoP(trial.L1), R: trial.RhoP(trial.L3), Component: 2}},
+	})
+	sa := mustEval(s, sameAge)
+	rep.row("edges between same-age users", fmt.Sprint(sa.Len()))
+	if sa.Len() != 0 {
+		rep.failf("same-age selection should be empty")
+	}
+	return rep
+}
+
+// E21SigmaFig2 reproduces Figure 2: the σ transformation of the
+// London–Brussels fragment.
+func E21SigmaFig2() *Report {
+	rep := &Report{
+		ID: "E21", Title: "Figure 2: σ(D) for the London–Brussels fragment",
+		Source: "§2.2, Figure 2",
+		Header: []string{"edge", "present"},
+		Pass:   true,
+	}
+	d := rdf.NewDocument()
+	d.Add("London", "Train Op 2", "Brussels")
+	d.Add("Train Op 2", "part_of", "Eurostar")
+	g := d.Sigma()
+	expect := [][3]string{
+		{"London", rdf.LabelEdge, "Train Op 2"},
+		{"Train Op 2", rdf.LabelNode, "Brussels"},
+		{"London", rdf.LabelNext, "Brussels"},
+		{"Train Op 2", rdf.LabelEdge, "part_of"},
+		{"part_of", rdf.LabelNode, "Eurostar"},
+		{"Train Op 2", rdf.LabelNext, "Eurostar"},
+	}
+	for _, e := range expect {
+		ok := g.HasEdge(e[0], e[1], e[2])
+		rep.row(fmt.Sprintf("(%s, %s, %s)", e[0], e[1], e[2]), fmt.Sprint(ok))
+		if !ok {
+			rep.failf("missing σ edge %v", e)
+		}
+	}
+	if g.NumEdges() != len(expect) {
+		rep.failf("σ(D) has %d edges, want %d", g.NumEdges(), len(expect))
+	}
+	return rep
+}

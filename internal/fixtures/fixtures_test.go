@@ -1,0 +1,111 @@
+package fixtures
+
+import (
+	"testing"
+
+	"repro/internal/triplestore"
+)
+
+func TestTransport(t *testing.T) {
+	s := Transport()
+	if s.Size() != 7 {
+		t.Errorf("Figure 1 store has %d triples, want 7", s.Size())
+	}
+	// Every triple of the figure present.
+	tr := triplestore.Triple{s.Lookup("EastCoast"), s.Lookup("part_of"), s.Lookup("NatExpress")}
+	if !s.Relation(RelE).Has(tr) {
+		t.Error("missing (EastCoast, part_of, NatExpress)")
+	}
+}
+
+func TestD1D2(t *testing.T) {
+	d1, d2 := D1(), D2()
+	if d1.Size() != 10 {
+		t.Errorf("D1 has %d triples, want 10", d1.Size())
+	}
+	if d2.Size() != 9 {
+		t.Errorf("D2 has %d triples, want 9", d2.Size())
+	}
+	// D2 = D1 minus exactly the Edinburgh–TrainOp1–London triple.
+	missing := triplestore.Triple{
+		d1.Lookup("Edinburgh"), d1.Lookup("Train Op 1"), d1.Lookup("London"),
+	}
+	if !d1.Relation(RelE).Has(missing) {
+		t.Error("D1 should contain the distinguishing triple")
+	}
+	m2 := triplestore.Triple{
+		d2.Lookup("Edinburgh"), d2.Lookup("Train Op 1"), d2.Lookup("London"),
+	}
+	if d2.Relation(RelE).Has(m2) {
+		t.Error("D2 should not contain the distinguishing triple")
+	}
+}
+
+func TestExample3(t *testing.T) {
+	s := Example3()
+	if s.Size() != 3 {
+		t.Errorf("Example 3 store has %d triples, want 3", s.Size())
+	}
+}
+
+func TestCompleteStore(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		s := CompleteStore(n)
+		if s.Size() != n*n*n {
+			t.Errorf("CompleteStore(%d) has %d triples, want %d", n, s.Size(), n*n*n)
+		}
+		if len(s.ActiveDomain()) != n {
+			t.Errorf("CompleteStore(%d) active domain = %d", n, len(s.ActiveDomain()))
+		}
+		// All data values equal, as in the proof of Theorem 4.
+		dom := s.ActiveDomain()
+		for _, o := range dom {
+			if !s.SameValue(dom[0], o) {
+				t.Errorf("CompleteStore(%d): values differ", n)
+			}
+		}
+	}
+}
+
+func TestStructuresAB(t *testing.T) {
+	a, b := StructureA(), StructureB()
+	// A: 6 triangle edges × 12 middles + 2×3×9 d-edges × 4 middles.
+	wantA := 6*12 + 2*3*9*4
+	if a.Size() != wantA {
+		t.Errorf("|A| = %d, want %d", a.Size(), wantA)
+	}
+	// B: 6 triangle edges × 3 middles + 3 blocks × 3 middles ×
+	// (2 pair edges + 2·2·3 d-edges).
+	wantB := 6*3 + 3*3*(2+12)
+	if b.Size() != wantB {
+		t.Errorf("|B| = %d, want %d", b.Size(), wantB)
+	}
+	// Objects: A has a,b,c + d1..d9 + e1..e12 active.
+	if got := len(a.ActiveDomain()); got != 3+9+12 {
+		t.Errorf("A active domain = %d, want 24", got)
+	}
+	if got := len(b.ActiveDomain()); got != 3+9+12 {
+		t.Errorf("B active domain = %d, want 24", got)
+	}
+}
+
+func TestSocialNetwork(t *testing.T) {
+	s := SocialNetwork()
+	if s.Size() != 3 {
+		t.Errorf("social store has %d triples, want 3", s.Size())
+	}
+	mario := s.Lookup("o175")
+	v := s.Value(mario)
+	if len(v) != 5 || v[0].Str != "Mario" || !v[3].Null {
+		t.Errorf("ρ(o175) = %v", v)
+	}
+	rival := s.Value(s.Lookup("c163"))
+	if !rival[0].Null || rival[3].Str != "rival" || rival[4].Str != "12-07-89" {
+		t.Errorf("ρ(c163) = %v", rival)
+	}
+	// Connection and user tuples share no components except by accident:
+	// component 3 of a user is null, of a connection non-null.
+	if v.ComponentEqual(rival, 3) {
+		t.Error("user and connection should differ at component 3")
+	}
+}

@@ -1,0 +1,521 @@
+// Package fo implements first-order logic over the relational vocabulary
+// ⟨E1, ..., En, ∼⟩ the TriAL paper uses in §6.1 to compare the algebra
+// with bounded-variable logics: ternary relation symbols for the
+// triplestore relations, the binary similarity relation ∼ (ρ-equality,
+// with ∼i variants for tuple components), equality, and object constants.
+// It also implements transitive-closure logic TrCl (the trcl operator of
+// §6.1) and the FO³ → TriAL translation from the proof of Theorem 4.
+//
+// Evaluation uses active-domain semantics, as the paper assumes
+// (Remark 3 of the appendix): quantifiers range over objects occurring in
+// some triple.
+package fo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/triplestore"
+)
+
+// Term is a variable or an object constant.
+type Term struct {
+	Var     string
+	Const   string
+	IsConst bool
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(name string) Term { return Term{Const: name, IsConst: true} }
+
+func (t Term) String() string {
+	if t.IsConst {
+		return "'" + t.Const + "'"
+	}
+	return t.Var
+}
+
+// Formula is an FO/TrCl formula.
+type Formula interface {
+	String() string
+	isFormula()
+}
+
+// Atom is E(t1, t2, t3) for a ternary relation symbol E.
+type Atom struct {
+	Rel  string
+	Args [3]Term
+}
+
+// Sim is ∼(l, r), or ∼i(l, r) when Component ≥ 0.
+type Sim struct {
+	L, R      Term
+	Component int
+}
+
+// Eq is l = r.
+type Eq struct{ L, R Term }
+
+// Not is ¬ϕ.
+type Not struct{ F Formula }
+
+// And is ϕ ∧ ψ.
+type And struct{ L, R Formula }
+
+// Or is ϕ ∨ ψ.
+type Or struct{ L, R Formula }
+
+// Exists is ∃x ϕ.
+type Exists struct {
+	Var string
+	F   Formula
+}
+
+// Forall is ∀x ϕ.
+type Forall struct {
+	Var string
+	F   Formula
+}
+
+// TrCl is the transitive-closure operator [trcl_{x̄,ȳ} ϕ(x̄, ȳ, z̄)](t̄1, t̄2):
+// it holds when the tuple valued by T2 is reachable from the tuple valued
+// by T1 in the graph over n-tuples whose edges are the (x̄, ȳ) pairs
+// satisfying ϕ (parameters z̄ are the formula's remaining free variables).
+// Reachability is reflexive: a tuple reaches itself by the empty path.
+type TrCl struct {
+	XVars, YVars []string
+	F            Formula
+	T1, T2       []Term
+}
+
+func (Atom) isFormula()   {}
+func (Sim) isFormula()    {}
+func (Eq) isFormula()     {}
+func (Not) isFormula()    {}
+func (And) isFormula()    {}
+func (Or) isFormula()     {}
+func (Exists) isFormula() {}
+func (Forall) isFormula() {}
+func (TrCl) isFormula()   {}
+
+func (a Atom) String() string {
+	return fmt.Sprintf("%s(%s,%s,%s)", a.Rel, a.Args[0], a.Args[1], a.Args[2])
+}
+func (s Sim) String() string {
+	name := "~"
+	if s.Component >= 0 {
+		name = fmt.Sprintf("~%d", s.Component)
+	}
+	return fmt.Sprintf("%s(%s,%s)", name, s.L, s.R)
+}
+func (e Eq) String() string     { return e.L.String() + "=" + e.R.String() }
+func (n Not) String() string    { return "¬(" + n.F.String() + ")" }
+func (a And) String() string    { return "(" + a.L.String() + " ∧ " + a.R.String() + ")" }
+func (o Or) String() string     { return "(" + o.L.String() + " ∨ " + o.R.String() + ")" }
+func (e Exists) String() string { return "∃" + e.Var + " " + e.F.String() }
+func (f Forall) String() string { return "∀" + f.Var + " " + f.F.String() }
+func (t TrCl) String() string {
+	terms := func(ts []Term) string {
+		parts := make([]string, len(ts))
+		for i, x := range ts {
+			parts[i] = x.String()
+		}
+		return strings.Join(parts, ",")
+	}
+	return fmt.Sprintf("[trcl_{%s;%s} %s](%s; %s)",
+		strings.Join(t.XVars, ","), strings.Join(t.YVars, ","),
+		t.F, terms(t.T1), terms(t.T2))
+}
+
+// Vars returns the distinct variable names occurring in the formula (free
+// or bound) — the measure for FO^k membership (§6.1 counts variables, with
+// reuse allowed).
+func Vars(f Formula) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(t Term) {
+		if !t.IsConst && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	addName := func(n string) { add(V(n)) }
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch x := f.(type) {
+		case Atom:
+			for _, t := range x.Args {
+				add(t)
+			}
+		case Sim:
+			add(x.L)
+			add(x.R)
+		case Eq:
+			add(x.L)
+			add(x.R)
+		case Not:
+			walk(x.F)
+		case And:
+			walk(x.L)
+			walk(x.R)
+		case Or:
+			walk(x.L)
+			walk(x.R)
+		case Exists:
+			addName(x.Var)
+			walk(x.F)
+		case Forall:
+			addName(x.Var)
+			walk(x.F)
+		case TrCl:
+			for _, v := range x.XVars {
+				addName(v)
+			}
+			for _, v := range x.YVars {
+				addName(v)
+			}
+			walk(x.F)
+			for _, t := range x.T1 {
+				add(t)
+			}
+			for _, t := range x.T2 {
+				add(t)
+			}
+		}
+	}
+	walk(f)
+	sort.Strings(out)
+	return out
+}
+
+// Free returns the free variables of the formula, sorted.
+func Free(f Formula) []string {
+	out := map[string]bool{}
+	var walk func(Formula, map[string]bool)
+	walk = func(f Formula, bound map[string]bool) {
+		addT := func(t Term) {
+			if !t.IsConst && !bound[t.Var] {
+				out[t.Var] = true
+			}
+		}
+		switch x := f.(type) {
+		case Atom:
+			for _, t := range x.Args {
+				addT(t)
+			}
+		case Sim:
+			addT(x.L)
+			addT(x.R)
+		case Eq:
+			addT(x.L)
+			addT(x.R)
+		case Not:
+			walk(x.F, bound)
+		case And:
+			walk(x.L, bound)
+			walk(x.R, bound)
+		case Or:
+			walk(x.L, bound)
+			walk(x.R, bound)
+		case Exists:
+			b2 := copyBound(bound)
+			b2[x.Var] = true
+			walk(x.F, b2)
+		case Forall:
+			b2 := copyBound(bound)
+			b2[x.Var] = true
+			walk(x.F, b2)
+		case TrCl:
+			b2 := copyBound(bound)
+			for _, v := range x.XVars {
+				b2[v] = true
+			}
+			for _, v := range x.YVars {
+				b2[v] = true
+			}
+			walk(x.F, b2)
+			for _, t := range x.T1 {
+				addT(t)
+			}
+			for _, t := range x.T2 {
+				addT(t)
+			}
+		}
+	}
+	walk(f, map[string]bool{})
+	names := make([]string, 0, len(out))
+	for v := range out {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func copyBound(b map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Env is a variable assignment.
+type Env map[string]triplestore.ID
+
+// Eval decides T ⊨ ϕ[env] under active-domain semantics. It returns an
+// error for unknown relation symbols, unknown constants, or unbound free
+// variables.
+func Eval(f Formula, s *triplestore.Store, env Env) (bool, error) {
+	dom := s.ActiveDomain()
+	return eval(f, s, dom, env)
+}
+
+func term(s *triplestore.Store, t Term, env Env) (triplestore.ID, error) {
+	if t.IsConst {
+		id := s.Lookup(t.Const)
+		if id == triplestore.NoID {
+			return 0, fmt.Errorf("fo: constant %q not in store", t.Const)
+		}
+		return id, nil
+	}
+	id, ok := env[t.Var]
+	if !ok {
+		return 0, fmt.Errorf("fo: unbound variable %s", t.Var)
+	}
+	return id, nil
+}
+
+func eval(f Formula, s *triplestore.Store, dom []triplestore.ID, env Env) (bool, error) {
+	switch x := f.(type) {
+	case Atom:
+		rel := s.Relation(x.Rel)
+		if rel == nil {
+			return false, fmt.Errorf("fo: unknown relation %q", x.Rel)
+		}
+		var tr triplestore.Triple
+		for i, t := range x.Args {
+			id, err := term(s, t, env)
+			if err != nil {
+				return false, err
+			}
+			tr[i] = id
+		}
+		return rel.Has(tr), nil
+	case Sim:
+		l, err := term(s, x.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := term(s, x.R, env)
+		if err != nil {
+			return false, err
+		}
+		if x.Component >= 0 {
+			return s.Value(l).ComponentEqual(s.Value(r), x.Component), nil
+		}
+		return s.SameValue(l, r), nil
+	case Eq:
+		l, err := term(s, x.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := term(s, x.R, env)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case Not:
+		v, err := eval(x.F, s, dom, env)
+		return !v, err
+	case And:
+		l, err := eval(x.L, s, dom, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return eval(x.R, s, dom, env)
+	case Or:
+		l, err := eval(x.L, s, dom, env)
+		if err != nil || l {
+			return l, err
+		}
+		return eval(x.R, s, dom, env)
+	case Exists:
+		saved, had := env[x.Var]
+		for _, a := range dom {
+			env[x.Var] = a
+			v, err := eval(x.F, s, dom, env)
+			if err != nil {
+				restore(env, x.Var, saved, had)
+				return false, err
+			}
+			if v {
+				restore(env, x.Var, saved, had)
+				return true, nil
+			}
+		}
+		restore(env, x.Var, saved, had)
+		return false, nil
+	case Forall:
+		saved, had := env[x.Var]
+		for _, a := range dom {
+			env[x.Var] = a
+			v, err := eval(x.F, s, dom, env)
+			if err != nil {
+				restore(env, x.Var, saved, had)
+				return false, err
+			}
+			if !v {
+				restore(env, x.Var, saved, had)
+				return false, nil
+			}
+		}
+		restore(env, x.Var, saved, had)
+		return true, nil
+	case TrCl:
+		return evalTrCl(x, s, dom, env)
+	}
+	return false, fmt.Errorf("fo: unknown formula type %T", f)
+}
+
+func restore(env Env, v string, saved triplestore.ID, had bool) {
+	if had {
+		env[v] = saved
+	} else {
+		delete(env, v)
+	}
+}
+
+func evalTrCl(x TrCl, s *triplestore.Store, dom []triplestore.ID, env Env) (bool, error) {
+	n := len(x.XVars)
+	if n == 0 || len(x.YVars) != n || len(x.T1) != n || len(x.T2) != n {
+		return false, fmt.Errorf("fo: malformed trcl (|x̄| = %d, |ȳ| = %d, |t̄1| = %d, |t̄2| = %d)",
+			n, len(x.YVars), len(x.T1), len(x.T2))
+	}
+	start := make([]triplestore.ID, n)
+	goal := make([]triplestore.ID, n)
+	for i := 0; i < n; i++ {
+		v, err := term(s, x.T1[i], env)
+		if err != nil {
+			return false, err
+		}
+		start[i] = v
+		v, err = term(s, x.T2[i], env)
+		if err != nil {
+			return false, err
+		}
+		goal[i] = v
+	}
+	key := func(t []triplestore.ID) string {
+		var b strings.Builder
+		for _, id := range t {
+			fmt.Fprintf(&b, "%d,", id)
+		}
+		return b.String()
+	}
+	// BFS over n-tuples; successors computed by enumerating dom^n and
+	// testing ϕ. Exponential in n, fine for the small witness structures.
+	startK := key(start)
+	goalK := key(goal)
+	if startK == goalK {
+		return true, nil
+	}
+	visited := map[string]bool{startK: true}
+	queue := [][]triplestore.ID{start}
+	// Save/restore the x̄/ȳ bindings around the search.
+	type saveEntry struct {
+		v   string
+		id  triplestore.ID
+		had bool
+	}
+	var saves []saveEntry
+	for _, v := range append(append([]string{}, x.XVars...), x.YVars...) {
+		id, had := env[v]
+		saves = append(saves, saveEntry{v, id, had})
+	}
+	defer func() {
+		for _, sv := range saves {
+			restore(env, sv.v, sv.id, sv.had)
+		}
+	}()
+	var tuples [][]triplestore.ID
+	var gen func(cur []triplestore.ID)
+	gen = func(cur []triplestore.ID) {
+		if len(cur) == n {
+			tuples = append(tuples, append([]triplestore.ID{}, cur...))
+			return
+		}
+		for _, a := range dom {
+			gen(append(cur, a))
+		}
+	}
+	gen(nil)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for i, v := range x.XVars {
+			env[v] = cur[i]
+		}
+		for _, next := range tuples {
+			if visited[key(next)] {
+				continue
+			}
+			for i, v := range x.YVars {
+				env[v] = next[i]
+			}
+			ok, err := eval(x.F, s, dom, env)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				continue
+			}
+			if key(next) == goalK {
+				return true, nil
+			}
+			visited[key(next)] = true
+			queue = append(queue, next)
+		}
+	}
+	return false, nil
+}
+
+// Answers enumerates, over the active domain, the assignments to freeVars
+// satisfying ϕ, returned as tuples in freeVars order.
+func Answers(f Formula, s *triplestore.Store, freeVars []string) ([][]triplestore.ID, error) {
+	dom := s.ActiveDomain()
+	env := Env{}
+	var out [][]triplestore.ID
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(freeVars) {
+			ok, err := eval(f, s, dom, env)
+			if err != nil {
+				return err
+			}
+			if ok {
+				tuple := make([]triplestore.ID, len(freeVars))
+				for i, v := range freeVars {
+					tuple[i] = env[v]
+				}
+				out = append(out, tuple)
+			}
+			return nil
+		}
+		for _, a := range dom {
+			env[freeVars[k]] = a
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+		}
+		delete(env, freeVars[k])
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

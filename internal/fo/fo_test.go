@@ -1,0 +1,282 @@
+package fo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+func lineStore() *triplestore.Store {
+	s := triplestore.NewStore()
+	s.Add("E", "a", "p", "b")
+	s.Add("E", "b", "p", "c")
+	return s
+}
+
+func mustEvalF(t *testing.T, f Formula, s *triplestore.Store, env Env) bool {
+	t.Helper()
+	v, err := Eval(f, s, env)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", f, err)
+	}
+	return v
+}
+
+func TestAtomAndEq(t *testing.T) {
+	s := lineStore()
+	f := Atom{Rel: "E", Args: [3]Term{C("a"), C("p"), C("b")}}
+	if !mustEvalF(t, f, s, Env{}) {
+		t.Error("ground atom should hold")
+	}
+	g := Atom{Rel: "E", Args: [3]Term{C("b"), C("p"), C("a")}}
+	if mustEvalF(t, g, s, Env{}) {
+		t.Error("reversed atom should fail")
+	}
+	eq := Eq{L: C("a"), R: C("a")}
+	if !mustEvalF(t, eq, s, Env{}) {
+		t.Error("a = a should hold")
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	s := lineStore()
+	// ∃x ∃y ∃z E(x, y, z)
+	f := Exists{Var: "x", F: Exists{Var: "y", F: Exists{Var: "z",
+		F: Atom{Rel: "E", Args: [3]Term{V("x"), V("y"), V("z")}}}}}
+	if !mustEvalF(t, f, s, Env{}) {
+		t.Error("∃∃∃ E should hold")
+	}
+	// ∀x ∃y ∃z (E(x,y,z) ∨ E(z,y,x)): every active object is an endpoint…
+	g := Forall{Var: "x", F: Exists{Var: "y", F: Exists{Var: "z",
+		F: Or{
+			L: Atom{Rel: "E", Args: [3]Term{V("x"), V("y"), V("z")}},
+			R: Atom{Rel: "E", Args: [3]Term{V("z"), V("y"), V("x")}},
+		}}}}
+	// …except p, which occurs only in the middle. So g is false.
+	if mustEvalF(t, g, s, Env{}) {
+		t.Error("∀ should fail: p occurs only as a predicate")
+	}
+}
+
+func TestSim(t *testing.T) {
+	s := triplestore.NewStore()
+	s.SetValue("a", triplestore.V("r"))
+	s.SetValue("b", triplestore.V("r"))
+	s.SetValue("c", triplestore.V("s"))
+	s.Add("E", "a", "b", "c")
+	f := Sim{L: C("a"), R: C("b"), Component: -1}
+	if !mustEvalF(t, f, s, Env{}) {
+		t.Error("∼(a,b) should hold")
+	}
+	g := Sim{L: C("a"), R: C("c"), Component: -1}
+	if mustEvalF(t, g, s, Env{}) {
+		t.Error("∼(a,c) should fail")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	s := lineStore()
+	if _, err := Eval(Atom{Rel: "missing", Args: [3]Term{C("a"), C("a"), C("a")}}, s, Env{}); err == nil {
+		t.Error("unknown relation should error")
+	}
+	if _, err := Eval(Eq{L: C("zzz"), R: C("a")}, s, Env{}); err == nil {
+		t.Error("unknown constant should error")
+	}
+	if _, err := Eval(Eq{L: V("x"), R: C("a")}, s, Env{}); err == nil {
+		t.Error("unbound variable should error")
+	}
+}
+
+func TestVarsAndFree(t *testing.T) {
+	f := Exists{Var: "x", F: And{
+		L: Atom{Rel: "E", Args: [3]Term{V("x"), V("y"), V("z")}},
+		R: Eq{L: V("x"), R: V("y")},
+	}}
+	if got := Vars(f); len(got) != 3 {
+		t.Errorf("Vars = %v", got)
+	}
+	if got := Free(f); len(got) != 2 || got[0] != "y" || got[1] != "z" {
+		t.Errorf("Free = %v", got)
+	}
+}
+
+func TestTrClReachability(t *testing.T) {
+	s := lineStore() // a → b → c (via middle p)
+	// edge(x, y) := ∃w E(x, w, y); here expressed with the third variable z.
+	edge := Exists{Var: "z", F: Atom{Rel: "E", Args: [3]Term{V("x"), V("z"), V("y")}}}
+	reach := func(from, to string) Formula {
+		return TrCl{
+			XVars: []string{"x"}, YVars: []string{"y"},
+			F:  edge,
+			T1: []Term{C(from)}, T2: []Term{C(to)},
+		}
+	}
+	if !mustEvalF(t, reach("a", "c"), s, Env{}) {
+		t.Error("a should reach c")
+	}
+	if mustEvalF(t, reach("c", "a"), s, Env{}) {
+		t.Error("c should not reach a")
+	}
+	if !mustEvalF(t, reach("a", "a"), s, Env{}) {
+		t.Error("reachability is reflexive")
+	}
+	// p is never an endpoint: a must not reach p.
+	if mustEvalF(t, reach("a", "p"), s, Env{}) {
+		t.Error("a should not reach p")
+	}
+}
+
+func TestTrClMalformed(t *testing.T) {
+	bad := TrCl{XVars: []string{"x"}, YVars: []string{"y", "z"},
+		F: Eq{L: V("x"), R: V("y")}, T1: []Term{C("a")}, T2: []Term{C("a")}}
+	if _, err := Eval(bad, lineStore(), Env{}); err == nil {
+		t.Error("mismatched trcl arities should error")
+	}
+}
+
+func TestAnswers(t *testing.T) {
+	s := lineStore()
+	f := Exists{Var: "y", F: Atom{Rel: "E", Args: [3]Term{V("x"), V("y"), V("z")}}}
+	got, err := Answers(f, s, []string{"x", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("answers = %v", got)
+	}
+}
+
+// --- FO³ → TriAL translation (Theorem 4, part 2) ---
+
+var vo = [3]string{"x1", "x2", "x3"}
+
+// checkFO3 compares the translated expression against direct evaluation
+// over all assignments.
+func checkFO3(t *testing.T, f Formula, s *triplestore.Store) {
+	t.Helper()
+	e, err := FO3ToTriAL(f, vo)
+	if err != nil {
+		t.Fatalf("FO3ToTriAL(%s): %v", f, err)
+	}
+	ev := trial.NewEvaluator(s)
+	r, err := ev.Eval(e)
+	if err != nil {
+		t.Fatalf("eval of translation of %s: %v", f, err)
+	}
+	dom := s.ActiveDomain()
+	env := Env{}
+	for _, a1 := range dom {
+		for _, a2 := range dom {
+			for _, a3 := range dom {
+				env["x1"], env["x2"], env["x3"] = a1, a2, a3
+				want, err := Eval(f, s, env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := r.Has(triplestore.Triple{a1, a2, a3})
+				if got != want {
+					t.Fatalf("%s at (%s,%s,%s): translation %v, direct %v\nexpr: %s",
+						f, s.Name(a1), s.Name(a2), s.Name(a3), got, want, e)
+				}
+			}
+		}
+	}
+}
+
+func TestFO3TranslationFixed(t *testing.T) {
+	s := triplestore.NewStore()
+	s.SetValue("a", triplestore.V("r"))
+	s.SetValue("b", triplestore.V("r"))
+	s.SetValue("c", triplestore.V("s"))
+	s.Add("E", "a", "p", "b")
+	s.Add("E", "b", "p", "c")
+	s.Add("E", "c", "c", "c")
+	E := func(a, b, c Term) Formula { return Atom{Rel: "E", Args: [3]Term{a, b, c}} }
+	formulas := []Formula{
+		E(V("x1"), V("x2"), V("x3")),
+		E(V("x2"), V("x1"), V("x3")), // permuted
+		E(V("x1"), V("x1"), V("x1")), // repeated variable
+		E(V("x1"), C("p"), V("x3")),  // constant
+		Eq{L: V("x1"), R: V("x2")},
+		Sim{L: V("x1"), R: V("x3"), Component: -1},
+		Not{F: E(V("x1"), V("x2"), V("x3"))},
+		And{L: E(V("x1"), V("x2"), V("x3")), R: Eq{L: V("x1"), R: V("x1")}},
+		Or{L: Eq{L: V("x1"), R: V("x2")}, R: Eq{L: V("x2"), R: V("x3")}},
+		Exists{Var: "x2", F: E(V("x1"), V("x2"), V("x3"))},
+		Forall{Var: "x2", F: Or{L: Not{F: E(V("x1"), V("x2"), V("x3"))}, R: Eq{L: V("x1"), R: V("x1")}}},
+		Exists{Var: "x1", F: Exists{Var: "x3", F: E(V("x1"), V("x2"), V("x3"))}},
+		E(C("a"), C("p"), C("b")), // ground atom
+	}
+	for _, f := range formulas {
+		checkFO3(t, f, s)
+	}
+}
+
+// TestFO3TranslationRandom: experiment E14 — random FO³ formulas agree
+// with their TriAL translations on random stores.
+func TestFO3TranslationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 60; i++ {
+		s := randStore(rng)
+		f := randFO3(rng, 3)
+		checkFO3(t, f, s)
+	}
+}
+
+func randStore(rng *rand.Rand) *triplestore.Store {
+	s := triplestore.NewStore()
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		s.SetValue(n, triplestore.V(string(rune('u'+rng.Intn(2)))))
+	}
+	k := 3 + rng.Intn(6)
+	for i := 0; i < k; i++ {
+		s.Add("E", names[rng.Intn(4)], names[rng.Intn(4)], names[rng.Intn(4)])
+	}
+	return s
+}
+
+func randFO3(rng *rand.Rand, depth int) Formula {
+	vars := []Term{V("x1"), V("x2"), V("x3")}
+	tv := func() Term { return vars[rng.Intn(3)] }
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Atom{Rel: "E", Args: [3]Term{tv(), tv(), tv()}}
+		case 1:
+			return Eq{L: tv(), R: tv()}
+		default:
+			return Sim{L: tv(), R: tv(), Component: -1}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return randFO3(rng, 0)
+	case 1:
+		return Not{F: randFO3(rng, depth-1)}
+	case 2:
+		return And{L: randFO3(rng, depth-1), R: randFO3(rng, depth-1)}
+	case 3:
+		return Or{L: randFO3(rng, depth-1), R: randFO3(rng, depth-1)}
+	case 4:
+		return Exists{Var: vars[rng.Intn(3)].Var, F: randFO3(rng, depth-1)}
+	default:
+		return Forall{Var: vars[rng.Intn(3)].Var, F: randFO3(rng, depth-1)}
+	}
+}
+
+func TestFO3TranslationErrors(t *testing.T) {
+	if _, err := FO3ToTriAL(Eq{L: V("x9"), R: V("x1")}, vo); err == nil {
+		t.Error("variable outside order should be rejected")
+	}
+	tr := TrCl{XVars: []string{"x1"}, YVars: []string{"x2"},
+		F: Eq{L: V("x1"), R: V("x2")}, T1: []Term{V("x1")}, T2: []Term{V("x2")}}
+	if _, err := FO3ToTriAL(tr, vo); err == nil {
+		t.Error("trcl should be rejected by the FO³ translation")
+	}
+	if _, err := FO3ToTriAL(Eq{L: V("x1"), R: V("x1")}, [3]string{"x1", "x1", "x2"}); err == nil {
+		t.Error("non-distinct varOrder should be rejected")
+	}
+}

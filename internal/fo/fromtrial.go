@@ -1,0 +1,253 @@
+package fo
+
+import (
+	"fmt"
+
+	"repro/internal/trial"
+)
+
+// TriALToFO translates a (star-free) TriAL expression into a first-order
+// formula over the ⟨E1..En, ∼⟩ vocabulary with free variables
+// (out1, out2, out3), following the inductive construction in the proof of
+// Theorem 4 (part 1): relation names become atoms, set operations become
+// boolean connectives, and a join existentially quantifies the three
+// discarded positions.
+//
+// The proof shows six variable *names* suffice by reusing them across
+// subformulas; this implementation instead allocates fresh names per join
+// (which keeps the construction capture-free and testable) and exposes the
+// count the proof cares about through QuantifierRank and the six-variable
+// schedule is not re-verified mechanically. Kleene stars are rejected —
+// transitive closure is not first-order (that direction is Theorem 6).
+//
+// The universal relation U translates to adom(x) ∧ adom(y) ∧ adom(z) where
+// adom says the object occurs in some relation of relNames.
+func TriALToFO(e trial.Expr, relNames []string, out [3]string) (Formula, error) {
+	c := &fromTrialCtx{rels: relNames}
+	return c.build(e, out)
+}
+
+type fromTrialCtx struct {
+	rels []string
+	n    int
+}
+
+func (c *fromTrialCtx) fresh() string {
+	c.n++
+	return fmt.Sprintf("w%d", c.n)
+}
+
+func (c *fromTrialCtx) build(e trial.Expr, out [3]string) (Formula, error) {
+	switch x := e.(type) {
+	case trial.Rel:
+		return Atom{Rel: x.Name, Args: [3]Term{V(out[0]), V(out[1]), V(out[2])}}, nil
+	case trial.Universe:
+		conj := c.adom(out[0])
+		conj = And{L: conj, R: c.adom(out[1])}
+		conj = And{L: conj, R: c.adom(out[2])}
+		return conj, nil
+	case trial.Select:
+		inner, err := c.build(x.E, out)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := condFormula(x.Cond, [6]string{out[0], out[1], out[2], "", "", ""})
+		if err != nil {
+			return nil, err
+		}
+		if cond == nil {
+			return inner, nil
+		}
+		return And{L: inner, R: cond}, nil
+	case trial.Union:
+		l, err := c.build(x.L, out)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.build(x.R, out)
+		if err != nil {
+			return nil, err
+		}
+		return Or{L: l, R: r}, nil
+	case trial.Diff:
+		l, err := c.build(x.L, out)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.build(x.R, out)
+		if err != nil {
+			return nil, err
+		}
+		return And{L: l, R: Not{F: r}}, nil
+	case trial.Join:
+		return c.join(x, out)
+	case trial.Star:
+		return nil, fmt.Errorf("fo: Kleene closures are not first-order (Theorem 6's TrCl translation covers them)")
+	}
+	return nil, fmt.Errorf("fo: unknown expression type %T", e)
+}
+
+// join builds ∃(discarded positions) ϕ1(p1..p3) ∧ ϕ2(p4..p6) ∧ cond,
+// where the six position variables are chosen so that output positions
+// carry the requested free-variable names.
+func (c *fromTrialCtx) join(x trial.Join, out [3]string) (Formula, error) {
+	var pos [6]string
+	// Claimed output slots first: output position i is fed from x.Out[i].
+	// The same join position may feed several output slots; the extra
+	// slots then force equalities.
+	var eqs []Formula
+	for i, p := range x.Out {
+		idx := int(p)
+		if pos[idx] == "" {
+			pos[idx] = out[i]
+		} else {
+			eqs = append(eqs, Eq{L: V(pos[idx]), R: V(out[i])})
+		}
+	}
+	// But distinct output names bound to one slot also mean those names
+	// must be equal; conversely unclaimed positions get fresh names and an
+	// existential quantifier.
+	var quantified []string
+	for i := range pos {
+		if pos[i] == "" {
+			pos[i] = c.fresh()
+			quantified = append(quantified, pos[i])
+		}
+	}
+	l, err := c.build(x.L, [3]string{pos[0], pos[1], pos[2]})
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.build(x.R, [3]string{pos[3], pos[4], pos[5]})
+	if err != nil {
+		return nil, err
+	}
+	body := And{L: l, R: r}
+	cond, err := condFormula(x.Cond, pos)
+	if err != nil {
+		return nil, err
+	}
+	if cond != nil {
+		body = And{L: body, R: cond}
+	}
+	for _, eq := range eqs {
+		body = And{L: body, R: eq}
+	}
+	var f Formula = body
+	for i := len(quantified) - 1; i >= 0; i-- {
+		f = Exists{Var: quantified[i], F: f}
+	}
+	return f, nil
+}
+
+func (c *fromTrialCtx) adom(v string) Formula {
+	u1, u2 := c.fresh(), c.fresh()
+	var f Formula
+	for _, rel := range c.rels {
+		for i := 0; i < 3; i++ {
+			args := [3]Term{V(u1), V(u2), V(u2)}
+			switch i {
+			case 0:
+				args = [3]Term{V(v), V(u1), V(u2)}
+			case 1:
+				args = [3]Term{V(u1), V(v), V(u2)}
+			case 2:
+				args = [3]Term{V(u1), V(u2), V(v)}
+			}
+			atom := Formula(Atom{Rel: rel, Args: args})
+			if f == nil {
+				f = atom
+			} else {
+				f = Or{L: f, R: atom}
+			}
+		}
+	}
+	if f == nil {
+		// No relations: the active domain is empty, so adom(v) is false.
+		f = Not{F: Eq{L: V(v), R: V(v)}}
+		return f
+	}
+	return Exists{Var: u1, F: Exists{Var: u2, F: f}}
+}
+
+// condFormula renders θ/η conditions over the six position variables
+// (empty strings mean the condition may not reference primed positions —
+// the selection case).
+func condFormula(c trial.Cond, pos [6]string) (Formula, error) {
+	var f Formula
+	add := func(g Formula) {
+		if f == nil {
+			f = g
+		} else {
+			f = And{L: f, R: g}
+		}
+	}
+	objTerm := func(t trial.ObjTerm) (Term, error) {
+		if t.IsConst {
+			return C(t.Name), nil
+		}
+		name := pos[int(t.Pos)]
+		if name == "" {
+			return Term{}, fmt.Errorf("fo: condition references unavailable position %v", t.Pos)
+		}
+		return V(name), nil
+	}
+	for _, a := range c.Obj {
+		l, err := objTerm(a.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := objTerm(a.R)
+		if err != nil {
+			return nil, err
+		}
+		var g Formula = Eq{L: l, R: r}
+		if a.Neq {
+			g = Not{F: g}
+		}
+		add(g)
+	}
+	for _, a := range c.Val {
+		if a.L.IsLit || a.R.IsLit {
+			return nil, fmt.Errorf("fo: data-value literals are outside the ∼ vocabulary")
+		}
+		ln := pos[int(a.L.Pos)]
+		rn := pos[int(a.R.Pos)]
+		if ln == "" || rn == "" {
+			return nil, fmt.Errorf("fo: data condition references unavailable position")
+		}
+		var g Formula = Sim{L: V(ln), R: V(rn), Component: a.Component}
+		if a.Neq {
+			g = Not{F: g}
+		}
+		add(g)
+	}
+	return f, nil
+}
+
+// QuantifierRank returns the maximum nesting depth of quantifiers — a
+// coarse complexity measure for translated formulas.
+func QuantifierRank(f Formula) int {
+	switch x := f.(type) {
+	case Not:
+		return QuantifierRank(x.F)
+	case And:
+		return max(QuantifierRank(x.L), QuantifierRank(x.R))
+	case Or:
+		return max(QuantifierRank(x.L), QuantifierRank(x.R))
+	case Exists:
+		return 1 + QuantifierRank(x.F)
+	case Forall:
+		return 1 + QuantifierRank(x.F)
+	case TrCl:
+		return QuantifierRank(x.F)
+	}
+	return 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

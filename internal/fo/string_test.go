@@ -1,0 +1,48 @@
+package fo
+
+import "testing"
+
+func TestFormulaStrings(t *testing.T) {
+	f := Exists{Var: "x", F: Forall{Var: "y", F: Or{
+		L: And{
+			L: Not{F: Atom{Rel: "E", Args: [3]Term{V("x"), C("p"), V("y")}}},
+			R: Sim{L: V("x"), R: V("y"), Component: 2},
+		},
+		R: Eq{L: V("x"), R: V("y")},
+	}}}
+	want := "∃x ∀y ((¬(E(x,'p',y)) ∧ ~2(x,y)) ∨ x=y)"
+	if got := f.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	tr := TrCl{
+		XVars: []string{"x"}, YVars: []string{"y"},
+		F:  Sim{L: V("x"), R: V("y"), Component: -1},
+		T1: []Term{V("x")}, T2: []Term{C("goal")},
+	}
+	wantTr := "[trcl_{x;y} ~(x,y)](x; 'goal')"
+	if got := tr.String(); got != wantTr {
+		t.Errorf("TrCl String = %q, want %q", got, wantTr)
+	}
+}
+
+func TestFreeOverTrCl(t *testing.T) {
+	tr := TrCl{
+		XVars: []string{"x"}, YVars: []string{"y"},
+		F:  Atom{Rel: "E", Args: [3]Term{V("x"), V("z"), V("y")}},
+		T1: []Term{V("u")}, T2: []Term{V("v")},
+	}
+	free := Free(tr)
+	// x, y bound by the operator; z is the parameter; u, v applied.
+	want := map[string]bool{"z": true, "u": true, "v": true}
+	if len(free) != len(want) {
+		t.Fatalf("Free = %v", free)
+	}
+	for _, v := range free {
+		if !want[v] {
+			t.Errorf("unexpected free variable %s", v)
+		}
+	}
+	if vs := Vars(tr); len(vs) != 5 {
+		t.Errorf("Vars = %v", vs)
+	}
+}

@@ -1,0 +1,189 @@
+package fo
+
+import (
+	"fmt"
+
+	"repro/internal/trial"
+)
+
+// FO3ToTriAL translates an FO formula using at most the three variables of
+// varOrder into an equivalent TriAL expression, following the inductive
+// construction in the proof of Theorem 4 (part 2). The resulting
+// expression satisfies, for every triplestore T with active domain A:
+//
+//	e_ϕ(T) = {(a1, a2, a3) ∈ A³ | T ⊨ ϕ[x1→a1, x2→a2, x3→a3]}
+//
+// where (x1, x2, x3) = varOrder. Positions of non-free variables range
+// over the whole active domain, which is how the proof "ignores" unused
+// positions while staying closed.
+//
+// TrCl subformulas are not handled here (that is the Theorem 6
+// construction, which targets TriAL*); they produce an error.
+func FO3ToTriAL(f Formula, varOrder [3]string) (trial.Expr, error) {
+	slot := map[string]trial.Pos{
+		varOrder[0]: trial.L1,
+		varOrder[1]: trial.L2,
+		varOrder[2]: trial.L3,
+	}
+	if len(slot) != 3 {
+		return nil, fmt.Errorf("fo: varOrder must list three distinct variables")
+	}
+	for _, v := range Vars(f) {
+		if _, ok := slot[v]; !ok {
+			return nil, fmt.Errorf("fo: formula uses variable %s outside varOrder %v", v, varOrder)
+		}
+	}
+	return fo3(f, slot)
+}
+
+func fo3(f Formula, slot map[string]trial.Pos) (trial.Expr, error) {
+	switch x := f.(type) {
+	case Atom:
+		return fo3Atom(x, slot)
+	case Sim:
+		cond := trial.Cond{}
+		lt, err := fo3ValTerm(x.L, slot)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := fo3ValTerm(x.R, slot)
+		if err != nil {
+			return nil, err
+		}
+		cond.Val = append(cond.Val, trial.ValAtom{L: lt, R: rt, Component: x.Component})
+		return trial.MustSelect(trial.U(), cond), nil
+	case Eq:
+		lt, err := fo3ObjTerm(x.L, slot)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := fo3ObjTerm(x.R, slot)
+		if err != nil {
+			return nil, err
+		}
+		return trial.MustSelect(trial.U(), trial.Cond{Obj: []trial.ObjAtom{{L: lt, R: rt}}}), nil
+	case Not:
+		inner, err := fo3(x.F, slot)
+		if err != nil {
+			return nil, err
+		}
+		return trial.Diff{L: trial.U(), R: inner}, nil
+	case And:
+		l, err := fo3(x.L, slot)
+		if err != nil {
+			return nil, err
+		}
+		r, err := fo3(x.R, slot)
+		if err != nil {
+			return nil, err
+		}
+		return trial.Intersect(l, r), nil
+	case Or:
+		l, err := fo3(x.L, slot)
+		if err != nil {
+			return nil, err
+		}
+		r, err := fo3(x.R, slot)
+		if err != nil {
+			return nil, err
+		}
+		return trial.Union{L: l, R: r}, nil
+	case Exists:
+		return fo3Exists(x.Var, x.F, slot)
+	case Forall:
+		// ∀x ϕ = ¬∃x ¬ϕ.
+		inner, err := fo3Exists(x.Var, Not{F: x.F}, slot)
+		if err != nil {
+			return nil, err
+		}
+		return trial.Diff{L: trial.U(), R: inner}, nil
+	case TrCl:
+		return nil, fmt.Errorf("fo: FO3ToTriAL does not handle trcl (TriAL* translation of Theorem 6 is out of scope here)")
+	}
+	return nil, fmt.Errorf("fo: unknown formula type %T", f)
+}
+
+func fo3Exists(v string, body Formula, slot map[string]trial.Pos) (trial.Expr, error) {
+	p, ok := slot[v]
+	if !ok {
+		return nil, fmt.Errorf("fo: quantified variable %s outside varOrder", v)
+	}
+	inner, err := fo3(body, slot)
+	if err != nil {
+		return nil, err
+	}
+	// Refill the quantified slot with arbitrary domain elements: join with
+	// U, taking the other two slots from the left and slot p from U.
+	out := [3]trial.Pos{trial.L1, trial.L2, trial.L3}
+	out[p.Index()] = []trial.Pos{trial.R1, trial.R2, trial.R3}[p.Index()]
+	return trial.MustJoin(inner, out, trial.Cond{}, trial.U()), nil
+}
+
+// fo3Atom builds the expression for E(t1, t2, t3) over the slot frame:
+// triples whose slot components satisfy the membership pattern. The
+// relation is first constrained by a selection expressing repeated
+// variables and constants, then rearranged into slot order with unused
+// slots refilled from U.
+func fo3Atom(a Atom, slot map[string]trial.Pos) (trial.Expr, error) {
+	// Selection over E's own positions.
+	var cond trial.Cond
+	atomPos := [3]trial.Pos{trial.L1, trial.L2, trial.L3}
+	firstOcc := map[string]trial.Pos{}
+	for i, t := range a.Args {
+		if t.IsConst {
+			cond.Obj = append(cond.Obj, trial.Eq(trial.P(atomPos[i]), trial.Obj(t.Const)))
+			continue
+		}
+		if prev, ok := firstOcc[t.Var]; ok {
+			cond.Obj = append(cond.Obj, trial.Eq(trial.P(prev), trial.P(atomPos[i])))
+		} else {
+			firstOcc[t.Var] = atomPos[i]
+		}
+	}
+	base := trial.Expr(trial.R(a.Rel))
+	if !cond.Empty() {
+		base = trial.MustSelect(base, cond)
+	}
+	// Rearrangement: slot s takes the E-position of its variable's first
+	// occurrence; slots whose variable does not occur take U positions.
+	var out [3]trial.Pos
+	uPos := []trial.Pos{trial.R1, trial.R2, trial.R3}
+	used := false
+	for v, p := range slot {
+		occ, ok := firstOcc[v]
+		if !ok {
+			out[p.Index()] = uPos[p.Index()]
+			continue
+		}
+		out[p.Index()] = occ
+		used = true
+	}
+	if !used {
+		// Ground atom (all constants): nonempty selection means the fact
+		// holds; the join with U then yields all of U, else ∅.
+		out = [3]trial.Pos{trial.R1, trial.R2, trial.R3}
+	}
+	return trial.MustJoin(base, out, trial.Cond{}, trial.U()), nil
+}
+
+func fo3ObjTerm(t Term, slot map[string]trial.Pos) (trial.ObjTerm, error) {
+	if t.IsConst {
+		return trial.Obj(t.Const), nil
+	}
+	p, ok := slot[t.Var]
+	if !ok {
+		return trial.ObjTerm{}, fmt.Errorf("fo: variable %s outside varOrder", t.Var)
+	}
+	return trial.P(p), nil
+}
+
+func fo3ValTerm(t Term, slot map[string]trial.Pos) (trial.ValTerm, error) {
+	if t.IsConst {
+		return trial.ValTerm{}, fmt.Errorf("fo: ∼ over constants is not supported in the translation")
+	}
+	p, ok := slot[t.Var]
+	if !ok {
+		return trial.ValTerm{}, fmt.Errorf("fo: variable %s outside varOrder", t.Var)
+	}
+	return trial.RhoP(p), nil
+}

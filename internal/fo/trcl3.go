@@ -1,0 +1,201 @@
+package fo
+
+import (
+	"fmt"
+
+	"repro/internal/trial"
+)
+
+// TrCl3ToTriAL translates a transitive-closure-logic formula using at most
+// the three variables of varOrder into an equivalent TriAL* expression —
+// the containment TrCl³ ⊆ TriAL* of Theorem 6 (part 2), made executable.
+// It extends FO3ToTriAL with the construction from the proof:
+//
+//	ψ = [trcl_{x,y} ϕ(x, y, z)](u1, u2)
+//
+// becomes (after rearranging e_ϕ so that x, y, z occupy positions 1, 2, 3)
+//
+//	R := (e_ϕ′ ✶^{1,2′,3}_{3=3′, 2=1′})*
+//
+// whose triples (a, b, c) say "b is reachable from a along ϕ(·, ·, c)
+// edges by a path of length ≥ 1"; the nine u1/u2 cases of the proof then
+// rearrange R into the slot frame, and the reflexive part of trcl is the
+// diagonal selection σ_{slot(u1)=slot(u2)}(U).
+func TrCl3ToTriAL(f Formula, varOrder [3]string) (trial.Expr, error) {
+	slot := map[string]trial.Pos{
+		varOrder[0]: trial.L1,
+		varOrder[1]: trial.L2,
+		varOrder[2]: trial.L3,
+	}
+	if len(slot) != 3 {
+		return nil, fmt.Errorf("fo: varOrder must list three distinct variables")
+	}
+	for _, v := range Vars(f) {
+		if _, ok := slot[v]; !ok {
+			return nil, fmt.Errorf("fo: formula uses variable %s outside varOrder %v", v, varOrder)
+		}
+	}
+	return trcl3(f, slot, varOrder)
+}
+
+// trcl3 mirrors fo3 but dispatches TrCl nodes to the star construction.
+func trcl3(f Formula, slot map[string]trial.Pos, varOrder [3]string) (trial.Expr, error) {
+	switch x := f.(type) {
+	case Not:
+		inner, err := trcl3(x.F, slot, varOrder)
+		if err != nil {
+			return nil, err
+		}
+		return trial.Diff{L: trial.U(), R: inner}, nil
+	case And:
+		l, err := trcl3(x.L, slot, varOrder)
+		if err != nil {
+			return nil, err
+		}
+		r, err := trcl3(x.R, slot, varOrder)
+		if err != nil {
+			return nil, err
+		}
+		return trial.Intersect(l, r), nil
+	case Or:
+		l, err := trcl3(x.L, slot, varOrder)
+		if err != nil {
+			return nil, err
+		}
+		r, err := trcl3(x.R, slot, varOrder)
+		if err != nil {
+			return nil, err
+		}
+		return trial.Union{L: l, R: r}, nil
+	case Exists:
+		p, ok := slot[x.Var]
+		if !ok {
+			return nil, fmt.Errorf("fo: quantified variable %s outside varOrder", x.Var)
+		}
+		inner, err := trcl3(x.F, slot, varOrder)
+		if err != nil {
+			return nil, err
+		}
+		out := [3]trial.Pos{trial.L1, trial.L2, trial.L3}
+		out[p.Index()] = []trial.Pos{trial.R1, trial.R2, trial.R3}[p.Index()]
+		return trial.MustJoin(inner, out, trial.Cond{}, trial.U()), nil
+	case Forall:
+		inner, err := trcl3(Exists{Var: x.Var, F: Not{F: x.F}}, slot, varOrder)
+		if err != nil {
+			return nil, err
+		}
+		return trial.Diff{L: trial.U(), R: inner}, nil
+	case TrCl:
+		return trcl3Star(x, slot, varOrder)
+	default:
+		// Atoms, equalities, and similarity atoms contain no trcl.
+		return fo3(f, slot)
+	}
+}
+
+func trcl3Star(x TrCl, slot map[string]trial.Pos, varOrder [3]string) (trial.Expr, error) {
+	if len(x.XVars) != 1 || len(x.YVars) != 1 || len(x.T1) != 1 || len(x.T2) != 1 {
+		return nil, fmt.Errorf("fo: TrCl3ToTriAL handles unary trcl only (|x̄| = 1); got |x̄| = %d", len(x.XVars))
+	}
+	xv, yv := x.XVars[0], x.YVars[0]
+	if xv == yv {
+		return nil, fmt.Errorf("fo: trcl with x̄ = ȳ is degenerate")
+	}
+	if x.T1[0].IsConst || x.T2[0].IsConst {
+		return nil, fmt.Errorf("fo: constants in trcl application terms are not supported")
+	}
+	u1, u2 := x.T1[0].Var, x.T2[0].Var
+	pu1, ok1 := slot[u1]
+	pu2, ok2 := slot[u2]
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("fo: trcl terms use variables outside varOrder")
+	}
+	// The parameter variable is the one of varOrder that is neither x nor y.
+	var zv string
+	for _, v := range varOrder {
+		if v != xv && v != yv {
+			zv = v
+		}
+	}
+	inner, err := trcl3(x.F, slot, varOrder)
+	if err != nil {
+		return nil, err
+	}
+	// Rearrange e_ϕ so that (x, y, z) occupy positions (1, 2, 3).
+	ephi := rearrangeFrame(inner, [3]trial.Pos{slot[xv], slot[yv], slot[zv]})
+	// R := (e_ϕ′ ✶^{1,2′,3}_{3=3′, 2=1′})*: (a, b, c) with a path a →+ b
+	// over ϕ(·, ·, c) edges.
+	reach := trial.MustStar(ephi, [3]trial.Pos{trial.L1, trial.R2, trial.L3},
+		trial.Cond{Obj: []trial.ObjAtom{
+			trial.Eq(trial.P(trial.L3), trial.P(trial.R3)),
+			trial.Eq(trial.P(trial.L2), trial.P(trial.R1)),
+		}}, false)
+	// Arrange R into the slot frame: slot(u1) receives R's position 1,
+	// slot(u2) position 2, slot(z) position 3 — with selections when the
+	// same slot must receive several positions (e.g. trcl applied to the
+	// parameter variable), and U filling unclaimed slots.
+	framed, err := frameFromBinary(reach, pu1, pu2, slot[zv])
+	if err != nil {
+		return nil, err
+	}
+	// Reflexive part: val(u1) = val(u2) over the whole universe.
+	if pu1 == pu2 {
+		return trial.Union{L: framed, R: trial.U()}, nil
+	}
+	diag := trial.MustSelect(trial.U(), trial.Cond{Obj: []trial.ObjAtom{
+		trial.Eq(trial.P(pu1), trial.P(pu2)),
+	}})
+	return trial.Union{L: framed, R: diag}, nil
+}
+
+// rearrangeFrame permutes an expression's positions: output position i is
+// taken from from[i] of the input (realized as a self-join on identity, as
+// in the paper's E ✶^{i,j,k} E device).
+func rearrangeFrame(e trial.Expr, from [3]trial.Pos) trial.Expr {
+	same := trial.Cond{Obj: []trial.ObjAtom{
+		trial.Eq(trial.P(trial.L1), trial.P(trial.R1)),
+		trial.Eq(trial.P(trial.L2), trial.P(trial.R2)),
+		trial.Eq(trial.P(trial.L3), trial.P(trial.R3)),
+	}}
+	return trial.MustJoin(e, from, same, e)
+}
+
+// frameFromBinary lifts the reachability relation R (positions: 1 = source,
+// 2 = target, 3 = parameter) into the three-slot frame where the source
+// lands in slot p1, the target in p2, and the parameter in pz. Slots
+// claimed by several roles force equality selections on R; unclaimed
+// slots are filled from U.
+func frameFromBinary(r trial.Expr, p1, p2, pz trial.Pos) (trial.Expr, error) {
+	var roles [3][]trial.Pos // frame slot index -> R positions claiming it
+	claim := func(slotPos trial.Pos, rPos trial.Pos) {
+		roles[slotPos.Index()] = append(roles[slotPos.Index()], rPos)
+	}
+	claim(p1, trial.L1)
+	claim(p2, trial.L2)
+	claim(pz, trial.L3)
+	// Equalities for multiply-claimed slots.
+	var sel trial.Cond
+	for _, claimed := range roles {
+		for i := 1; i < len(claimed); i++ {
+			sel.Obj = append(sel.Obj, trial.Eq(trial.P(claimed[0]), trial.P(claimed[i])))
+		}
+	}
+	base := r
+	if len(sel.Obj) > 0 {
+		s, err := trial.NewSelect(base, sel)
+		if err != nil {
+			return nil, err
+		}
+		base = s
+	}
+	var out [3]trial.Pos
+	uPos := []trial.Pos{trial.R1, trial.R2, trial.R3}
+	for i := 0; i < 3; i++ {
+		if len(roles[i]) > 0 {
+			out[i] = roles[i][0]
+		} else {
+			out[i] = uPos[i]
+		}
+	}
+	return trial.MustJoin(base, out, trial.Cond{}, trial.U()), nil
+}

@@ -1,0 +1,168 @@
+package fo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// checkTrCl3 compares the Theorem 6 translation against direct evaluation
+// over all assignments.
+func checkTrCl3(t *testing.T, f Formula, s *triplestore.Store) {
+	t.Helper()
+	e, err := TrCl3ToTriAL(f, vo)
+	if err != nil {
+		t.Fatalf("TrCl3ToTriAL(%s): %v", f, err)
+	}
+	ev := trial.NewEvaluator(s)
+	r, err := ev.Eval(e)
+	if err != nil {
+		t.Fatalf("eval of translation of %s: %v", f, err)
+	}
+	dom := s.ActiveDomain()
+	env := Env{}
+	for _, a1 := range dom {
+		for _, a2 := range dom {
+			for _, a3 := range dom {
+				env["x1"], env["x2"], env["x3"] = a1, a2, a3
+				want, err := Eval(f, s, env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := r.Has(triplestore.Triple{a1, a2, a3})
+				if got != want {
+					t.Fatalf("%s at (%s,%s,%s): translation %v, direct %v",
+						f, s.Name(a1), s.Name(a2), s.Name(a3), got, want)
+				}
+			}
+		}
+	}
+}
+
+// edgeVia builds ϕ(x, y, z) := E(x, z, y): an edge from x to y labeled z.
+func edgeVia(x, y, z string) Formula {
+	return Atom{Rel: "E", Args: [3]Term{V(x), V(z), V(y)}}
+}
+
+func TestTrCl3Fixed(t *testing.T) {
+	s := triplestore.NewStore()
+	s.Add("E", "a", "p", "b")
+	s.Add("E", "b", "p", "c")
+	s.Add("E", "c", "q", "d")
+	s.Add("E", "d", "q", "a")
+
+	cases := []Formula{
+		// Same-label reachability: x1 →* x2 via x3-labeled edges.
+		TrCl{XVars: []string{"x1"}, YVars: []string{"x2"},
+			F:  edgeVia("x1", "x2", "x3"),
+			T1: []Term{V("x1")}, T2: []Term{V("x2")}},
+		// Applied to swapped terms.
+		TrCl{XVars: []string{"x1"}, YVars: []string{"x2"},
+			F:  edgeVia("x1", "x2", "x3"),
+			T1: []Term{V("x2")}, T2: []Term{V("x1")}},
+		// Applied to the parameter variable: x3 reaches x2 via x3-edges.
+		TrCl{XVars: []string{"x1"}, YVars: []string{"x2"},
+			F:  edgeVia("x1", "x2", "x3"),
+			T1: []Term{V("x3")}, T2: []Term{V("x2")}},
+		// Both terms the same variable (trivially true via reflexivity).
+		TrCl{XVars: []string{"x1"}, YVars: []string{"x2"},
+			F:  edgeVia("x1", "x2", "x3"),
+			T1: []Term{V("x1")}, T2: []Term{V("x1")}},
+		// trcl under boolean structure and quantification.
+		Exists{Var: "x3", F: TrCl{XVars: []string{"x1"}, YVars: []string{"x2"},
+			F:  edgeVia("x1", "x2", "x3"),
+			T1: []Term{V("x1")}, T2: []Term{V("x2")}}},
+		And{
+			L: TrCl{XVars: []string{"x1"}, YVars: []string{"x2"},
+				F:  edgeVia("x1", "x2", "x3"),
+				T1: []Term{V("x1")}, T2: []Term{V("x2")}},
+			R: Not{F: Eq{L: V("x1"), R: V("x2")}},
+		},
+		// Edge relation ignoring the parameter (any-label reachability).
+		TrCl{XVars: []string{"x1"}, YVars: []string{"x2"},
+			F:  Exists{Var: "x3", F: edgeVia("x1", "x2", "x3")},
+			T1: []Term{V("x1")}, T2: []Term{V("x2")}},
+	}
+	for _, f := range cases {
+		checkTrCl3(t, f, s)
+	}
+}
+
+// TestTrCl3Random differentially tests the Theorem 6 construction on
+// random stores with random edge formulas.
+func TestTrCl3Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	vars := []string{"x1", "x2", "x3"}
+	for i := 0; i < 40; i++ {
+		s := randStore(rng)
+		perm := rng.Perm(3)
+		xv, yv := vars[perm[0]], vars[perm[1]]
+		body := randFO3(rng, 2)
+		f := TrCl{
+			XVars: []string{xv}, YVars: []string{yv},
+			F:  body,
+			T1: []Term{V(vars[rng.Intn(3)])},
+			T2: []Term{V(vars[rng.Intn(3)])},
+		}
+		checkTrCl3(t, f, s)
+	}
+}
+
+func TestTrCl3Errors(t *testing.T) {
+	binary := TrCl{
+		XVars: []string{"x1", "x2"}, YVars: []string{"x1", "x2"},
+		F:  Eq{L: V("x1"), R: V("x2")},
+		T1: []Term{V("x1"), V("x2")}, T2: []Term{V("x1"), V("x2")},
+	}
+	if _, err := TrCl3ToTriAL(binary, vo); err == nil {
+		t.Error("binary trcl should be rejected (needs 4+ variables)")
+	}
+	constTerm := TrCl{
+		XVars: []string{"x1"}, YVars: []string{"x2"},
+		F:  edgeVia("x1", "x2", "x3"),
+		T1: []Term{C("a")}, T2: []Term{V("x2")},
+	}
+	if _, err := TrCl3ToTriAL(constTerm, vo); err == nil {
+		t.Error("constant application terms should be rejected")
+	}
+	degenerate := TrCl{
+		XVars: []string{"x1"}, YVars: []string{"x1"},
+		F:  edgeVia("x1", "x1", "x3"),
+		T1: []Term{V("x1")}, T2: []Term{V("x1")},
+	}
+	if _, err := TrCl3ToTriAL(degenerate, vo); err == nil {
+		t.Error("x̄ = ȳ should be rejected")
+	}
+}
+
+// TestTrCl3SubsumesFO3: the TrCl translation agrees with FO3ToTriAL on
+// trcl-free formulas.
+func TestTrCl3SubsumesFO3(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 30; i++ {
+		s := randStore(rng)
+		f := randFO3(rng, 3)
+		e1, err := FO3ToTriAL(f, vo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := TrCl3ToTriAL(f, vo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := trial.NewEvaluator(s)
+		r1, err := ev.Eval(e1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := ev.Eval(e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r1.Equal(r2) {
+			t.Fatalf("translations disagree on trcl-free %s", f)
+		}
+	}
+}

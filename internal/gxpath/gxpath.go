@@ -1,0 +1,338 @@
+// Package gxpath implements GXPath, the graph adaptation of XPath used as
+// the yardstick graph language in §6.2 of the TriAL paper (after Libkin,
+// Martens & Vrgoč, ICDT 2013). Node formulas and path formulas are defined
+// by mutual recursion:
+//
+//	ϕ, ψ := ⊤ | ¬ϕ | ϕ∧ψ | ϕ∨ψ | ⟨α⟩ | ⟨α = β⟩ | ⟨α ≠ β⟩
+//	α, β := ε | a | a⁻ | [ϕ] | α·β | α∪β | ᾱ | α* | α₌ | α≠
+//
+// The data comparisons (the last two node forms and the subscripted path
+// forms) constitute GXPath(∼) of §6.2.2; the purely navigational language
+// omits them. Path formulas denote binary relations over nodes, node
+// formulas denote sets of nodes; the complement ᾱ is V×V minus α.
+package gxpath
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Node is a node formula.
+type Node interface {
+	String() string
+	isNode()
+}
+
+// Path is a path formula.
+type Path interface {
+	String() string
+	isPath()
+}
+
+// Top is ⊤ (all nodes).
+type Top struct{}
+
+// Not is ¬ϕ.
+type Not struct{ N Node }
+
+// And is ϕ∧ψ.
+type And struct{ L, R Node }
+
+// Or is ϕ∨ψ.
+type Or struct{ L, R Node }
+
+// Diamond is ⟨α⟩: nodes with an outgoing α-path.
+type Diamond struct{ P Path }
+
+// DataTest is ⟨α = β⟩ (or ⟨α ≠ β⟩ when Neq): nodes v with α- and β-successors
+// vα, vβ such that ρ(vα) = ρ(vβ) (resp. ≠).
+type DataTest struct {
+	L, R Path
+	Neq  bool
+}
+
+// Eps is ε, the diagonal.
+type Eps struct{}
+
+// Label is a or a⁻.
+type Label struct {
+	A   string
+	Inv bool
+}
+
+// Test is the node test [ϕ].
+type Test struct{ N Node }
+
+// Concat is α·β.
+type Concat struct{ L, R Path }
+
+// Union is α∪β.
+type Union struct{ L, R Path }
+
+// Complement is ᾱ = V×V − α.
+type Complement struct{ P Path }
+
+// Star is α*.
+type Star struct{ P Path }
+
+// DataCmp is α₌ (or α≠ when Neq): the pairs (v, v′) of α whose endpoints
+// carry equal (resp. different) data values — regular expressions with
+// (in)equality of [Libkin & Vrgoč, ICDT 2012].
+type DataCmp struct {
+	P   Path
+	Neq bool
+}
+
+func (Top) isNode()      {}
+func (Not) isNode()      {}
+func (And) isNode()      {}
+func (Or) isNode()       {}
+func (Diamond) isNode()  {}
+func (DataTest) isNode() {}
+
+func (Eps) isPath()        {}
+func (Label) isPath()      {}
+func (Test) isPath()       {}
+func (Concat) isPath()     {}
+func (Union) isPath()      {}
+func (Complement) isPath() {}
+func (Star) isPath()       {}
+func (DataCmp) isPath()    {}
+
+func (Top) String() string       { return "T" }
+func (n Not) String() string     { return "!(" + n.N.String() + ")" }
+func (n And) String() string     { return "(" + n.L.String() + " & " + n.R.String() + ")" }
+func (n Or) String() string      { return "(" + n.L.String() + " | " + n.R.String() + ")" }
+func (n Diamond) String() string { return "<" + n.P.String() + ">" }
+func (n DataTest) String() string {
+	op := " = "
+	if n.Neq {
+		op = " != "
+	}
+	return "<" + n.L.String() + op + n.R.String() + ">"
+}
+
+func (Eps) String() string { return "eps" }
+func (p Label) String() string {
+	if p.Inv {
+		return p.A + "^-"
+	}
+	return p.A
+}
+func (p Test) String() string       { return "[" + p.N.String() + "]" }
+func (p Concat) String() string     { return "(" + p.L.String() + "." + p.R.String() + ")" }
+func (p Union) String() string      { return "(" + p.L.String() + " u " + p.R.String() + ")" }
+func (p Complement) String() string { return "~(" + p.P.String() + ")" }
+func (p Star) String() string       { return p.P.String() + "*" }
+func (p DataCmp) String() string {
+	if p.Neq {
+		return p.P.String() + "_!="
+	}
+	return p.P.String() + "_="
+}
+
+// Rel is a binary relation over node names.
+type Rel map[[2]string]bool
+
+// NodeSet is a set of node names.
+type NodeSet map[string]bool
+
+// EvalPath computes the relation denoted by a path formula over g.
+func EvalPath(p Path, g *graph.Graph) Rel {
+	switch x := p.(type) {
+	case Eps:
+		out := Rel{}
+		for _, v := range g.Nodes() {
+			out[[2]string{v, v}] = true
+		}
+		return out
+	case Label:
+		out := Rel{}
+		for _, e := range g.Edges() {
+			if e.Label != x.A {
+				continue
+			}
+			if x.Inv {
+				out[[2]string{e.Dst, e.Src}] = true
+			} else {
+				out[[2]string{e.Src, e.Dst}] = true
+			}
+		}
+		return out
+	case Test:
+		set := EvalNode(x.N, g)
+		out := Rel{}
+		for v := range set {
+			out[[2]string{v, v}] = true
+		}
+		return out
+	case Concat:
+		return compose(EvalPath(x.L, g), EvalPath(x.R, g))
+	case Union:
+		l := EvalPath(x.L, g)
+		for pr := range EvalPath(x.R, g) {
+			l[pr] = true
+		}
+		return l
+	case Complement:
+		inner := EvalPath(x.P, g)
+		out := Rel{}
+		for _, u := range g.Nodes() {
+			for _, v := range g.Nodes() {
+				if !inner[[2]string{u, v}] {
+					out[[2]string{u, v}] = true
+				}
+			}
+		}
+		return out
+	case Star:
+		return closure(EvalPath(x.P, g), g.Nodes())
+	case DataCmp:
+		inner := EvalPath(x.P, g)
+		out := Rel{}
+		for pr := range inner {
+			eq := g.Value(pr[0]).Equal(g.Value(pr[1]))
+			if eq != x.Neq {
+				out[pr] = true
+			}
+		}
+		return out
+	}
+	return Rel{}
+}
+
+// EvalNode computes the set denoted by a node formula over g.
+func EvalNode(n Node, g *graph.Graph) NodeSet {
+	switch x := n.(type) {
+	case Top:
+		out := NodeSet{}
+		for _, v := range g.Nodes() {
+			out[v] = true
+		}
+		return out
+	case Not:
+		inner := EvalNode(x.N, g)
+		out := NodeSet{}
+		for _, v := range g.Nodes() {
+			if !inner[v] {
+				out[v] = true
+			}
+		}
+		return out
+	case And:
+		l := EvalNode(x.L, g)
+		r := EvalNode(x.R, g)
+		out := NodeSet{}
+		for v := range l {
+			if r[v] {
+				out[v] = true
+			}
+		}
+		return out
+	case Or:
+		l := EvalNode(x.L, g)
+		for v := range EvalNode(x.R, g) {
+			l[v] = true
+		}
+		return l
+	case Diamond:
+		rel := EvalPath(x.P, g)
+		out := NodeSet{}
+		for pr := range rel {
+			out[pr[0]] = true
+		}
+		return out
+	case DataTest:
+		l := EvalPath(x.L, g)
+		r := EvalPath(x.R, g)
+		// Group successors by source.
+		lSucc := map[string][]string{}
+		for pr := range l {
+			lSucc[pr[0]] = append(lSucc[pr[0]], pr[1])
+		}
+		rSucc := map[string][]string{}
+		for pr := range r {
+			rSucc[pr[0]] = append(rSucc[pr[0]], pr[1])
+		}
+		out := NodeSet{}
+		for v, ls := range lSucc {
+			for _, a := range ls {
+				for _, b := range rSucc[v] {
+					eq := g.Value(a).Equal(g.Value(b))
+					if eq != x.Neq {
+						out[v] = true
+					}
+				}
+			}
+		}
+		return out
+	}
+	return NodeSet{}
+}
+
+func compose(a, b Rel) Rel {
+	right := map[string][]string{}
+	for p := range b {
+		right[p[0]] = append(right[p[0]], p[1])
+	}
+	out := Rel{}
+	for p := range a {
+		for _, w := range right[p[1]] {
+			out[[2]string{p[0], w}] = true
+		}
+	}
+	return out
+}
+
+func closure(r Rel, nodes []string) Rel {
+	adj := map[string][]string{}
+	for p := range r {
+		adj[p[0]] = append(adj[p[0]], p[1])
+	}
+	out := Rel{}
+	for _, src := range nodes {
+		visited := map[string]bool{src: true}
+		queue := []string{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			out[[2]string{src, v}] = true
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Pairs returns the relation's pairs, sorted.
+func (r Rel) Pairs() [][2]string {
+	out := make([][2]string, 0, len(r))
+	for p := range r {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Equal reports relation equality.
+func (r Rel) Equal(s Rel) bool {
+	if len(r) != len(s) {
+		return false
+	}
+	for p := range r {
+		if !s[p] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package gxpath
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/triplestore"
+)
+
+func sample() *graph.Graph {
+	g := graph.New()
+	g.AddEdge("v1", "a", "v2")
+	g.AddEdge("v2", "b", "v3")
+	g.AddEdge("v3", "a", "v1")
+	g.SetValue("v1", triplestore.V("red"))
+	g.SetValue("v2", triplestore.V("blue"))
+	g.SetValue("v3", triplestore.V("red"))
+	return g
+}
+
+func has(r Rel, u, v string) bool { return r[[2]string{u, v}] }
+
+func TestPathBasics(t *testing.T) {
+	g := sample()
+	if r := EvalPath(Label{A: "a"}, g); len(r) != 2 || !has(r, "v1", "v2") || !has(r, "v3", "v1") {
+		t.Errorf("a = %v", r.Pairs())
+	}
+	if r := EvalPath(Label{A: "a", Inv: true}, g); !has(r, "v2", "v1") || len(r) != 2 {
+		t.Errorf("a⁻ = %v", r.Pairs())
+	}
+	if r := EvalPath(Eps{}, g); len(r) != 3 || !has(r, "v2", "v2") {
+		t.Errorf("ε = %v", r.Pairs())
+	}
+	if r := EvalPath(Concat{L: Label{A: "a"}, R: Label{A: "b"}}, g); len(r) != 1 || !has(r, "v1", "v3") {
+		t.Errorf("a·b = %v", r.Pairs())
+	}
+	if r := EvalPath(Union{L: Label{A: "a"}, R: Label{A: "b"}}, g); len(r) != 3 {
+		t.Errorf("a∪b = %v", r.Pairs())
+	}
+}
+
+func TestPathComplement(t *testing.T) {
+	g := sample()
+	r := EvalPath(Complement{P: Label{A: "a"}}, g)
+	// 9 pairs total, 2 are a-edges.
+	if len(r) != 7 || has(r, "v1", "v2") || !has(r, "v2", "v1") {
+		t.Errorf("ā = %v", r.Pairs())
+	}
+}
+
+func TestPathStarReflexive(t *testing.T) {
+	g := sample() // cycle v1→v2→v3→v1
+	r := EvalPath(Star{P: Union{L: Label{A: "a"}, R: Label{A: "b"}}}, g)
+	if len(r) != 9 {
+		t.Errorf("(a∪b)* = %v, want all 9 pairs", r.Pairs())
+	}
+	// Star of the empty relation is just the diagonal.
+	empty := EvalPath(Star{P: Label{A: "zzz"}}, g)
+	if len(empty) != 3 || !has(empty, "v1", "v1") {
+		t.Errorf("zzz* = %v", empty.Pairs())
+	}
+}
+
+func TestNodeFormulas(t *testing.T) {
+	g := sample()
+	if s := EvalNode(Top{}, g); len(s) != 3 {
+		t.Errorf("⊤ = %v", s)
+	}
+	// ⟨b⟩: nodes with an outgoing b-edge.
+	if s := EvalNode(Diamond{P: Label{A: "b"}}, g); len(s) != 1 || !s["v2"] {
+		t.Errorf("⟨b⟩ = %v", s)
+	}
+	if s := EvalNode(Not{N: Diamond{P: Label{A: "b"}}}, g); len(s) != 2 || s["v2"] {
+		t.Errorf("¬⟨b⟩ = %v", s)
+	}
+	and := And{L: Diamond{P: Label{A: "a"}}, R: Diamond{P: Label{A: "b"}}}
+	if s := EvalNode(and, g); len(s) != 0 {
+		t.Errorf("⟨a⟩∧⟨b⟩ = %v", s)
+	}
+	or := Or{L: Diamond{P: Label{A: "a"}}, R: Diamond{P: Label{A: "b"}}}
+	if s := EvalNode(or, g); len(s) != 3 {
+		t.Errorf("⟨a⟩∨⟨b⟩ = %v", s)
+	}
+}
+
+func TestTest(t *testing.T) {
+	g := sample()
+	// a·[⟨b⟩]: a-edges into nodes that have a b-successor.
+	p := Concat{L: Label{A: "a"}, R: Test{N: Diamond{P: Label{A: "b"}}}}
+	r := EvalPath(p, g)
+	if len(r) != 1 || !has(r, "v1", "v2") {
+		t.Errorf("a·[⟨b⟩] = %v", r.Pairs())
+	}
+}
+
+func TestDataCmp(t *testing.T) {
+	g := sample()
+	// (a·b)₌: v1 →a v2 →b v3 has ρ(v1) = ρ(v3) = red.
+	eq := EvalPath(DataCmp{P: Concat{L: Label{A: "a"}, R: Label{A: "b"}}}, g)
+	if len(eq) != 1 || !has(eq, "v1", "v3") {
+		t.Errorf("(a·b)₌ = %v", eq.Pairs())
+	}
+	// a≠: of the two a-edges, only v1→v2 (red vs blue) connects different
+	// values; v3→v1 connects red to red.
+	neq := EvalPath(DataCmp{P: Label{A: "a"}, Neq: true}, g)
+	if len(neq) != 1 || !has(neq, "v1", "v2") {
+		t.Errorf("a≠ = %v", neq.Pairs())
+	}
+}
+
+func TestDataTest(t *testing.T) {
+	g := sample()
+	// ⟨a = a·b⟩: nodes v with an a-successor and an a·b-successor holding
+	// equal values. v3: a-successor v1 (red); a·b path v3→v1? a from v3
+	// goes to v1, then b? v1 has no b-edge. Use v1: a→v2 (blue), a·b→v3
+	// (red): not equal. Construct the working case explicitly:
+	h := graph.New()
+	h.AddEdge("u", "a", "x")
+	h.AddEdge("u", "b", "y")
+	h.SetValue("x", triplestore.V("k"))
+	h.SetValue("y", triplestore.V("k"))
+	n := DataTest{L: Label{A: "a"}, R: Label{A: "b"}}
+	if s := EvalNode(n, h); len(s) != 1 || !s["u"] {
+		t.Errorf("⟨a = b⟩ = %v", s)
+	}
+	nn := DataTest{L: Label{A: "a"}, R: Label{A: "b"}, Neq: true}
+	if s := EvalNode(nn, h); len(s) != 0 {
+		t.Errorf("⟨a ≠ b⟩ = %v", s)
+	}
+	_ = g
+}
+
+func TestStringRendering(t *testing.T) {
+	p := Concat{L: Label{A: "a"}, R: Complement{P: Star{P: Label{A: "b", Inv: true}}}}
+	if got := p.String(); got != "(a.~(b^-*))" {
+		t.Errorf("String = %q", got)
+	}
+	n := DataTest{L: Label{A: "a"}, R: Eps{}, Neq: true}
+	if got := n.String(); got != "<a != eps>" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,148 @@
+package gxpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/triplestore"
+)
+
+func randGraphQ(rng *rand.Rand, nNodes, nEdges int) *graph.Graph {
+	g := graph.New()
+	for g.NumEdges() < nEdges {
+		g.AddEdge(
+			string(rune('A'+rng.Intn(nNodes))),
+			string(rune('a'+rng.Intn(2))),
+			string(rune('A'+rng.Intn(nNodes))))
+	}
+	for _, v := range g.Nodes() {
+		g.SetValue(v, triplestore.V(string(rune('u'+rng.Intn(2)))))
+	}
+	return g
+}
+
+func randPathQ(rng *rand.Rand, depth int) Path {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Eps{}
+		case 1:
+			return Label{A: string(rune('a' + rng.Intn(2)))}
+		default:
+			return Label{A: string(rune('a' + rng.Intn(2))), Inv: true}
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return randPathQ(rng, 0)
+	case 1:
+		return Concat{L: randPathQ(rng, depth-1), R: randPathQ(rng, depth-1)}
+	case 2:
+		return Union{L: randPathQ(rng, depth-1), R: randPathQ(rng, depth-1)}
+	case 3:
+		return Star{P: randPathQ(rng, depth-1)}
+	case 4:
+		return Complement{P: randPathQ(rng, depth-1)}
+	case 5:
+		return Test{N: Diamond{P: randPathQ(rng, depth-1)}}
+	default:
+		return DataCmp{P: randPathQ(rng, depth-1), Neq: rng.Intn(2) == 0}
+	}
+}
+
+// TestDoubleComplement: over the full node universe, complement is an
+// involution — the property the algebra's closure makes available to
+// GXPath but not to CNREs (Theorem 8's monotonicity argument).
+func TestDoubleComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 100; i++ {
+		g := randGraphQ(rng, 4, 6)
+		p := randPathQ(rng, 2)
+		once := EvalPath(p, g)
+		twice := EvalPath(Complement{P: Complement{P: p}}, g)
+		if !once.Equal(twice) {
+			t.Fatalf("double complement differs for %s", p)
+		}
+	}
+}
+
+// TestComplementPartition: α and ᾱ partition V×V.
+func TestComplementPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 100; i++ {
+		g := randGraphQ(rng, 4, 6)
+		p := randPathQ(rng, 2)
+		pos := EvalPath(p, g)
+		neg := EvalPath(Complement{P: p}, g)
+		n := g.NumNodes()
+		if len(pos)+len(neg) != n*n {
+			t.Fatalf("|α| + |ᾱ| = %d + %d ≠ %d² for %s", len(pos), len(neg), n, p)
+		}
+		for pr := range pos {
+			if neg[pr] {
+				t.Fatalf("pair %v in both α and ᾱ for %s", pr, p)
+			}
+		}
+	}
+}
+
+// TestDataCmpPartition: α₌ and α≠ partition α.
+func TestDataCmpPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 100; i++ {
+		g := randGraphQ(rng, 4, 6)
+		p := randPathQ(rng, 2)
+		all := EvalPath(p, g)
+		eq := EvalPath(DataCmp{P: p}, g)
+		neq := EvalPath(DataCmp{P: p, Neq: true}, g)
+		if len(eq)+len(neq) != len(all) {
+			t.Fatalf("α₌ + α≠ ≠ α for %s", p)
+		}
+		for pr := range eq {
+			if neq[pr] || !all[pr] {
+				t.Fatalf("data partition broken at %v for %s", pr, p)
+			}
+		}
+	}
+}
+
+// TestDeMorgan: ¬(ϕ∧ψ) = ¬ϕ∨¬ψ over node formulas.
+func TestDeMorgan(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 100; i++ {
+		g := randGraphQ(rng, 4, 6)
+		phi := Diamond{P: randPathQ(rng, 2)}
+		psi := Diamond{P: randPathQ(rng, 2)}
+		l := EvalNode(Not{N: And{L: phi, R: psi}}, g)
+		r := EvalNode(Or{L: Not{N: phi}, R: Not{N: psi}}, g)
+		if len(l) != len(r) {
+			t.Fatalf("De Morgan sizes differ")
+		}
+		for v := range l {
+			if !r[v] {
+				t.Fatalf("De Morgan differs at %s", v)
+			}
+		}
+	}
+}
+
+// TestDiamondMatchesTestDiagonal: ⟨α⟩ holds exactly on the diagonal of
+// [⟨α⟩].
+func TestDiamondMatchesTestDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for i := 0; i < 60; i++ {
+		g := randGraphQ(rng, 4, 6)
+		p := randPathQ(rng, 2)
+		set := EvalNode(Diamond{P: p}, g)
+		diag := EvalPath(Test{N: Diamond{P: p}}, g)
+		if len(set) != len(diag) {
+			t.Fatalf("sizes differ for %s", p)
+		}
+		for v := range set {
+			if !diag[[2]string{v, v}] {
+				t.Fatalf("diagonal missing %s", v)
+			}
+		}
+	}
+}

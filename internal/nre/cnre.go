@@ -1,0 +1,118 @@
+package nre
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CNRE is a conjunctive nested regular expression (§6.2.1):
+//
+//	ϕ(x̄) = ∃ȳ ⋀ᵢ (xᵢ --eᵢ--> yᵢ)
+//
+// where every conjunct relates two variables (free or existential) by an
+// NRE. Free lists the output variables in order; a satisfying assignment
+// projects to a tuple over Free.
+type CNRE struct {
+	Free  []string
+	Atoms []CAtom
+}
+
+// CAtom is one conjunct: X --E--> Y.
+type CAtom struct {
+	X, Y string
+	E    Expr
+}
+
+func (c *CNRE) String() string {
+	var parts []string
+	for _, a := range c.Atoms {
+		parts = append(parts, fmt.Sprintf("(%s -%s-> %s)", a.X, a.E, a.Y))
+	}
+	return "(" + strings.Join(c.Free, ",") + "): " + strings.Join(parts, " ∧ ")
+}
+
+// Vars returns all variables of the query (free first, then existential,
+// each once).
+func (c *CNRE) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range c.Free {
+		add(v)
+	}
+	for _, a := range c.Atoms {
+		add(a.X)
+		add(a.Y)
+	}
+	return out
+}
+
+// EvalCNRE computes the answers of the query over the structure: the set
+// of tuples (one value per free variable, in order). Evaluation first
+// materializes each atom's NRE relation, then backtracks over variable
+// assignments, most-constrained-variable first.
+func EvalCNRE(c *CNRE, st Structure) map[string][]string {
+	rels := make([]Rel, len(c.Atoms))
+	for i, a := range c.Atoms {
+		rels[i] = Eval(a.E, st)
+	}
+	nodes := st.Nodes()
+	vars := c.Vars()
+	env := map[string]string{}
+	answers := map[string][]string{}
+
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(vars) {
+			tuple := make([]string, len(c.Free))
+			for i, v := range c.Free {
+				tuple[i] = env[v]
+			}
+			answers[strings.Join(tuple, "\x00")] = tuple
+			return
+		}
+		v := vars[k]
+		for _, val := range nodes {
+			env[v] = val
+			ok := true
+			for i, a := range c.Atoms {
+				x, xb := env[a.X]
+				y, yb := env[a.Y]
+				if !xb || !yb {
+					continue // atom not fully grounded yet
+				}
+				if !rels[i][[2]string{x, y}] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(k + 1)
+			}
+		}
+		delete(env, v)
+	}
+	rec(0)
+	return answers
+}
+
+// AnswerTuples returns EvalCNRE's answers as sorted tuples.
+func AnswerTuples(c *CNRE, st Structure) [][]string {
+	m := EvalCNRE(c, st)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

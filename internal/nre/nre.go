@@ -1,0 +1,244 @@
+// Package nre implements nested regular expressions (NREs) as defined in
+// §2.1 of the TriAL paper (after Pérez, Arenas & Gutierrez's nSPARQL):
+//
+//	e := ε | a | a⁻ | e·e | e* | e + e | [e]
+//
+// An NRE denotes a binary relation over the nodes of a graph database.
+// The package evaluates NREs both over ordinary graphs and over the
+// nSPARQL triple semantics of the Theorem 1 proof, in which the alphabet
+// is {next, edge, node} and, for a ternary relation E,
+//
+//	next = {(v, v′) | ∃z E(v, z, v′)}
+//	edge = {(v, v′) | ∃z E(v, v′, z)}
+//	node = {(v, v′) | ∃z E(z, v, v′)}
+//
+// Conjunctive NREs (CNREs, §6.2.1) are provided in cnre.go.
+package nre
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+)
+
+// Expr is a nested regular expression.
+type Expr interface {
+	String() string
+	isNRE()
+}
+
+// Epsilon is ε, the diagonal relation.
+type Epsilon struct{}
+
+// Label is a, or its inverse a⁻ when Inv is set.
+type Label struct {
+	A   string
+	Inv bool
+}
+
+// Concat is e·e.
+type Concat struct{ L, R Expr }
+
+// Union is e + e.
+type Union struct{ L, R Expr }
+
+// Star is e*, the reflexive-transitive closure.
+type Star struct{ E Expr }
+
+// Nest is the node test [e] of XPath: pairs (u, u) such that (u, v) is in
+// e for some v.
+type Nest struct{ E Expr }
+
+func (Epsilon) isNRE() {}
+func (Label) isNRE()   {}
+func (Concat) isNRE()  {}
+func (Union) isNRE()   {}
+func (Star) isNRE()    {}
+func (Nest) isNRE()    {}
+
+func (Epsilon) String() string { return "ε" }
+func (l Label) String() string {
+	if l.Inv {
+		return l.A + "⁻"
+	}
+	return l.A
+}
+func (c Concat) String() string { return "(" + c.L.String() + "·" + c.R.String() + ")" }
+func (u Union) String() string  { return "(" + u.L.String() + "+" + u.R.String() + ")" }
+func (s Star) String() string   { return s.E.String() + "*" }
+func (n Nest) String() string   { return "[" + n.E.String() + "]" }
+
+// Structure is the interface NREs are evaluated over: a universe of nodes
+// and, for each alphabet symbol, a binary edge relation.
+type Structure interface {
+	// Nodes returns the universe, sorted.
+	Nodes() []string
+	// Edges returns the pairs related by label a (not its inverse).
+	Edges(a string) [][2]string
+}
+
+// Rel is a binary relation over node names.
+type Rel map[[2]string]bool
+
+// Pairs returns the relation's pairs, sorted.
+func (r Rel) Pairs() [][2]string {
+	out := make([][2]string, 0, len(r))
+	for p := range r {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Equal reports relation equality.
+func (r Rel) Equal(s Rel) bool {
+	if len(r) != len(s) {
+		return false
+	}
+	for p := range r {
+		if !s[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval computes the binary relation denoted by e over st.
+func Eval(e Expr, st Structure) Rel {
+	switch x := e.(type) {
+	case Epsilon:
+		out := Rel{}
+		for _, v := range st.Nodes() {
+			out[[2]string{v, v}] = true
+		}
+		return out
+	case Label:
+		out := Rel{}
+		for _, p := range st.Edges(x.A) {
+			if x.Inv {
+				out[[2]string{p[1], p[0]}] = true
+			} else {
+				out[p] = true
+			}
+		}
+		return out
+	case Concat:
+		return compose(Eval(x.L, st), Eval(x.R, st))
+	case Union:
+		l := Eval(x.L, st)
+		for p := range Eval(x.R, st) {
+			l[p] = true
+		}
+		return l
+	case Star:
+		return closure(Eval(x.E, st), st.Nodes())
+	case Nest:
+		inner := Eval(x.E, st)
+		out := Rel{}
+		for p := range inner {
+			out[[2]string{p[0], p[0]}] = true
+		}
+		return out
+	}
+	return Rel{}
+}
+
+func compose(a, b Rel) Rel {
+	right := map[string][]string{}
+	for p := range b {
+		right[p[0]] = append(right[p[0]], p[1])
+	}
+	out := Rel{}
+	for p := range a {
+		for _, w := range right[p[1]] {
+			out[[2]string{p[0], w}] = true
+		}
+	}
+	return out
+}
+
+// closure computes the reflexive-transitive closure of r over the node
+// universe.
+func closure(r Rel, nodes []string) Rel {
+	adj := map[string][]string{}
+	for p := range r {
+		adj[p[0]] = append(adj[p[0]], p[1])
+	}
+	out := Rel{}
+	for _, src := range nodes {
+		visited := map[string]bool{src: true}
+		queue := []string{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			out[[2]string{src, v}] = true
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GraphStructure adapts a graph database for NRE evaluation.
+type GraphStructure struct{ G *graph.Graph }
+
+// Nodes implements Structure.
+func (s GraphStructure) Nodes() []string { return s.G.Nodes() }
+
+// Edges implements Structure.
+func (s GraphStructure) Edges(a string) [][2]string {
+	var out [][2]string
+	for _, e := range s.G.Edges() {
+		if e.Label == a {
+			out = append(out, [2]string{e.Src, e.Dst})
+		}
+	}
+	return out
+}
+
+// TripleStructure adapts an RDF document for the nSPARQL semantics of the
+// Theorem 1 proof: the alphabet is {next, edge, node} over the document's
+// resources.
+type TripleStructure struct{ D *rdf.Document }
+
+// Nodes implements Structure: all resources of the document.
+func (s TripleStructure) Nodes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range s.D.Triples() {
+		for _, v := range []string{t.S, t.P, t.O} {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges implements Structure.
+func (s TripleStructure) Edges(a string) [][2]string {
+	var out [][2]string
+	for _, t := range s.D.Triples() {
+		switch a {
+		case rdf.LabelNext:
+			out = append(out, [2]string{t.S, t.O})
+		case rdf.LabelEdge:
+			out = append(out, [2]string{t.S, t.P})
+		case rdf.LabelNode:
+			out = append(out, [2]string{t.P, t.O})
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package nre
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+)
+
+func lineGraph() *graph.Graph {
+	g := graph.New()
+	g.AddEdge("v1", "a", "v2")
+	g.AddEdge("v2", "b", "v3")
+	g.AddEdge("v3", "a", "v4")
+	return g
+}
+
+func has(r Rel, u, v string) bool { return r[[2]string{u, v}] }
+
+func TestLabelAndInverse(t *testing.T) {
+	g := lineGraph()
+	st := GraphStructure{G: g}
+	a := Eval(Label{A: "a"}, st)
+	if !has(a, "v1", "v2") || !has(a, "v3", "v4") || has(a, "v2", "v3") {
+		t.Errorf("a = %v", a.Pairs())
+	}
+	inv := Eval(Label{A: "a", Inv: true}, st)
+	if !has(inv, "v2", "v1") || has(inv, "v1", "v2") {
+		t.Errorf("a⁻ = %v", inv.Pairs())
+	}
+}
+
+func TestEpsilonAndConcat(t *testing.T) {
+	g := lineGraph()
+	st := GraphStructure{G: g}
+	eps := Eval(Epsilon{}, st)
+	if len(eps) != 4 || !has(eps, "v2", "v2") {
+		t.Errorf("ε = %v", eps.Pairs())
+	}
+	ab := Eval(Concat{L: Label{A: "a"}, R: Label{A: "b"}}, st)
+	if len(ab) != 1 || !has(ab, "v1", "v3") {
+		t.Errorf("a·b = %v", ab.Pairs())
+	}
+}
+
+func TestUnionStar(t *testing.T) {
+	g := lineGraph()
+	st := GraphStructure{G: g}
+	anyLabel := Union{L: Label{A: "a"}, R: Label{A: "b"}}
+	star := Eval(Star{E: anyLabel}, st)
+	// Reflexive-transitive: all 4 diagonal pairs plus all forward pairs.
+	if !has(star, "v1", "v4") || !has(star, "v1", "v1") || has(star, "v4", "v1") {
+		t.Errorf("(a+b)* = %v", star.Pairs())
+	}
+	if len(star) != 4+3+2+1 {
+		t.Errorf("(a+b)* size = %d, want 10", len(star))
+	}
+}
+
+func TestNest(t *testing.T) {
+	g := lineGraph()
+	st := GraphStructure{G: g}
+	// [b]: nodes with an outgoing b-edge (as a diagonal).
+	n := Eval(Nest{E: Label{A: "b"}}, st)
+	if len(n) != 1 || !has(n, "v2", "v2") {
+		t.Errorf("[b] = %v", n.Pairs())
+	}
+	// a·[b]: a-edges ending at a node with an outgoing b-edge.
+	e := Eval(Concat{L: Label{A: "a"}, R: Nest{E: Label{A: "b"}}}, st)
+	if len(e) != 1 || !has(e, "v1", "v2") {
+		t.Errorf("a·[b] = %v", e.Pairs())
+	}
+}
+
+// TestTripleStructureAxes checks the nSPARQL axis semantics of the
+// Theorem 1 proof over the triple representation.
+func TestTripleStructureAxes(t *testing.T) {
+	d := rdf.NewDocument()
+	d.Add("s", "p", "o")
+	st := TripleStructure{D: d}
+	if got := Eval(Label{A: rdf.LabelNext}, st); !has(got, "s", "o") || len(got) != 1 {
+		t.Errorf("next = %v", got.Pairs())
+	}
+	if got := Eval(Label{A: rdf.LabelEdge}, st); !has(got, "s", "p") || len(got) != 1 {
+		t.Errorf("edge = %v", got.Pairs())
+	}
+	if got := Eval(Label{A: rdf.LabelNode}, st); !has(got, "p", "o") || len(got) != 1 {
+		t.Errorf("node = %v", got.Pairs())
+	}
+	nodes := st.Nodes()
+	if len(nodes) != 3 {
+		t.Errorf("nodes = %v", nodes)
+	}
+}
+
+// TestNREOverSigmaEqualsTripleSemantics: evaluating an NRE over σ(D) as a
+// graph agrees with the TripleStructure semantics — the point made in the
+// Theorem 1 proof (the nSPARQL semantics "is essentially given according
+// to the translation σ(·)").
+func TestNREOverSigmaEqualsTripleSemantics(t *testing.T) {
+	d := rdf.NewDocument()
+	d.Add("s", "p", "o")
+	d.Add("p", "q", "r")
+	d.Add("o", "p2", "s")
+	sigma := GraphStructure{G: d.Sigma()}
+	triples := TripleStructure{D: d}
+	exprs := []Expr{
+		Label{A: rdf.LabelNext},
+		Label{A: rdf.LabelEdge},
+		Label{A: rdf.LabelNode},
+		Concat{L: Label{A: rdf.LabelEdge}, R: Label{A: rdf.LabelNode}},
+		Star{E: Label{A: rdf.LabelNext}},
+		Nest{E: Label{A: rdf.LabelEdge}},
+		Union{L: Label{A: rdf.LabelNext, Inv: true}, R: Label{A: rdf.LabelNode}},
+	}
+	for _, e := range exprs {
+		a := Eval(e, sigma)
+		b := Eval(e, triples)
+		if !a.Equal(b) {
+			t.Errorf("%s: σ-graph %v vs triple semantics %v", e, a.Pairs(), b.Pairs())
+		}
+	}
+}
+
+func TestCNREEval(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("u", "a", "v")
+	g.AddEdge("v", "b", "w")
+	g.AddEdge("u", "a", "w")
+	st := GraphStructure{G: g}
+	// (x, y): ∃z x –a→ z ∧ z –b→ y
+	q := &CNRE{
+		Free: []string{"x", "y"},
+		Atoms: []CAtom{
+			{X: "x", Y: "z", E: Label{A: "a"}},
+			{X: "z", Y: "y", E: Label{A: "b"}},
+		},
+	}
+	got := AnswerTuples(q, st)
+	if len(got) != 1 || got[0][0] != "u" || got[0][1] != "w" {
+		t.Errorf("answers = %v", got)
+	}
+}
+
+func TestCNRECorrelation(t *testing.T) {
+	// Shared existential variable must be the *same* witness in both atoms.
+	g := graph.New()
+	g.AddEdge("u", "a", "m1")
+	g.AddEdge("m2", "b", "w")
+	g.AddNode("m1")
+	g.AddNode("m2")
+	st := GraphStructure{G: g}
+	q := &CNRE{
+		Free: []string{"x", "y"},
+		Atoms: []CAtom{
+			{X: "x", Y: "z", E: Label{A: "a"}},
+			{X: "z", Y: "y", E: Label{A: "b"}},
+		},
+	}
+	if got := AnswerTuples(q, st); len(got) != 0 {
+		t.Errorf("uncorrelated witnesses accepted: %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Concat{L: Label{A: "a"}, R: Nest{E: Star{E: Union{L: Label{A: "b", Inv: true}, R: Epsilon{}}}}}
+	want := "(a·[(b⁻+ε)*])"
+	if got := e.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

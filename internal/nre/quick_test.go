@@ -1,0 +1,123 @@
+package nre
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randGraphQ(rng *rand.Rand, nNodes, nEdges int) *graph.Graph {
+	g := graph.New()
+	for g.NumEdges() < nEdges {
+		g.AddEdge(
+			string(rune('A'+rng.Intn(nNodes))),
+			string(rune('a'+rng.Intn(2))),
+			string(rune('A'+rng.Intn(nNodes))))
+	}
+	return g
+}
+
+func randNREQ(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Epsilon{}
+		case 1:
+			return Label{A: string(rune('a' + rng.Intn(2)))}
+		default:
+			return Label{A: string(rune('a' + rng.Intn(2))), Inv: true}
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return randNREQ(rng, 0)
+	case 1:
+		return Concat{L: randNREQ(rng, depth-1), R: randNREQ(rng, depth-1)}
+	case 2:
+		return Union{L: randNREQ(rng, depth-1), R: randNREQ(rng, depth-1)}
+	case 3:
+		return Star{E: randNREQ(rng, depth-1)}
+	default:
+		return Nest{E: randNREQ(rng, depth-1)}
+	}
+}
+
+// TestStarIdempotent: (e*)* = e* — a defining property of reflexive-
+// transitive closure.
+func TestStarIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 100; i++ {
+		g := randGraphQ(rng, 4, 6)
+		st := GraphStructure{G: g}
+		e := randNREQ(rng, 2)
+		once := Eval(Star{E: e}, st)
+		twice := Eval(Star{E: Star{E: e}}, st)
+		if !once.Equal(twice) {
+			t.Fatalf("(e*)* ≠ e* for %s", e)
+		}
+	}
+}
+
+// TestUnionCommutative and concat associativity through evaluation.
+func TestAlgebraicLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < 100; i++ {
+		g := randGraphQ(rng, 4, 6)
+		st := GraphStructure{G: g}
+		a, b, c := randNREQ(rng, 2), randNREQ(rng, 2), randNREQ(rng, 2)
+		if !Eval(Union{L: a, R: b}, st).Equal(Eval(Union{L: b, R: a}, st)) {
+			t.Fatalf("union not commutative: %s, %s", a, b)
+		}
+		l := Eval(Concat{L: Concat{L: a, R: b}, R: c}, st)
+		r := Eval(Concat{L: a, R: Concat{L: b, R: c}}, st)
+		if !l.Equal(r) {
+			t.Fatalf("concat not associative: %s, %s, %s", a, b, c)
+		}
+		// ε is a two-sided identity for concat.
+		if !Eval(Concat{L: Epsilon{}, R: a}, st).Equal(Eval(a, st)) {
+			t.Fatalf("ε·e ≠ e for %s", a)
+		}
+		if !Eval(Concat{L: a, R: Epsilon{}}, st).Equal(Eval(a, st)) {
+			t.Fatalf("e·ε ≠ e for %s", a)
+		}
+	}
+}
+
+// TestNestProperties: [e] is a subset of the diagonal, and [[e]] = [e].
+func TestNestProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 100; i++ {
+		g := randGraphQ(rng, 4, 6)
+		st := GraphStructure{G: g}
+		e := randNREQ(rng, 2)
+		n := Eval(Nest{E: e}, st)
+		for p := range n {
+			if p[0] != p[1] {
+				t.Fatalf("[%s] produced non-diagonal pair %v", e, p)
+			}
+		}
+		if !Eval(Nest{E: Nest{E: e}}, st).Equal(n) {
+			t.Fatalf("[[e]] ≠ [e] for %s", e)
+		}
+	}
+}
+
+// TestInverseInvolution: (a⁻)⁻ = a via double inversion of the relation.
+func TestInverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for i := 0; i < 50; i++ {
+		g := randGraphQ(rng, 4, 6)
+		st := GraphStructure{G: g}
+		fwd := Eval(Label{A: "a"}, st)
+		inv := Eval(Label{A: "a", Inv: true}, st)
+		if len(fwd) != len(inv) {
+			t.Fatal("inverse changed cardinality")
+		}
+		for p := range fwd {
+			if !inv[[2]string{p[1], p[0]}] {
+				t.Fatalf("inverse missing %v", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,412 @@
+// Package nsparql implements the navigational core of nSPARQL (Pérez,
+// Arenas & Gutierrez, J. Web Sem. 2010), the language Theorem 1 of the
+// TriAL paper proves unable to express the query Q. Path expressions are
+// nested regular expressions over the four axes
+//
+//	exp := axis | axis::a | axis::[exp] | exp/exp | exp|exp | exp*
+//	axis ∈ {self, next, edge, node} and their inverses
+//
+// interpreted over an RDF document D (vocabulary voc(D) = all resources):
+//
+//	next  = {(x, y) | ∃z (x, z, y) ∈ D}    next::a  via (x, a, y)
+//	edge  = {(x, y) | ∃z (x, y, z) ∈ D}    edge::a  via (x, y, a)
+//	node  = {(x, y) | ∃z (z, x, y) ∈ D}    node::a  via (a, x, y)
+//	self  = {(x, x) | x ∈ voc(D)}          self::a  = {(a, a)}
+//
+// The nested test axis::[e] constrains the triple's remaining component:
+// next::[e] relates x to y through a triple (x, z, y) whose predicate z
+// has an e-successor — the mechanism nSPARQL uses to emulate RDFS
+// inference. Queries combine triple patterns whose middle position is a
+// path expression, with AND and UNION.
+//
+// Semantics note. Plain axis navigation factors through the σ(·)
+// encoding, which is how the TriAL paper's Theorem 1 proof formalizes
+// nSPARQL (and experiment E5 reproduces). The triple-local nested test
+// axis::[e] implemented here is strictly stronger than an NRE over σ(·):
+// σ decouples the edge and node steps of a single triple, so the one-hop
+// pattern next::[next::part_of] distinguishes the Theorem 1 witness
+// documents D1/D2 even though no NRE over σ(·) can (see
+// TestTheorem1OnD1D2 and the Deviations section of EXPERIMENTS.md). The
+// paper's recursive query Q remains inexpressible either way: the Kleene
+// star cannot hold the witnessing company fixed across hops.
+package nsparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Axis is one of the four navigation axes.
+type Axis int
+
+// The axes.
+const (
+	Self Axis = iota
+	Next
+	Edge
+	Node
+)
+
+func (a Axis) String() string {
+	switch a {
+	case Self:
+		return "self"
+	case Next:
+		return "next"
+	case Edge:
+		return "edge"
+	case Node:
+		return "node"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// Expr is an nSPARQL path expression.
+type Expr interface {
+	String() string
+	isExpr()
+}
+
+// Step is axis, axis⁻, axis::a, or axis::[e].
+type Step struct {
+	Axis Axis
+	Inv  bool
+	// Test constrains the step: at most one of Const/Nested is set.
+	Const    string
+	HasConst bool
+	Nested   Expr
+}
+
+// Seq is exp/exp.
+type Seq struct{ L, R Expr }
+
+// Alt is exp|exp.
+type Alt struct{ L, R Expr }
+
+// Star is exp*.
+type Star struct{ E Expr }
+
+func (Step) isExpr() {}
+func (Seq) isExpr()  {}
+func (Alt) isExpr()  {}
+func (Star) isExpr() {}
+
+func (s Step) String() string {
+	out := s.Axis.String()
+	if s.Inv {
+		out += "^-"
+	}
+	switch {
+	case s.HasConst:
+		out += "::" + s.Const
+	case s.Nested != nil:
+		out += "::[" + s.Nested.String() + "]"
+	}
+	return out
+}
+func (s Seq) String() string  { return "(" + s.L.String() + "/" + s.R.String() + ")" }
+func (a Alt) String() string  { return "(" + a.L.String() + "|" + a.R.String() + ")" }
+func (s Star) String() string { return s.E.String() + "*" }
+
+// Rel is a binary relation over resource names.
+type Rel map[[2]string]bool
+
+// Eval computes the relation of a path expression over the document.
+func Eval(e Expr, d *rdf.Document) Rel {
+	return eval(e, d, voc(d))
+}
+
+func voc(d *rdf.Document) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range d.Triples() {
+		for _, v := range []string{t.S, t.P, t.O} {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eval(e Expr, d *rdf.Document, nodes []string) Rel {
+	switch x := e.(type) {
+	case Step:
+		return evalStep(x, d, nodes)
+	case Seq:
+		return compose(eval(x.L, d, nodes), eval(x.R, d, nodes))
+	case Alt:
+		l := eval(x.L, d, nodes)
+		for p := range eval(x.R, d, nodes) {
+			l[p] = true
+		}
+		return l
+	case Star:
+		return closure(eval(x.E, d, nodes), nodes)
+	}
+	return Rel{}
+}
+
+func evalStep(s Step, d *rdf.Document, nodes []string) Rel {
+	out := Rel{}
+	add := func(x, y string) {
+		if s.Inv {
+			out[[2]string{y, x}] = true
+		} else {
+			out[[2]string{x, y}] = true
+		}
+	}
+	// hasSucc: the nested test ⟨e⟩ on a resource.
+	var nested Rel
+	if s.Nested != nil {
+		nested = eval(s.Nested, d, nodes)
+	}
+	testOK := func(z string) bool {
+		switch {
+		case s.HasConst:
+			return z == s.Const
+		case s.Nested != nil:
+			for _, w := range nodes {
+				if nested[[2]string{z, w}] {
+					return true
+				}
+			}
+			return false
+		}
+		return true
+	}
+	if s.Axis == Self {
+		for _, v := range nodes {
+			if testOK(v) {
+				add(v, v)
+			}
+		}
+		return out
+	}
+	for _, t := range d.Triples() {
+		var x, y, z string
+		switch s.Axis {
+		case Next:
+			x, y, z = t.S, t.O, t.P
+		case Edge:
+			x, y, z = t.S, t.P, t.O
+		case Node:
+			x, y, z = t.P, t.O, t.S
+		}
+		if testOK(z) {
+			add(x, y)
+		}
+	}
+	return out
+}
+
+func compose(a, b Rel) Rel {
+	right := map[string][]string{}
+	for p := range b {
+		right[p[0]] = append(right[p[0]], p[1])
+	}
+	out := Rel{}
+	for p := range a {
+		for _, w := range right[p[1]] {
+			out[[2]string{p[0], w}] = true
+		}
+	}
+	return out
+}
+
+func closure(r Rel, nodes []string) Rel {
+	adj := map[string][]string{}
+	for p := range r {
+		adj[p[0]] = append(adj[p[0]], p[1])
+	}
+	out := Rel{}
+	for _, src := range nodes {
+		visited := map[string]bool{src: true}
+		queue := []string{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			out[[2]string{src, v}] = true
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// --- Query layer: triple patterns with AND and UNION ---
+
+// Term is a variable or a resource constant.
+type Term struct {
+	Var     string
+	Const   string
+	IsConst bool
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(name string) Term { return Term{Const: name, IsConst: true} }
+
+func (t Term) String() string {
+	if t.IsConst {
+		return "<" + t.Const + ">"
+	}
+	return "?" + t.Var
+}
+
+// Pattern is an nSPARQL graph pattern.
+type Pattern interface {
+	String() string
+	isPattern()
+}
+
+// Triple is a triple pattern (t1, exp, t2).
+type Triple struct {
+	S Term
+	E Expr
+	O Term
+}
+
+// And is conjunction (SPARQL's AND / join of mappings).
+type And struct{ L, R Pattern }
+
+// Union is disjunction.
+type Union struct{ L, R Pattern }
+
+func (Triple) isPattern() {}
+func (And) isPattern()    {}
+func (Union) isPattern()  {}
+
+func (t Triple) String() string {
+	return "(" + t.S.String() + ", " + t.E.String() + ", " + t.O.String() + ")"
+}
+func (a And) String() string   { return "(" + a.L.String() + " AND " + a.R.String() + ")" }
+func (u Union) String() string { return "(" + u.L.String() + " UNION " + u.R.String() + ")" }
+
+// Binding maps variables to resources.
+type Binding map[string]string
+
+// EvalPattern returns the set of bindings satisfying the pattern.
+func EvalPattern(p Pattern, d *rdf.Document) []Binding {
+	switch x := p.(type) {
+	case Triple:
+		rel := Eval(x.E, d)
+		var out []Binding
+		for pr := range rel {
+			b := Binding{}
+			if ok := bindTerm(b, x.S, pr[0]); !ok {
+				continue
+			}
+			if ok := bindTerm(b, x.O, pr[1]); !ok {
+				continue
+			}
+			out = append(out, b)
+		}
+		return out
+	case And:
+		left := EvalPattern(x.L, d)
+		right := EvalPattern(x.R, d)
+		var out []Binding
+		for _, l := range left {
+			for _, r := range right {
+				if m, ok := mergeBindings(l, r); ok {
+					out = append(out, m)
+				}
+			}
+		}
+		return dedupe(out)
+	case Union:
+		return dedupe(append(EvalPattern(x.L, d), EvalPattern(x.R, d)...))
+	}
+	return nil
+}
+
+func bindTerm(b Binding, t Term, val string) bool {
+	if t.IsConst {
+		return t.Const == val
+	}
+	if prev, ok := b[t.Var]; ok {
+		return prev == val
+	}
+	b[t.Var] = val
+	return true
+}
+
+func mergeBindings(a, b Binding) (Binding, bool) {
+	m := Binding{}
+	for k, v := range a {
+		m[k] = v
+	}
+	for k, v := range b {
+		if prev, ok := m[k]; ok && prev != v {
+			return nil, false
+		}
+		m[k] = v
+	}
+	return m, true
+}
+
+func dedupe(bs []Binding) []Binding {
+	seen := map[string]bool{}
+	var out []Binding
+	for _, b := range bs {
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteByte('=')
+			sb.WriteString(b[k])
+			sb.WriteByte(';')
+		}
+		if !seen[sb.String()] {
+			seen[sb.String()] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Query is a SELECT over a pattern.
+type Query struct {
+	Select []string
+	Where  Pattern
+}
+
+// EvalQuery returns the projected answer tuples, sorted and deduplicated.
+// Variables unbound in a branch (possible under UNION) render as "".
+func EvalQuery(q *Query, d *rdf.Document) [][]string {
+	bindings := EvalPattern(q.Where, d)
+	seen := map[string][]string{}
+	for _, b := range bindings {
+		tuple := make([]string, len(q.Select))
+		for i, v := range q.Select {
+			tuple[i] = b[v]
+		}
+		seen[strings.Join(tuple, "\x00")] = tuple
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}

@@ -1,0 +1,332 @@
+package nsparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseQuery parses the textual nSPARQL syntax:
+//
+//	SELECT ?x ?y WHERE (?x, next::[next::part_of], ?y) AND
+//	                   (?x, edge/next::part_of, <EastCoast>)
+//
+// Graph patterns are triple patterns combined with AND and UNION (AND
+// binds tighter); parentheses group. Path expressions use:
+//
+//	exp  := seq ('|' seq)*
+//	seq  := step ('/' step)*
+//	step := axis ['^-'] ['::' (name | '<'name'>' | '[' exp ']')] ['*']
+//	axis := self | next | edge | node
+//
+// Terms are ?variables or constants (bare identifiers or <bracketed>).
+func ParseQuery(input string) (*Query, error) {
+	p := &qparser{in: input}
+	p.skip()
+	if !p.word("SELECT") {
+		return nil, fmt.Errorf("nsparql: expected SELECT")
+	}
+	q := &Query{}
+	for {
+		p.skip()
+		if p.peekByte() != '?' {
+			break
+		}
+		p.pos++
+		v := p.ident()
+		if v == "" {
+			return nil, fmt.Errorf("nsparql: empty variable name in SELECT")
+		}
+		q.Select = append(q.Select, v)
+	}
+	if len(q.Select) == 0 {
+		return nil, fmt.Errorf("nsparql: SELECT needs at least one variable")
+	}
+	if !p.word("WHERE") {
+		return nil, fmt.Errorf("nsparql: expected WHERE")
+	}
+	pat, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("nsparql: trailing input %q", p.in[p.pos:])
+	}
+	q.Where = pat
+	return q, nil
+}
+
+// ParseExpr parses a bare path expression.
+func ParseExpr(input string) (Expr, error) {
+	p := &qparser{in: input}
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("nsparql: trailing input %q", p.in[p.pos:])
+	}
+	return e, nil
+}
+
+type qparser struct {
+	in  string
+	pos int
+}
+
+func (p *qparser) skip() {
+	for p.pos < len(p.in) && unicode.IsSpace(rune(p.in[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *qparser) peekByte() byte {
+	p.skip()
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+// word consumes the given keyword (case-sensitive) if present.
+func (p *qparser) word(w string) bool {
+	p.skip()
+	if strings.HasPrefix(p.in[p.pos:], w) {
+		end := p.pos + len(w)
+		if end == len(p.in) || !isQIdent(p.in[end]) {
+			p.pos = end
+			return true
+		}
+	}
+	return false
+}
+
+func (p *qparser) ident() string {
+	start := p.pos
+	for p.pos < len(p.in) && isQIdent(p.in[p.pos]) {
+		p.pos++
+	}
+	return p.in[start:p.pos]
+}
+
+func isQIdent(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// parseUnion := parseAnd ('UNION' parseAnd)*
+func (p *qparser) parseUnion() (Pattern, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.word("UNION") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Union{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseAnd := atomPattern ('AND' atomPattern)*
+func (p *qparser) parseAnd() (Pattern, error) {
+	l, err := p.parsePatternAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.word("AND") {
+		r, err := p.parsePatternAtom()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parsePatternAtom := '{' union '}' | '(' term ',' exp ',' term ')'
+func (p *qparser) parsePatternAtom() (Pattern, error) {
+	switch p.peekByte() {
+	case '{':
+		p.pos++
+		inner, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		if p.peekByte() != '}' {
+			return nil, fmt.Errorf("nsparql: expected '}'")
+		}
+		p.pos++
+		return inner, nil
+	case '(':
+		p.pos++
+		s, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if p.peekByte() != ',' {
+			return nil, fmt.Errorf("nsparql: expected ',' after subject")
+		}
+		p.pos++
+		e, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peekByte() != ',' {
+			return nil, fmt.Errorf("nsparql: expected ',' after path expression")
+		}
+		p.pos++
+		o, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if p.peekByte() != ')' {
+			return nil, fmt.Errorf("nsparql: expected ')' closing triple pattern")
+		}
+		p.pos++
+		return Triple{S: s, E: e, O: o}, nil
+	}
+	return nil, fmt.Errorf("nsparql: expected '(' or '{' at %q", p.in[p.pos:])
+}
+
+func (p *qparser) parseTerm() (Term, error) {
+	switch p.peekByte() {
+	case '?':
+		p.pos++
+		v := p.ident()
+		if v == "" {
+			return Term{}, fmt.Errorf("nsparql: empty variable name")
+		}
+		return V(v), nil
+	case '<':
+		p.pos++
+		end := strings.IndexByte(p.in[p.pos:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("nsparql: unterminated '<'")
+		}
+		name := p.in[p.pos : p.pos+end]
+		p.pos += end + 1
+		return C(name), nil
+	default:
+		name := p.ident()
+		if name == "" {
+			return Term{}, fmt.Errorf("nsparql: expected term at %q", p.in[p.pos:])
+		}
+		return C(name), nil
+	}
+}
+
+// parseAlt := seq ('|' seq)*
+func (p *qparser) parseAlt() (Expr, error) {
+	l, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekByte() == '|' {
+		p.pos++
+		r, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		l = Alt{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseSeq := step ('/' step)*
+func (p *qparser) parseSeq() (Expr, error) {
+	l, err := p.parseStep()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekByte() == '/' {
+		p.pos++
+		r, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		l = Seq{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseStep := '(' exp ')' ['*'] | axis ['^-'] ['::' test] ['*']
+func (p *qparser) parseStep() (Expr, error) {
+	if p.peekByte() == '(' {
+		p.pos++
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peekByte() != ')' {
+			return nil, fmt.Errorf("nsparql: expected ')'")
+		}
+		p.pos++
+		return p.maybeStar(inner), nil
+	}
+	p.skip()
+	name := p.ident()
+	var axis Axis
+	switch name {
+	case "self":
+		axis = Self
+	case "next":
+		axis = Next
+	case "edge":
+		axis = Edge
+	case "node":
+		axis = Node
+	default:
+		return nil, fmt.Errorf("nsparql: expected axis, got %q", name)
+	}
+	step := Step{Axis: axis}
+	if strings.HasPrefix(p.in[p.pos:], "^-") {
+		p.pos += 2
+		step.Inv = true
+	}
+	if strings.HasPrefix(p.in[p.pos:], "::") {
+		p.pos += 2
+		switch p.peekByte() {
+		case '[':
+			p.pos++
+			nested, err := p.parseAlt()
+			if err != nil {
+				return nil, err
+			}
+			if p.peekByte() != ']' {
+				return nil, fmt.Errorf("nsparql: expected ']'")
+			}
+			p.pos++
+			step.Nested = nested
+		case '<':
+			p.pos++
+			end := strings.IndexByte(p.in[p.pos:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("nsparql: unterminated '<'")
+			}
+			step.Const = p.in[p.pos : p.pos+end]
+			step.HasConst = true
+			p.pos += end + 1
+		default:
+			name := p.ident()
+			if name == "" {
+				return nil, fmt.Errorf("nsparql: expected axis test at %q", p.in[p.pos:])
+			}
+			step.Const = name
+			step.HasConst = true
+		}
+	}
+	return p.maybeStar(step), nil
+}
+
+func (p *qparser) maybeStar(e Expr) Expr {
+	for p.peekByte() == '*' {
+		p.pos++
+		e = Star{E: e}
+	}
+	return e
+}

@@ -1,0 +1,120 @@
+package nsparql
+
+import (
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/rdf"
+)
+
+func TestParseExprBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"next", "next"},
+		{"next^-", "next^-"},
+		{"next::part_of", "next::part_of"},
+		{"next::<part of>", "next::part of"},
+		{"next::[next::part_of]", "next::[next::part_of]"},
+		{"edge/node", "(edge/node)"},
+		{"next|node^-", "(next|node^-)"},
+		{"next*", "next*"},
+		{"(next/edge)*", "(next/edge)*"},
+		{"self::London", "self::London"},
+		{"next::part_of*", "next::part_of*"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.in)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.in, err)
+			continue
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("ParseExpr(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "sideways", "next::", "next::[next", "(next", "next/"} {
+		if _, err := ParseExpr(bad); err == nil {
+			t.Errorf("ParseExpr(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseQueryEvaluates(t *testing.T) {
+	d, err := rdf.FromStore(fixtures.Transport(), fixtures.RelE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`
+		SELECT ?x ?y WHERE
+			(?x, next, ?y) AND
+			(?x, edge/next::part_of, <EastCoast>)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EvalQuery(q, d)
+	if len(got) != 1 || got[0][0] != "Edinburgh" || got[0][1] != "London" {
+		t.Errorf("answers = %v", got)
+	}
+}
+
+func TestParseQueryUnionBraces(t *testing.T) {
+	d, err := rdf.FromStore(fixtures.Transport(), fixtures.RelE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`
+		SELECT ?x WHERE
+			{ (?x, next, <London>) UNION (?x, next, <Brussels>) } AND
+			(?x, self, ?x)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EvalQuery(q, d)
+	if len(got) != 2 {
+		t.Errorf("answers = %v", got)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"SELECT WHERE (?x, next, ?y)",
+		"SELECT ?x (?x, next, ?y)",
+		"SELECT ?x WHERE (?x next ?y)",
+		"SELECT ?x WHERE (?x, next, ?y",
+		"SELECT ?x WHERE (?x, next, ?y) garbage",
+		"SELECT ?x WHERE { (?x, next, ?y)",
+		"SELECT ?x WHERE (?x, next, <unterminated)",
+	} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Errorf("ParseQuery(%q): want error", bad)
+		}
+	}
+}
+
+// TestParsedNestedAgainstBuilt: the parsed nested test behaves like the
+// hand-built one from TestNestedTest.
+func TestParsedNestedAgainstBuilt(t *testing.T) {
+	d, err := rdf.FromStore(fixtures.Transport(), fixtures.RelE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseExpr("next::[next::part_of]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := Step{Axis: Next, Nested: Step{Axis: Next, Const: "part_of", HasConst: true}}
+	a, b := Eval(parsed, d), Eval(built, d)
+	if len(a) != len(b) {
+		t.Fatalf("parsed %v vs built %v", a, b)
+	}
+	for p := range a {
+		if !b[p] {
+			t.Fatalf("parsed and built disagree at %v", p)
+		}
+	}
+}

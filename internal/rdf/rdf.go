@@ -1,0 +1,171 @@
+// Package rdf implements ground RDF documents (§2.2 of the TriAL paper) —
+// finite sets of triples (s, p, o) over URIs, with no blank nodes or
+// literals — and the transformation σ(D) of Arenas and Pérez used by
+// nSPARQL: the graph over the alphabet {next, edge, node} containing, for
+// each triple (s, p, o), the edges (s, edge, p), (p, node, o) and
+// (s, next, o) (Figure 2).
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/triplestore"
+)
+
+// Triple is one ground RDF triple.
+type Triple struct {
+	S, P, O string
+}
+
+// Document is a ground RDF document: a set of triples.
+type Document struct {
+	set map[Triple]struct{}
+}
+
+// NewDocument returns an empty document.
+func NewDocument() *Document {
+	return &Document{set: make(map[Triple]struct{})}
+}
+
+// Add inserts a triple.
+func (d *Document) Add(s, p, o string) {
+	d.set[Triple{s, p, o}] = struct{}{}
+}
+
+// Has reports membership.
+func (d *Document) Has(s, p, o string) bool {
+	_, ok := d.set[Triple{s, p, o}]
+	return ok
+}
+
+// Remove deletes a triple if present.
+func (d *Document) Remove(s, p, o string) {
+	delete(d.set, Triple{s, p, o})
+}
+
+// Len returns the number of triples.
+func (d *Document) Len() int { return len(d.set) }
+
+// Triples returns the triples sorted by (S, P, O).
+func (d *Document) Triples() []Triple {
+	out := make([]Triple, 0, len(d.set))
+	for t := range d.set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+	return out
+}
+
+// The σ(·) alphabet of [Arenas & Pérez 2011].
+const (
+	LabelNext = "next"
+	LabelEdge = "edge"
+	LabelNode = "node"
+)
+
+// Sigma computes the graph transformation σ(D) of §2.2/Figure 2. The
+// resulting graph database is over Σ = {next, node, edge} and contains all
+// resources of D as nodes.
+func (d *Document) Sigma() *graph.Graph {
+	g := graph.New()
+	for t := range d.set {
+		g.AddEdge(t.S, LabelEdge, t.P)
+		g.AddEdge(t.P, LabelNode, t.O)
+		g.AddEdge(t.S, LabelNext, t.O)
+	}
+	return g
+}
+
+// ToStore builds the triplestore representation of the document: a single
+// ternary relation holding the triples (the triplestore view of §2.2).
+func (d *Document) ToStore(rel string) *triplestore.Store {
+	s := triplestore.NewStore()
+	for _, t := range d.Triples() {
+		s.Add(rel, t.S, t.P, t.O)
+	}
+	return s
+}
+
+// FromStore extracts an RDF document from an arity-3 relation of a store.
+func FromStore(s *triplestore.Store, rel string) (*Document, error) {
+	r := s.Relation(rel)
+	if r == nil {
+		return nil, fmt.Errorf("rdf: store has no relation %q", rel)
+	}
+	d := NewDocument()
+	r.ForEach(func(t triplestore.Triple) {
+		d.Add(s.Name(t[0]), s.Name(t[1]), s.Name(t[2]))
+	})
+	return d, nil
+}
+
+// ReadNTriples parses a small subset of the N-Triples syntax: lines of the
+// form `<s> <p> <o> .` with URIs in angle brackets, plus blank lines and
+// `#` comments. Literals and blank nodes are rejected — the paper works
+// with ground RDF documents.
+func ReadNTriples(r io.Reader) (*Document, error) {
+	d := NewDocument()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasSuffix(line, ".") {
+			return nil, fmt.Errorf("rdf: line %d: missing terminating '.'", lineNo)
+		}
+		line = strings.TrimSpace(strings.TrimSuffix(line, "."))
+		var parts []string
+		for len(line) > 0 {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				break
+			}
+			if line[0] != '<' {
+				return nil, fmt.Errorf("rdf: line %d: only ground URIs are supported", lineNo)
+			}
+			end := strings.IndexByte(line, '>')
+			if end < 0 {
+				return nil, fmt.Errorf("rdf: line %d: unterminated URI", lineNo)
+			}
+			parts = append(parts, line[1:end])
+			line = line[end+1:]
+		}
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("rdf: line %d: want 3 URIs, got %d", lineNo, len(parts))
+		}
+		d.Add(parts[0], parts[1], parts[2])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteNTriples writes the document in the subset syntax read by
+// ReadNTriples, sorted.
+func (d *Document) WriteNTriples(w io.Writer) error {
+	for _, t := range d.Triples() {
+		if _, err := fmt.Fprintf(w, "<%s> <%s> <%s> .\n", t.S, t.P, t.O); err != nil {
+			return err
+		}
+	}
+	return nil
+}

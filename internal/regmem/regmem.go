@@ -1,0 +1,244 @@
+// Package regmem implements regular expressions with memory in the style
+// of Libkin & Vrgoč (ICDT 2012), the register-automata formalism the TriAL
+// paper compares against in Proposition 6. An expression walks a data
+// graph, can store the data value of the current node in a register
+// (↓x), and can test the current node's value against registers ((x=) and
+// (x≠)) while traversing labeled edges:
+//
+//	e := ε | ↓x.e | a[c] | e·e | e + e | e*
+//
+// where c is a conjunction of register (in)equality tests applied at the
+// node reached by the a-edge.
+//
+// The paper's Proposition 6 witness is the family eₙ (ExprN): its answer
+// set is nonempty on a graph iff the graph contains a path visiting n
+// nodes with pairwise distinct data values — a property beyond L⁶∞ω and
+// hence beyond TriAL*.
+package regmem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Expr is a regular expression with memory.
+type Expr interface {
+	String() string
+	isExpr()
+}
+
+// Eps matches the empty path.
+type Eps struct{}
+
+// Bind is ↓x.e: store the current node's data value in register x, then
+// continue with e.
+type Bind struct {
+	X string
+	E Expr
+}
+
+// Sym traverses one a-labeled edge and then checks the conditions at the
+// target node.
+type Sym struct {
+	A     string
+	Conds []Cond
+}
+
+// Cond compares the current node's data value to register X.
+type Cond struct {
+	X   string
+	Neq bool
+}
+
+// Cat is concatenation.
+type Cat struct{ L, R Expr }
+
+// Alt is alternation.
+type Alt struct{ L, R Expr }
+
+// Star is zero-or-more repetition.
+type Star struct{ E Expr }
+
+func (Eps) isExpr()  {}
+func (Bind) isExpr() {}
+func (Sym) isExpr()  {}
+func (Cat) isExpr()  {}
+func (Alt) isExpr()  {}
+func (Star) isExpr() {}
+
+func (Eps) String() string { return "ε" }
+func (b Bind) String() string {
+	return "↓" + b.X + "." + b.E.String()
+}
+func (s Sym) String() string {
+	if len(s.Conds) == 0 {
+		return s.A
+	}
+	parts := make([]string, len(s.Conds))
+	for i, c := range s.Conds {
+		op := "="
+		if c.Neq {
+			op = "≠"
+		}
+		parts[i] = c.X + op
+	}
+	return s.A + "[" + strings.Join(parts, "∧") + "]"
+}
+func (c Cat) String() string  { return "(" + c.L.String() + "·" + c.R.String() + ")" }
+func (a Alt) String() string  { return "(" + a.L.String() + "+" + a.R.String() + ")" }
+func (s Star) String() string { return s.E.String() + "*" }
+
+// config is a point in the search: a node plus register contents
+// (registers hold node names; values are compared via ρ).
+type config struct {
+	node string
+	regs string // canonical encoding of the register map
+}
+
+type regmap map[string]string // register -> node whose value it holds
+
+func encodeRegs(r regmap) string {
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(r[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func decodeRegs(s string) regmap {
+	r := regmap{}
+	for _, part := range strings.Split(s, ";") {
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		r[kv[0]] = kv[1]
+	}
+	return r
+}
+
+// Eval returns the pairs (u, v) such that some data path from u to v
+// matches e (with all registers initially empty). Evaluation is a
+// breadth-first search over configurations; register contents are node
+// references compared through ρ.
+func Eval(e Expr, g *graph.Graph) map[[2]string]bool {
+	out := map[[2]string]bool{}
+	for _, src := range g.Nodes() {
+		final := evalFrom(e, g, map[config]bool{{node: src}: true})
+		for c := range final {
+			out[[2]string{src, c.node}] = true
+		}
+	}
+	return out
+}
+
+// evalFrom advances a set of configurations through e.
+func evalFrom(e Expr, g *graph.Graph, in map[config]bool) map[config]bool {
+	switch x := e.(type) {
+	case Eps:
+		return in
+	case Bind:
+		next := map[config]bool{}
+		for c := range in {
+			regs := decodeRegs(c.regs)
+			regs[x.X] = c.node
+			next[config{node: c.node, regs: encodeRegs(regs)}] = true
+		}
+		return evalFrom(x.E, g, next)
+	case Sym:
+		next := map[config]bool{}
+		for c := range in {
+			regs := decodeRegs(c.regs)
+			for _, edge := range g.Edges() {
+				if edge.Label != x.A || edge.Src != c.node {
+					continue
+				}
+				ok := true
+				for _, cond := range x.Conds {
+					held, bound := regs[cond.X]
+					if !bound {
+						ok = false
+						break
+					}
+					eq := g.Value(edge.Dst).Equal(g.Value(held))
+					if eq == cond.Neq {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					next[config{node: edge.Dst, regs: c.regs}] = true
+				}
+			}
+		}
+		return next
+	case Cat:
+		return evalFrom(x.R, g, evalFrom(x.L, g, in))
+	case Alt:
+		l := evalFrom(x.L, g, in)
+		for c := range evalFrom(x.R, g, in) {
+			l[c] = true
+		}
+		return l
+	case Star:
+		acc := map[config]bool{}
+		for c := range in {
+			acc[c] = true
+		}
+		frontier := acc
+		for len(frontier) > 0 {
+			step := evalFrom(x.E, g, frontier)
+			next := map[config]bool{}
+			for c := range step {
+				if !acc[c] {
+					acc[c] = true
+					next[c] = true
+				}
+			}
+			frontier = next
+		}
+		return acc
+	}
+	return nil
+}
+
+// ExprN builds the Proposition 6 witness eₙ over edge label a:
+//
+//	e₂   = ↓x1 . a[x1≠] ↓x2
+//	eₙ₊₁ = eₙ · a[x1≠ ∧ ... ∧ xₙ≠] ↓xₙ₊₁
+//
+// Its answer is nonempty iff the graph has an a-path through n nodes with
+// pairwise distinct data values.
+func ExprN(n int, label string) (Expr, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("regmem: ExprN needs n ≥ 2, got %d", n)
+	}
+	reg := func(i int) string { return fmt.Sprintf("x%d", i) }
+	var e Expr = Bind{X: reg(1), E: stepExpr(label, 1, 2, reg)}
+	for k := 3; k <= n; k++ {
+		e = Cat{L: e, R: stepExpr(label, k-1, k, reg)}
+	}
+	return e, nil
+}
+
+// stepExpr is a[x1≠ ∧ ... ∧ xm≠] ↓x_next — implemented as the a-step
+// followed by a bind, which we express by nesting the bind inside a Cat
+// via an ε continuation.
+func stepExpr(label string, m, next int, reg func(int) string) Expr {
+	conds := make([]Cond, m)
+	for i := 1; i <= m; i++ {
+		conds[i-1] = Cond{X: reg(i), Neq: true}
+	}
+	return Cat{L: Sym{A: label, Conds: conds}, R: Bind{X: reg(next), E: Eps{}}}
+}

@@ -1,0 +1,131 @@
+package regmem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/triplestore"
+)
+
+// distinctPath builds a path of n nodes with pairwise distinct values.
+func distinctPath(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.SetValue(name(i), triplestore.V(fmt.Sprintf("v%d", i)))
+		if i > 0 {
+			g.AddEdge(name(i-1), "a", name(i))
+		}
+	}
+	return g
+}
+
+func name(i int) string { return fmt.Sprintf("n%d", i) }
+
+func TestEpsAndSym(t *testing.T) {
+	g := distinctPath(3)
+	eps := Eval(Eps{}, g)
+	if len(eps) != 3 || !eps[[2]string{"n1", "n1"}] {
+		t.Errorf("ε = %v", eps)
+	}
+	a := Eval(Sym{A: "a"}, g)
+	if len(a) != 2 || !a[[2]string{"n0", "n1"}] {
+		t.Errorf("a = %v", a)
+	}
+}
+
+func TestBindAndTest(t *testing.T) {
+	// Two edges: one to a node with the same value, one to a different value.
+	g := graph.New()
+	g.SetValue("u", triplestore.V("k"))
+	g.SetValue("same", triplestore.V("k"))
+	g.SetValue("diff", triplestore.V("m"))
+	g.AddEdge("u", "a", "same")
+	g.AddEdge("u", "a", "diff")
+	eq := Eval(Bind{X: "x", E: Sym{A: "a", Conds: []Cond{{X: "x"}}}}, g)
+	if !eq[[2]string{"u", "same"}] || eq[[2]string{"u", "diff"}] {
+		t.Errorf("↓x.a[x=] = %v", eq)
+	}
+	neq := Eval(Bind{X: "x", E: Sym{A: "a", Conds: []Cond{{X: "x", Neq: true}}}}, g)
+	if neq[[2]string{"u", "same"}] || !neq[[2]string{"u", "diff"}] {
+		t.Errorf("↓x.a[x≠] = %v", neq)
+	}
+}
+
+func TestUnboundRegisterFails(t *testing.T) {
+	g := distinctPath(2)
+	r := Eval(Sym{A: "a", Conds: []Cond{{X: "never"}}}, g)
+	if len(r) != 0 {
+		t.Errorf("condition on unbound register matched: %v", r)
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := distinctPath(4)
+	star := Eval(Star{E: Sym{A: "a"}}, g)
+	// Reflexive-transitive over the path: 4+3+2+1.
+	if len(star) != 10 {
+		t.Errorf("a* = %v", star)
+	}
+}
+
+func TestAlt(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("u", "a", "v")
+	g.AddEdge("u", "b", "w")
+	r := Eval(Alt{L: Sym{A: "a"}, R: Sym{A: "b"}}, g)
+	if !r[[2]string{"u", "v"}] || !r[[2]string{"u", "w"}] {
+		t.Errorf("a+b = %v", r)
+	}
+}
+
+// TestExprN is the Proposition 6 experiment: eₙ is nonempty exactly on
+// graphs with an a-path through n pairwise-distinct data values.
+func TestExprN(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		e, err := ExprN(n, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		big := distinctPath(n)
+		if r := Eval(e, big); len(r) == 0 {
+			t.Errorf("e%d empty on %d distinct-valued nodes", n, n)
+		}
+		small := distinctPath(n - 1)
+		if r := Eval(e, small); len(r) != 0 {
+			t.Errorf("e%d nonempty on %d distinct-valued nodes: %v", n, n-1, r)
+		}
+	}
+	if _, err := ExprN(1, "a"); err == nil {
+		t.Error("ExprN(1) should be rejected")
+	}
+}
+
+// TestExprNRepeatedValues: a long path whose values repeat does not
+// satisfy eₙ for n above the number of distinct values.
+func TestExprNRepeatedValues(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 6; i++ {
+		g.SetValue(name(i), triplestore.V(fmt.Sprintf("v%d", i%2)))
+		if i > 0 {
+			g.AddEdge(name(i-1), "a", name(i))
+		}
+	}
+	e3, _ := ExprN(3, "a")
+	if r := Eval(e3, g); len(r) != 0 {
+		t.Errorf("e3 matched a 2-valued path: %v", r)
+	}
+	e2, _ := ExprN(2, "a")
+	if r := Eval(e2, g); len(r) == 0 {
+		t.Error("e2 should match")
+	}
+}
+
+func TestString(t *testing.T) {
+	e, _ := ExprN(3, "a")
+	got := e.String()
+	want := "(↓x1.(a[x1≠]·↓x2.ε)·(a[x1≠∧x2≠]·↓x3.ε))"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,131 @@
+package rpq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// CRPQ is a conjunctive regular path query (§6.2.1):
+//
+//	ϕ(x̄) = ∃ȳ ⋀ᵢ (xᵢ →Lᵢ yᵢ)
+//
+// When the regular expressions use inverses, this is a C2RPQ.
+type CRPQ struct {
+	Free  []string
+	Atoms []Atom
+}
+
+// Atom is one conjunct X →E Y.
+type Atom struct {
+	X, Y string
+	E    Regex
+}
+
+func (q *CRPQ) String() string {
+	var parts []string
+	for _, a := range q.Atoms {
+		parts = append(parts, fmt.Sprintf("(%s -%s-> %s)", a.X, a.E, a.Y))
+	}
+	return "(" + strings.Join(q.Free, ",") + "): " + strings.Join(parts, " ∧ ")
+}
+
+// Vars returns the variables, free first, each once.
+func (q *CRPQ) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range q.Free {
+		add(v)
+	}
+	for _, a := range q.Atoms {
+		add(a.X)
+		add(a.Y)
+	}
+	return out
+}
+
+// EvalCRPQ computes the answers over a graph: each atom's RPQ relation is
+// materialized, then assignments are enumerated by backtracking.
+func EvalCRPQ(q *CRPQ, g *graph.Graph) [][]string {
+	rels := make([]map[[2]string]bool, len(q.Atoms))
+	for i, a := range q.Atoms {
+		rels[i] = Eval(a.E, g)
+	}
+	nodes := g.Nodes()
+	vars := q.Vars()
+	env := map[string]string{}
+	answers := map[string][]string{}
+
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(vars) {
+			tuple := make([]string, len(q.Free))
+			for i, v := range q.Free {
+				tuple[i] = env[v]
+			}
+			answers[strings.Join(tuple, "\x00")] = tuple
+			return
+		}
+		v := vars[k]
+		for _, val := range nodes {
+			env[v] = val
+			ok := true
+			for i, a := range q.Atoms {
+				x, xb := env[a.X]
+				y, yb := env[a.Y]
+				if !xb || !yb {
+					continue
+				}
+				if !rels[i][[2]string{x, y}] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(k + 1)
+			}
+		}
+		delete(env, v)
+	}
+	rec(0)
+
+	keys := make([]string, 0, len(answers))
+	for k := range answers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, answers[k])
+	}
+	return out
+}
+
+// Clique returns the CRPQ asserting the existence of a k-clique over
+// a-labeled edges (every pair of the k existential variables connected in
+// both directions). The 7-clique instance witnesses that CNREs/CRPQs can
+// express properties beyond L⁶∞ω, hence beyond TriAL* (Theorem 8).
+func Clique(k int, label string) *CRPQ {
+	q := &CRPQ{}
+	vars := make([]string, k)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("y%d", i)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			q.Atoms = append(q.Atoms,
+				Atom{X: vars[i], Y: vars[j], E: Sym{A: label}},
+				Atom{X: vars[j], Y: vars[i], E: Sym{A: label}},
+			)
+		}
+	}
+	return q
+}

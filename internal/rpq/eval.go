@@ -1,0 +1,99 @@
+package rpq
+
+import (
+	"repro/internal/graph"
+)
+
+// Eval answers the RPQ x →L y over a graph database: it returns the set of
+// node pairs (u, v) such that some path from u to v has its label in the
+// language of e. Evaluation runs a BFS over the product of the graph and
+// the Thompson NFA of e, the textbook PTIME algorithm the paper alludes to
+// in §5.
+func Eval(e Regex, g *graph.Graph) map[[2]string]bool {
+	return EvalNFA(Compile(e), g)
+}
+
+// EvalNFA is Eval over a pre-compiled automaton.
+func EvalNFA(n *NFA, g *graph.Graph) map[[2]string]bool {
+	nodes := g.Nodes()
+	idx := make(map[string]int, len(nodes))
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	// Adjacency in the product graph: per (state), the transitions; per
+	// (node, label, dir) the graph moves.
+	fwd := map[string][][2]int{} // label -> (srcIdx, dstIdx)
+	for _, e := range g.Edges() {
+		fwd[e.Label] = append(fwd[e.Label], [2]int{idx[e.Src], idx[e.Dst]})
+	}
+	type move struct {
+		to  int // NFA state
+		lab string
+		inv bool
+		eps bool
+	}
+	moves := make([][]move, n.NumStates)
+	for _, t := range n.Trans {
+		moves[t.From] = append(moves[t.From], move{to: t.To, lab: t.Label, inv: t.Inv, eps: t.Eps})
+	}
+	// Graph adjacency per label, forward and backward.
+	type gmove struct {
+		lab string
+		to  int
+	}
+	out := make([][]gmove, len(nodes))
+	in := make([][]gmove, len(nodes))
+	for lab, pairs := range fwd {
+		for _, p := range pairs {
+			out[p[0]] = append(out[p[0]], gmove{lab: lab, to: p[1]})
+			in[p[1]] = append(in[p[1]], gmove{lab: lab, to: p[0]})
+		}
+	}
+
+	result := make(map[[2]string]bool)
+	nStates := n.NumStates
+	visited := make([]bool, len(nodes)*nStates)
+	for srcIdx, src := range nodes {
+		// BFS over (node, state) from (src, Start).
+		for i := range visited {
+			visited[i] = false
+		}
+		queue := make([][2]int, 0, 16)
+		push := func(v, q int) {
+			k := v*nStates + q
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, [2]int{v, q})
+			}
+		}
+		push(srcIdx, n.Start)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			v, q := cur[0], cur[1]
+			if q == n.Accept {
+				result[[2]string{src, nodes[v]}] = true
+			}
+			for _, m := range moves[q] {
+				if m.eps {
+					push(v, m.to)
+					continue
+				}
+				if !m.inv {
+					for _, gm := range out[v] {
+						if gm.lab == m.lab {
+							push(gm.to, m.to)
+						}
+					}
+				} else {
+					for _, gm := range in[v] {
+						if gm.lab == m.lab {
+							push(gm.to, m.to)
+						}
+					}
+				}
+			}
+		}
+	}
+	return result
+}

@@ -1,0 +1,96 @@
+package rpq
+
+// NFA is a Thompson-construction nondeterministic finite automaton over
+// edge labels. Transitions carry a label and a direction (Inv traverses an
+// edge backwards); epsilon transitions have Eps set.
+type NFA struct {
+	Start, Accept int
+	NumStates     int
+	Trans         []Transition
+}
+
+// Transition is one NFA transition.
+type Transition struct {
+	From, To int
+	Label    string
+	Inv      bool
+	Eps      bool
+}
+
+// Compile builds an NFA recognizing the language of e, by the standard
+// Thompson construction (one start, one accept, ε-transitions glue the
+// parts).
+func Compile(e Regex) *NFA {
+	b := &nfaBuilder{}
+	start, accept := b.build(e)
+	return &NFA{Start: start, Accept: accept, NumStates: b.n, Trans: b.trans}
+}
+
+type nfaBuilder struct {
+	n     int
+	trans []Transition
+}
+
+func (b *nfaBuilder) state() int {
+	b.n++
+	return b.n - 1
+}
+
+func (b *nfaBuilder) eps(from, to int) {
+	b.trans = append(b.trans, Transition{From: from, To: to, Eps: true})
+}
+
+func (b *nfaBuilder) edge(from, to int, label string, inv bool) {
+	b.trans = append(b.trans, Transition{From: from, To: to, Label: label, Inv: inv})
+}
+
+func (b *nfaBuilder) build(e Regex) (start, accept int) {
+	switch x := e.(type) {
+	case Eps:
+		s, a := b.state(), b.state()
+		b.eps(s, a)
+		return s, a
+	case Sym:
+		s, a := b.state(), b.state()
+		b.edge(s, a, x.A, x.Inv)
+		return s, a
+	case Cat:
+		ls, la := b.build(x.L)
+		rs, ra := b.build(x.R)
+		b.eps(la, rs)
+		return ls, ra
+	case Alt:
+		s, a := b.state(), b.state()
+		ls, la := b.build(x.L)
+		rs, ra := b.build(x.R)
+		b.eps(s, ls)
+		b.eps(s, rs)
+		b.eps(la, a)
+		b.eps(ra, a)
+		return s, a
+	case Star:
+		s, a := b.state(), b.state()
+		is, ia := b.build(x.E)
+		b.eps(s, a)
+		b.eps(s, is)
+		b.eps(ia, is)
+		b.eps(ia, a)
+		return s, a
+	case Plus:
+		is, ia := b.build(x.E)
+		a := b.state()
+		b.eps(ia, a)
+		b.eps(ia, is)
+		return is, a
+	case Opt:
+		s, a := b.state(), b.state()
+		is, ia := b.build(x.E)
+		b.eps(s, is)
+		b.eps(ia, a)
+		b.eps(s, a)
+		return s, a
+	}
+	// Unreachable for well-formed expressions.
+	s, a := b.state(), b.state()
+	return s, a
+}

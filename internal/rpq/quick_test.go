@@ -1,0 +1,122 @@
+package rpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randGraphQ(rng *rand.Rand, nNodes, nEdges int) *graph.Graph {
+	g := graph.New()
+	for g.NumEdges() < nEdges {
+		g.AddEdge(
+			string(rune('A'+rng.Intn(nNodes))),
+			string(rune('a'+rng.Intn(2))),
+			string(rune('A'+rng.Intn(nNodes))))
+	}
+	return g
+}
+
+func randRegexQ(rng *rand.Rand, depth int) Regex {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Eps{}
+		case 1:
+			return Sym{A: string(rune('a' + rng.Intn(2)))}
+		default:
+			return Sym{A: string(rune('a' + rng.Intn(2))), Inv: true}
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return randRegexQ(rng, 0)
+	case 1:
+		return Cat{L: randRegexQ(rng, depth-1), R: randRegexQ(rng, depth-1)}
+	case 2:
+		return Alt{L: randRegexQ(rng, depth-1), R: randRegexQ(rng, depth-1)}
+	case 3:
+		return Star{E: randRegexQ(rng, depth-1)}
+	case 4:
+		return Plus{E: randRegexQ(rng, depth-1)}
+	default:
+		return Opt{E: randRegexQ(rng, depth-1)}
+	}
+}
+
+func equalRel(a, b map[[2]string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if !b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRegexIdentities: classical regular-expression identities hold under
+// the NFA evaluation.
+func TestRegexIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 120; i++ {
+		g := randGraphQ(rng, 4, 7)
+		e := randRegexQ(rng, 2)
+		// e* = ε | e e*
+		lhs := Eval(Star{E: e}, g)
+		rhs := Eval(Alt{L: Eps{}, R: Cat{L: e, R: Star{E: e}}}, g)
+		if !equalRel(lhs, rhs) {
+			t.Fatalf("e* ≠ ε|e·e* for %s", e)
+		}
+		// e+ = e e*
+		if !equalRel(Eval(Plus{E: e}, g), Eval(Cat{L: e, R: Star{E: e}}, g)) {
+			t.Fatalf("e+ ≠ e·e* for %s", e)
+		}
+		// e? = ε | e
+		if !equalRel(Eval(Opt{E: e}, g), Eval(Alt{L: Eps{}, R: e}, g)) {
+			t.Fatalf("e? ≠ ε|e for %s", e)
+		}
+		// (e*)* = e*
+		if !equalRel(Eval(Star{E: Star{E: e}}, g), lhs) {
+			t.Fatalf("(e*)* ≠ e* for %s", e)
+		}
+	}
+}
+
+// TestRoundTripParseRandom: rendering re-parses to an equivalent regex
+// (same relation on random graphs).
+func TestRoundTripParseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for i := 0; i < 100; i++ {
+		e := randRegexQ(rng, 3)
+		s := e.String()
+		e2, err := ParseRegex(s)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s, err)
+		}
+		g := randGraphQ(rng, 4, 7)
+		if !equalRel(Eval(e, g), Eval(e2, g)) {
+			t.Fatalf("reparse changed semantics: %q", s)
+		}
+	}
+}
+
+// TestInverseSwapsEndpoints: the 2RPQ inverse reverses every pair.
+func TestInverseSwapsEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 60; i++ {
+		g := randGraphQ(rng, 4, 7)
+		fwd := Eval(Sym{A: "a"}, g)
+		inv := Eval(Sym{A: "a", Inv: true}, g)
+		if len(fwd) != len(inv) {
+			t.Fatal("inverse changed cardinality")
+		}
+		for p := range fwd {
+			if !inv[[2]string{p[1], p[0]}] {
+				t.Fatalf("inverse missing %v", p)
+			}
+		}
+	}
+}

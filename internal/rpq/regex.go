@@ -1,0 +1,260 @@
+// Package rpq implements regular path queries (§2.1 of the TriAL paper)
+// and their conjunctive extensions: an RPQ x →L y selects pairs of nodes
+// connected by a path whose label lies in the regular language L. The
+// package includes a small regular-expression language over edge labels
+// (with inverses, i.e. 2RPQs), a Thompson NFA construction, and
+// product-graph evaluation. CRPQs and C2RPQs (§6.2.1) are in crpq.go.
+package rpq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Regex is a regular expression over edge labels.
+type Regex interface {
+	String() string
+	isRegex()
+}
+
+// Eps matches the empty path.
+type Eps struct{}
+
+// Sym matches one edge labeled A, traversed backwards when Inv is set
+// (the a⁻ of 2RPQs).
+type Sym struct {
+	A   string
+	Inv bool
+}
+
+// Cat is concatenation.
+type Cat struct{ L, R Regex }
+
+// Alt is alternation.
+type Alt struct{ L, R Regex }
+
+// Star is zero-or-more repetition.
+type Star struct{ E Regex }
+
+// Plus is one-or-more repetition.
+type Plus struct{ E Regex }
+
+// Opt is zero-or-one.
+type Opt struct{ E Regex }
+
+func (Eps) isRegex()  {}
+func (Sym) isRegex()  {}
+func (Cat) isRegex()  {}
+func (Alt) isRegex()  {}
+func (Star) isRegex() {}
+func (Plus) isRegex() {}
+func (Opt) isRegex()  {}
+
+func (Eps) String() string { return "()" }
+func (s Sym) String() string {
+	name := s.A
+	if needsQuote(name) {
+		name = "<" + name + ">"
+	}
+	if s.Inv {
+		return name + "^-"
+	}
+	return name
+}
+func (c Cat) String() string  { return "(" + c.L.String() + " " + c.R.String() + ")" }
+func (a Alt) String() string  { return "(" + a.L.String() + "|" + a.R.String() + ")" }
+func (s Star) String() string { return s.E.String() + "*" }
+func (p Plus) String() string { return p.E.String() + "+" }
+func (o Opt) String() string  { return o.E.String() + "?" }
+
+func needsQuote(s string) bool {
+	return s == "" || strings.ContainsAny(s, " ()|*+?<>^")
+}
+
+// ParseRegex parses the textual syntax:
+//
+//	expr   := branch ('|' branch)*
+//	branch := factor+                 (juxtaposition = concatenation)
+//	factor := atom ('*' | '+' | '?')*
+//	atom   := label | label '^-' | '(' expr ')' | '()'
+//	label  := bare identifier | '<' anything '>'
+func ParseRegex(in string) (Regex, error) {
+	p := &reParser{in: in}
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("rpq: trailing input at %d: %q", p.pos, p.in[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParseRegex is ParseRegex, panicking on error.
+func MustParseRegex(in string) Regex {
+	e, err := ParseRegex(in)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type reParser struct {
+	in  string
+	pos int
+}
+
+func (p *reParser) skipSpace() {
+	for p.pos < len(p.in) && unicode.IsSpace(rune(p.in[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *reParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *reParser) parseAlt() (Regex, error) {
+	l, err := p.parseCat()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		r, err := p.parseCat()
+		if err != nil {
+			return nil, err
+		}
+		l = Alt{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *reParser) parseCat() (Regex, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c := p.peek()
+		if c == 0 || c == '|' || c == ')' {
+			return l, nil
+		}
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = Cat{L: l, R: r}
+	}
+}
+
+func (p *reParser) parseFactor() (Regex, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = Star{E: e}
+		case '+':
+			p.pos++
+			e = Plus{E: e}
+		case '?':
+			p.pos++
+			e = Opt{E: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *reParser) parseAtom() (Regex, error) {
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		if p.peek() == ')' {
+			p.pos++
+			return Eps{}, nil
+		}
+		e, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("rpq: expected ')' at %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	case c == '<':
+		p.pos++
+		end := strings.IndexByte(p.in[p.pos:], '>')
+		if end < 0 {
+			return nil, fmt.Errorf("rpq: unterminated '<'")
+		}
+		name := p.in[p.pos : p.pos+end]
+		p.pos += end + 1
+		return p.maybeInv(name), nil
+	case c == 0 || c == ')' || c == '|' || c == '*' || c == '+' || c == '?':
+		return nil, fmt.Errorf("rpq: expected atom at %d", p.pos)
+	default:
+		start := p.pos
+		for p.pos < len(p.in) && isLabelByte(p.in[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, fmt.Errorf("rpq: unexpected character %q at %d", p.in[p.pos], p.pos)
+		}
+		return p.maybeInv(p.in[start:p.pos]), nil
+	}
+}
+
+func (p *reParser) maybeInv(name string) Regex {
+	if p.pos+1 < len(p.in) && p.in[p.pos] == '^' && p.in[p.pos+1] == '-' {
+		p.pos += 2
+		return Sym{A: name, Inv: true}
+	}
+	return Sym{A: name}
+}
+
+func isLabelByte(c byte) bool {
+	return c == '_' || c == '-' || c == ':' || c == '/' || c == '#' || c == '.' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// Labels returns the distinct labels mentioned by the expression.
+func Labels(e Regex) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(Regex)
+	walk = func(e Regex) {
+		switch x := e.(type) {
+		case Sym:
+			if !seen[x.A] {
+				seen[x.A] = true
+				out = append(out, x.A)
+			}
+		case Cat:
+			walk(x.L)
+			walk(x.R)
+		case Alt:
+			walk(x.L)
+			walk(x.R)
+		case Star:
+			walk(x.E)
+		case Plus:
+			walk(x.E)
+		case Opt:
+			walk(x.E)
+		}
+	}
+	walk(e)
+	return out
+}

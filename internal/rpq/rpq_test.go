@@ -1,0 +1,173 @@
+package rpq
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func chain(labels ...string) *graph.Graph {
+	g := graph.New()
+	for i, l := range labels {
+		g.AddEdge(node(i), l, node(i+1))
+	}
+	return g
+}
+
+func node(i int) string { return string(rune('A' + i)) }
+
+func has(r map[[2]string]bool, u, v string) bool { return r[[2]string{u, v}] }
+
+func TestParseRegex(t *testing.T) {
+	cases := []string{
+		"a",
+		"a b",
+		"a|b",
+		"(a b)*",
+		"a+",
+		"a?",
+		"a^-",
+		"<part of>",
+		"<part of>^- b*",
+		"()",
+		"((a|b) c)+",
+	}
+	for _, in := range cases {
+		e, err := ParseRegex(in)
+		if err != nil {
+			t.Errorf("ParseRegex(%q): %v", in, err)
+			continue
+		}
+		// Rendering re-parses to the same rendering.
+		s1 := e.String()
+		e2, err := ParseRegex(s1)
+		if err != nil {
+			t.Errorf("reparse %q: %v", s1, err)
+			continue
+		}
+		if s2 := e2.String(); s1 != s2 {
+			t.Errorf("round trip: %q vs %q", s1, s2)
+		}
+	}
+	for _, bad := range []string{"", "|a", "a||b", "(a", "a)", "*", "<unterminated"} {
+		if _, err := ParseRegex(bad); err == nil {
+			t.Errorf("ParseRegex(%q): want error", bad)
+		}
+	}
+}
+
+func TestEvalBasics(t *testing.T) {
+	g := chain("a", "b", "a")
+	if r := Eval(MustParseRegex("a"), g); !has(r, "A", "B") || !has(r, "C", "D") || len(r) != 2 {
+		t.Errorf("a: %v", r)
+	}
+	if r := Eval(MustParseRegex("a b"), g); !has(r, "A", "C") || len(r) != 1 {
+		t.Errorf("a b: %v", r)
+	}
+	if r := Eval(MustParseRegex("a b a"), g); !has(r, "A", "D") || len(r) != 1 {
+		t.Errorf("a b a: %v", r)
+	}
+}
+
+func TestEvalStarPlusOpt(t *testing.T) {
+	g := chain("a", "a", "a")
+	star := Eval(MustParseRegex("a*"), g)
+	// 4 reflexive + 3+2+1 forward.
+	if len(star) != 10 || !has(star, "A", "D") || !has(star, "B", "B") {
+		t.Errorf("a*: %v", star)
+	}
+	plus := Eval(MustParseRegex("a+"), g)
+	if len(plus) != 6 || has(plus, "A", "A") {
+		t.Errorf("a+: %v", plus)
+	}
+	opt := Eval(MustParseRegex("a?"), g)
+	if len(opt) != 7 || !has(opt, "A", "A") || !has(opt, "A", "B") || has(opt, "A", "C") {
+		t.Errorf("a?: %v", opt)
+	}
+}
+
+func TestEvalAlternationAndInverse(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("u", "a", "v")
+	g.AddEdge("w", "b", "v")
+	// u -a-> v <-b- w: u (a b^-) w.
+	r := Eval(MustParseRegex("a b^-"), g)
+	if len(r) != 1 || !has(r, "u", "w") {
+		t.Errorf("a b^-: %v", r)
+	}
+	r2 := Eval(MustParseRegex("a|b"), g)
+	if len(r2) != 2 || !has(r2, "u", "v") || !has(r2, "w", "v") {
+		t.Errorf("a|b: %v", r2)
+	}
+}
+
+func TestEvalCycle(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("x", "a", "y")
+	g.AddEdge("y", "a", "x")
+	r := Eval(MustParseRegex("a*"), g)
+	if len(r) != 4 {
+		t.Errorf("a* on 2-cycle: %v", r)
+	}
+	// (a a)*: even-length paths only.
+	even := Eval(MustParseRegex("(a a)*"), g)
+	if !has(even, "x", "x") || has(even, "x", "y") == false {
+		// x to y requires odd length; (a a)* gives only even.
+	}
+	if has(even, "x", "y") {
+		t.Errorf("(a a)* should not connect x to y: %v", even)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	e := MustParseRegex("a (b|a)* c^-")
+	got := Labels(e)
+	if len(got) != 3 {
+		t.Errorf("Labels = %v", got)
+	}
+}
+
+func TestCRPQ(t *testing.T) {
+	// Two paths that must share their endpoint.
+	g := graph.New()
+	g.AddEdge("s", "a", "m")
+	g.AddEdge("m", "a", "t")
+	g.AddEdge("s", "b", "t")
+	q := &CRPQ{
+		Free: []string{"x", "y"},
+		Atoms: []Atom{
+			{X: "x", Y: "y", E: MustParseRegex("a a")},
+			{X: "x", Y: "y", E: MustParseRegex("b")},
+		},
+	}
+	got := EvalCRPQ(q, g)
+	if len(got) != 1 || got[0][0] != "s" || got[0][1] != "t" {
+		t.Errorf("answers = %v", got)
+	}
+}
+
+func TestCliqueCRPQ(t *testing.T) {
+	complete := func(n int) *graph.Graph {
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					g.AddEdge(node(i), "a", node(j))
+				}
+			}
+		}
+		return g
+	}
+	q := Clique(3, "a")
+	if got := EvalCRPQ(q, complete(3)); len(got) == 0 {
+		t.Error("3-clique not found in K3")
+	}
+	// A directed 3-cycle has no 3-clique (needs both directions).
+	cyc := graph.New()
+	cyc.AddEdge("A", "a", "B")
+	cyc.AddEdge("B", "a", "C")
+	cyc.AddEdge("C", "a", "A")
+	if got := EvalCRPQ(q, cyc); len(got) != 0 {
+		t.Errorf("3-clique found in a directed cycle: %v", got)
+	}
+}

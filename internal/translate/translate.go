@@ -1,0 +1,295 @@
+// Package translate implements the language inclusions of §6.2 of the
+// TriAL paper as executable translations into TriAL*:
+//
+//   - GXPath (navigational and with data tests) → TriAL* (Theorem 7,
+//     Corollary 4),
+//   - nested regular expressions → TriAL* (Corollary 2),
+//   - regular path queries (with inverses) → TriAL* (Corollary 2),
+//   - conjunctive NREs over three variables → TriAL* (Theorem 8).
+//
+// All translations target the triplestore encoding T_G of a graph database
+// (graph.ToTriplestore): O = V ∪ Σ with one triple per edge.
+//
+// Representation invariant. A binary graph query α translates to an
+// expression e_α whose value is {(u, u, v) | (u, v) ∈ ⟦α⟧}: the middle
+// position duplicates the source. Keeping the representation canonical
+// (rather than leaving arbitrary middles, as the paper's sketch does)
+// makes complement — which the paper's GXPath includes — expressible
+// triple-by-triple: π₁,₃ of a complement of a canonical relation is the
+// complement of the binary relation. A node formula ϕ translates to an
+// expression whose value is {(u, u, u) | u ∈ ⟦ϕ⟧}.
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/gxpath"
+	"repro/internal/nre"
+	"repro/internal/rpq"
+	"repro/internal/trial"
+)
+
+// same-triple equality: used to canonicalize by self-joining a relation.
+func sameTriple() trial.Cond {
+	return trial.Cond{Obj: []trial.ObjAtom{
+		trial.Eq(trial.P(trial.L1), trial.P(trial.R1)),
+		trial.Eq(trial.P(trial.L2), trial.P(trial.R2)),
+		trial.Eq(trial.P(trial.L3), trial.P(trial.R3)),
+	}}
+}
+
+// rearrange self-joins e on identity and projects the given left-side
+// positions — the paper's E ✶^{i,j,k} E device for permuting components.
+func rearrange(e trial.Expr, out [3]trial.Pos) trial.Expr {
+	return trial.MustJoin(e, out, sameTriple(), e)
+}
+
+// NodeDiag returns the expression for {(v, v, v) | v a node of the encoded
+// graph}, i.e. subjects and objects of the edge relation (labels occupy
+// only the middle position of T_G's triples).
+func NodeDiag(rel string) trial.Expr {
+	subj := rearrange(trial.R(rel), [3]trial.Pos{trial.L1, trial.L1, trial.L1})
+	obj := rearrange(trial.R(rel), [3]trial.Pos{trial.L3, trial.L3, trial.L3})
+	return trial.Union{L: subj, R: obj}
+}
+
+// AllNodePairs returns {(u, u, v) | u, v nodes}: the top relation for
+// path complements.
+func AllNodePairs(rel string) trial.Expr {
+	nd := NodeDiag(rel)
+	return trial.MustJoin(nd, [3]trial.Pos{trial.L1, trial.L2, trial.R3}, trial.Cond{}, nd)
+}
+
+// Path translates a GXPath path formula (Theorem 7 / Corollary 4). rel
+// names the edge relation of the encoded graph.
+func Path(p gxpath.Path, rel string) trial.Expr {
+	switch x := p.(type) {
+	case gxpath.Eps:
+		return NodeDiag(rel)
+	case gxpath.Label:
+		sel := trial.MustSelect(trial.R(rel),
+			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L2), trial.Obj(x.A))}})
+		if x.Inv {
+			return rearrange(sel, [3]trial.Pos{trial.L3, trial.L3, trial.L1})
+		}
+		return rearrange(sel, [3]trial.Pos{trial.L1, trial.L1, trial.L3})
+	case gxpath.Test:
+		return Node(x.N, rel)
+	case gxpath.Concat:
+		return trial.MustJoin(Path(x.L, rel), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+			Path(x.R, rel))
+	case gxpath.Union:
+		return trial.Union{L: Path(x.L, rel), R: Path(x.R, rel)}
+	case gxpath.Complement:
+		return trial.Diff{L: AllNodePairs(rel), R: Path(x.P, rel)}
+	case gxpath.Star:
+		// GXPath's α* is reflexive; the algebra's Kleene closure is not,
+		// so the node diagonal is united in.
+		star := trial.MustStar(Path(x.P, rel), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}}, false)
+		return trial.Union{L: NodeDiag(rel), R: star}
+	case gxpath.DataCmp:
+		atom := trial.ValAtom{L: trial.RhoP(trial.L1), R: trial.RhoP(trial.L3), Neq: x.Neq, Component: -1}
+		return trial.MustSelect(Path(x.P, rel), trial.Cond{Val: []trial.ValAtom{atom}})
+	}
+	panic(fmt.Sprintf("translate: unknown path formula %T", p))
+}
+
+// Node translates a GXPath node formula.
+func Node(n gxpath.Node, rel string) trial.Expr {
+	switch x := n.(type) {
+	case gxpath.Top:
+		return NodeDiag(rel)
+	case gxpath.Not:
+		return trial.Diff{L: NodeDiag(rel), R: Node(x.N, rel)}
+	case gxpath.And:
+		return trial.Intersect(Node(x.L, rel), Node(x.R, rel))
+	case gxpath.Or:
+		return trial.Union{L: Node(x.L, rel), R: Node(x.R, rel)}
+	case gxpath.Diamond:
+		return rearrange(Path(x.P, rel), [3]trial.Pos{trial.L1, trial.L1, trial.L1})
+	case gxpath.DataTest:
+		atom := trial.ValAtom{L: trial.RhoP(trial.L3), R: trial.RhoP(trial.R3), Neq: x.Neq, Component: -1}
+		return trial.MustJoin(Path(x.L, rel), [3]trial.Pos{trial.L1, trial.L1, trial.L1},
+			trial.Cond{
+				Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L1), trial.P(trial.R1))},
+				Val: []trial.ValAtom{atom},
+			},
+			Path(x.R, rel))
+	}
+	panic(fmt.Sprintf("translate: unknown node formula %T", n))
+}
+
+// NRE translates a nested regular expression (Corollary 2), under the same
+// canonical representation.
+func NRE(e nre.Expr, rel string) trial.Expr {
+	switch x := e.(type) {
+	case nre.Epsilon:
+		return NodeDiag(rel)
+	case nre.Label:
+		return Path(gxpath.Label{A: x.A, Inv: x.Inv}, rel)
+	case nre.Concat:
+		return trial.MustJoin(NRE(x.L, rel), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+			NRE(x.R, rel))
+	case nre.Union:
+		return trial.Union{L: NRE(x.L, rel), R: NRE(x.R, rel)}
+	case nre.Star:
+		star := trial.MustStar(NRE(x.E, rel), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}}, false)
+		return trial.Union{L: NodeDiag(rel), R: star}
+	case nre.Nest:
+		return rearrange(NRE(x.E, rel), [3]trial.Pos{trial.L1, trial.L1, trial.L1})
+	}
+	panic(fmt.Sprintf("translate: unknown NRE %T", e))
+}
+
+// RegexToNRE maps an RPQ regular expression to an equivalent (nesting-
+// free) NRE, from which RPQ translates to TriAL* (Corollary 2).
+func RegexToNRE(e rpq.Regex) nre.Expr {
+	switch x := e.(type) {
+	case rpq.Eps:
+		return nre.Epsilon{}
+	case rpq.Sym:
+		return nre.Label{A: x.A, Inv: x.Inv}
+	case rpq.Cat:
+		return nre.Concat{L: RegexToNRE(x.L), R: RegexToNRE(x.R)}
+	case rpq.Alt:
+		return nre.Union{L: RegexToNRE(x.L), R: RegexToNRE(x.R)}
+	case rpq.Star:
+		return nre.Star{E: RegexToNRE(x.E)}
+	case rpq.Plus:
+		inner := RegexToNRE(x.E)
+		return nre.Concat{L: inner, R: nre.Star{E: inner}}
+	case rpq.Opt:
+		return nre.Union{L: nre.Epsilon{}, R: RegexToNRE(x.E)}
+	}
+	panic(fmt.Sprintf("translate: unknown regex %T", e))
+}
+
+// RPQ translates a regular path query into TriAL*.
+func RPQ(e rpq.Regex, rel string) trial.Expr {
+	return NRE(RegexToNRE(e), rel)
+}
+
+// CNRE translates a conjunctive NRE using at most three variables into
+// TriAL (Theorem 8, second part). The query's Free list must have exactly
+// three entries (repetitions allowed); the resulting expression's triples
+// are the answer tuples.
+//
+// The construction follows the proof: each atom's NRE relation is lifted
+// to a relation over the full three-variable frame by joining with the
+// universal relation U, and the lifted relations are intersected.
+func CNRE(c *nre.CNRE, rel string) (trial.Expr, error) {
+	vars := c.Vars()
+	if len(vars) > 3 {
+		return nil, fmt.Errorf("translate: CNRE uses %d variables; only 3 are supported (Theorem 8)", len(vars))
+	}
+	if len(c.Free) != 3 {
+		return nil, fmt.Errorf("translate: CNRE must designate exactly 3 output slots, got %d", len(c.Free))
+	}
+	if len(c.Atoms) == 0 {
+		return nil, fmt.Errorf("translate: CNRE has no atoms")
+	}
+	// Every free variable must occur in an atom: an unconstrained variable
+	// would range over graph nodes in the CNRE semantics but over the
+	// whole active domain (including labels) under the U-based lifting.
+	inAtoms := map[string]bool{}
+	for _, a := range c.Atoms {
+		inAtoms[a.X] = true
+		inAtoms[a.Y] = true
+	}
+	for _, v := range c.Free {
+		if !inAtoms[v] {
+			return nil, fmt.Errorf("translate: free variable %s does not occur in any atom", v)
+		}
+	}
+	// The frame assigns every variable (free or existential) one of the
+	// three positions; intersecting the lifted atom relations over the
+	// frame keeps shared existential variables correlated.
+	slot := map[string]trial.Pos{}
+	framePos := [3]trial.Pos{trial.L1, trial.L2, trial.L3}
+	for i, v := range vars {
+		slot[v] = framePos[i]
+	}
+	var acc trial.Expr
+	for _, a := range c.Atoms {
+		lift, err := liftAtom(a, slot, rel)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = lift
+		} else {
+			acc = trial.Intersect(acc, lift)
+		}
+	}
+	// Rearrange frame positions into the requested output slots. This
+	// also projects away existential variables (set semantics collapses
+	// their multiplicity) and duplicates repeated free variables.
+	var out [3]trial.Pos
+	for i, v := range c.Free {
+		p, ok := slot[v]
+		if !ok {
+			return nil, fmt.Errorf("translate: free variable %s does not occur in any atom", v)
+		}
+		out[i] = p
+	}
+	return rearrange(acc, out), nil
+}
+
+// UCNRE translates a union of three-variable CNREs into TriAL (Theorem 8:
+// "Unions of CNREs that use only three variables are strictly contained
+// in TriAL*"). All disjuncts must share the same Free slots.
+func UCNRE(qs []*nre.CNRE, rel string) (trial.Expr, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("translate: empty UCNRE")
+	}
+	var acc trial.Expr
+	for _, q := range qs {
+		e, err := CNRE(q, rel)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = e
+		} else {
+			acc = trial.Union{L: acc, R: e}
+		}
+	}
+	return acc, nil
+}
+
+// liftAtom turns one atom X —e→ Y into a relation over the frame
+// (slot positions): the triples (v1, v2, v3) such that the components at
+// slot[X] and slot[Y] are related by e and the remaining components range
+// over the whole domain.
+func liftAtom(a nre.CAtom, slot map[string]trial.Pos, rel string) (trial.Expr, error) {
+	te := NRE(a.E, rel) // canonical {(u, u, v)}
+	px, py := slot[a.X], slot[a.Y]
+	if px == py {
+		// X = Y: restrict to the diagonal of the relation first.
+		te = trial.MustSelect(te, trial.Cond{Obj: []trial.ObjAtom{
+			trial.Eq(trial.P(trial.L1), trial.P(trial.L3)),
+		}})
+	}
+	// Join with U to fill the frame: the left operand contributes u at
+	// position 1 and v at position 3; the right operand (U) supplies free
+	// values for the remaining slots.
+	// Build the output positions: slot p gets left 1 if p == px, left 3 if
+	// p == py, otherwise the corresponding position of U.
+	var out [3]trial.Pos
+	uPos := []trial.Pos{trial.R1, trial.R2, trial.R3}
+	for i, p := range [3]trial.Pos{trial.L1, trial.L2, trial.L3} {
+		switch p {
+		case px:
+			out[i] = trial.L1
+		case py:
+			out[i] = trial.L3
+		default:
+			out[i] = uPos[i]
+		}
+	}
+	return trial.MustJoin(te, out, trial.Cond{}, trial.U()), nil
+}

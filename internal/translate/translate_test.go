@@ -1,0 +1,456 @@
+package translate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/gxpath"
+	"repro/internal/nre"
+	"repro/internal/rpq"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// pairsOf projects a TriAL result to its π₁,₃ binary relation over names.
+func pairsOf(s *triplestore.Store, r *triplestore.Relation) map[[2]string]bool {
+	out := map[[2]string]bool{}
+	r.ForEach(func(t triplestore.Triple) {
+		out[[2]string{s.Name(t[0]), s.Name(t[2])}] = true
+	})
+	return out
+}
+
+func evalOnStore(t *testing.T, g *graph.Graph, e trial.Expr) (map[[2]string]bool, *triplestore.Store, *triplestore.Relation) {
+	t.Helper()
+	s := g.ToTriplestore()
+	ev := trial.NewEvaluator(s)
+	r, err := ev.Eval(e)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return pairsOf(s, r), s, r
+}
+
+func sameRel(a map[[2]string]bool, b gxpath.Rel) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if !b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// randGraph generates a random graph with no isolated nodes (every node
+// occurs in some edge; the triplestore active domain then matches the
+// graph's node set).
+func randGraph(rng *rand.Rand, nNodes, nEdges, nLabels, nValues int) *graph.Graph {
+	g := graph.New()
+	names := make([]string, nNodes)
+	for i := range names {
+		names[i] = nodeName(i)
+	}
+	for g.NumEdges() < nEdges {
+		g.AddEdge(names[rng.Intn(nNodes)],
+			labelName(rng.Intn(nLabels)),
+			names[rng.Intn(nNodes)])
+	}
+	for _, v := range g.Nodes() {
+		if v[0] == 'n' && nValues > 0 {
+			g.SetValue(v, triplestore.V(string(rune('u'+rng.Intn(nValues)))))
+		}
+	}
+	return g
+}
+
+func nodeName(i int) string  { return "n" + string(rune('0'+i)) }
+func labelName(i int) string { return string(rune('a' + i)) }
+
+// TestNodeDiag checks the node-diagonal over the encoding.
+func TestNodeDiag(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("u", "a", "v")
+	pairs, s, r := evalOnStore(t, g, NodeDiag(graph.RelE))
+	if len(pairs) != 2 || !pairs[[2]string{"u", "u"}] || !pairs[[2]string{"v", "v"}] {
+		t.Errorf("NodeDiag = %v", pairs)
+	}
+	// Labels must not appear.
+	if r.Has(triplestore.Triple{s.Lookup("a"), s.Lookup("a"), s.Lookup("a")}) {
+		t.Error("label leaked into NodeDiag")
+	}
+}
+
+// TestGXPathTranslationFixed checks the Theorem 7 translation on
+// hand-picked expressions over a fixed graph.
+func TestGXPathTranslationFixed(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("v1", "a", "v2")
+	g.AddEdge("v2", "b", "v3")
+	g.AddEdge("v3", "a", "v1")
+	g.AddEdge("v3", "b", "v3")
+	paths := []gxpath.Path{
+		gxpath.Eps{},
+		gxpath.Label{A: "a"},
+		gxpath.Label{A: "b", Inv: true},
+		gxpath.Concat{L: gxpath.Label{A: "a"}, R: gxpath.Label{A: "b"}},
+		gxpath.Union{L: gxpath.Label{A: "a"}, R: gxpath.Label{A: "b"}},
+		gxpath.Star{P: gxpath.Label{A: "a"}},
+		gxpath.Complement{P: gxpath.Label{A: "a"}},
+		gxpath.Complement{P: gxpath.Star{P: gxpath.Union{L: gxpath.Label{A: "a"}, R: gxpath.Label{A: "b"}}}},
+		gxpath.Test{N: gxpath.Diamond{P: gxpath.Label{A: "b"}}},
+		gxpath.Concat{
+			L: gxpath.Label{A: "a"},
+			R: gxpath.Test{N: gxpath.Not{N: gxpath.Diamond{P: gxpath.Label{A: "a"}}}},
+		},
+	}
+	for _, p := range paths {
+		want := gxpath.EvalPath(p, g)
+		got, _, _ := evalOnStore(t, g, Path(p, graph.RelE))
+		if !sameRel(got, want) {
+			t.Errorf("path %s: translation %v vs direct %v", p, got, want.Pairs())
+		}
+	}
+}
+
+// TestGXPathTranslationRandom is experiment E16: random navigational
+// GXPath expressions agree with their TriAL* translations on random
+// graphs.
+func TestGXPathTranslationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 120; i++ {
+		g := randGraph(rng, 3+rng.Intn(4), 3+rng.Intn(8), 2, 0)
+		p := randPath(rng, 3, false)
+		want := gxpath.EvalPath(p, g)
+		got, _, _ := evalOnStore(t, g, Path(p, graph.RelE))
+		if !sameRel(got, want) {
+			t.Fatalf("path %s over\n%s: translation %v vs direct %v",
+				p, g, got, want.Pairs())
+		}
+	}
+}
+
+// TestGXPathDataTranslationRandom is experiment E17: GXPath(∼) data tests
+// agree with their translations (Corollary 4).
+func TestGXPathDataTranslationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 120; i++ {
+		g := randGraph(rng, 3+rng.Intn(4), 3+rng.Intn(8), 2, 2)
+		p := randPath(rng, 3, true)
+		want := gxpath.EvalPath(p, g)
+		got, _, _ := evalOnStore(t, g, Path(p, graph.RelE))
+		if !sameRel(got, want) {
+			t.Fatalf("path %s over\n%s: translation %v vs direct %v",
+				p, g, got, want.Pairs())
+		}
+	}
+}
+
+// TestGXPathNodeTranslation checks node formulas.
+func TestGXPathNodeTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 80; i++ {
+		g := randGraph(rng, 3+rng.Intn(4), 3+rng.Intn(8), 2, 2)
+		n := randNode(rng, 3, true)
+		want := gxpath.EvalNode(n, g)
+		got, _, _ := evalOnStore(t, g, Node(n, graph.RelE))
+		ok := len(got) == len(want)
+		for p := range got {
+			if p[0] != p[1] || !want[p[0]] {
+				ok = false
+			}
+		}
+		if !ok {
+			t.Fatalf("node %s over\n%s: translation %v vs direct %v", n, g, got, want)
+		}
+	}
+}
+
+func randPath(rng *rand.Rand, depth int, data bool) gxpath.Path {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return gxpath.Eps{}
+		case 1:
+			return gxpath.Label{A: "a"}
+		case 2:
+			return gxpath.Label{A: "b"}
+		default:
+			return gxpath.Label{A: labelName(rng.Intn(2)), Inv: true}
+		}
+	}
+	n := 7
+	if data {
+		n = 8
+	}
+	switch rng.Intn(n) {
+	case 0:
+		return randPath(rng, 0, data)
+	case 1:
+		return gxpath.Concat{L: randPath(rng, depth-1, data), R: randPath(rng, depth-1, data)}
+	case 2:
+		return gxpath.Union{L: randPath(rng, depth-1, data), R: randPath(rng, depth-1, data)}
+	case 3:
+		return gxpath.Star{P: randPath(rng, depth-1, data)}
+	case 4:
+		return gxpath.Complement{P: randPath(rng, depth-1, data)}
+	case 5:
+		return gxpath.Test{N: randNode(rng, depth-1, data)}
+	case 6:
+		return gxpath.Eps{}
+	default:
+		return gxpath.DataCmp{P: randPath(rng, depth-1, data), Neq: rng.Intn(2) == 0}
+	}
+}
+
+func randNode(rng *rand.Rand, depth int, data bool) gxpath.Node {
+	if depth <= 0 {
+		return gxpath.Top{}
+	}
+	n := 5
+	if data {
+		n = 6
+	}
+	switch rng.Intn(n) {
+	case 0:
+		return gxpath.Top{}
+	case 1:
+		return gxpath.Not{N: randNode(rng, depth-1, data)}
+	case 2:
+		return gxpath.And{L: randNode(rng, depth-1, data), R: randNode(rng, depth-1, data)}
+	case 3:
+		return gxpath.Or{L: randNode(rng, depth-1, data), R: randNode(rng, depth-1, data)}
+	case 4:
+		return gxpath.Diamond{P: randPath(rng, depth-1, data)}
+	default:
+		return gxpath.DataTest{
+			L:   randPath(rng, depth-1, data),
+			R:   randPath(rng, depth-1, data),
+			Neq: rng.Intn(2) == 0,
+		}
+	}
+}
+
+// TestNRETranslationRandom is the Corollary 2 property test for NREs.
+func TestNRETranslationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 120; i++ {
+		g := randGraph(rng, 3+rng.Intn(4), 3+rng.Intn(8), 2, 0)
+		e := randNRE(rng, 3)
+		st := nre.GraphStructure{G: g}
+		want := nre.Eval(e, st)
+		got, _, _ := evalOnStore(t, g, NRE(e, graph.RelE))
+		if len(got) != len(want) {
+			t.Fatalf("NRE %s: translation %v vs direct %v", e, got, want.Pairs())
+		}
+		for p := range got {
+			if !want[p] {
+				t.Fatalf("NRE %s: translation has extra pair %v", e, p)
+			}
+		}
+	}
+}
+
+func randNRE(rng *rand.Rand, depth int) nre.Expr {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return nre.Epsilon{}
+		case 1:
+			return nre.Label{A: labelName(rng.Intn(2))}
+		default:
+			return nre.Label{A: labelName(rng.Intn(2)), Inv: true}
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return randNRE(rng, 0)
+	case 1:
+		return nre.Concat{L: randNRE(rng, depth-1), R: randNRE(rng, depth-1)}
+	case 2:
+		return nre.Union{L: randNRE(rng, depth-1), R: randNRE(rng, depth-1)}
+	case 3:
+		return nre.Star{E: randNRE(rng, depth-1)}
+	default:
+		return nre.Nest{E: randNRE(rng, depth-1)}
+	}
+}
+
+// TestRPQTranslation checks the RPQ → TriAL* route (Corollary 2).
+func TestRPQTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	regexes := []string{
+		"a", "a b", "a|b", "a*", "a+", "a?", "(a b)* a", "a^- b", "(a|b)*",
+	}
+	for i := 0; i < 40; i++ {
+		g := randGraph(rng, 3+rng.Intn(4), 3+rng.Intn(8), 2, 0)
+		for _, rx := range regexes {
+			e := rpq.MustParseRegex(rx)
+			want := rpq.Eval(e, g)
+			got, _, _ := evalOnStore(t, g, RPQ(e, graph.RelE))
+			if len(got) != len(want) {
+				t.Fatalf("RPQ %s: translation %v vs NFA %v on\n%s", rx, got, want, g)
+			}
+			for p := range got {
+				if !want[p] {
+					t.Fatalf("RPQ %s: extra pair %v", rx, p)
+				}
+			}
+		}
+	}
+}
+
+// TestCNRETranslation checks the three-variable CNRE → TriAL construction
+// (Theorem 8) including correlated existential variables.
+func TestCNRETranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 60; i++ {
+		g := randGraph(rng, 3+rng.Intn(3), 3+rng.Intn(8), 2, 0)
+		q := &nre.CNRE{
+			Free: []string{"x", "y", "z"},
+			Atoms: []nre.CAtom{
+				{X: "x", Y: "y", E: randNRE(rng, 2)},
+				{X: "y", Y: "z", E: randNRE(rng, 2)},
+			},
+		}
+		if rng.Intn(2) == 0 {
+			q.Atoms = append(q.Atoms, nre.CAtom{X: "x", Y: "z", E: randNRE(rng, 1)})
+		}
+		e, err := CNRE(q, graph.RelE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := nre.AnswerTuples(q, nre.GraphStructure{G: g})
+		s := g.ToTriplestore()
+		ev := trial.NewEvaluator(s)
+		r, err := ev.Eval(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[[3]string]bool{}
+		r.ForEach(func(tr triplestore.Triple) {
+			got[[3]string{s.Name(tr[0]), s.Name(tr[1]), s.Name(tr[2])}] = true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("CNRE %s: %d translated answers vs %d direct\ngraph:\n%s",
+				q, len(got), len(want), g)
+		}
+		for _, w := range want {
+			if !got[[3]string{w[0], w[1], w[2]}] {
+				t.Fatalf("CNRE %s: missing answer %v", q, w)
+			}
+		}
+	}
+}
+
+// TestCNRECorrelatedExistential: a query with a shared existential
+// variable — the case the frame construction exists for.
+func TestCNRECorrelatedExistential(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("u", "a", "m1")
+	g.AddEdge("m2", "b", "w")
+	g.AddEdge("u2", "a", "m3")
+	g.AddEdge("m3", "b", "w2")
+	q := &nre.CNRE{
+		Free: []string{"x", "x", "y"},
+		Atoms: []nre.CAtom{
+			{X: "x", Y: "z", E: nre.Label{A: "a"}},
+			{X: "z", Y: "y", E: nre.Label{A: "b"}},
+		},
+	}
+	e, err := CNRE(q, graph.RelE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.ToTriplestore()
+	ev := trial.NewEvaluator(s)
+	r, err := ev.Eval(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("want exactly the u2/w2 answer, got %d:\n%s", r.Len(), s.FormatRelation(r))
+	}
+	if !r.Has(triplestore.Triple{s.Lookup("u2"), s.Lookup("u2"), s.Lookup("w2")}) {
+		t.Error("wrong answer triple")
+	}
+}
+
+// TestUCNRETranslation: unions of 3-variable CNREs (Theorem 8, second
+// bullet) translate as unions of the per-disjunct translations.
+func TestUCNRETranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 30; i++ {
+		g := randGraph(rng, 3+rng.Intn(3), 3+rng.Intn(6), 2, 0)
+		q1 := &nre.CNRE{
+			Free:  []string{"x", "y", "z"},
+			Atoms: []nre.CAtom{{X: "x", Y: "y", E: randNRE(rng, 2)}, {X: "y", Y: "z", E: randNRE(rng, 1)}},
+		}
+		q2 := &nre.CNRE{
+			Free:  []string{"x", "y", "z"},
+			Atoms: []nre.CAtom{{X: "x", Y: "z", E: randNRE(rng, 2)}, {X: "z", Y: "y", E: randNRE(rng, 1)}},
+		}
+		e, err := UCNRE([]*nre.CNRE{q1, q2}, graph.RelE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := nre.GraphStructure{G: g}
+		want := map[[3]string]bool{}
+		for _, q := range []*nre.CNRE{q1, q2} {
+			for _, tup := range nre.AnswerTuples(q, st) {
+				want[[3]string{tup[0], tup[1], tup[2]}] = true
+			}
+		}
+		s := g.ToTriplestore()
+		ev := trial.NewEvaluator(s)
+		r, err := ev.Eval(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() != len(want) {
+			t.Fatalf("UCNRE: %d translated answers vs %d direct", r.Len(), len(want))
+		}
+		r.ForEach(func(tr triplestore.Triple) {
+			if !want[[3]string{s.Name(tr[0]), s.Name(tr[1]), s.Name(tr[2])}] {
+				t.Errorf("extra answer %s", s.FormatTriple(tr))
+			}
+		})
+	}
+	if _, err := UCNRE(nil, graph.RelE); err == nil {
+		t.Error("empty UCNRE should be rejected")
+	}
+}
+
+// TestCNRETranslationErrors checks the documented restrictions.
+func TestCNRETranslationErrors(t *testing.T) {
+	fourVars := &nre.CNRE{
+		Free: []string{"x", "y", "z"},
+		Atoms: []nre.CAtom{
+			{X: "x", Y: "y", E: nre.Label{A: "a"}},
+			{X: "z", Y: "w", E: nre.Label{A: "a"}},
+		},
+	}
+	if _, err := CNRE(fourVars, graph.RelE); err == nil {
+		t.Error("4-variable CNRE should be rejected")
+	}
+	badFree := &nre.CNRE{
+		Free:  []string{"x", "y"},
+		Atoms: []nre.CAtom{{X: "x", Y: "y", E: nre.Label{A: "a"}}},
+	}
+	if _, err := CNRE(badFree, graph.RelE); err == nil {
+		t.Error("2-slot CNRE should be rejected")
+	}
+	noAtoms := &nre.CNRE{Free: []string{"x", "x", "x"}}
+	if _, err := CNRE(noAtoms, graph.RelE); err == nil {
+		t.Error("empty CNRE should be rejected")
+	}
+	unconstrained := &nre.CNRE{
+		Free:  []string{"x", "y", "y"},
+		Atoms: []nre.CAtom{{X: "x", Y: "x", E: nre.Label{A: "a"}}},
+	}
+	if _, err := CNRE(unconstrained, graph.RelE); err == nil {
+		t.Error("free variable outside atoms should be rejected")
+	}
+}

@@ -1,0 +1,204 @@
+package trial
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/triplestore"
+)
+
+// randStore builds a small random store with data values, for differential
+// testing. (The genstore package has richer generators but would create an
+// import cycle here.)
+func randStore(rng *rand.Rand, nObj, nTriples int) *triplestore.Store {
+	s := triplestore.NewStore()
+	names := make([]string, nObj)
+	for i := range names {
+		names[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+		s.SetValue(names[i], triplestore.V(string(rune('u'+rng.Intn(3)))))
+	}
+	for i := 0; i < nTriples; i++ {
+		s.Add("E", names[rng.Intn(nObj)], names[rng.Intn(nObj)], names[rng.Intn(nObj)])
+	}
+	return s
+}
+
+func randCondT(rng *rand.Rand, leftOnly bool) Cond {
+	pool := []Pos{L1, L2, L3, R1, R2, R3}
+	if leftOnly {
+		pool = pool[:3]
+	}
+	var c Cond
+	for i := rng.Intn(3); i > 0; i-- {
+		if rng.Intn(4) == 0 {
+			c.Val = append(c.Val, ValAtom{
+				L:         RhoP(pool[rng.Intn(len(pool))]),
+				R:         RhoP(pool[rng.Intn(len(pool))]),
+				Neq:       rng.Intn(3) == 0,
+				Component: -1,
+			})
+		} else {
+			c.Obj = append(c.Obj, ObjAtom{
+				L:   P(pool[rng.Intn(len(pool))]),
+				R:   P(pool[rng.Intn(len(pool))]),
+				Neq: rng.Intn(3) == 0,
+			})
+		}
+	}
+	return c
+}
+
+func randExprT(rng *rand.Rand, depth int) Expr {
+	if depth <= 1 || rng.Intn(5) == 0 {
+		return R("E")
+	}
+	out := [3]Pos{
+		Pos(rng.Intn(6)),
+		Pos(rng.Intn(6)),
+		Pos(rng.Intn(6)),
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return MustSelect(randExprT(rng, depth-1), randCondT(rng, true))
+	case 1:
+		return Union{L: randExprT(rng, depth-1), R: randExprT(rng, depth-1)}
+	case 2:
+		return Diff{L: randExprT(rng, depth-1), R: randExprT(rng, depth-1)}
+	case 3, 4:
+		return MustJoin(randExprT(rng, depth-1), out, randCondT(rng, false), randExprT(rng, depth-1))
+	default:
+		return MustStar(randExprT(rng, depth-1), out, randCondT(rng, false), rng.Intn(2) == 0)
+	}
+}
+
+// TestNaiveHashAgree differentially tests the two join strategies of §5 on
+// random TriAL* expressions: the nested-loop joins of Theorem 3 and the
+// hash joins of Proposition 4 must compute identical relations.
+func TestNaiveHashAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		s := randStore(rng, 4+rng.Intn(5), 3+rng.Intn(12))
+		e := randExprT(rng, 3)
+		naive := NewEvaluator(s)
+		naive.Mode = ModeNaive
+		hash := NewEvaluator(s)
+		a, err1 := naive.Eval(e)
+		b, err2 := hash.Eval(e)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval errors: %v / %v on %s", err1, err2, e)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("strategies disagree on %s\nnaive: %s\nhash: %s",
+				e, s.FormatRelation(a), s.FormatRelation(b))
+		}
+	}
+}
+
+// TestReachStarAgreesWithFixpoint differentially tests the Proposition 5
+// specialization against the generic star fixpoint on random stores, for
+// both reachTA= star shapes and both closure orientations.
+func TestReachStarAgreesWithFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	stars := []Expr{
+		ReachRight("E"),
+		SameLabelReach("E"),
+		MustStar(R("E"), [3]Pos{L1, L2, R3}, Cond{Obj: []ObjAtom{Eq(P(L3), P(R1))}}, true),
+		MustStar(R("E"), [3]Pos{L1, L2, R3},
+			Cond{Obj: []ObjAtom{Eq(P(L3), P(R1)), Eq(P(L2), P(R2))}}, true),
+	}
+	for trial := 0; trial < 200; trial++ {
+		s := randStore(rng, 4+rng.Intn(6), 3+rng.Intn(15))
+		for _, e := range stars {
+			fast := NewEvaluator(s)
+			slow := NewEvaluator(s)
+			slow.DisableReachStar = true
+			a, err1 := fast.Eval(e)
+			b, err2 := slow.Eval(e)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("eval errors: %v / %v", err1, err2)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("reach star disagrees with fixpoint on %s over\n%s\nfast: %s\nslow: %s",
+					e, s.FormatRelation(s.Relation("E")), s.FormatRelation(a), s.FormatRelation(b))
+			}
+		}
+	}
+}
+
+// TestClosureProperty checks the paper's central design property: every
+// expression evaluates to a set of triples over the store's objects —
+// closure of the algebra (§3).
+func TestClosureProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		s := randStore(rng, 5, 8)
+		e := randExprT(rng, 4)
+		ev := NewEvaluator(s)
+		r, err := ev.Eval(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := triplestore.ID(s.NumObjects())
+		r.ForEach(func(tr triplestore.Triple) {
+			for _, o := range tr {
+				if o >= n {
+					t.Fatalf("result triple %v mentions unknown object", tr)
+				}
+			}
+		})
+	}
+}
+
+// TestStarMonotone: the closure always contains its base (by definition
+// (e ✶)* ⊇ e), and re-applying the star is idempotent for the
+// reachability shapes.
+func TestStarMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		s := randStore(rng, 5, 10)
+		ev := NewEvaluator(s)
+		base := mustEval(t, ev, R("E"))
+		star := mustEval(t, ev, ReachRight("E"))
+		base.ForEach(func(tr triplestore.Triple) {
+			if !star.Has(tr) {
+				t.Fatalf("star lost base triple %v", tr)
+			}
+		})
+		// Idempotence: computing reach over the reach result changes nothing.
+		s2 := triplestore.NewStore()
+		for _, tr := range star.Triples() {
+			s2.Add("E", s.Name(tr[0]), s.Name(tr[1]), s.Name(tr[2]))
+		}
+		ev2 := NewEvaluator(s2)
+		star2 := mustEval(t, ev2, ReachRight("E"))
+		if star2.Len() != star.Len() {
+			t.Fatalf("reach not idempotent: %d then %d", star.Len(), star2.Len())
+		}
+	}
+}
+
+// TestUnionDiffAlgebraicLaws checks set-algebra laws through the evaluator.
+func TestUnionDiffAlgebraicLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		s := randStore(rng, 5, 10)
+		ev := NewEvaluator(s)
+		e := R("E")
+		// e ∪ e = e
+		if r := mustEval(t, ev, Union{L: e, R: e}); !r.Equal(mustEval(t, ev, e)) {
+			t.Fatal("union not idempotent")
+		}
+		// e − e = ∅
+		if r := mustEval(t, ev, Diff{L: e, R: e}); r.Len() != 0 {
+			t.Fatal("self-difference nonempty")
+		}
+		// (e^c)^c = e over the active domain
+		if r := mustEval(t, ev, Complement(Complement(e))); !r.Equal(mustEval(t, ev, e)) {
+			t.Fatal("double complement differs")
+		}
+		// e ∩ U = e
+		if r := mustEval(t, ev, Intersect(e, U())); !r.Equal(mustEval(t, ev, e)) {
+			t.Fatal("intersection with U differs")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package trial
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the evaluation plan the Evaluator would use for an
+// expression under the given mode: one line per AST node, annotated with
+// the join strategy (nested-loop vs hash, and which equality atoms become
+// hash keys) and with star specializations (the reachTA= procedures of
+// Proposition 5). It is a planning aid and a debugging tool; it performs
+// no evaluation.
+func Explain(e Expr, mode Mode, disableReachStar bool) string {
+	var b strings.Builder
+	explain(&b, e, mode, disableReachStar, 0)
+	return b.String()
+}
+
+func explain(b *strings.Builder, e Expr, mode Mode, noReach bool, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch x := e.(type) {
+	case Rel:
+		fmt.Fprintf(b, "%sscan %s\n", indent, quoteName(x.Name))
+	case Universe:
+		fmt.Fprintf(b, "%suniverse (|adom|³ triples — cubic!)\n", indent)
+	case Select:
+		fmt.Fprintf(b, "%sselect [%s]\n", indent, x.Cond)
+		explain(b, x.E, mode, noReach, depth+1)
+	case Union:
+		fmt.Fprintf(b, "%sunion\n", indent)
+		explain(b, x.L, mode, noReach, depth+1)
+		explain(b, x.R, mode, noReach, depth+1)
+	case Diff:
+		fmt.Fprintf(b, "%sdifference\n", indent)
+		explain(b, x.L, mode, noReach, depth+1)
+		explain(b, x.R, mode, noReach, depth+1)
+	case Join:
+		fmt.Fprintf(b, "%sjoin out=[%s] %s\n", indent, outString(x.Out), joinStrategy(x.Cond, mode))
+		explain(b, x.L, mode, noReach, depth+1)
+		explain(b, x.R, mode, noReach, depth+1)
+	case Star:
+		name := "right-star"
+		if x.Left {
+			name = "left-star"
+		}
+		strategy := "generic fixpoint (Thm. 3 Procedure 2)"
+		if !noReach {
+			switch reachStarKind(x) {
+			case reachAny:
+				strategy = "reachTA= Procedure 3 (per-source reachability)"
+			case reachSameLabel:
+				strategy = "reachTA= Procedure 4 (per-label reachability)"
+			}
+		}
+		fmt.Fprintf(b, "%s%s out=[%s] via %s\n", indent, name, outString(x.Out), strategy)
+		if reachStarKind(x) == reachNone || noReach {
+			fmt.Fprintf(b, "%s  (each round: %s)\n", indent, joinStrategy(x.Cond, mode))
+		}
+		explain(b, x.E, mode, noReach, depth+1)
+	}
+}
+
+// joinStrategy describes how a join condition would be executed.
+func joinStrategy(c Cond, mode Mode) string {
+	if mode == ModeNaive {
+		return "nested-loop (Thm. 3 Procedure 1)"
+	}
+	var keys []string
+	for _, a := range c.Obj {
+		if !a.Neq && !a.L.IsConst && !a.R.IsConst && a.L.Pos.Left() != a.R.Pos.Left() {
+			keys = append(keys, a.String())
+		}
+	}
+	for _, a := range c.Val {
+		if !a.Neq && !a.L.IsLit && !a.R.IsLit && a.L.Pos.Left() != a.R.Pos.Left() {
+			keys = append(keys, a.String())
+		}
+	}
+	if len(keys) == 0 {
+		return "hash (no cross-equality keys: degenerates to cross product + filter)"
+	}
+	return "hash on {" + strings.Join(keys, ", ") + "}"
+}

@@ -1,0 +1,63 @@
+package trial
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainQueryQ(t *testing.T) {
+	out := Explain(QueryQ("E"), ModeAuto, false)
+	for _, want := range []string{
+		"Procedure 4",      // outer star: same-label reachability
+		"generic fixpoint", // inner star is not a reachTA= shape
+		"scan E",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain(Q) missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainModes(t *testing.T) {
+	e := Example2("E")
+	auto := Explain(e, ModeAuto, false)
+	if !strings.Contains(auto, "hash on {2=1'}") {
+		t.Errorf("auto plan missing hash key:\n%s", auto)
+	}
+	naive := Explain(e, ModeNaive, false)
+	if !strings.Contains(naive, "nested-loop") {
+		t.Errorf("naive plan missing nested-loop:\n%s", naive)
+	}
+}
+
+func TestExplainDisabledReach(t *testing.T) {
+	out := Explain(ReachRight("E"), ModeAuto, true)
+	if strings.Contains(out, "Procedure 3") {
+		t.Errorf("disabled reach star still specialized:\n%s", out)
+	}
+	if !strings.Contains(out, "generic fixpoint") {
+		t.Errorf("plan missing fixpoint note:\n%s", out)
+	}
+	on := Explain(ReachRight("E"), ModeAuto, false)
+	if !strings.Contains(on, "Procedure 3") {
+		t.Errorf("reach star not specialized:\n%s", on)
+	}
+}
+
+func TestExplainCoversAllNodes(t *testing.T) {
+	six, _ := DistinctObjects(6)
+	e := Union{
+		L: MustSelect(Complement(R("E")), Cond{Obj: []ObjAtom{Eq(P(L1), P(L2))}}),
+		R: Intersect(six, U()),
+	}
+	out := Explain(e, ModeAuto, false)
+	for _, want := range []string{"union", "difference", "select", "universe", "join"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan missing %q:\n%s", want, out)
+		}
+	}
+	// Inequality-only join degenerates.
+	if !strings.Contains(out, "degenerates") {
+		t.Errorf("plan should flag the keyless join:\n%s", out)
+	}
+}

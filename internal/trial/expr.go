@@ -1,0 +1,238 @@
+package trial
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a TriAL* expression. Expressions are immutable once built; use
+// the constructor functions, which validate positions and conditions.
+type Expr interface {
+	// String renders the expression in the textual syntax accepted by Parse.
+	String() string
+	isExpr()
+}
+
+// Rel refers to a named relation of the triplestore.
+type Rel struct{ Name string }
+
+// Universe is the universal relation U of §3: all triples over the active
+// domain (objects occurring in some triple of the store). The paper shows
+// U is definable from joins and union; it is provided as a primitive both
+// for convenience and because complements (e^c = U − e) are pervasive.
+type Universe struct{}
+
+// Select is the selection σ_{θ,η}(E). Conditions may mention only
+// positions 1, 2, 3.
+type Select struct {
+	E    Expr
+	Cond Cond
+}
+
+// Union is e1 ∪ e2.
+type Union struct{ L, R Expr }
+
+// Diff is e1 − e2.
+type Diff struct{ L, R Expr }
+
+// Join is the triple join e1 ✶^{i,j,k}_{θ,η} e2. Out lists the three
+// output positions (i, j, k), each one of the six join positions; Cond
+// holds θ (object conditions) and η (data conditions).
+type Join struct {
+	L, R Expr
+	Out  [3]Pos
+	Cond Cond
+}
+
+// Star is the Kleene closure of a join: (e ✶^{i,j,k}_{θ,η})* when
+// Left is false (right closure) and (✶^{i,j,k}_{θ,η} e)* when Left is
+// true. The two differ because triple joins are not associative
+// (Example 3 of the paper).
+type Star struct {
+	E    Expr
+	Out  [3]Pos
+	Cond Cond
+	Left bool
+}
+
+func (Rel) isExpr()      {}
+func (Universe) isExpr() {}
+func (Select) isExpr()   {}
+func (Union) isExpr()    {}
+func (Diff) isExpr()     {}
+func (Join) isExpr()     {}
+func (Star) isExpr()     {}
+
+// R is a convenience constructor for a relation reference.
+func R(name string) Rel { return Rel{Name: name} }
+
+// U is the universal relation.
+func U() Universe { return Universe{} }
+
+// NewSelect validates and builds a selection.
+func NewSelect(e Expr, c Cond) (Select, error) {
+	if !c.leftOnly() {
+		return Select{}, fmt.Errorf("trial: selection condition %q mentions primed positions", c.String())
+	}
+	return Select{E: e, Cond: c}, nil
+}
+
+// MustSelect is NewSelect, panicking on error. Intended for statically
+// known expressions (tests, examples).
+func MustSelect(e Expr, c Cond) Select {
+	s, err := NewSelect(e, c)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewJoin validates and builds a join with output positions i, j, k.
+func NewJoin(l Expr, out [3]Pos, c Cond, r Expr) (Join, error) {
+	for _, p := range out {
+		if !p.Valid() {
+			return Join{}, fmt.Errorf("trial: invalid output position %v", p)
+		}
+	}
+	return Join{L: l, R: r, Out: out, Cond: c}, nil
+}
+
+// MustJoin is NewJoin, panicking on error.
+func MustJoin(l Expr, out [3]Pos, c Cond, r Expr) Join {
+	j, err := NewJoin(l, out, c, r)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// NewStar validates and builds a Kleene closure of a join over e.
+func NewStar(e Expr, out [3]Pos, c Cond, left bool) (Star, error) {
+	for _, p := range out {
+		if !p.Valid() {
+			return Star{}, fmt.Errorf("trial: invalid output position %v", p)
+		}
+	}
+	return Star{E: e, Out: out, Cond: c, Left: left}, nil
+}
+
+// MustStar is NewStar, panicking on error.
+func MustStar(e Expr, out [3]Pos, c Cond, left bool) Star {
+	s, err := NewStar(e, out, c, left)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Intersect builds e1 ∩ e2 as the join of §3:
+// e1 ✶^{1,2,3}_{1=1′,2=2′,3=3′} e2.
+func Intersect(l, r Expr) Join {
+	return MustJoin(l, [3]Pos{L1, L2, L3},
+		Cond{Obj: []ObjAtom{Eq(P(L1), P(R1)), Eq(P(L2), P(R2)), Eq(P(L3), P(R3))}}, r)
+}
+
+// Complement builds e^c = U − e.
+func Complement(e Expr) Diff { return Diff{L: U(), R: e} }
+
+// EqualityOnly reports whether every condition in the expression uses only
+// equalities — membership in the TriAL= fragment (§5, Proposition 4).
+func EqualityOnly(e Expr) bool {
+	switch x := e.(type) {
+	case Rel, Universe:
+		return true
+	case Select:
+		return x.Cond.EqualityOnly() && EqualityOnly(x.E)
+	case Union:
+		return EqualityOnly(x.L) && EqualityOnly(x.R)
+	case Diff:
+		return EqualityOnly(x.L) && EqualityOnly(x.R)
+	case Join:
+		return x.Cond.EqualityOnly() && EqualityOnly(x.L) && EqualityOnly(x.R)
+	case Star:
+		return x.Cond.EqualityOnly() && EqualityOnly(x.E)
+	}
+	return false
+}
+
+// Size returns the number of AST nodes, the |e| of the paper's bounds.
+func Size(e Expr) int {
+	switch x := e.(type) {
+	case Rel, Universe:
+		return 1
+	case Select:
+		return 1 + Size(x.E)
+	case Union:
+		return 1 + Size(x.L) + Size(x.R)
+	case Diff:
+		return 1 + Size(x.L) + Size(x.R)
+	case Join:
+		return 1 + Size(x.L) + Size(x.R)
+	case Star:
+		return 1 + Size(x.E)
+	}
+	return 1
+}
+
+// Relations returns the names of the store relations the expression
+// mentions, in first-occurrence order.
+func Relations(e Expr) []string {
+	var names []string
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case Rel:
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				names = append(names, x.Name)
+			}
+		case Select:
+			walk(x.E)
+		case Union:
+			walk(x.L)
+			walk(x.R)
+		case Diff:
+			walk(x.L)
+			walk(x.R)
+		case Join:
+			walk(x.L)
+			walk(x.R)
+		case Star:
+			walk(x.E)
+		}
+	}
+	walk(e)
+	return names
+}
+
+func (r Rel) String() string    { return quoteName(r.Name) }
+func (Universe) String() string { return "U" }
+func (s Select) String() string { return "sigma[" + s.Cond.String() + "](" + s.E.String() + ")" }
+func (u Union) String() string  { return "union(" + u.L.String() + ", " + u.R.String() + ")" }
+func (d Diff) String() string   { return "diff(" + d.L.String() + ", " + d.R.String() + ")" }
+
+func outString(out [3]Pos) string {
+	parts := []string{out[0].String(), out[1].String(), out[2].String()}
+	return strings.Join(parts, ",")
+}
+
+func (j Join) String() string {
+	head := "join[" + outString(j.Out)
+	if !j.Cond.Empty() {
+		head += "; " + j.Cond.String()
+	}
+	return head + "](" + j.L.String() + ", " + j.R.String() + ")"
+}
+
+func (s Star) String() string {
+	name := "rstar"
+	if s.Left {
+		name = "lstar"
+	}
+	head := name + "[" + outString(s.Out)
+	if !s.Cond.Empty() {
+		head += "; " + s.Cond.String()
+	}
+	return head + "](" + s.E.String() + ")"
+}

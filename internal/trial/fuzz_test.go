@@ -1,0 +1,44 @@
+package trial
+
+import "testing"
+
+// FuzzParse checks that the expression parser never panics and that
+// successfully parsed expressions render/reparse stably. Run with
+// `go test -fuzz=FuzzParse ./internal/trial`; the seed corpus runs as an
+// ordinary test.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"E",
+		"U",
+		"union(E, F)",
+		"diff(U, E)",
+		"sigma[1=2,p(1)!=p(3)](E)",
+		"join[1,3',3; 2=1'](E, E)",
+		"rstar[1,2,3'; 3=1',2=2'](rstar[1,3',3; 2=1'](E))",
+		"lstar[1',2',3; 1=2'](E)",
+		`sigma[2="part of"](E)`,
+		"comp(inter(E, F))",
+		"join[1,1,1](U, U)",
+		"sigma[p(1)=p(2)@3](E)",
+		"join[",
+		"sigma[1=](E)",
+		"))))",
+		"rstar[9,9,9](E)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return
+		}
+		s1 := e.String()
+		e2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("rendering of parsed %q does not reparse: %q: %v", input, s1, err)
+		}
+		if s2 := e2.String(); s1 != s2 {
+			t.Fatalf("unstable rendering: %q vs %q", s1, s2)
+		}
+	})
+}

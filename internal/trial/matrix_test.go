@@ -1,0 +1,132 @@
+package trial
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/triplestore"
+)
+
+func TestMatrixExample2(t *testing.T) {
+	s := transport()
+	mv := NewMatrixEvaluator(s)
+	r, err := mv.Eval(Example2("E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExactly(t, s, r, [][3]string{
+		{"St. Andrews", "NatExpress", "Edinburgh"},
+		{"Edinburgh", "EastCoast", "London"},
+		{"London", "Eurostar", "Brussels"},
+	})
+}
+
+func TestMatrixQueryQ(t *testing.T) {
+	s := transport()
+	mv := NewMatrixEvaluator(s)
+	want := mustEval(t, NewEvaluator(s), QueryQ("E"))
+	got, err := mv.Eval(QueryQ("E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("matrix Q disagrees:\nmatrix: %sset: %s",
+			s.FormatRelation(got), s.FormatRelation(want))
+	}
+}
+
+// TestMatrixAgreesWithSet differentially tests the matrix evaluator (the
+// paper's literal array algorithms) against the set-based evaluator on
+// random expressions and stores.
+func TestMatrixAgreesWithSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		s := randStore(rng, 4+rng.Intn(5), 3+rng.Intn(12))
+		e := randExprT(rng, 3)
+		set := NewEvaluator(s)
+		mv := NewMatrixEvaluator(s)
+		a, err1 := set.Eval(e)
+		b, err2 := mv.Eval(e)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval errors: %v / %v on %s", err1, err2, e)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("matrix evaluator disagrees on %s\nset: %s\nmatrix: %s",
+				e, s.FormatRelation(a), s.FormatRelation(b))
+		}
+	}
+}
+
+// TestMatrixReachVsFixpoint exercises both matrix star paths (Procedures
+// 2 vs 3/4).
+func TestMatrixReachVsFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for i := 0; i < 60; i++ {
+		s := randStore(rng, 5+rng.Intn(4), 4+rng.Intn(12))
+		for _, e := range []Expr{ReachRight("E"), SameLabelReach("E")} {
+			fast := NewMatrixEvaluator(s)
+			slow := NewMatrixEvaluator(s)
+			slow.DisableReachStar = true
+			a, err1 := fast.Eval(e)
+			b, err2 := slow.Eval(e)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("eval errors: %v / %v", err1, err2)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("Procedure 3/4 disagrees with Procedure 2 on %s", e)
+			}
+		}
+	}
+}
+
+func TestMatrixErrors(t *testing.T) {
+	mv := NewMatrixEvaluator(triplestore.NewStore())
+	if _, err := mv.Eval(R("missing")); err == nil {
+		t.Error("unknown relation should error")
+	}
+	if _, err := mv.Eval(Union{L: R("missing"), R: R("missing")}); err == nil {
+		t.Error("error should propagate")
+	}
+}
+
+func TestBitcubeBasics(t *testing.T) {
+	c := newCube(5)
+	tr := triplestore.Triple{4, 3, 2}
+	if c.has(tr) {
+		t.Error("fresh cube has bit set")
+	}
+	c.set(tr)
+	if !c.has(tr) || c.count() != 1 {
+		t.Error("set/has/count broken")
+	}
+	var seen []triplestore.Triple
+	c.forEach(func(t triplestore.Triple) { seen = append(seen, t) })
+	if len(seen) != 1 || seen[0] != tr {
+		t.Errorf("forEach = %v", seen)
+	}
+	d := c.clone()
+	d.set(triplestore.Triple{0, 0, 0})
+	if c.count() != 1 || d.count() != 2 {
+		t.Error("clone shares storage")
+	}
+	d.andNot(c)
+	if d.has(tr) || d.count() != 1 {
+		t.Error("andNot broken")
+	}
+}
+
+func TestBitmatrixWarshall(t *testing.T) {
+	m := newMatrix(70) // spans two words per row
+	m.set(0, 1)
+	m.set(1, 69)
+	m.set(69, 0)
+	m.warshall()
+	for _, pair := range [][2]int{{0, 69}, {1, 0}, {69, 1}, {0, 0}} {
+		if !m.has(pair[0], pair[1]) {
+			t.Errorf("closure missing (%d,%d)", pair[0], pair[1])
+		}
+	}
+	if m.has(2, 3) {
+		t.Error("closure invented an edge")
+	}
+}

@@ -1,0 +1,134 @@
+package trial
+
+// Optimize applies semantics-preserving algebraic rewrites to an
+// expression. The paper's algorithms treat the expression as given; these
+// rewrites are the obvious engineering layer on top:
+//
+//   - σ_c2(σ_c1(e))           → σ_{c1∧c2}(e)         (selection fusion)
+//   - σ_∅(e)                  → e                    (trivial selection)
+//   - σ_c(e1 ∪ e2)            → σ_c(e1) ∪ σ_c(e2)    (pushdown)
+//   - σ_c(e1 − e2)            → σ_c(e1) − e2         (pushdown)
+//   - σ_c(e1 ✶^{out}_θ e2)    → e1 ✶^{out}_{θ∧c′} e2 (fusion into the join,
+//     with c′ = c re-indexed through the join's output positions)
+//   - e ∪ e                   → e                    (syntactic idempotence)
+//
+// Fusing selections into joins matters beyond constant factors: equality
+// atoms that reach the join condition become hash keys for the
+// Proposition 4 strategy, turning filter-after-join into an indexed join.
+func Optimize(e Expr) Expr {
+	switch x := e.(type) {
+	case Rel, Universe:
+		return e
+	case Select:
+		inner := Optimize(x.E)
+		if x.Cond.Empty() {
+			return inner
+		}
+		switch child := inner.(type) {
+		case Select:
+			return Optimize(Select{E: child.E, Cond: mergeConds(child.Cond, x.Cond)})
+		case Union:
+			return Union{
+				L: Optimize(Select{E: child.L, Cond: x.Cond}),
+				R: Optimize(Select{E: child.R, Cond: x.Cond}),
+			}
+		case Diff:
+			return Diff{
+				L: Optimize(Select{E: child.L, Cond: x.Cond}),
+				R: child.R,
+			}
+		case Join:
+			return Join{
+				L:    child.L,
+				R:    child.R,
+				Out:  child.Out,
+				Cond: mergeConds(child.Cond, reindexThroughOut(x.Cond, child.Out)),
+			}
+		}
+		return Select{E: inner, Cond: x.Cond}
+	case Union:
+		l, r := Optimize(x.L), Optimize(x.R)
+		if l.String() == r.String() {
+			return l
+		}
+		return Union{L: l, R: r}
+	case Diff:
+		return Diff{L: Optimize(x.L), R: Optimize(x.R)}
+	case Join:
+		return Join{L: Optimize(x.L), R: Optimize(x.R), Out: x.Out, Cond: x.Cond}
+	case Star:
+		return Star{E: Optimize(x.E), Out: x.Out, Cond: x.Cond, Left: x.Left}
+	}
+	return e
+}
+
+func mergeConds(a, b Cond) Cond {
+	return Cond{
+		Obj: append(append([]ObjAtom{}, a.Obj...), b.Obj...),
+		Val: append(append([]ValAtom{}, a.Val...), b.Val...),
+	}
+}
+
+// reindexThroughOut maps a selection condition over a join's *output*
+// positions (1, 2, 3) to the join's *input* positions, using the output
+// projection: output position i is fed from out[i].
+func reindexThroughOut(c Cond, out [3]Pos) Cond {
+	mapTerm := func(t ObjTerm) ObjTerm {
+		if t.IsConst {
+			return t
+		}
+		return P(out[t.Pos.Index()])
+	}
+	mapVTerm := func(t ValTerm) ValTerm {
+		if t.IsLit {
+			return t
+		}
+		return RhoP(out[t.Pos.Index()])
+	}
+	var c2 Cond
+	for _, a := range c.Obj {
+		c2.Obj = append(c2.Obj, ObjAtom{L: mapTerm(a.L), R: mapTerm(a.R), Neq: a.Neq})
+	}
+	for _, a := range c.Val {
+		c2.Val = append(c2.Val, ValAtom{L: mapVTerm(a.L), R: mapVTerm(a.R), Neq: a.Neq, Component: a.Component})
+	}
+	return c2
+}
+
+// Semijoin builds e1 ⋉_{θ,η} e2: the triples of e1 for which some triple
+// of e2 satisfies the condition. In TriAL this is simply the join that
+// keeps positions 1, 2, 3 — closure makes semijoins a derived operator,
+// which is why the paper's §7 can ask about the semijoin-only fragment
+// (related to the guarded fragment of FO) as a *restriction* of the
+// algebra.
+func Semijoin(l Expr, c Cond, r Expr) Join {
+	return MustJoin(l, [3]Pos{L1, L2, L3}, c, r)
+}
+
+// Antijoin builds e1 − (e1 ⋉_{θ,η} e2): the triples of e1 with no
+// matching triple in e2.
+func Antijoin(l Expr, c Cond, r Expr) Diff {
+	return Diff{L: l, R: Semijoin(l, c, r)}
+}
+
+// SemijoinOnly reports whether the expression lies in the semijoin
+// fragment the paper's conclusion proposes: every join keeps exactly the
+// left operand's positions (1, 2, 3) in order. Selections, unions and
+// differences are allowed; stars and general joins are not.
+func SemijoinOnly(e Expr) bool {
+	switch x := e.(type) {
+	case Rel, Universe:
+		return true
+	case Select:
+		return SemijoinOnly(x.E)
+	case Union:
+		return SemijoinOnly(x.L) && SemijoinOnly(x.R)
+	case Diff:
+		return SemijoinOnly(x.L) && SemijoinOnly(x.R)
+	case Join:
+		return x.Out == [3]Pos{L1, L2, L3} && SemijoinOnly(x.L) && SemijoinOnly(x.R)
+	case Star:
+		return false
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package trial
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOptimizeFusesSelections(t *testing.T) {
+	e := MustSelect(MustSelect(R("E"), Cond{Obj: []ObjAtom{Eq(P(L1), P(L2))}}),
+		Cond{Obj: []ObjAtom{Neq(P(L2), P(L3))}})
+	o := Optimize(e)
+	sel, ok := o.(Select)
+	if !ok {
+		t.Fatalf("optimized to %T (%s)", o, o)
+	}
+	if len(sel.Cond.Obj) != 2 {
+		t.Errorf("conditions not fused: %s", o)
+	}
+	if _, nested := sel.E.(Select); nested {
+		t.Errorf("nested selection survived: %s", o)
+	}
+}
+
+func TestOptimizeDropsEmptySelection(t *testing.T) {
+	e := MustSelect(R("E"), Cond{})
+	if got := Optimize(e); got.String() != "E" {
+		t.Errorf("Optimize = %s", got)
+	}
+}
+
+func TestOptimizePushesIntoJoin(t *testing.T) {
+	join := Example2("E") // out = (1, 3', 3)
+	sel := MustSelect(join, Cond{Obj: []ObjAtom{Eq(P(L2), Obj("NatExpress"))}})
+	o := Optimize(sel)
+	j, ok := o.(Join)
+	if !ok {
+		t.Fatalf("optimized to %T (%s)", o, o)
+	}
+	// The selection on output position 2 must now constrain join position
+	// 3' (the second output slot of Example 2).
+	found := false
+	for _, a := range j.Cond.Obj {
+		if !a.L.IsConst && a.L.Pos == R3 && a.R.IsConst && a.R.Name == "NatExpress" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("selection not reindexed into join: %s", o)
+	}
+}
+
+func TestOptimizeUnionIdempotence(t *testing.T) {
+	e := Union{L: Example2("E"), R: Example2("E")}
+	if _, ok := Optimize(e).(Join); !ok {
+		t.Errorf("duplicate union not collapsed: %s", Optimize(e))
+	}
+}
+
+// TestOptimizePreservesSemantics is the equivalence property test: the
+// optimized expression computes the same relation, under all three
+// evaluation strategies.
+func TestOptimizePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 250; i++ {
+		s := randStore(rng, 4+rng.Intn(5), 3+rng.Intn(12))
+		e := randExprT(rng, 4)
+		o := Optimize(e)
+		want := mustEval(t, NewEvaluator(s), e)
+		hash := mustEval(t, NewEvaluator(s), o)
+		if !hash.Equal(want) {
+			t.Fatalf("optimizer changed semantics (hash)\noriginal: %s\noptimized: %s", e, o)
+		}
+		naive := NewEvaluator(s)
+		naive.Mode = ModeNaive
+		nv := mustEval(t, naive, o)
+		if !nv.Equal(want) {
+			t.Fatalf("optimizer changed semantics (naive)\noriginal: %s\noptimized: %s", e, o)
+		}
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for i := 0; i < 100; i++ {
+		e := randExprT(rng, 4)
+		once := Optimize(e)
+		twice := Optimize(once)
+		if once.String() != twice.String() {
+			t.Fatalf("optimizer not idempotent:\nonce: %s\ntwice: %s", once, twice)
+		}
+	}
+}
+
+func TestSemijoin(t *testing.T) {
+	s := transport()
+	ev := NewEvaluator(s)
+	// Triples whose predicate has a part_of parent.
+	semi := Semijoin(R("E"), Cond{Obj: []ObjAtom{
+		Eq(P(L2), P(R1)),
+		Eq(P(R2), Obj("part_of")),
+	}}, R("E"))
+	r := mustEval(t, ev, semi)
+	// Exactly the three city/service/city triples plus (EastCoast, ...)? —
+	// triples whose middle object is the subject of a part_of triple:
+	// the three service edges (their operators have part_of) …
+	wantExactly(t, s, r, [][3]string{
+		{"St. Andrews", "Bus Op 1", "Edinburgh"},
+		{"Edinburgh", "Train Op 1", "London"},
+		{"London", "Train Op 2", "Brussels"},
+	})
+	anti := Antijoin(R("E"), Cond{Obj: []ObjAtom{
+		Eq(P(L2), P(R1)),
+		Eq(P(R2), Obj("part_of")),
+	}}, R("E"))
+	ra := mustEval(t, ev, anti)
+	if ra.Len() != 4 {
+		t.Errorf("antijoin size = %d, want 4 (the part_of triples)", ra.Len())
+	}
+}
+
+func TestSemijoinOnly(t *testing.T) {
+	semi := Semijoin(R("E"), Cond{}, R("F"))
+	if !SemijoinOnly(semi) {
+		t.Error("semijoin should be in the fragment")
+	}
+	if !SemijoinOnly(Antijoin(R("E"), Cond{}, R("F"))) {
+		t.Error("antijoin should be in the fragment")
+	}
+	if SemijoinOnly(Example2("E")) {
+		t.Error("general join should not be in the fragment")
+	}
+	if SemijoinOnly(ReachRight("E")) {
+		t.Error("stars should not be in the fragment")
+	}
+}

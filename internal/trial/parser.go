@@ -1,0 +1,393 @@
+package trial
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/triplestore"
+)
+
+// Parse parses the textual TriAL* syntax produced by Expr.String:
+//
+//	expr  := U | name | "quoted name"
+//	       | sigma[cond](expr)
+//	       | union(expr, expr) | diff(expr, expr) | inter(expr, expr)
+//	       | comp(expr)
+//	       | join[i,j,k; cond](expr, expr)
+//	       | rstar[i,j,k; cond](expr)       // (e ✶)*
+//	       | lstar[i,j,k; cond](expr)       // (✶ e)*
+//	cond  := atom ("," atom)*
+//	atom  := term (= | !=) term             // θ: object condition
+//	       | vterm (= | !=) vterm [@N]      // η: data condition
+//	term  := 1 | 2 | 3 | 1' | 2' | 3' | name | "quoted name"
+//	vterm := p(position) | "literal"
+//
+// Inside conditions the bare tokens 1, 2, 3, 1', 2', 3' denote positions;
+// quote an object name consisting of such a digit to use it as a constant.
+func Parse(input string) (Expr, error) {
+	p := &parser{lex: newLexer(input)}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.lex.peek(); tok.kind != tokEOF {
+		return nil, fmt.Errorf("trial: unexpected trailing input %q", tok.text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse, panicking on error. For statically known expressions.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokPunct // one of [ ] ( ) , ; = @ and != as a unit
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	in   string
+	pos  int
+	tok  token
+	errs []string
+}
+
+func newLexer(in string) *lexer {
+	l := &lexer{in: in}
+	l.advance()
+	return l
+}
+
+func (l *lexer) peek() token { return l.tok }
+
+func (l *lexer) next() token {
+	t := l.tok
+	l.advance()
+	return t
+}
+
+func (l *lexer) advance() {
+	for l.pos < len(l.in) && unicode.IsSpace(rune(l.in[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		l.tok = token{kind: tokEOF}
+		return
+	}
+	c := l.in[l.pos]
+	switch {
+	case c == '"':
+		j := strings.IndexByte(l.in[l.pos+1:], '"')
+		if j < 0 {
+			l.errs = append(l.errs, "unterminated string")
+			l.tok = token{kind: tokEOF}
+			return
+		}
+		l.tok = token{kind: tokString, text: l.in[l.pos+1 : l.pos+1+j]}
+		l.pos += j + 2
+	case strings.IndexByte("[](),;=@", c) >= 0:
+		l.tok = token{kind: tokPunct, text: string(c)}
+		l.pos++
+	case c == '!':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			l.tok = token{kind: tokPunct, text: "!="}
+			l.pos += 2
+		} else {
+			l.errs = append(l.errs, "lone '!'")
+			l.tok = token{kind: tokEOF}
+		}
+	default:
+		start := l.pos
+		for l.pos < len(l.in) && isIdentByte(l.in[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start {
+			l.errs = append(l.errs, fmt.Sprintf("unexpected character %q", c))
+			l.tok = token{kind: tokEOF}
+			return
+		}
+		l.tok = token{kind: tokIdent, text: l.in[start:l.pos]}
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == '\'' || c == ':' || c == '/' || c == '#' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+type parser struct {
+	lex *lexer
+}
+
+func (p *parser) expect(text string) error {
+	tok := p.lex.next()
+	if tok.text != text || tok.kind == tokString {
+		return fmt.Errorf("trial: expected %q, got %q", text, tok.text)
+	}
+	return nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	tok := p.lex.next()
+	if tok.kind == tokString {
+		return Rel{Name: tok.text}, nil
+	}
+	if tok.kind != tokIdent {
+		return nil, fmt.Errorf("trial: expected expression, got %q", tok.text)
+	}
+	switch tok.text {
+	case "U":
+		return Universe{}, nil
+	case "sigma":
+		cond, err := p.parseBracketCond()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return NewSelect(args[0], cond)
+	case "union", "diff", "inter":
+		args, err := p.parseArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		switch tok.text {
+		case "union":
+			return Union{L: args[0], R: args[1]}, nil
+		case "diff":
+			return Diff{L: args[0], R: args[1]}, nil
+		default:
+			return Intersect(args[0], args[1]), nil
+		}
+	case "comp":
+		args, err := p.parseArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return Complement(args[0]), nil
+	case "join":
+		out, cond, err := p.parseOutCond()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return NewJoin(args[0], out, cond, args[1])
+	case "rstar", "lstar":
+		out, cond, err := p.parseOutCond()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return NewStar(args[0], out, cond, tok.text == "lstar")
+	default:
+		return Rel{Name: tok.text}, nil
+	}
+}
+
+func (p *parser) parseArgs(n int) ([]Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// parseOutCond parses "[i,j,k]" or "[i,j,k; cond]".
+func (p *parser) parseOutCond() ([3]Pos, Cond, error) {
+	var out [3]Pos
+	if err := p.expect("["); err != nil {
+		return out, Cond{}, err
+	}
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			if err := p.expect(","); err != nil {
+				return out, Cond{}, err
+			}
+		}
+		tok := p.lex.next()
+		pos, err := ParsePos(tok.text)
+		if err != nil {
+			return out, Cond{}, err
+		}
+		out[i] = pos
+	}
+	var cond Cond
+	switch tok := p.lex.next(); tok.text {
+	case "]":
+		return out, cond, nil
+	case ";":
+		c, err := p.parseCond()
+		if err != nil {
+			return out, Cond{}, err
+		}
+		if err := p.expect("]"); err != nil {
+			return out, Cond{}, err
+		}
+		return out, c, nil
+	default:
+		return out, Cond{}, fmt.Errorf("trial: expected ';' or ']', got %q", tok.text)
+	}
+}
+
+// parseBracketCond parses "[cond]" (possibly empty: "[]").
+func (p *parser) parseBracketCond() (Cond, error) {
+	if err := p.expect("["); err != nil {
+		return Cond{}, err
+	}
+	if p.lex.peek().text == "]" && p.lex.peek().kind == tokPunct {
+		p.lex.next()
+		return Cond{}, nil
+	}
+	c, err := p.parseCond()
+	if err != nil {
+		return Cond{}, err
+	}
+	if err := p.expect("]"); err != nil {
+		return Cond{}, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	var c Cond
+	for {
+		if err := p.parseAtom(&c); err != nil {
+			return Cond{}, err
+		}
+		if p.lex.peek().kind == tokPunct && p.lex.peek().text == "," {
+			p.lex.next()
+			continue
+		}
+		return c, nil
+	}
+}
+
+func (p *parser) parseAtom(c *Cond) error {
+	// Data atom: p(pos) op vterm.
+	if p.lex.peek().kind == tokIdent && p.lex.peek().text == "p" {
+		l, err := p.parseValTerm()
+		if err != nil {
+			return err
+		}
+		neq, err := p.parseOp()
+		if err != nil {
+			return err
+		}
+		r, err := p.parseValTerm()
+		if err != nil {
+			return err
+		}
+		comp := -1
+		if p.lex.peek().kind == tokPunct && p.lex.peek().text == "@" {
+			p.lex.next()
+			tok := p.lex.next()
+			n, err := strconv.Atoi(tok.text)
+			if err != nil {
+				return fmt.Errorf("trial: bad component index %q", tok.text)
+			}
+			comp = n
+		}
+		c.Val = append(c.Val, ValAtom{L: l, R: r, Neq: neq, Component: comp})
+		return nil
+	}
+	l, err := p.parseObjTerm()
+	if err != nil {
+		return err
+	}
+	neq, err := p.parseOp()
+	if err != nil {
+		return err
+	}
+	r, err := p.parseObjTerm()
+	if err != nil {
+		return err
+	}
+	c.Obj = append(c.Obj, ObjAtom{L: l, R: r, Neq: neq})
+	return nil
+}
+
+func (p *parser) parseOp() (neq bool, err error) {
+	tok := p.lex.next()
+	switch tok.text {
+	case "=":
+		return false, nil
+	case "!=":
+		return true, nil
+	}
+	return false, fmt.Errorf("trial: expected '=' or '!=', got %q", tok.text)
+}
+
+func (p *parser) parseObjTerm() (ObjTerm, error) {
+	tok := p.lex.next()
+	if tok.kind == tokString {
+		return Obj(tok.text), nil
+	}
+	if tok.kind != tokIdent {
+		return ObjTerm{}, fmt.Errorf("trial: expected term, got %q", tok.text)
+	}
+	if pos, err := ParsePos(tok.text); err == nil {
+		return P(pos), nil
+	}
+	return Obj(tok.text), nil
+}
+
+func (p *parser) parseValTerm() (ValTerm, error) {
+	tok := p.lex.next()
+	if tok.kind == tokString {
+		return Lit(triplestore.V(tok.text)), nil
+	}
+	if tok.kind == tokIdent && tok.text == "p" {
+		if err := p.expect("("); err != nil {
+			return ValTerm{}, err
+		}
+		ptok := p.lex.next()
+		pos, err := ParsePos(ptok.text)
+		if err != nil {
+			return ValTerm{}, err
+		}
+		if err := p.expect(")"); err != nil {
+			return ValTerm{}, err
+		}
+		return RhoP(pos), nil
+	}
+	return ValTerm{}, fmt.Errorf("trial: expected data term, got %q", tok.text)
+}

@@ -1,0 +1,128 @@
+package trial
+
+import (
+	"testing"
+
+	"repro/internal/triplestore"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // expected String() of parsed expression; "" = same as in
+	}{
+		{"E", ""},
+		{"U", ""},
+		{`"Train Op 1"`, ""},
+		{"union(E, F)", ""},
+		{"diff(U, E)", ""},
+		{"sigma[1=2](E)", ""},
+		{"sigma[2=part_of](E)", ""},
+		{"sigma[1!=3](E)", ""},
+		{"join[1,3',3; 2=1'](E, E)", ""},
+		{"join[1,2,3](E, F)", ""},
+		{"rstar[1,2,3'; 3=1'](E)", ""},
+		{"lstar[1',2',3; 1=2'](E)", ""},
+		{`sigma[p(1)=p(3)](E)`, ""},
+		{`sigma[p(2)="blue"](E)`, ""},
+		{`sigma[p(1)!=p(3)@2](E)`, ""},
+		{"inter(E, F)", "join[1,2,3; 1=1',2=2',3=3'](E, F)"},
+		{"comp(E)", "diff(U, E)"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		want := c.want
+		if want == "" {
+			want = c.in
+		}
+		if got := e.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"union(E)",
+		"union(E, F, G)",
+		"join[1,2](E, F)",
+		"join[1,2,9](E, F)",
+		"sigma[1=1'](E)", // selection may not mention primed positions
+		"sigma[1-2](E)",
+		"rstar[1,2,3'(E)",
+		"E F",
+		`"unterminated`,
+		"join[1,2,3; p(1)=2](E, F)",
+		"sigma[p(1)=p(3)@x](E)",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+}
+
+// TestParseRoundTrip checks that String() output re-parses to an identical
+// rendering for the paper's named queries.
+func TestParseRoundTrip(t *testing.T) {
+	six, _ := DistinctObjects(6)
+	for _, e := range []Expr{
+		Example2("E"),
+		Example2Extended("E"),
+		ReachRight("E"),
+		ReachUp("E"),
+		ReachUpRight("E"),
+		SameLabelReach("E"),
+		QueryQ("E"),
+		six,
+		Diagonal(),
+		Intersect(R("E"), Complement(R("F"))),
+	} {
+		s1 := e.String()
+		e2, err := Parse(s1)
+		if err != nil {
+			t.Errorf("reparse %q: %v", s1, err)
+			continue
+		}
+		if s2 := e2.String(); s2 != s1 {
+			t.Errorf("round trip changed rendering:\n in: %s\nout: %s", s1, s2)
+		}
+	}
+}
+
+// TestParsedEvaluates checks that a parsed expression evaluates like the
+// programmatically built one.
+func TestParsedEvaluates(t *testing.T) {
+	s := transport()
+	ev := NewEvaluator(s)
+	built := mustEval(t, ev, Example2("E"))
+	parsed, err := Parse("join[1,3',3; 2=1'](E, E)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustEval(t, ev, parsed)
+	if !got.Equal(built) {
+		t.Errorf("parsed and built expressions disagree")
+	}
+}
+
+// TestParseQuotedPositionConstant: a quoted "1" is an object constant, not
+// a position.
+func TestParseQuotedPositionConstant(t *testing.T) {
+	s := triplestore.NewStore()
+	s.Add("E", "1", "p", "b")
+	s.Add("E", "x", "p", "b")
+	ev := NewEvaluator(s)
+	e, err := Parse(`sigma[1="1"](E)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustEval(t, ev, e)
+	if r.Len() != 1 {
+		t.Errorf("size = %d, want 1 (only the triple with subject named 1)", r.Len())
+	}
+}

@@ -1,0 +1,90 @@
+// Package trial implements the Triple Algebra TriAL and its recursive
+// extension TriAL* from Libkin, Reutter and Vrgoč, "TriAL for RDF"
+// (PODS 2013), §3, together with the evaluation algorithms of §5:
+// the generic algorithms of Theorem 3, the O(|e|·|O|·|T|) equality-only
+// strategy of Proposition 4, and the reachTA= star procedures of
+// Proposition 5.
+//
+// TriAL is a closed algebra over triplestores: every expression evaluates
+// to a set of triples. Its operations are relation names, selection
+// σ_{θ,η}, union, difference, and the family of joins e1 ✶^{i,j,k}_{θ,η} e2
+// that keep three of the six positions of the joined pair. TriAL* adds
+// right and left Kleene closures of joins, (e ✶)* and (✶ e)*.
+package trial
+
+import (
+	"fmt"
+
+	"repro/internal/triplestore"
+)
+
+// Pos identifies one of the six positions available in a join: positions
+// 1, 2, 3 of the left operand and 1′, 2′, 3′ of the right operand. The
+// paper indexes them {1, 2, 3, 1′, 2′, 3′}.
+type Pos int
+
+// The six join positions. L1..L3 are the paper's 1, 2, 3; R1..R3 are
+// 1′, 2′, 3′.
+const (
+	L1 Pos = iota
+	L2
+	L3
+	R1
+	R2
+	R3
+)
+
+// Valid reports whether p is one of the six positions.
+func (p Pos) Valid() bool { return p >= L1 && p <= R3 }
+
+// Left reports whether p refers to the left operand (1, 2, 3).
+func (p Pos) Left() bool { return p >= L1 && p <= L3 }
+
+// Index returns the component index (0..2) within the operand's triple.
+func (p Pos) Index() int { return int(p) % 3 }
+
+func (p Pos) String() string {
+	switch p {
+	case L1:
+		return "1"
+	case L2:
+		return "2"
+	case L3:
+		return "3"
+	case R1:
+		return "1'"
+	case R2:
+		return "2'"
+	case R3:
+		return "3'"
+	}
+	return fmt.Sprintf("Pos(%d)", int(p))
+}
+
+// ParsePos parses the textual forms 1, 2, 3, 1', 2', 3'.
+func ParsePos(s string) (Pos, error) {
+	switch s {
+	case "1":
+		return L1, nil
+	case "2":
+		return L2, nil
+	case "3":
+		return L3, nil
+	case "1'":
+		return R1, nil
+	case "2'":
+		return R2, nil
+	case "3'":
+		return R3, nil
+	}
+	return 0, fmt.Errorf("trial: invalid position %q", s)
+}
+
+// at returns the object at position p given the left and right triples of
+// a join, flattened as (o1, o2, o3, o1′, o2′, o3′).
+func at(p Pos, left, right triplestore.Triple) triplestore.ID {
+	if p.Left() {
+		return left[p.Index()]
+	}
+	return right[p.Index()]
+}

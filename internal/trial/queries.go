@@ -1,0 +1,101 @@
+package trial
+
+import "fmt"
+
+// This file collects, as reusable constructors, the named TriAL and TriAL*
+// expressions that appear in the paper. Tests and experiments refer to
+// them by the paper's numbering.
+
+// Example2 is the expression e = E ✶^{1,3′,3}_{2=1′} E of Example 2:
+// travel information for pairs of cities together with the operating
+// company (one part_of step).
+func Example2(rel string) Expr {
+	return MustJoin(R(rel), [3]Pos{L1, R3, L3}, Cond{Obj: []ObjAtom{Eq(P(L2), P(R1))}}, R(rel))
+}
+
+// Example2Extended is e′ = e ∪ (e ✶^{1,3′,3}_{2=1′} E) from Example 2,
+// which also reports companies one part_of step further up.
+func Example2Extended(rel string) Expr {
+	e := Example2(rel)
+	return Union{L: e, R: MustJoin(e, [3]Pos{L1, R3, L3}, Cond{Obj: []ObjAtom{Eq(P(L2), P(R1))}}, R(rel))}
+}
+
+// ReachRight is Reach→ of the introduction and Example 4:
+// (E ✶^{1,2,3′}_{3=1′})*, pairs (x, z) connected by a chain in which the
+// object of each triple is the subject of the next.
+func ReachRight(rel string) Expr {
+	return MustStar(R(rel), [3]Pos{L1, L2, R3}, Cond{Obj: []ObjAtom{Eq(P(L3), P(R1))}}, false)
+}
+
+// ReachUp is Reach⇑ exactly as written in Example 4:
+// (✶^{1′,2′,3}_{1=2′} E)*, the left Kleene closure.
+//
+// Note (erratum observed during reproduction): because the join's output
+// (1′, 2′, 3) discards position 1 of the left operand, the left closure
+// X_{k+1} = E ✶ X_k stops producing new subject/predicate pairs after the
+// first step — the condition 1 = 2′ keeps re-matching the same chain
+// element. The unbounded "climbing" pattern drawn in the paper's
+// introduction (subject of each triple = predicate of the next) is
+// computed by the right closure of the same join, provided as
+// ReachUpRight. Tests pin down both behaviours.
+func ReachUp(rel string) Expr {
+	return MustStar(R(rel), [3]Pos{R1, R2, L3}, Cond{Obj: []ObjAtom{Eq(P(L1), P(R2))}}, true)
+}
+
+// ReachUpRight is the right Kleene closure (E ✶^{1′,2′,3}_{1=2′})*, which
+// realizes the unbounded Reach⇑ pattern of the introduction: pairs whose
+// connection climbs through triples linked by subject-of-one =
+// predicate-of-the-next, keeping the subject and predicate of the last
+// triple and the object of the first.
+func ReachUpRight(rel string) Expr {
+	return MustStar(R(rel), [3]Pos{R1, R2, L3}, Cond{Obj: []ObjAtom{Eq(P(L1), P(R2))}}, false)
+}
+
+// SameLabelReach is (E ✶^{1,2,3′}_{3=1′,2=2′})*: reachability by a path
+// labeled with the same element — the second reachTA= primitive of §5.
+func SameLabelReach(rel string) Expr {
+	return MustStar(R(rel), [3]Pos{L1, L2, R3},
+		Cond{Obj: []ObjAtom{Eq(P(L3), P(R1)), Eq(P(L2), P(R2))}}, false)
+}
+
+// QueryQ is the query Q of §2.2 ("pairs of cities (x, y) such that one can
+// travel from x to y using services operated by the same company"),
+// expressed as in Example 4:
+//
+//	((E ✶^{1,3′,3}_{2=1′})* ✶^{1,2,3′}_{3=1′,2=2′})*
+//
+// The inner star lifts each service to every company it is (transitively)
+// part of; the outer star is same-company reachability over the lifted
+// triples.
+func QueryQ(rel string) Expr {
+	inner := MustStar(R(rel), [3]Pos{L1, R3, L3}, Cond{Obj: []ObjAtom{Eq(P(L2), P(R1))}}, false)
+	return MustStar(inner, [3]Pos{L1, L2, R3},
+		Cond{Obj: []ObjAtom{Eq(P(L3), P(R1)), Eq(P(L2), P(R2))}}, false)
+}
+
+// DistinctObjects returns the expression whose result is nonempty iff the
+// store's active domain has at least n distinct objects, for 4 ≤ n ≤ 6:
+// U ✶^{1,2,3}_θ U with θ asserting pairwise inequality of the first n join
+// positions. The n = 4 instance separates TriAL from FO³ (Theorem 4,
+// part 2); n = 6 separates it from FO⁵ (part 3) and, over graph encodings,
+// GXPath (Theorem 7).
+func DistinctObjects(n int) (Expr, error) {
+	if n < 4 || n > 6 {
+		return nil, fmt.Errorf("trial: DistinctObjects supports 4..6 positions, got %d", n)
+	}
+	ps := []Pos{L1, L2, L3, R1, R2, R3}[:n]
+	var c Cond
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			c.Obj = append(c.Obj, Neq(P(ps[i]), P(ps[j])))
+		}
+	}
+	return MustJoin(U(), [3]Pos{L1, L2, L3}, c, U()), nil
+}
+
+// Diagonal is the relation D = U ✶^{1,1,1}_{1=1} U of all triples
+// (a, a, a) over the active domain, used in the GXPath translation
+// (Theorem 7).
+func Diagonal() Expr {
+	return MustJoin(U(), [3]Pos{L1, L1, L1}, Cond{Obj: []ObjAtom{Eq(P(L1), P(L1))}}, U())
+}

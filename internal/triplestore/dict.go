@@ -1,0 +1,43 @@
+package triplestore
+
+// Dict interns object names to dense IDs. It is the dictionary-encoding
+// layer common to triplestore implementations: every URI or node name is
+// mapped to a small integer once, and all relations work over integers.
+type Dict struct {
+	byName map[string]ID
+	names  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: make(map[string]ID)}
+}
+
+// Intern returns the ID for name, assigning a fresh one if necessary.
+func (d *Dict) Intern(name string) ID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := ID(len(d.names))
+	d.byName[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the ID for name, or NoID if it has not been interned.
+func (d *Dict) Lookup(name string) ID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	return NoID
+}
+
+// Name returns the name interned under id. It panics if id is out of range.
+func (d *Dict) Name(id ID) string { return d.names[id] }
+
+// Len returns the number of interned objects.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Names returns the interned names in ID order. The returned slice is
+// shared with the dictionary and must not be modified.
+func (d *Dict) Names() []string { return d.names }

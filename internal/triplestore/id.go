@@ -1,0 +1,49 @@
+// Package triplestore implements the triplestore data model of
+// Libkin, Reutter and Vrgoč, "TriAL for RDF" (PODS 2013), Definition 1:
+// a triplestore database T = (O, E1, ..., En, ρ) consists of a finite set
+// of objects O, one or more ternary relations Ei over O, and a function ρ
+// assigning a data value to each object.
+//
+// Objects are interned to dense numeric IDs so that relations can be
+// stored compactly and the evaluation algorithms of the paper (which
+// assume an array representation, §5) can be implemented directly.
+package triplestore
+
+import "fmt"
+
+// ID is a dense identifier for an interned object. IDs are assigned
+// consecutively from 0 by a Dict and are only meaningful relative to the
+// store that created them.
+type ID uint32
+
+// NoID is returned by lookups for objects that have not been interned.
+const NoID = ID(^uint32(0))
+
+// Triple is an ordered triple of object IDs (subject, predicate, object).
+// The paper writes triples as (o1, o2, o3); positions are indexed 0, 1, 2
+// here and 1, 2, 3 in paper notation.
+type Triple [3]ID
+
+// S returns the subject (first) component.
+func (t Triple) S() ID { return t[0] }
+
+// P returns the predicate (second) component.
+func (t Triple) P() ID { return t[1] }
+
+// O returns the object (third) component.
+func (t Triple) O() ID { return t[2] }
+
+// Less reports whether t precedes u in lexicographic order.
+func (t Triple) Less(u Triple) bool {
+	if t[0] != u[0] {
+		return t[0] < u[0]
+	}
+	if t[1] != u[1] {
+		return t[1] < u[1]
+	}
+	return t[2] < u[2]
+}
+
+func (t Triple) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", t[0], t[1], t[2])
+}

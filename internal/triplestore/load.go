@@ -1,0 +1,100 @@
+package triplestore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadTriples loads triples from a simple line-oriented text format into
+// the named relation of the store. Each non-empty, non-comment line holds
+// three fields separated by tabs; if the line contains no tab it is split
+// on runs of spaces instead, with double quotes grouping fields that
+// contain spaces. Lines starting with '#' are comments.
+//
+// Example:
+//
+//	Edinburgh   "Train Op 1"   London
+//	"Train Op 1"  part_of  EastCoast
+func ReadTriples(s *Store, r io.Reader, rel string) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields, err := splitFields(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		if len(fields) != 3 {
+			return fmt.Errorf("line %d: want 3 fields, got %d", line, len(fields))
+		}
+		s.Add(rel, fields[0], fields[1], fields[2])
+	}
+	return sc.Err()
+}
+
+func splitFields(text string) ([]string, error) {
+	if strings.Contains(text, "\t") {
+		parts := strings.Split(text, "\t")
+		out := parts[:0]
+		for _, p := range parts {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			// Quotes are optional in the tab-separated form; strip a
+			// fully-quoting pair so both forms name the same object.
+			if len(p) >= 2 && p[0] == '"' && p[len(p)-1] == '"' {
+				p = p[1 : len(p)-1]
+			}
+			out = append(out, p)
+		}
+		return out, nil
+	}
+	var fields []string
+	i := 0
+	for i < len(text) {
+		switch {
+		case text[i] == ' ':
+			i++
+		case text[i] == '"':
+			j := strings.IndexByte(text[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			fields = append(fields, text[i+1:i+1+j])
+			i += j + 2
+		default:
+			j := strings.IndexByte(text[i:], ' ')
+			if j < 0 {
+				fields = append(fields, text[i:])
+				i = len(text)
+			} else {
+				fields = append(fields, text[i:i+j])
+				i += j
+			}
+		}
+	}
+	return fields, nil
+}
+
+// WriteTriples writes the named relation in the tab-separated text format
+// accepted by ReadTriples, sorted lexicographically by interned names.
+func WriteTriples(s *Store, w io.Writer, rel string) error {
+	r := s.Relation(rel)
+	if r == nil {
+		return fmt.Errorf("no relation %q", rel)
+	}
+	for _, t := range r.Triples() {
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\n", s.Name(t[0]), s.Name(t[1]), s.Name(t[2])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package triplestore
+
+import "sort"
+
+// Relation is a set of triples — one of the ternary relations Ei of a
+// triplestore, or the result of evaluating a (closed) algebra expression.
+// The zero value is not usable; call NewRelation.
+type Relation struct {
+	set    map[Triple]struct{}
+	sorted []Triple // cached sorted view; nil when stale
+}
+
+// NewRelation returns an empty relation.
+func NewRelation() *Relation {
+	return &Relation{set: make(map[Triple]struct{})}
+}
+
+// RelationOf builds a relation from the given triples.
+func RelationOf(ts ...Triple) *Relation {
+	r := NewRelation()
+	for _, t := range ts {
+		r.Add(t)
+	}
+	return r
+}
+
+// Add inserts t and reports whether it was new.
+func (r *Relation) Add(t Triple) bool {
+	if _, ok := r.set[t]; ok {
+		return false
+	}
+	r.set[t] = struct{}{}
+	r.sorted = nil
+	return true
+}
+
+// Has reports membership of t.
+func (r *Relation) Has(t Triple) bool {
+	_, ok := r.set[t]
+	return ok
+}
+
+// Len returns the number of triples.
+func (r *Relation) Len() int { return len(r.set) }
+
+// Triples returns the triples in lexicographic order. The returned slice
+// is cached and must not be modified.
+func (r *Relation) Triples() []Triple {
+	if r.sorted == nil {
+		r.sorted = make([]Triple, 0, len(r.set))
+		for t := range r.set {
+			r.sorted = append(r.sorted, t)
+		}
+		sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i].Less(r.sorted[j]) })
+	}
+	return r.sorted
+}
+
+// ForEach calls f on every triple in unspecified order.
+func (r *Relation) ForEach(f func(Triple)) {
+	for t := range r.set {
+		f(t)
+	}
+}
+
+// Clone returns a copy of r.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation()
+	for t := range r.set {
+		c.set[t] = struct{}{}
+	}
+	return c
+}
+
+// AddAll inserts every triple of s into r and reports how many were new.
+func (r *Relation) AddAll(s *Relation) int {
+	added := 0
+	for t := range s.set {
+		if r.Add(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Union returns a new relation containing the triples of a and b.
+func Union(a, b *Relation) *Relation {
+	r := a.Clone()
+	r.AddAll(b)
+	return r
+}
+
+// Difference returns a new relation containing triples of a not in b.
+func Difference(a, b *Relation) *Relation {
+	r := NewRelation()
+	for t := range a.set {
+		if !b.Has(t) {
+			r.Add(t)
+		}
+	}
+	return r
+}
+
+// Intersection returns a new relation containing triples in both a and b.
+func Intersection(a, b *Relation) *Relation {
+	small, large := a, b
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	r := NewRelation()
+	for t := range small.set {
+		if large.Has(t) {
+			r.Add(t)
+		}
+	}
+	return r
+}
+
+// Equal reports whether a and b contain exactly the same triples.
+func (r *Relation) Equal(s *Relation) bool {
+	if r.Len() != s.Len() {
+		return false
+	}
+	for t := range r.set {
+		if !s.Has(t) {
+			return false
+		}
+	}
+	return true
+}

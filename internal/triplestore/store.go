@@ -1,0 +1,156 @@
+package triplestore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Store is a triplestore database T = (O, E1, ..., En, ρ): a dictionary of
+// objects, a collection of named ternary relations, and a data-value
+// assignment ρ. It is the input model for all query languages in this
+// repository (TriAL, TriAL*, the Datalog fragments, and — via encodings —
+// the graph query languages).
+type Store struct {
+	dict     *Dict
+	rels     map[string]*Relation
+	relNames []string
+	values   []Value
+}
+
+// NewStore returns an empty triplestore.
+func NewStore() *Store {
+	return &Store{dict: NewDict(), rels: make(map[string]*Relation)}
+}
+
+// Intern returns the ID of the object named name, creating it if needed.
+func (s *Store) Intern(name string) ID {
+	id := s.dict.Intern(name)
+	for int(id) >= len(s.values) {
+		s.values = append(s.values, nil)
+	}
+	return id
+}
+
+// Lookup returns the ID of name, or NoID if name is not an object of the store.
+func (s *Store) Lookup(name string) ID { return s.dict.Lookup(name) }
+
+// Name returns the name of the object with the given ID.
+func (s *Store) Name(id ID) string { return s.dict.Name(id) }
+
+// NumObjects returns the number of interned objects |O|.
+func (s *Store) NumObjects() int { return s.dict.Len() }
+
+// SetValue assigns the data value ρ(o) = v for the object named name,
+// interning the object if needed.
+func (s *Store) SetValue(name string, v Value) ID {
+	id := s.Intern(name)
+	s.values[id] = v
+	return id
+}
+
+// Value returns ρ(o) for the object with the given ID (nil if unset).
+func (s *Store) Value(id ID) Value {
+	if int(id) >= len(s.values) {
+		return nil
+	}
+	return s.values[id]
+}
+
+// SameValue reports whether ρ(a) = ρ(b), i.e. the relation ∼ of §4.
+func (s *Store) SameValue(a, b ID) bool { return s.Value(a).Equal(s.Value(b)) }
+
+// EnsureRelation returns the relation with the given name, creating an
+// empty one if it does not exist.
+func (s *Store) EnsureRelation(name string) *Relation {
+	if r, ok := s.rels[name]; ok {
+		return r
+	}
+	r := NewRelation()
+	s.rels[name] = r
+	s.relNames = append(s.relNames, name)
+	return r
+}
+
+// Relation returns the relation with the given name, or nil.
+func (s *Store) Relation(name string) *Relation { return s.rels[name] }
+
+// RelationNames returns the relation names in creation order.
+func (s *Store) RelationNames() []string { return s.relNames }
+
+// Add interns the three object names and inserts the triple into the named
+// relation. It returns the inserted triple.
+func (s *Store) Add(rel, subj, pred, obj string) Triple {
+	t := Triple{s.Intern(subj), s.Intern(pred), s.Intern(obj)}
+	s.EnsureRelation(rel).Add(t)
+	return t
+}
+
+// AddTriple inserts an already-interned triple into the named relation.
+func (s *Store) AddTriple(rel string, t Triple) {
+	s.EnsureRelation(rel).Add(t)
+}
+
+// Size returns the total number of triples across all relations, |T|.
+func (s *Store) Size() int {
+	n := 0
+	for _, r := range s.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// ActiveDomain returns, in ascending order, the IDs of objects occurring
+// in at least one triple of at least one relation. This is the domain used
+// for the universal relation U of §3 ("all triples (o1,o2,o3) so that each
+// oi occurs in T") and hence for complements.
+func (s *Store) ActiveDomain() []ID {
+	seen := make(map[ID]struct{})
+	for _, r := range s.rels {
+		r.ForEach(func(t Triple) {
+			seen[t[0]] = struct{}{}
+			seen[t[1]] = struct{}{}
+			seen[t[2]] = struct{}{}
+		})
+	}
+	out := make([]ID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FormatTriple renders a triple with object names, for human consumption.
+func (s *Store) FormatTriple(t Triple) string {
+	return fmt.Sprintf("(%s, %s, %s)", s.Name(t[0]), s.Name(t[1]), s.Name(t[2]))
+}
+
+// FormatRelation renders all triples of r, sorted, one per line.
+func (s *Store) FormatRelation(r *Relation) string {
+	out := ""
+	for _, t := range r.Triples() {
+		out += s.FormatTriple(t) + "\n"
+	}
+	return out
+}
+
+// Clone returns a deep copy of the store sharing no mutable state.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for _, name := range s.dict.Names() {
+		c.Intern(name)
+	}
+	copy(c.values, s.values)
+	for i, v := range s.values {
+		if v != nil {
+			w := make(Value, len(v))
+			copy(w, v)
+			c.values[i] = w
+		}
+	}
+	for _, name := range s.relNames {
+		c.rels[name] = s.rels[name].Clone()
+		c.relNames = append(c.relNames, name)
+	}
+	return c
+}

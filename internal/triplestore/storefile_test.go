@@ -1,0 +1,77 @@
+package triplestore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadStoreBasics(t *testing.T) {
+	in := `# a store with two relations and values
+a	p	b
+@rel F
+b	q	c
+@value a	Mario	m@nes.com
+@value c	\N	rival
+`
+	s, err := ReadStore(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Relation("E").Len() != 1 || s.Relation("F").Len() != 1 {
+		t.Fatalf("relation sizes: E=%d F=%d", s.Relation("E").Len(), s.Relation("F").Len())
+	}
+	a := s.Value(s.Lookup("a"))
+	if len(a) != 2 || a[0].Str != "Mario" {
+		t.Errorf("value(a) = %v", a)
+	}
+	c := s.Value(s.Lookup("c"))
+	if len(c) != 2 || !c[0].Null || c[1].Str != "rival" {
+		t.Errorf("value(c) = %v", c)
+	}
+}
+
+func TestStoreFileRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Add("E", "a", "p", "b")
+	s.Add("Other", "St. Andrews", "Bus Op 1", "Edinburgh")
+	s.SetValue("a", Value{F("x"), Null(), F("z")})
+	s.SetValue("orphan", V("only-a-value"))
+	var buf bytes.Buffer
+	if err := WriteStore(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Size() != 2 {
+		t.Fatalf("round trip size = %d", s2.Size())
+	}
+	if s2.Lookup("St. Andrews") == NoID {
+		t.Error("name with spaces lost")
+	}
+	if !s2.Value(s2.Lookup("a")).Equal(Value{F("x"), Null(), F("z")}) {
+		t.Errorf("value(a) = %v", s2.Value(s2.Lookup("a")))
+	}
+	if !s2.Value(s2.Lookup("orphan")).Equal(V("only-a-value")) {
+		t.Error("orphan value lost")
+	}
+	names := s2.RelationNames()
+	if len(names) != 2 || names[0] != "E" || names[1] != "Other" {
+		t.Errorf("relations = %v", names)
+	}
+}
+
+func TestReadStoreErrors(t *testing.T) {
+	for _, in := range []string{
+		"@rel ",
+		"@value onlyname",
+		"a b",
+		"a b c d",
+	} {
+		if _, err := ReadStore(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadStore(%q): want error", in)
+		}
+	}
+}

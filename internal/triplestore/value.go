@@ -1,0 +1,106 @@
+package triplestore
+
+import "strings"
+
+// Field is one component of a data value. Fields may be null, as in the
+// social-network example of §2.3 where user entities have null connection
+// attributes and vice versa.
+type Field struct {
+	Str  string
+	Null bool
+}
+
+// F returns a non-null field holding s.
+func F(s string) Field { return Field{Str: s} }
+
+// Null returns a null field.
+func Null() Field { return Field{Null: true} }
+
+// Equal reports whether two fields are equal. Following SQL-style
+// semantics would make null ≠ null; the paper instead treats ρ as a total
+// function into a value domain, so two null fields are equal here.
+func (f Field) Equal(g Field) bool {
+	if f.Null || g.Null {
+		return f.Null == g.Null
+	}
+	return f.Str == g.Str
+}
+
+func (f Field) String() string {
+	if f.Null {
+		return "⊥"
+	}
+	return f.Str
+}
+
+// Value is the data value ρ(o) of an object: a tuple of fields. The paper
+// uses a single value "to simplify notations" and notes that tuples (with
+// per-component comparison relations ∼i) change nothing; we support tuples
+// directly. A nil Value denotes an object with no assigned value; all nil
+// values compare equal to each other and unequal to any non-nil value.
+type Value []Field
+
+// V builds a value from non-null string fields.
+func V(fields ...string) Value {
+	v := make(Value, len(fields))
+	for i, s := range fields {
+		v[i] = F(s)
+	}
+	return v
+}
+
+// Equal reports whether v and w are equal as tuples.
+func (v Value) Equal(w Value) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if !v[i].Equal(w[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ComponentEqual reports whether component i of v equals component i of w.
+// Missing components (index out of range) compare as null.
+func (v Value) ComponentEqual(w Value, i int) bool {
+	return v.component(i).Equal(w.component(i))
+}
+
+func (v Value) component(i int) Field {
+	if i < 0 || i >= len(v) {
+		return Null()
+	}
+	return v[i]
+}
+
+// Key returns a canonical string form usable as a map key. Distinct values
+// have distinct keys.
+func (v Value) Key() string {
+	if v == nil {
+		return "\x00nil"
+	}
+	var b strings.Builder
+	for _, f := range v {
+		if f.Null {
+			b.WriteString("\x01")
+		} else {
+			b.WriteString("\x02")
+			b.WriteString(f.Str)
+		}
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+func (v Value) String() string {
+	if v == nil {
+		return "⊥"
+	}
+	parts := make([]string, len(v))
+	for i, f := range v {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
