@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"repro/internal/datalog"
+	"repro/internal/engine"
 	"repro/internal/genstore"
 	"repro/internal/graph"
 	"repro/internal/gxpath"
@@ -254,5 +255,98 @@ func BenchmarkParse(b *testing.B) {
 			b.Fatal(err)
 		}
 		benchSink = trial.Size(e)
+	}
+}
+
+// --- Engine benchmarks -----------------------------------------------------
+//
+// The internal/engine execution engine against the reference Evaluator on
+// the same workloads, so the speedup from permutation indexes, parallel
+// probes and semi-naive delta stars is measured, not asserted. Each pair
+// first cross-checks that both produce the same relation.
+
+// benchBoth runs the evaluator configuration and the engine on the same
+// query and store as paired sub-benchmarks.
+func benchBoth(b *testing.B, s *triplestore.Store, q trial.Expr, ev *trial.Evaluator) {
+	eng := engine.New(s)
+	want, err := ev.Eval(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := eng.Eval(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !got.Equal(want) {
+		b.Fatalf("engine result (%d triples) differs from evaluator (%d)", got.Len(), want.Len())
+	}
+	b.Run("evaluator", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := ev.Eval(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = r.Len()
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := eng.Eval(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = r.Len()
+		}
+	})
+}
+
+// BenchmarkEngineJoin: the composition join on random stores — hash
+// evaluator vs the engine's cost-chosen (index) join.
+func BenchmarkEngineJoin(b *testing.B) {
+	for _, size := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("T=%d", size), func(b *testing.B) {
+			s := genstore.Random(rand.New(rand.NewSource(1)), size, size, 0)
+			benchBoth(b, s, composeJoin(), trial.NewEvaluator(s))
+		})
+	}
+}
+
+// BenchmarkEngineStarChain: reachability on chains. The evaluator side is
+// the generic Theorem 3 fixpoint (Proposition 5 specialization disabled),
+// the engine side the semi-naive delta star probing the base's permutation
+// index — the comparison the delta-star optimization is about.
+func BenchmarkEngineStarChain(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			s := genstore.Chain(n, 1)
+			ev := trial.NewEvaluator(s)
+			ev.DisableReachStar = true
+			benchBoth(b, s, trial.ReachRight(genstore.RelE), ev)
+		})
+	}
+}
+
+// BenchmarkEngineStarGrid: same comparison on grids, whose quadratic
+// reachability sets stress the delta iteration.
+func BenchmarkEngineStarGrid(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		b.Run(fmt.Sprintf("grid=%dx%d", n, n), func(b *testing.B) {
+			s := genstore.Grid(n, n)
+			ev := trial.NewEvaluator(s)
+			ev.DisableReachStar = true
+			benchBoth(b, s, trial.SameLabelReach(genstore.RelE), ev)
+		})
+	}
+}
+
+// BenchmarkEngineQueryQ: the paper's running query end to end on synthetic
+// transport networks, engine vs the tuned evaluator (reach specialization
+// enabled) — the serving-path comparison.
+func BenchmarkEngineQueryQ(b *testing.B) {
+	for _, n := range []int{100, 200, 400} {
+		b.Run(fmt.Sprintf("cities=%d", n), func(b *testing.B) {
+			s := genstore.Transport(rand.New(rand.NewSource(2)), n, n/10+1, 3)
+			benchBoth(b, s, trial.QueryQ(genstore.RelE), trial.NewEvaluator(s))
+		})
 	}
 }

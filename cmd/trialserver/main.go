@@ -1,0 +1,292 @@
+// Command trialserver serves TriAL* queries over HTTP, evaluating them
+// with the internal/engine execution engine (indexed joins, parallel
+// probes, semi-naive stars) over a store loaded once at startup.
+//
+// Usage:
+//
+//	trialserver -data triples.txt -addr :8080
+//	trialserver -fixture transport
+//	trialserver -fixture grid -n 50
+//
+// Endpoints:
+//
+//	GET /query?q=EXPR          evaluate, stream one triple per line
+//	    &format=json           stream NDJSON objects {"s":..,"p":..,"o":..}
+//	    &limit=N               stop after N triples (the header still
+//	                           reports the full result size)
+//	    &explain=1             prepend the physical plan as comments
+//	                           (text format only)
+//	POST /query                body is the expression (same parameters)
+//	GET /explain?q=EXPR        the physical plan only
+//	GET /stats                 store and runtime counters
+//	GET /healthz               liveness probe
+//
+// The full result size is reported in the X-Trial-Result-Size response
+// header and, for format=text, a trailing "# N triples" comment.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fixtures"
+	"repro/internal/genstore"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		data    = flag.String("data", "", "path to a triples file (ReadStore format)")
+		rel     = flag.String("rel", "E", "initial relation name for -data triples")
+		fixture = flag.String("fixture", "", "built-in store: transport, social, example3, chain, cycle, grid")
+		n       = flag.Int("n", 32, "size parameter for generated fixtures (chain length, grid side)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for parallel operators")
+	)
+	flag.Parse()
+	store, desc, err := buildStore(*data, *rel, *fixture, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trialserver:", err)
+		os.Exit(1)
+	}
+	srv := newServer(store, *workers)
+	log.Printf("trialserver: serving %s (%d objects, %d triples) on %s",
+		desc, store.NumObjects(), store.Size(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func buildStore(data, rel, fixture string, n int) (*triplestore.Store, string, error) {
+	if (data == "") == (fixture == "") {
+		return nil, "", fmt.Errorf("exactly one of -data and -fixture is required")
+	}
+	if data != "" {
+		f, err := os.Open(data)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		s, err := triplestore.ReadStoreDefault(f, rel)
+		if err != nil {
+			return nil, "", err
+		}
+		return s, data, nil
+	}
+	if n < 2 {
+		n = 2
+	}
+	switch fixture {
+	case "transport":
+		return fixtures.Transport(), "fixture transport", nil
+	case "social":
+		return fixtures.SocialNetwork(), "fixture social", nil
+	case "example3":
+		return fixtures.Example3(), "fixture example3", nil
+	case "chain":
+		return genstore.Chain(n, 2), fmt.Sprintf("chain(%d)", n), nil
+	case "cycle":
+		return genstore.Cycle(n), fmt.Sprintf("cycle(%d)", n), nil
+	case "grid":
+		return genstore.Grid(n, n), fmt.Sprintf("grid(%dx%d)", n, n), nil
+	}
+	return nil, "", fmt.Errorf("unknown -fixture %q", fixture)
+}
+
+// server holds the immutable store and the engine shared by all requests.
+type server struct {
+	store   *triplestore.Store
+	eng     *engine.Engine
+	workers int
+	mux     *http.ServeMux
+	start   time.Time
+	nQuery  atomic.Int64
+}
+
+func newServer(store *triplestore.Store, workers int) *server {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &server{
+		store:   store,
+		eng:     engine.New(store, engine.WithWorkers(workers)),
+		workers: workers,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprintf(w, `trialserver — TriAL* query engine over HTTP
+
+GET  /query?q=EXPR[&limit=N][&format=text|json][&explain=1]
+POST /query            (expression in the body)
+GET  /explain?q=EXPR
+GET  /stats
+GET  /healthz
+
+Example: /query?q=join[1,3',3; 2=1'](E, E)
+Store: %d objects, %d triples, relations %v
+`, s.store.NumObjects(), s.store.Size(), s.store.RelationNames())
+}
+
+// readQuery extracts the expression text from ?q= or the request body.
+func readQuery(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("q"); q != "" {
+		return q, nil
+	}
+	if r.Method == http.MethodPost {
+		b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return "", err
+		}
+		if len(b) > 0 {
+			return string(b), nil
+		}
+	}
+	return "", fmt.Errorf("missing query: pass ?q= or a POST body")
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, err := readQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	x, err := trial.Parse(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	limit := 0
+	if l := r.URL.Query().Get("limit"); l != "" {
+		limit, err = strconv.Atoi(l)
+		if err != nil || limit < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "text"
+	}
+	if format != "text" && format != "json" {
+		http.Error(w, "bad format (want text or json)", http.StatusBadRequest)
+		return
+	}
+
+	var plan string
+	if format == "text" && r.URL.Query().Get("explain") == "1" {
+		plan, err = s.eng.Explain(x)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+	}
+	result, err := s.eng.Eval(x)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.nQuery.Add(1)
+
+	w.Header().Set("X-Trial-Result-Size", strconv.Itoa(result.Len()))
+	if format == "json" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	for _, line := range strings.Split(strings.TrimSuffix(plan, "\n"), "\n") {
+		if line != "" {
+			fmt.Fprintf(bw, "# %s\n", line)
+		}
+	}
+
+	flusher, _ := w.(http.Flusher)
+	written := 0
+	enc := json.NewEncoder(bw)
+	for _, t := range result.Triples() {
+		if limit > 0 && written >= limit {
+			break
+		}
+		if format == "json" {
+			enc.Encode(map[string]string{
+				"s": s.store.Name(t[0]),
+				"p": s.store.Name(t[1]),
+				"o": s.store.Name(t[2]),
+			})
+		} else {
+			fmt.Fprintf(bw, "%s\t%s\t%s\n", s.store.Name(t[0]), s.store.Name(t[1]), s.store.Name(t[2]))
+		}
+		written++
+		if flusher != nil && written%4096 == 0 {
+			bw.Flush()
+			flusher.Flush()
+		}
+	}
+	if format == "text" {
+		fmt.Fprintf(bw, "# %d triples\n", result.Len())
+	}
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q, err := readQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	x, err := trial.Parse(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	plan, err := s.eng.Explain(x)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, plan)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"objects":   s.store.NumObjects(),
+		"triples":   s.store.Size(),
+		"relations": s.store.RelationNames(),
+		"queries":   s.nQuery.Load(),
+		"uptime_s":  int(time.Since(s.start).Seconds()),
+		"workers":   s.workers,
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	io.WriteString(w, "ok\n")
+}

@@ -15,6 +15,11 @@
 // databases and the σ(·) RDF encoding (internal/graph, internal/rdf), and
 // the language translations of §6 (internal/translate).
 //
+// Beyond the paper, internal/engine is an execution engine for the same
+// algebra — permutation-indexed joins, parallel probing, semi-naive
+// Kleene stars — kept result-identical to the reference Evaluator by
+// differential tests, and cmd/trialserver serves it over HTTP.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and the
 // experiment index E1–E22, and EXPERIMENTS.md for paper-vs-measured
 // results. The benchmarks in bench_test.go regenerate the §5 complexity

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/genstore"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// diffStores returns the named stores the differential tests run over.
+func diffStores() map[string]*triplestore.Store {
+	rng := rand.New(rand.NewSource(42))
+	return map[string]*triplestore.Store{
+		"transport":  fixtures.Transport(),
+		"d1":         fixtures.D1(),
+		"d2":         fixtures.D2(),
+		"example3":   fixtures.Example3(),
+		"social":     fixtures.SocialNetwork(),
+		"complete4":  fixtures.CompleteStore(4),
+		"chain":      genstore.Chain(24, 2),
+		"cycle":      genstore.Cycle(12),
+		"grid":       genstore.Grid(5, 5),
+		"random":     genstore.Random(rng, 30, 120, 4),
+		"transportG": genstore.Transport(rng, 20, 4, 3),
+	}
+}
+
+// checkAgainstEvaluator asserts that the engine and both Evaluator modes
+// produce the identical relation for x over s.
+func checkAgainstEvaluator(t *testing.T, s *triplestore.Store, x trial.Expr, engines []*Engine) {
+	t.Helper()
+	evAuto := trial.NewEvaluator(s)
+	want, wantErr := evAuto.Eval(x)
+
+	evNaive := trial.NewEvaluator(s)
+	evNaive.Mode = trial.ModeNaive
+	naive, naiveErr := evNaive.Eval(x)
+	if (wantErr == nil) != (naiveErr == nil) {
+		t.Fatalf("evaluator modes disagree on error for %s: auto=%v naive=%v", x, wantErr, naiveErr)
+	}
+	if wantErr == nil && !want.Equal(naive) {
+		t.Fatalf("evaluator modes disagree on %s: auto=%d naive=%d triples", x, want.Len(), naive.Len())
+	}
+
+	for i, e := range engines {
+		got, gotErr := e.Eval(x)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("engine[%d] error mismatch for %s: evaluator=%v engine=%v", i, x, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("engine[%d] result mismatch for %s: engine=%d evaluator=%d triples\nplan:\n%s",
+				i, x, got.Len(), want.Len(), mustExplain(e, x))
+			reportDiff(t, s, got, want)
+			return
+		}
+	}
+}
+
+func mustExplain(e *Engine, x trial.Expr) string {
+	p, err := e.Explain(x)
+	if err != nil {
+		return "explain error: " + err.Error()
+	}
+	return p
+}
+
+func reportDiff(t *testing.T, s *triplestore.Store, got, want *triplestore.Relation) {
+	t.Helper()
+	n := 0
+	want.ForEach(func(tr triplestore.Triple) {
+		if !got.Has(tr) && n < 5 {
+			t.Logf("missing %s", s.FormatTriple(tr))
+			n++
+		}
+	})
+	got.ForEach(func(tr triplestore.Triple) {
+		if !want.Has(tr) && n < 10 {
+			t.Logf("extra %s", s.FormatTriple(tr))
+			n++
+		}
+	})
+}
+
+// engineVariants returns engines with the configurations worth covering:
+// optimized parallel (production default), sequential, and unoptimized
+// (physical layer compiled from the raw AST).
+func engineVariants(s *triplestore.Store) []*Engine {
+	return []*Engine{
+		New(s),
+		New(s, WithWorkers(1)),
+		New(s, WithoutOptimize()),
+	}
+}
+
+// TestDifferentialNamedQueries runs the paper's named queries over every
+// fixture store. Universe-based queries (Diagonal is U ✶ U with no
+// cross-side key, i.e. |O|⁶ pairs under nested loops) only run on stores
+// with a small active domain.
+func TestDifferentialNamedQueries(t *testing.T) {
+	queries := []trial.Expr{
+		trial.Example2(fixtures.RelE),
+		trial.Example2Extended(fixtures.RelE),
+		trial.ReachRight(fixtures.RelE),
+		trial.ReachUp(fixtures.RelE),
+		trial.ReachUpRight(fixtures.RelE),
+		trial.SameLabelReach(fixtures.RelE),
+		trial.QueryQ(fixtures.RelE),
+	}
+	for name, s := range diffStores() {
+		t.Run(name, func(t *testing.T) {
+			engines := engineVariants(s)
+			for _, q := range queries {
+				checkAgainstEvaluator(t, s, q, engines)
+			}
+			if len(s.ActiveDomain()) <= 12 {
+				checkAgainstEvaluator(t, s, trial.Diagonal(), engines)
+			}
+		})
+	}
+}
+
+// TestDifferentialRandomExprs cross-checks engine and evaluator on random
+// TriAL expressions (equality-only and general, with and without value
+// conditions).
+func TestDifferentialRandomExprs(t *testing.T) {
+	// Stores stay small: the differential oracle includes ModeNaive, whose
+	// nested-loop joins are quadratic in intermediate results, and random
+	// joins can produce O(|T|²) intermediates.
+	configs := []genstore.ExprOptions{
+		{Relations: []string{genstore.RelE}, MaxDepth: 3, EqualityOnly: true},
+		{Relations: []string{genstore.RelE}, MaxDepth: 3},
+		{Relations: []string{genstore.RelE}, MaxDepth: 3, AllowValueConds: true},
+		{Relations: []string{genstore.RelE}, MaxDepth: 2, AllowUniverse: true},
+	}
+	stores := map[string]*triplestore.Store{
+		"random": genstore.Random(rand.New(rand.NewSource(3)), 10, 30, 3),
+		"chain":  genstore.Chain(8, 2),
+		"social": genstore.Social(rand.New(rand.NewSource(4)), 8, 16, 3, 3),
+	}
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			engines := engineVariants(s)
+			rng := rand.New(rand.NewSource(99))
+			domain := len(s.ActiveDomain())
+			for ci, cfg := range configs {
+				// U is cubic in the domain and no-key joins square it
+				// again; keep universe expressions to small domains.
+				if cfg.AllowUniverse && domain > 12 {
+					continue
+				}
+				for i := 0; i < 60; i++ {
+					x := genstore.RandomExpr(rng, cfg)
+					t.Run(fmt.Sprintf("cfg%d_%d", ci, i), func(t *testing.T) {
+						checkAgainstEvaluator(t, s, x, engines)
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialRandomStarExprs stresses the semi-naive delta star:
+// star-enabled random expressions over recursion-friendly topologies.
+func TestDifferentialRandomStarExprs(t *testing.T) {
+	stores := map[string]*triplestore.Store{
+		"chain": genstore.Chain(7, 1),
+		"cycle": genstore.Cycle(6),
+		"grid":  genstore.Grid(3, 3),
+	}
+	cfg := genstore.ExprOptions{
+		Relations: []string{genstore.RelE},
+		MaxDepth:  3,
+		AllowStar: true,
+	}
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			engines := engineVariants(s)
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 80; i++ {
+				x := genstore.RandomExpr(rng, cfg)
+				t.Run(fmt.Sprintf("%d", i), func(t *testing.T) {
+					checkAgainstEvaluator(t, s, x, engines)
+				})
+			}
+		})
+	}
+}
+
+// TestDifferentialStarShapes covers every explicit star orientation and
+// key shape: right/left closure, with and without a usable cross-side
+// equality, and the same-label variant.
+func TestDifferentialStarShapes(t *testing.T) {
+	cond31 := trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}}
+	cond22 := cond31.And(trial.Eq(trial.P(trial.L2), trial.P(trial.R2)))
+	noKey := trial.Cond{Obj: []trial.ObjAtom{trial.Neq(trial.P(trial.L1), trial.P(trial.R3))}}
+	stars := []trial.Expr{
+		trial.MustStar(trial.R(genstore.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R3}, cond31, false),
+		trial.MustStar(trial.R(genstore.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R3}, cond31, true),
+		trial.MustStar(trial.R(genstore.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R3}, cond22, false),
+		trial.MustStar(trial.R(genstore.RelE), [3]trial.Pos{trial.L1, trial.R2, trial.R3}, cond31, false),
+		trial.MustStar(trial.R(genstore.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R3}, noKey, false),
+		trial.MustStar(trial.R(genstore.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R3}, noKey, true),
+	}
+	stores := map[string]*triplestore.Store{
+		"chain": genstore.Chain(16, 2),
+		"cycle": genstore.Cycle(10),
+		"grid":  genstore.Grid(4, 5),
+	}
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			engines := engineVariants(s)
+			for _, q := range stars {
+				checkAgainstEvaluator(t, s, q, engines)
+			}
+		})
+	}
+}
+
+// TestDifferentialValueComponentJoin covers joins whose only cross-side
+// atom is a component-restricted value equality (the ∼i relations of §4):
+// the hash join must bucket on the component exactly as the Evaluator
+// does, not fall back to a single bucket.
+func TestDifferentialValueComponentJoin(t *testing.T) {
+	s := genstore.Social(rand.New(rand.NewSource(5)), 8, 20, 2, 3)
+	engines := engineVariants(s)
+	for _, comp := range []int{-1, 3, 4} {
+		cond := trial.Cond{Val: []trial.ValAtom{{
+			L: trial.RhoP(trial.L2), R: trial.RhoP(trial.R2), Component: comp,
+		}}}
+		q := trial.MustJoin(trial.R(genstore.RelE), [3]trial.Pos{trial.L1, trial.L3, trial.R1}, cond,
+			trial.R(genstore.RelE))
+		checkAgainstEvaluator(t, s, q, engines)
+	}
+}
+
+// TestDifferentialParallelLargeStore forces multi-worker engines on
+// stores large enough to cross the parallel threshold of the worker pool
+// (probe sides ≥ 2048 triples), so the chunked parallel path — never
+// reached by the small stores above, nor by the default worker count on a
+// single-CPU machine — is differentially checked too. The oracle is
+// ModeAuto only; naive joins would be quadratic at this size.
+func TestDifferentialParallelLargeStore(t *testing.T) {
+	type workload struct {
+		store   *triplestore.Store
+		queries []trial.Expr
+	}
+	sel := trial.MustSelect(trial.R(genstore.RelE),
+		trial.Cond{Obj: []trial.ObjAtom{trial.Neq(trial.P(trial.L1), trial.P(trial.L3))}})
+	workloads := map[string]workload{
+		// Dense random store: joins and filters with 4000-triple probe sides.
+		"random": {
+			store:   genstore.Random(rand.New(rand.NewSource(11)), 300, 4000, 0),
+			queries: []trial.Expr{trial.Example2(genstore.RelE), sel},
+		},
+		// Long chain: the delta star's result (and late-round probe sides)
+		// crosses the threshold while the output stays bounded.
+		"chain": {
+			store:   genstore.Chain(1200, 3),
+			queries: []trial.Expr{trial.ReachRight(genstore.RelE)},
+		},
+	}
+	for name, w := range workloads {
+		t.Run(name, func(t *testing.T) {
+			ev := trial.NewEvaluator(w.store)
+			engines := []*Engine{New(w.store, WithWorkers(4)), New(w.store, WithWorkers(16))}
+			for _, q := range w.queries {
+				want, err := ev.Eval(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, e := range engines {
+					got, err := e.Eval(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !got.Equal(want) {
+						t.Errorf("parallel engine[%d] mismatch for %s: engine=%d evaluator=%d",
+							i, q, got.Len(), want.Len())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestErrorParity asserts the engine rejects what the evaluator rejects.
+func TestErrorParity(t *testing.T) {
+	s := fixtures.Transport()
+	e := New(s)
+	ev := trial.NewEvaluator(s)
+
+	for _, x := range []trial.Expr{
+		trial.R("NoSuchRelation"),
+		trial.Union{L: trial.R(fixtures.RelE), R: trial.R("missing")},
+		trial.Select{E: trial.R(fixtures.RelE), Cond: trial.Cond{
+			Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L1), trial.P(trial.R2))}}},
+	} {
+		_, evErr := ev.Eval(x)
+		_, engErr := e.Eval(x)
+		if (evErr == nil) != (engErr == nil) {
+			t.Errorf("error parity broken for %s: evaluator=%v engine=%v", x, evErr, engErr)
+		}
+	}
+}

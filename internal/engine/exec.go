@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+func (n *scanNode) exec(e *Engine) (*triplestore.Relation, error) {
+	return n.rel, nil
+}
+
+func (n *universeNode) exec(e *Engine) (*triplestore.Relation, error) {
+	return e.Universe(), nil
+}
+
+func (n *filterNode) exec(e *Engine) (*triplestore.Relation, error) {
+	in, err := n.child.exec(e)
+	if err != nil {
+		return nil, err
+	}
+	return e.parallelCollect(in.Slice(), func(t triplestore.Triple, emit func(triplestore.Triple)) {
+		if n.cc.Holds(t, t) {
+			emit(t)
+		}
+	}), nil
+}
+
+func (n *unionNode) exec(e *Engine) (*triplestore.Relation, error) {
+	l, err := n.l.exec(e)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.r.exec(e)
+	if err != nil {
+		return nil, err
+	}
+	return triplestore.Union(l, r), nil
+}
+
+func (n *diffNode) exec(e *Engine) (*triplestore.Relation, error) {
+	l, err := n.l.exec(e)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.r.exec(e)
+	if err != nil {
+		return nil, err
+	}
+	return triplestore.Difference(l, r), nil
+}
+
+func (n *joinNode) exec(e *Engine) (*triplestore.Relation, error) {
+	l, err := n.l.exec(e)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.r.exec(e)
+	if err != nil {
+		return nil, err
+	}
+	switch n.strategy {
+	case joinIndexRight:
+		probe := n.objKeys[0]
+		// Build the access path before fanning out: Index mutates the
+		// relation's cache under its own lock, but building once up front
+		// keeps workers contention-free.
+		ix := r.Index(triplestore.PermFor(probe[1].Index()))
+		return e.parallelCollect(l.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+			for _, rt := range ix.Match(lt[probe[0].Index()]) {
+				if n.cc.Holds(lt, rt) {
+					emit(trial.Project(n.out, lt, rt))
+				}
+			}
+		}), nil
+	case joinIndexLeft:
+		probe := n.objKeys[0]
+		ix := l.Index(triplestore.PermFor(probe[0].Index()))
+		return e.parallelCollect(r.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
+			for _, lt := range ix.Match(rt[probe[1].Index()]) {
+				if n.cc.Holds(lt, rt) {
+					emit(trial.Project(n.out, lt, rt))
+				}
+			}
+		}), nil
+	case joinHash:
+		lKey, rKey := trial.CrossEqualityKeyFuncs(e.store, n.cond)
+		table := make(map[string][]triplestore.Triple, r.Len())
+		r.ForEach(func(rt triplestore.Triple) {
+			k := rKey(rt)
+			table[k] = append(table[k], rt)
+		})
+		return e.parallelCollect(l.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+			for _, rt := range table[lKey(lt)] {
+				if n.cc.Holds(lt, rt) {
+					emit(trial.Project(n.out, lt, rt))
+				}
+			}
+		}), nil
+	default: // joinLoop
+		rts := r.Slice()
+		return e.parallelCollect(l.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+			for _, rt := range rts {
+				if n.cc.Holds(lt, rt) {
+					emit(trial.Project(n.out, lt, rt))
+				}
+			}
+		}), nil
+	}
+}
+
+// exec evaluates the Kleene closure by semi-naive iteration: the result
+// starts as the base, and each round joins only the delta (the triples
+// derived for the first time in the previous round) with the base, until
+// no new triples appear. The access path over the loop-invariant base is
+// built once, before the first round — this is what separates the engine's
+// delta-star from re-running the Theorem 3 join every iteration.
+func (n *starNode) exec(e *Engine) (*triplestore.Relation, error) {
+	base, err := n.child.exec(e)
+	if err != nil {
+		return nil, err
+	}
+	step := n.stepFunc(e, base)
+	result := base.Clone()
+	delta := base
+	for delta.Len() > 0 {
+		derived := step(delta)
+		next := triplestore.NewRelation()
+		derived.ForEach(func(t triplestore.Triple) {
+			if result.Add(t) {
+				next.Add(t)
+			}
+		})
+		delta = next
+	}
+	return result, nil
+}
+
+// stepFunc returns the per-round join of the semi-naive iteration. For the
+// right closure (e ✶)* the round computes delta ✶ base; for the left
+// closure, base ✶ delta. When the condition has a cross-side object
+// equality the base side is served by a permutation index; otherwise the
+// round degrades to a (parallel) scan of base per delta triple.
+func (n *starNode) stepFunc(e *Engine, base *triplestore.Relation) func(*triplestore.Relation) *triplestore.Relation {
+	if len(n.objKeys) > 0 {
+		probe := n.objKeys[0]
+		if !n.left {
+			ix := base.Index(triplestore.PermFor(probe[1].Index()))
+			return func(delta *triplestore.Relation) *triplestore.Relation {
+				return e.parallelCollect(delta.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+					for _, rt := range ix.Match(lt[probe[0].Index()]) {
+						if n.cc.Holds(lt, rt) {
+							emit(trial.Project(n.out, lt, rt))
+						}
+					}
+				})
+			}
+		}
+		ix := base.Index(triplestore.PermFor(probe[0].Index()))
+		return func(delta *triplestore.Relation) *triplestore.Relation {
+			return e.parallelCollect(delta.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
+				for _, lt := range ix.Match(rt[probe[1].Index()]) {
+					if n.cc.Holds(lt, rt) {
+						emit(trial.Project(n.out, lt, rt))
+					}
+				}
+			})
+		}
+	}
+	baseTs := base.Slice()
+	if !n.left {
+		return func(delta *triplestore.Relation) *triplestore.Relation {
+			return e.parallelCollect(delta.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+				for _, rt := range baseTs {
+					if n.cc.Holds(lt, rt) {
+						emit(trial.Project(n.out, lt, rt))
+					}
+				}
+			})
+		}
+	}
+	return func(delta *triplestore.Relation) *triplestore.Relation {
+		return e.parallelCollect(delta.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
+			for _, lt := range baseTs {
+				if n.cc.Holds(lt, rt) {
+					emit(trial.Project(n.out, lt, rt))
+				}
+			}
+		})
+	}
+}

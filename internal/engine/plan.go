@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// planNode is one physical operator. exec computes the operator's result
+// relation; est is the planner's (rough) output-cardinality estimate used
+// to rank join strategies; explain renders the subtree.
+type planNode interface {
+	exec(e *Engine) (*triplestore.Relation, error)
+	est() float64
+	explain(b *strings.Builder, depth int)
+}
+
+// joinStrategy selects the physical join implementation.
+type joinStrategy int
+
+const (
+	// joinHash builds a hash table over the right operand keyed on the
+	// cross-side equality atoms and probes it with the left operand in
+	// parallel — the engine's form of the Proposition 4 strategy.
+	joinHash joinStrategy = iota
+	// joinIndexRight probes the right base relation's permutation index
+	// with each left triple (index nested-loop join).
+	joinIndexRight
+	// joinIndexLeft probes the left base relation's permutation index
+	// with each right triple.
+	joinIndexLeft
+	// joinLoop is the parallel nested-loop fallback for conditions with no
+	// cross-side equality atoms (including the pure cartesian join).
+	joinLoop
+)
+
+func (s joinStrategy) String() string {
+	switch s {
+	case joinHash:
+		return "hash"
+	case joinIndexRight:
+		return "index-right"
+	case joinIndexLeft:
+		return "index-left"
+	default:
+		return "loop"
+	}
+}
+
+type scanNode struct {
+	name string
+	rel  *triplestore.Relation
+}
+
+type universeNode struct {
+	rows float64
+}
+
+type filterNode struct {
+	child planNode
+	cond  trial.Cond
+	cc    trial.CompiledCond
+	rows  float64
+}
+
+type unionNode struct {
+	l, r planNode
+}
+
+type diffNode struct {
+	l, r planNode
+}
+
+type joinNode struct {
+	l, r     planNode
+	out      [3]trial.Pos
+	cond     trial.Cond
+	cc       trial.CompiledCond
+	strategy joinStrategy
+	objKeys  [][2]trial.Pos // cross-side object equalities, for index probes
+	rows     float64
+}
+
+type starNode struct {
+	child   planNode
+	out     [3]trial.Pos
+	cond    trial.Cond
+	cc      trial.CompiledCond
+	left    bool
+	objKeys [][2]trial.Pos
+	rows    float64
+}
+
+// compile lowers a validated (and optimized) expression to physical
+// operators bottom-up, estimating cardinalities as it goes.
+func (e *Engine) compile(x trial.Expr) (planNode, error) {
+	switch n := x.(type) {
+	case trial.Rel:
+		rel := e.store.Relation(n.Name)
+		if rel == nil {
+			return nil, fmt.Errorf("trial: unknown relation %q", n.Name)
+		}
+		return &scanNode{name: n.Name, rel: rel}, nil
+	case trial.Universe:
+		// |O| bounds the active domain; good enough for an estimate and
+		// avoids a full store scan at plan time.
+		d := float64(e.store.NumObjects())
+		return &universeNode{rows: d * d * d}, nil
+	case trial.Select:
+		child, err := e.compile(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return &filterNode{
+			child: child,
+			cond:  n.Cond,
+			cc:    n.Cond.Compile(e.store),
+			rows:  child.est() * 0.5,
+		}, nil
+	case trial.Union:
+		l, err := e.compile(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.compile(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &unionNode{l: l, r: r}, nil
+	case trial.Diff:
+		l, err := e.compile(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.compile(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &diffNode{l: l, r: r}, nil
+	case trial.Join:
+		l, err := e.compile(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.compile(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return e.chooseJoin(l, r, n.Out, n.Cond), nil
+	case trial.Star:
+		child, err := e.compile(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return &starNode{
+			child:   child,
+			out:     n.Out,
+			cond:    n.Cond,
+			cc:      n.Cond.Compile(e.store),
+			left:    n.Left,
+			objKeys: n.Cond.CrossObjEqualities(),
+			rows:    child.est() * 8,
+		}, nil
+	}
+	return nil, fmt.Errorf("trial: unknown expression type %T", x)
+}
+
+// chooseJoin ranks the physical join strategies by estimated cost and
+// picks the cheapest. Costs are in "triples touched":
+//
+//	hash:        |L| + |R|            (build right, probe left)
+//	index-right: |L| · max(1, |R|/|O|) (probe right's index per left triple)
+//	index-left:  |R| · max(1, |L|/|O|)
+//	loop:        |L| · |R|             (only option without cross equalities)
+//
+// |R|/|O| approximates the bucket size of a single-position index probe
+// under a uniform distribution. Index strategies require the indexed side
+// to be a base relation scan (a materialized, reusable access path) and at
+// least one cross-side object equality to probe on.
+func (e *Engine) chooseJoin(l, r planNode, out [3]trial.Pos, cond trial.Cond) *joinNode {
+	objKeys := cond.CrossObjEqualities()
+	valKeys := cond.CrossValEqualities()
+	lRows, rRows := l.est(), r.est()
+	nObj := float64(e.store.NumObjects())
+	if nObj < 1 {
+		nObj = 1
+	}
+
+	jn := &joinNode{
+		l: l, r: r, out: out, cond: cond,
+		cc:      cond.Compile(e.store),
+		objKeys: objKeys,
+	}
+	if len(objKeys)+len(valKeys) == 0 {
+		jn.strategy = joinLoop
+		jn.rows = lRows * rRows
+		return jn
+	}
+	jn.rows = lRows
+	if rRows > jn.rows {
+		jn.rows = rRows
+	}
+
+	jn.strategy = joinHash
+	cost := lRows + rRows
+	if _, ok := r.(*scanNode); ok && len(objKeys) > 0 {
+		bucket := rRows / nObj
+		if bucket < 1 {
+			bucket = 1
+		}
+		if c := lRows * bucket; c < cost {
+			jn.strategy, cost = joinIndexRight, c
+		}
+	}
+	if _, ok := l.(*scanNode); ok && len(objKeys) > 0 {
+		bucket := lRows / nObj
+		if bucket < 1 {
+			bucket = 1
+		}
+		if c := rRows * bucket; c < cost {
+			jn.strategy, cost = joinIndexLeft, c
+		}
+	}
+	return jn
+}
+
+func (n *scanNode) est() float64     { return float64(n.rel.Len()) }
+func (n *universeNode) est() float64 { return n.rows }
+func (n *filterNode) est() float64   { return n.rows }
+func (n *unionNode) est() float64    { return n.l.est() + n.r.est() }
+func (n *diffNode) est() float64     { return n.l.est() }
+func (n *joinNode) est() float64     { return n.rows }
+func (n *starNode) est() float64     { return n.rows }
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func (n *scanNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "scan %s (%d triples)\n", n.name, n.rel.Len())
+}
+
+func (n *universeNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "universe est=%.0f\n", n.rows)
+}
+
+func (n *filterNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "filter [%s] est=%.0f\n", n.cond.String(), n.rows)
+	n.child.explain(b, depth+1)
+}
+
+func (n *unionNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "union est=%.0f\n", n.est())
+	n.l.explain(b, depth+1)
+	n.r.explain(b, depth+1)
+}
+
+func (n *diffNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "diff est=%.0f\n", n.est())
+	n.l.explain(b, depth+1)
+	n.r.explain(b, depth+1)
+}
+
+func (n *joinNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	cond := n.cond.String()
+	if cond != "" {
+		cond = "; " + cond
+	}
+	fmt.Fprintf(b, "join[%s,%s,%s%s] %s est=%.0f\n",
+		n.out[0], n.out[1], n.out[2], cond, n.strategy, n.rows)
+	n.l.explain(b, depth+1)
+	n.r.explain(b, depth+1)
+}
+
+func (n *starNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	name := "rstar"
+	if n.left {
+		name = "lstar"
+	}
+	access := "delta-loop"
+	if len(n.objKeys) > 0 {
+		access = "delta-index"
+	}
+	cond := n.cond.String()
+	if cond != "" {
+		cond = "; " + cond
+	}
+	fmt.Fprintf(b, "%s[%s,%s,%s%s] semi-naive %s est=%.0f\n",
+		name, n.out[0], n.out[1], n.out[2], cond, access, n.rows)
+	n.child.explain(b, depth+1)
+}

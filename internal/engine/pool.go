@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/triplestore"
+)
+
+// seqThreshold is the probe-side size below which a join runs on the
+// calling goroutine: partitioning and merging cost more than they save on
+// small inputs.
+const seqThreshold = 2048
+
+// parallelCollect runs f over every triple of ts, collecting the triples f
+// emits into a relation. When ts is large enough it is partitioned into
+// chunks executed by a bounded pool of e.workers goroutines, each
+// accumulating into a private relation; the per-worker relations are merged
+// at the end. f must be safe for concurrent calls and must only read
+// shared state; the emit function it receives is not goroutine-safe and
+// must only be called from within that invocation of f.
+func (e *Engine) parallelCollect(ts []triplestore.Triple, f func(t triplestore.Triple, emit func(triplestore.Triple))) *triplestore.Relation {
+	if e.workers <= 1 || len(ts) < seqThreshold {
+		out := triplestore.NewRelation()
+		emit := func(t triplestore.Triple) { out.Add(t) }
+		for _, t := range ts {
+			f(t, emit)
+		}
+		return out
+	}
+
+	// More chunks than workers so an unlucky skewed partition does not
+	// leave the pool idle behind one straggler.
+	nChunks := e.workers * 4
+	if nChunks > len(ts) {
+		nChunks = len(ts)
+	}
+	locals := make([]*triplestore.Relation, nChunks)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	chunkSize := (len(ts) + nChunks - 1) / nChunks
+	for i := 0; i < nChunks; i++ {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(i int, part []triplestore.Triple) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			local := triplestore.NewRelation()
+			emit := func(t triplestore.Triple) { local.Add(t) }
+			for _, t := range part {
+				f(t, emit)
+			}
+			locals[i] = local
+		}(i, ts[lo:hi])
+	}
+	wg.Wait()
+
+	total := 0
+	for _, l := range locals {
+		if l != nil {
+			total += l.Len()
+		}
+	}
+	out := triplestore.NewRelationCap(total)
+	for _, l := range locals {
+		if l != nil {
+			out.AddAll(l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package trial
+
+import "repro/internal/triplestore"
+
+// CompiledCond is a condition compiled against a store for repeated
+// evaluation over candidate triple pairs. It is the exported face of the
+// compiled form the Evaluator uses internally, provided so that external
+// execution engines (internal/engine) share exactly the same condition
+// semantics: object-constant resolution (absent constants behave as NoID),
+// data-value comparison, and the ∼i component relations.
+type CompiledCond struct{ ce *condEval }
+
+// Compile binds the condition to a store.
+func (c Cond) Compile(s *triplestore.Store) CompiledCond {
+	return CompiledCond{ce: compileCond(s, c)}
+}
+
+// Holds reports whether the condition is satisfied by the pair of triples
+// (left = positions 1,2,3; right = 1′,2′,3′). For selection conditions pass
+// the same triple on both sides.
+func (cc CompiledCond) Holds(left, right triplestore.Triple) bool {
+	return cc.ce.holds(left, right)
+}
+
+// LeftOnly reports whether the condition mentions only positions 1, 2, 3 —
+// the validity requirement for selection conditions.
+func (c Cond) LeftOnly() bool { return c.leftOnly() }
+
+// CrossEqualityKeyFuncs returns the canonical hash-key functions for the
+// two sides of a join keyed on the cross-side equality atoms of c — the
+// same derivation the Evaluator's hash join uses, exported so external
+// engines bucket identically (including component-restricted value
+// equalities). Atoms that are not cross-side equalities contribute nothing
+// and must be re-checked as residuals.
+func CrossEqualityKeyFuncs(s *triplestore.Store, c Cond) (left, right func(triplestore.Triple) string) {
+	return crossEqualityKeys(s, c)
+}
+
+// ComputeUniverse materializes the universal relation U of §3 over the
+// active domain of s: all triples whose components occur in some triple.
+// Both the Evaluator and external engines build U through this helper so
+// complements cannot desynchronize.
+func ComputeUniverse(s *triplestore.Store) *triplestore.Relation {
+	dom := s.ActiveDomain()
+	u := triplestore.NewRelationCap(len(dom) * len(dom) * len(dom))
+	for _, a := range dom {
+		for _, b := range dom {
+			for _, c := range dom {
+				u.Add(triplestore.Triple{a, b, c})
+			}
+		}
+	}
+	return u
+}
+
+// At returns the object at position p of the flattened join pair
+// (o1, o2, o3, o1′, o2′, o3′).
+func At(p Pos, left, right triplestore.Triple) triplestore.ID {
+	return at(p, left, right)
+}
+
+// Project applies a join's output projection to a candidate pair.
+func Project(out [3]Pos, left, right triplestore.Triple) triplestore.Triple {
+	return project(out, left, right)
+}
+
+// CrossObjEqualities returns the object-equality atoms of c that relate a
+// left position to a right position (the atoms a join can use as keys for
+// hashing or index probes), normalized so the first position of each pair
+// is the left one.
+func (c Cond) CrossObjEqualities() [][2]Pos {
+	var out [][2]Pos
+	for _, a := range c.Obj {
+		if a.Neq || a.L.IsConst || a.R.IsConst {
+			continue
+		}
+		lp, rp := a.L.Pos, a.R.Pos
+		if lp.Left() == rp.Left() {
+			continue
+		}
+		if !lp.Left() {
+			lp, rp = rp, lp
+		}
+		out = append(out, [2]Pos{lp, rp})
+	}
+	return out
+}
+
+// CrossValEqualities returns the data-value equality atoms of c that relate
+// a left position to a right position, normalized left-first, with the
+// compared component (-1 for whole values).
+func (c Cond) CrossValEqualities() []CrossValEq {
+	var out []CrossValEq
+	for _, a := range c.Val {
+		if a.Neq || a.L.IsLit || a.R.IsLit {
+			continue
+		}
+		lp, rp := a.L.Pos, a.R.Pos
+		if lp.Left() == rp.Left() {
+			continue
+		}
+		if !lp.Left() {
+			lp, rp = rp, lp
+		}
+		out = append(out, CrossValEq{L: lp, R: rp, Component: a.Component})
+	}
+	return out
+}
+
+// CrossValEq is one cross-side data-value equality: ρ(L) = ρ(R), possibly
+// restricted to one tuple component.
+type CrossValEq struct {
+	L, R      Pos
+	Component int
+}

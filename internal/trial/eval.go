@@ -131,20 +131,10 @@ func (ev *Evaluator) Holds(e Expr, t triplestore.Triple) (bool, error) {
 // Universe returns (and caches) the universal relation U: all triples over
 // the active domain.
 func (ev *Evaluator) Universe() *triplestore.Relation {
-	if ev.universe != nil {
-		return ev.universe
+	if ev.universe == nil {
+		ev.universe = ComputeUniverse(ev.store)
 	}
-	dom := ev.store.ActiveDomain()
-	u := triplestore.NewRelation()
-	for _, a := range dom {
-		for _, b := range dom {
-			for _, c := range dom {
-				u.Add(triplestore.Triple{a, b, c})
-			}
-		}
-	}
-	ev.universe = u
-	return u
+	return ev.universe
 }
 
 // join evaluates l ✶^{out}_{cond} r.

@@ -1,0 +1,131 @@
+package triplestore
+
+import "sort"
+
+// Perm identifies one of the three permutation orders in which a relation
+// can be materialized as a sorted triple slice. Each order serves point
+// lookups on a different leading position: SPO answers "all triples with
+// subject s", POS "all triples with predicate p", OSP "all triples with
+// object o". These are the classic RDF access paths (cf. Hexastore/RDF-3X);
+// three of the six permutations suffice for single-position probes, which
+// is all the TriAL join conditions require.
+type Perm int
+
+const (
+	// SPO orders by (subject, predicate, object) — probe on position 1.
+	SPO Perm = iota
+	// POS orders by (predicate, object, subject) — probe on position 2.
+	POS
+	// OSP orders by (object, subject, predicate) — probe on position 3.
+	OSP
+	numPerms
+)
+
+// PermFor returns the permutation whose leading component is the given
+// triple position (0, 1 or 2).
+func PermFor(pos int) Perm {
+	switch pos {
+	case 0:
+		return SPO
+	case 1:
+		return POS
+	default:
+		return OSP
+	}
+}
+
+// key returns t reordered so that the permutation's leading position comes
+// first; comparison of keys realizes the permutation's sort order.
+func (p Perm) key(t Triple) Triple {
+	switch p {
+	case SPO:
+		return t
+	case POS:
+		return Triple{t[1], t[2], t[0]}
+	default: // OSP
+		return Triple{t[2], t[0], t[1]}
+	}
+}
+
+// Lead returns the triple position (0..2) the permutation sorts first.
+func (p Perm) Lead() int {
+	switch p {
+	case SPO:
+		return 0
+	case POS:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func (p Perm) String() string {
+	switch p {
+	case SPO:
+		return "SPO"
+	case POS:
+		return "POS"
+	default:
+		return "OSP"
+	}
+}
+
+// Index is a materialized access path over a relation: all triples sorted
+// in one permutation order, supporting binary-search point lookups on the
+// permutation's leading position. Indexes are immutable snapshots; the
+// relation caches one per permutation and drops them on mutation.
+type Index struct {
+	perm    Perm
+	triples []Triple // sorted by perm.key order
+}
+
+// BuildIndex materializes the access path for r in the given permutation.
+// Prefer Relation.Index, which caches.
+func BuildIndex(r *Relation, perm Perm) *Index {
+	ts := make([]Triple, 0, r.Len())
+	for t := range r.set {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return perm.key(ts[i]).Less(perm.key(ts[j])) })
+	return &Index{perm: perm, triples: ts}
+}
+
+// Perm returns the index's permutation order.
+func (ix *Index) Perm() Perm { return ix.perm }
+
+// Len returns the number of indexed triples.
+func (ix *Index) Len() int { return len(ix.triples) }
+
+// Triples returns all triples in permutation order. Callers must not
+// modify the returned slice.
+func (ix *Index) Triples() []Triple { return ix.triples }
+
+// Match returns the triples whose leading-position component equals id, as
+// a subslice of the index (do not modify). The lookup is O(log n) plus the
+// match count.
+func (ix *Index) Match(id ID) []Triple {
+	lead := ix.perm.Lead()
+	lo := sort.Search(len(ix.triples), func(i int) bool { return ix.triples[i][lead] >= id })
+	hi := lo
+	for hi < len(ix.triples) && ix.triples[hi][lead] == id {
+		hi++
+	}
+	return ix.triples[lo:hi]
+}
+
+// MatchCount returns len(Match(id)) without materializing anything extra.
+func (ix *Index) MatchCount(id ID) int { return len(ix.Match(id)) }
+
+// Index returns the relation's access path for the given permutation,
+// building and caching it on first use. The cache is invalidated by Add,
+// so repeated probes during a join or fixpoint pay the sort once.
+func (r *Relation) Index(perm Perm) *Index {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ix := r.idx[perm]; ix != nil {
+		return ix
+	}
+	ix := BuildIndex(r, perm)
+	r.idx[perm] = ix
+	return ix
+}

@@ -1,0 +1,88 @@
+package triplestore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIndexMatch(t *testing.T) {
+	r := RelationOf(
+		Triple{1, 2, 3},
+		Triple{1, 5, 3},
+		Triple{2, 2, 1},
+		Triple{3, 2, 3},
+	)
+	for _, tc := range []struct {
+		perm Perm
+		id   ID
+		want int
+	}{
+		{SPO, 1, 2},
+		{SPO, 2, 1},
+		{SPO, 9, 0},
+		{POS, 2, 3},
+		{POS, 5, 1},
+		{OSP, 3, 3},
+		{OSP, 1, 1},
+		{OSP, 7, 0},
+	} {
+		got := r.Index(tc.perm).Match(tc.id)
+		if len(got) != tc.want {
+			t.Errorf("%v.Match(%d) = %v, want %d triples", tc.perm, tc.id, got, tc.want)
+		}
+		for _, tr := range got {
+			if tr[tc.perm.Lead()] != tc.id {
+				t.Errorf("%v.Match(%d) returned %v with wrong lead component", tc.perm, tc.id, tr)
+			}
+		}
+	}
+}
+
+func TestIndexAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRelation()
+	for i := 0; i < 500; i++ {
+		r.Add(Triple{ID(rng.Intn(20)), ID(rng.Intn(20)), ID(rng.Intn(20))})
+	}
+	for p := SPO; p < numPerms; p++ {
+		ix := r.Index(p)
+		if ix.Len() != r.Len() {
+			t.Fatalf("%v index has %d triples, relation has %d", p, ix.Len(), r.Len())
+		}
+		for id := ID(0); id < 20; id++ {
+			want := 0
+			r.ForEach(func(tr Triple) {
+				if tr[p.Lead()] == id {
+					want++
+				}
+			})
+			if got := ix.MatchCount(id); got != want {
+				t.Errorf("%v.MatchCount(%d) = %d, want %d", p, id, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexInvalidation(t *testing.T) {
+	r := RelationOf(Triple{1, 1, 1})
+	ix := r.Index(SPO)
+	if ix.Len() != 1 {
+		t.Fatalf("index len = %d, want 1", ix.Len())
+	}
+	r.Add(Triple{2, 2, 2})
+	if got := r.Index(SPO).Len(); got != 2 {
+		t.Fatalf("after Add, index len = %d, want 2", got)
+	}
+	// A clone shares the snapshot but invalidates independently.
+	c := r.Clone()
+	if got := c.Index(SPO).Len(); got != 2 {
+		t.Fatalf("clone index len = %d, want 2", got)
+	}
+	c.Add(Triple{3, 3, 3})
+	if got := c.Index(SPO).Len(); got != 3 {
+		t.Fatalf("after clone Add, clone index len = %d, want 3", got)
+	}
+	if got := r.Index(SPO).Len(); got != 2 {
+		t.Fatalf("original index len changed to %d, want 2", got)
+	}
+}

@@ -1,13 +1,24 @@
 package triplestore
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Relation is a set of triples — one of the ternary relations Ei of a
 // triplestore, or the result of evaluating a (closed) algebra expression.
 // The zero value is not usable; call NewRelation.
+//
+// A relation is safe for concurrent readers (Has, Triples, Index, ForEach,
+// ...): the lazily built sorted view and permutation indexes are guarded
+// by a mutex. Mutation (Add, AddAll) requires exclusive access, the same
+// contract the Evaluator already imposes on stores in use.
 type Relation struct {
-	set    map[Triple]struct{}
-	sorted []Triple // cached sorted view; nil when stale
+	set map[Triple]struct{}
+
+	mu     sync.Mutex       // guards the lazy caches below
+	sorted []Triple         // cached sorted view; nil when stale
+	idx    [numPerms]*Index // cached permutation indexes; nil when stale
 }
 
 // NewRelation returns an empty relation.
@@ -15,9 +26,14 @@ func NewRelation() *Relation {
 	return &Relation{set: make(map[Triple]struct{})}
 }
 
+// NewRelationCap returns an empty relation with capacity for n triples.
+func NewRelationCap(n int) *Relation {
+	return &Relation{set: make(map[Triple]struct{}, n)}
+}
+
 // RelationOf builds a relation from the given triples.
 func RelationOf(ts ...Triple) *Relation {
-	r := NewRelation()
+	r := NewRelationCap(len(ts))
 	for _, t := range ts {
 		r.Add(t)
 	}
@@ -31,6 +47,7 @@ func (r *Relation) Add(t Triple) bool {
 	}
 	r.set[t] = struct{}{}
 	r.sorted = nil
+	r.idx = [numPerms]*Index{}
 	return true
 }
 
@@ -46,14 +63,35 @@ func (r *Relation) Len() int { return len(r.set) }
 // Triples returns the triples in lexicographic order. The returned slice
 // is cached and must not be modified.
 func (r *Relation) Triples() []Triple {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.sorted == nil {
-		r.sorted = make([]Triple, 0, len(r.set))
+		sorted := make([]Triple, 0, len(r.set))
 		for t := range r.set {
-			r.sorted = append(r.sorted, t)
+			sorted = append(sorted, t)
 		}
-		sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i].Less(r.sorted[j]) })
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+		r.sorted = sorted
 	}
 	return r.sorted
+}
+
+// Slice returns the triples in unspecified order: the cached sorted view
+// when one exists, otherwise an unsorted copy — cheaper than Triples()
+// when the caller only iterates. The returned slice must not be modified.
+func (r *Relation) Slice() []Triple {
+	r.mu.Lock()
+	if r.sorted != nil {
+		s := r.sorted
+		r.mu.Unlock()
+		return s
+	}
+	r.mu.Unlock()
+	out := make([]Triple, 0, len(r.set))
+	for t := range r.set {
+		out = append(out, t)
+	}
+	return out
 }
 
 // ForEach calls f on every triple in unspecified order.
@@ -63,12 +101,18 @@ func (r *Relation) ForEach(f func(Triple)) {
 	}
 }
 
-// Clone returns a copy of r.
+// Clone returns a copy of r. The sorted view and permutation indexes are
+// shared with r (both are immutable snapshots, dropped independently on
+// mutation), so cloning before a fixpoint does not re-sort.
 func (r *Relation) Clone() *Relation {
-	c := NewRelation()
+	c := NewRelationCap(len(r.set))
 	for t := range r.set {
 		c.set[t] = struct{}{}
 	}
+	r.mu.Lock()
+	c.sorted = r.sorted
+	c.idx = r.idx
+	r.mu.Unlock()
 	return c
 }
 
@@ -92,7 +136,7 @@ func Union(a, b *Relation) *Relation {
 
 // Difference returns a new relation containing triples of a not in b.
 func Difference(a, b *Relation) *Relation {
-	r := NewRelation()
+	r := NewRelationCap(a.Len())
 	for t := range a.set {
 		if !b.Has(t) {
 			r.Add(t)
@@ -107,7 +151,7 @@ func Intersection(a, b *Relation) *Relation {
 	if small.Len() > large.Len() {
 		small, large = large, small
 	}
-	r := NewRelation()
+	r := NewRelationCap(small.Len())
 	for t := range small.set {
 		if large.Has(t) {
 			r.Add(t)
