@@ -1,11 +1,17 @@
 // Command trialbench regenerates the paper-reproduction experiments
-// E1–E22 (see DESIGN.md for the index) and prints their tables.
+// E1–E22 (see DESIGN.md for the index) and prints their tables, and —
+// with -json — runs the paired evaluator-vs-engine benchmarks and emits
+// the machine-readable BENCH_engine.json that CI archives per commit.
 //
 // Usage:
 //
-//	trialbench              # all fast (witness) experiments
-//	trialbench -all         # everything, including the perf sweeps
-//	trialbench -exp E4,E12  # a specific subset
+//	trialbench                  # all fast (witness) experiments
+//	trialbench -all             # everything, including the perf sweeps
+//	trialbench -exp E4,E12      # a specific subset
+//	trialbench -json            # write BENCH_engine.json
+//	trialbench -json -out - -min-speedup 1.2
+//	                            # JSON to stdout; exit 1 if any gated
+//	                            # reachability workload is below 1.2x
 package main
 
 import (
@@ -19,15 +25,59 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "comma-separated experiment IDs (e.g. E4,E12)")
-		all    = flag.Bool("all", false, "run every experiment, including perf sweeps")
-		format = flag.String("format", "text", "output format: text or markdown")
+		exp        = flag.String("exp", "", "comma-separated experiment IDs (e.g. E4,E12)")
+		all        = flag.Bool("all", false, "run every experiment, including perf sweeps")
+		format     = flag.String("format", "text", "output format: text or markdown")
+		jsonBench  = flag.Bool("json", false, "run the engine-vs-evaluator benchmarks and write them as JSON")
+		out        = flag.String("out", "BENCH_engine.json", "with -json: output path ('-' for stdout)")
+		minSpeedup = flag.Float64("min-speedup", 0, "with -json: fail unless every gated (reachability) workload reaches this engine speedup")
 	)
 	flag.Parse()
-	if err := run(*exp, *all, *format); err != nil {
+	var err error
+	if *jsonBench {
+		err = runJSON(*out, *minSpeedup)
+	} else {
+		err = run(*exp, *all, *format)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "trialbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runJSON measures the benchmark workloads, writes the report, and
+// enforces the regression gate.
+func runJSON(out string, minSpeedup float64) error {
+	rep, err := experiments.RunBenchJSON()
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		return err
+	}
+	for _, b := range rep.Workloads {
+		gate := ""
+		if b.Gated {
+			gate = " [gated]"
+		}
+		fmt.Fprintf(os.Stderr, "%-20s %-10s lang=%-8s %8d triples -> %8d  speedup %.2fx%s\n",
+			b.Name, b.Family, b.Lang, b.Triples, b.ResultSize, b.Speedup, gate)
+	}
+	if minSpeedup > 0 {
+		if got := rep.MinGatedSpeedup(); got < minSpeedup {
+			return fmt.Errorf("engine speedup regression: min gated speedup %.2fx below threshold %.2fx", got, minSpeedup)
+		}
+	}
+	return nil
 }
 
 func run(exp string, all bool, format string) error {

@@ -1,6 +1,10 @@
-// Command trialserver serves TriAL* queries over HTTP, evaluating them
-// with the internal/engine execution engine (indexed joins, parallel
-// probes, semi-naive stars) over a store loaded once at startup.
+// Command trialserver serves queries over HTTP in every language of the
+// unified query layer (TriAL*, nSPARQL, RPQ, NRE, GXPath), compiling
+// them through internal/query and evaluating them with the
+// internal/engine execution engine (indexed joins, parallel probes,
+// semi-naive stars) over a store loaded once at startup. Compiled
+// physical plans are cached per (language, source) in an LRU, so
+// repeated queries skip parse and plan entirely.
 //
 // Usage:
 //
@@ -11,14 +15,16 @@
 // Endpoints:
 //
 //	GET /query?q=EXPR          evaluate, stream one triple per line
+//	    &lang=L                query language: trial (default), nsparql,
+//	                           rpq, nre, gxpath
 //	    &format=json           stream NDJSON objects {"s":..,"p":..,"o":..}
 //	    &limit=N               stop after N triples (the header still
 //	                           reports the full result size)
 //	    &explain=1             prepend the physical plan as comments
 //	                           (text format only)
 //	POST /query                body is the expression (same parameters)
-//	GET /explain?q=EXPR        the physical plan only
-//	GET /stats                 store and runtime counters
+//	GET /explain?q=EXPR&lang=L the physical plan only
+//	GET /stats                 store, runtime and plan-cache counters
 //	GET /healthz               liveness probe
 //
 // The full result size is reported in the X-Trial-Result-Size response
@@ -28,6 +34,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,7 +50,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fixtures"
 	"repro/internal/genstore"
-	"repro/internal/trial"
+	"repro/internal/query"
 	"repro/internal/triplestore"
 )
 
@@ -51,10 +58,11 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		data    = flag.String("data", "", "path to a triples file (ReadStore format)")
-		rel     = flag.String("rel", "E", "initial relation name for -data triples")
+		rel     = flag.String("rel", "E", "initial relation name for -data triples (also the edge relation for graph-language queries)")
 		fixture = flag.String("fixture", "", "built-in store: transport, social, example3, chain, cycle, grid")
 		n       = flag.Int("n", 32, "size parameter for generated fixtures (chain length, grid side)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for parallel operators")
+		cache   = flag.Int("cache", query.DefaultCacheSize, "plan-cache capacity (compiled plans kept; 0 disables)")
 	)
 	flag.Parse()
 	store, desc, err := buildStore(*data, *rel, *fixture, *n)
@@ -62,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trialserver:", err)
 		os.Exit(1)
 	}
-	srv := newServer(store, *workers)
+	srv := newServer(store, *workers, *rel, *cache)
 	log.Printf("trialserver: serving %s (%d objects, %d triples) on %s",
 		desc, store.NumObjects(), store.Size(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
@@ -104,23 +112,27 @@ func buildStore(data, rel, fixture string, n int) (*triplestore.Store, string, e
 	return nil, "", fmt.Errorf("unknown -fixture %q", fixture)
 }
 
-// server holds the immutable store and the engine shared by all requests.
+// server holds the immutable store and the query layer shared by all
+// requests.
 type server struct {
 	store   *triplestore.Store
-	eng     *engine.Engine
+	q       *query.Querier
 	workers int
 	mux     *http.ServeMux
 	start   time.Time
 	nQuery  atomic.Int64
 }
 
-func newServer(store *triplestore.Store, workers int) *server {
+func newServer(store *triplestore.Store, workers int, rel string, cacheSize int) *server {
 	if workers < 1 {
 		workers = 1
 	}
 	s := &server{
-		store:   store,
-		eng:     engine.New(store, engine.WithWorkers(workers)),
+		store: store,
+		q: query.New(store,
+			query.WithRelation(rel),
+			query.WithCacheSize(cacheSize),
+			query.WithEngineOptions(engine.WithWorkers(workers))),
 		workers: workers,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
@@ -140,15 +152,18 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	fmt.Fprintf(w, `trialserver — TriAL* query engine over HTTP
+	fmt.Fprintf(w, `trialserver — unified query engine over HTTP
 
-GET  /query?q=EXPR[&limit=N][&format=text|json][&explain=1]
+GET  /query?q=EXPR[&lang=trial|nsparql|rpq|nre|gxpath][&limit=N][&format=text|json][&explain=1]
 POST /query            (expression in the body)
-GET  /explain?q=EXPR
+GET  /explain?q=EXPR[&lang=L]
 GET  /stats
 GET  /healthz
 
-Example: /query?q=join[1,3',3; 2=1'](E, E)
+Every language compiles to TriAL* and runs on the parallel engine.
+Examples: /query?q=join[1,3',3; 2=1'](E, E)
+          /query?lang=rpq&q=a*
+          /query?lang=gxpath&q=[<a>].b
 Store: %d objects, %d triples, relations %v
 `, s.store.NumObjects(), s.store.Size(), s.store.RelationNames())
 }
@@ -170,13 +185,30 @@ func readQuery(r *http.Request) (string, error) {
 	return "", fmt.Errorf("missing query: pass ?q= or a POST body")
 }
 
+// readLang extracts and validates the ?lang= parameter (default TriAL*).
+func readLang(r *http.Request) (query.Lang, error) {
+	return query.ParseLang(r.URL.Query().Get("lang"))
+}
+
+// queryError writes a compile error as 400 and a planning or execution
+// error as 422, preserving the status split clients of the TriAL*-only
+// server relied on.
+func (s *server) queryError(w http.ResponseWriter, err error) {
+	status := http.StatusUnprocessableEntity
+	var ce *query.CompileError
+	if errors.As(err, &ce) {
+		status = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), status)
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, err := readQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	x, err := trial.Parse(q)
+	lang, err := readLang(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -200,15 +232,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	var plan string
 	if format == "text" && r.URL.Query().Get("explain") == "1" {
-		plan, err = s.eng.Explain(x)
+		plan, err = s.q.Explain(lang, q)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			s.queryError(w, err)
 			return
 		}
 	}
-	result, err := s.eng.Eval(x)
+	result, err := s.q.Query(lang, q)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		s.queryError(w, err)
 		return
 	}
 	s.nQuery.Add(1)
@@ -261,14 +293,14 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	x, err := trial.Parse(q)
+	lang, err := readLang(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	plan, err := s.eng.Explain(x)
+	plan, err := s.q.Explain(lang, q)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		s.queryError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -278,12 +310,14 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"objects":   s.store.NumObjects(),
-		"triples":   s.store.Size(),
-		"relations": s.store.RelationNames(),
-		"queries":   s.nQuery.Load(),
-		"uptime_s":  int(time.Since(s.start).Seconds()),
-		"workers":   s.workers,
+		"objects":    s.store.NumObjects(),
+		"triples":    s.store.Size(),
+		"relations":  s.store.RelationNames(),
+		"queries":    s.nQuery.Load(),
+		"uptime_s":   int(time.Since(s.start).Seconds()),
+		"workers":    s.workers,
+		"languages":  query.Langs(),
+		"plan_cache": s.q.Stats(),
 	})
 }
 

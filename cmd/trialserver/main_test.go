@@ -18,7 +18,7 @@ import (
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(fixtures.Transport(), 2)
+	srv := newServer(fixtures.Transport(), 2, fixtures.RelE, 64)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -201,6 +201,73 @@ func TestConcurrentQueries(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Error(e)
+	}
+}
+
+func TestQueryLang(t *testing.T) {
+	srv, ts := testServer(t)
+	// An RPQ over the transport network: part_of-reachability. The façade
+	// result is canonical {(x, x, y)}, so the translated expression must
+	// agree with the reference evaluator via the query layer (covered in
+	// internal/query); here we check the HTTP surface end to end.
+	resp, body := get(t, ts.URL+"/query?lang=rpq&q=part_of%2B")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "Train Op 1\tTrain Op 1\tNatExpress") {
+		t.Errorf("rpq result missing transitive part_of pair:\n%s", body)
+	}
+	// nSPARQL and GXPath reach the same engine.
+	for _, u := range []string{
+		"/query?lang=nsparql&q=next*",
+		"/query?lang=nre&q=part_of*",
+		"/query?lang=gxpath&q=part_of*",
+	} {
+		if resp, body := get(t, ts.URL+u); resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d: %s", u, resp.StatusCode, body)
+		}
+	}
+	// Bad language and bad source in a valid language.
+	if resp, _ := get(t, ts.URL+"/query?lang=sql&q=E"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("lang=sql: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/query?lang=rpq&q=(a"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad rpq: status %d, want 400", resp.StatusCode)
+	}
+	// The explain endpoint accepts lang too.
+	resp, body = get(t, ts.URL+"/explain?lang=rpq&q=part_of%2B")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "scan") {
+		t.Errorf("explain lang=rpq: status %d body %q", resp.StatusCode, body)
+	}
+	_ = srv
+}
+
+func TestStatsPlanCache(t *testing.T) {
+	_, ts := testServer(t)
+	// Two identical queries: one miss, one hit.
+	get(t, ts.URL+"/query?lang=rpq&q=part_of")
+	get(t, ts.URL+"/query?lang=rpq&q=part_of")
+	_, body := get(t, ts.URL+"/stats")
+	var stats struct {
+		PlanCache struct {
+			Hits     uint64 `json:"hits"`
+			Misses   uint64 `json:"misses"`
+			Size     int    `json:"size"`
+			Capacity int    `json:"capacity"`
+		} `json:"plan_cache"`
+		Languages []string `json:"languages"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PlanCache.Hits != 1 || stats.PlanCache.Misses != 1 {
+		t.Errorf("plan_cache = %+v, want 1 hit and 1 miss", stats.PlanCache)
+	}
+	if stats.PlanCache.Capacity != 64 {
+		t.Errorf("capacity = %d, want the configured 64", stats.PlanCache.Capacity)
+	}
+	if len(stats.Languages) != 5 {
+		t.Errorf("languages = %v, want all five", stats.Languages)
 	}
 }
 

@@ -38,8 +38,9 @@ type Engine struct {
 	workers  int
 	optimize bool
 
-	mu       sync.Mutex
-	universe *triplestore.Relation
+	mu          sync.Mutex
+	universe    *triplestore.Relation
+	universeVer uint64
 }
 
 // Option configures an Engine.
@@ -154,12 +155,16 @@ func validate(x trial.Expr) error {
 
 // Universe returns (and caches) the universal relation U over the store's
 // active domain, built by the same trial.ComputeUniverse the Evaluator
-// uses.
+// uses. The cache is keyed by the store's version, so a store mutated
+// between queries (the pattern internal/query's version-keyed plan cache
+// supports) yields a fresh universe, matching the per-relation indexes,
+// which Relation.Add invalidates itself.
 func (e *Engine) Universe() *triplestore.Relation {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.universe == nil {
+	if v := e.store.Version(); e.universe == nil || e.universeVer != v {
 		e.universe = trial.ComputeUniverse(e.store)
+		e.universeVer = v
 	}
 	return e.universe
 }

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// Prepared is a compiled physical plan bound to its engine: the product of
+// validation, the trial.Optimize rewrites and physical planning, ready to
+// execute any number of times. Plan nodes hold no per-execution state
+// (hash tables and delta sets are built inside exec), so a Prepared is
+// safe for concurrent Exec calls under the engine's usual contract that
+// the store is not mutated while in use. internal/query caches Prepared
+// values keyed by source text and store version so repeated queries skip
+// parsing, translation and planning entirely.
+type Prepared struct {
+	e    *Engine
+	root planNode
+	expr trial.Expr
+}
+
+// Prepare validates, optimizes and compiles x into a reusable plan.
+func (e *Engine) Prepare(x trial.Expr) (*Prepared, error) {
+	root, err := e.plan(x)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{e: e, root: root, expr: x}, nil
+}
+
+// Exec computes the relation of the prepared expression.
+func (p *Prepared) Exec() (*triplestore.Relation, error) {
+	return p.root.exec(p.e)
+}
+
+// Expr returns the expression the plan was prepared from (as written,
+// before optimization).
+func (p *Prepared) Expr() trial.Expr { return p.expr }
+
+// Explain renders the physical plan, in the same format as Engine.Explain.
+func (p *Prepared) Explain() string {
+	var b strings.Builder
+	p.root.explain(&b, 0)
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/genstore"
+	"repro/internal/trial"
+)
+
+// TestPreparedMatchesEval asserts a prepared plan computes the same
+// relation as a direct Eval, across repeated and concurrent executions.
+func TestPreparedMatchesEval(t *testing.T) {
+	s := genstore.Grid(6, 6)
+	e := New(s)
+	for _, x := range []trial.Expr{
+		trial.Example2(genstore.RelE),
+		trial.ReachRight(genstore.RelE),
+		trial.QueryQ(genstore.RelE),
+	} {
+		want, err := e.Eval(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := e.Prepare(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			got, err := p.Exec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("prepared exec %d mismatch for %s: got %d want %d triples",
+					i, x, got.Len(), want.Len())
+			}
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got, err := p.Exec()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !got.Equal(want) {
+					t.Errorf("concurrent prepared exec mismatch for %s", x)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestPreparedErrors asserts Prepare rejects what Eval rejects.
+func TestPreparedErrors(t *testing.T) {
+	e := New(fixtures.Transport())
+	if _, err := e.Prepare(trial.R("NoSuchRelation")); err == nil {
+		t.Error("Prepare accepted an unknown relation")
+	}
+	bad := trial.Select{E: trial.R(fixtures.RelE), Cond: trial.Cond{
+		Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L1), trial.P(trial.R2))}}}
+	if _, err := e.Prepare(bad); err == nil {
+		t.Error("Prepare accepted a selection over primed positions")
+	}
+}
+
+// TestPreparedExplain asserts the prepared plan renders identically to
+// Engine.Explain and Expr returns the original expression.
+func TestPreparedExplain(t *testing.T) {
+	e := New(fixtures.Transport())
+	x := trial.Example2(fixtures.RelE)
+	p, err := e.Prepare(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Explain() != want {
+		t.Errorf("Prepared.Explain = %q, want %q", p.Explain(), want)
+	}
+	if p.Expr().String() != x.String() {
+		t.Errorf("Prepared.Expr changed: %v", p.Expr())
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+
+	"repro/internal/genstore"
+	"repro/internal/query"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// This file is the machine-readable benchmark harness behind
+// `trialbench -json`: paired evaluator-vs-engine timings per workload,
+// emitted as BENCH_engine.json so CI can archive the perf trajectory per
+// commit and fail when the engine's speedup regresses.
+//
+// Workload families:
+//
+//   - reachability: Kleene stars on chain and grid stores, the engine's
+//     semi-naive delta iteration against the reference Evaluator's
+//     generic fixpoint (the comparison the delta-star optimization is
+//     about, matching BenchmarkEngineStar* in bench_test.go). These are
+//     the gated workloads: CI fails if any drops below the threshold.
+//   - join: multi-join queries where both sides use their best strategy.
+//   - translated: frontend-language queries (RPQ, GXPath, nSPARQL)
+//     compiled through internal/query — evidence that the engine speedup
+//     applies to every language of the unified layer, not just
+//     hand-written TriAL*.
+
+// BenchResult is one workload's paired measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Family      string  `json:"family"`
+	Lang        string  `json:"lang"`
+	Store       string  `json:"store"`
+	Triples     int     `json:"triples"`
+	ResultSize  int     `json:"result_size"`
+	EvaluatorNs int64   `json:"evaluator_ns_op"`
+	EngineNs    int64   `json:"engine_ns_op"`
+	Speedup     float64 `json:"speedup"`
+	Gated       bool    `json:"gated"`
+}
+
+// BenchReport is the BENCH_engine.json document.
+type BenchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Workloads  []BenchResult `json:"workloads"`
+}
+
+// benchWorkload describes one paired measurement before it runs.
+type benchWorkload struct {
+	name   string
+	family string
+	lang   query.Lang
+	source string
+	store  *triplestore.Store
+	desc   string
+	// disableReachStar pins the evaluator to the generic fixpoint, the
+	// configuration the engine's delta star is measured against.
+	disableReachStar bool
+	gated            bool
+}
+
+func benchWorkloads() []benchWorkload {
+	rng := rand.New(rand.NewSource(9))
+	return []benchWorkload{
+		{
+			name: "chain-reach", family: "reachability",
+			lang: query.LangTriAL, source: trial.ReachRight(genstore.RelE).String(),
+			store: genstore.Chain(192, 1), desc: "chain(192)",
+			disableReachStar: true, gated: true,
+		},
+		{
+			name: "grid-reach", family: "reachability",
+			lang: query.LangTriAL, source: trial.SameLabelReach(genstore.RelE).String(),
+			store: genstore.Grid(12, 12), desc: "grid(12x12)",
+			disableReachStar: true, gated: true,
+		},
+		{
+			// Friend-of-friend composition: social triples are
+			// (user, connection, user), so the chaining key is 3=1'.
+			name: "social-join", family: "join",
+			lang: query.LangTriAL, source: "join[1,2,3'; 3=1'](E, E)",
+			store: genstore.Social(rng, 400, 4000, 4, 8), desc: "social(400,4000)",
+		},
+		{
+			name: "transport-queryQ", family: "join",
+			lang: query.LangTriAL, source: trial.QueryQ(genstore.RelE).String(),
+			store: genstore.Transport(rng, 200, 21, 3), desc: "transport(200)",
+		},
+		{
+			name: "rpq-chain-star", family: "translated",
+			lang: query.LangRPQ, source: "p0*",
+			store: genstore.Chain(160, 1), desc: "chain(160)",
+			disableReachStar: true,
+		},
+		{
+			name: "gxpath-grid-star", family: "translated",
+			lang: query.LangGXPath, source: "(right u down)*",
+			store: genstore.Grid(11, 11), desc: "grid(11x11)",
+			disableReachStar: true,
+		},
+		{
+			name: "nsparql-chain-star", family: "translated",
+			lang: query.LangNSPARQL, source: "next*",
+			store: genstore.Chain(160, 1), desc: "chain(160)",
+			disableReachStar: true,
+		},
+	}
+}
+
+// RunBenchJSON measures every workload and returns the report. Timings
+// are best-of-three (timeOp), trading statistical rigor for a bounded CI
+// budget; the regression gate compares ratios, which best-of-N keeps
+// stable.
+func RunBenchJSON() (*BenchReport, error) {
+	rep := &BenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, w := range benchWorkloads() {
+		q := query.New(w.store, query.WithRelation(genstore.RelE))
+		x, err := q.Compile(w.lang, w.source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: compile: %w", w.name, err)
+		}
+		ev := trial.NewEvaluator(w.store)
+		ev.DisableReachStar = w.disableReachStar
+
+		want, err := ev.Eval(x)
+		if err != nil {
+			return nil, fmt.Errorf("%s: evaluator: %w", w.name, err)
+		}
+		got, err := q.Query(w.lang, w.source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: engine: %w", w.name, err)
+		}
+		if !got.Equal(want) {
+			return nil, fmt.Errorf("%s: engine result (%d triples) differs from evaluator (%d)",
+				w.name, got.Len(), want.Len())
+		}
+
+		dEval := timeOp(func() {
+			if _, err := ev.Eval(x); err != nil {
+				panic(err)
+			}
+		})
+		dEng := timeOp(func() {
+			if _, err := q.Query(w.lang, w.source); err != nil {
+				panic(err)
+			}
+		})
+		speedup := 0.0
+		if dEng > 0 {
+			speedup = float64(dEval) / float64(dEng)
+		}
+		rep.Workloads = append(rep.Workloads, BenchResult{
+			Name:        w.name,
+			Family:      w.family,
+			Lang:        string(w.lang),
+			Store:       w.desc,
+			Triples:     w.store.Size(),
+			ResultSize:  want.Len(),
+			EvaluatorNs: dEval.Nanoseconds(),
+			EngineNs:    dEng.Nanoseconds(),
+			Speedup:     speedup,
+			Gated:       w.gated,
+		})
+	}
+	return rep, nil
+}
+
+// MinGatedSpeedup returns the smallest speedup among the gated
+// (reachability) workloads — the number the CI regression gate compares
+// against its threshold.
+func (r *BenchReport) MinGatedSpeedup() float64 {
+	min := 0.0
+	for _, w := range r.Workloads {
+		if !w.Gated {
+			continue
+		}
+		if min == 0 || w.Speedup < min {
+			min = w.Speedup
+		}
+	}
+	return min
+}
+
+// WriteJSON writes the report, indented for artifact readability.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

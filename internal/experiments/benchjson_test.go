@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunBenchJSON runs the full harness once: every workload must
+// execute, cross-check engine against evaluator (RunBenchJSON errors on
+// mismatch), and produce positive timings. Speedups are recorded, not
+// asserted — thresholds are CI policy, not a unit-test invariant.
+func TestRunBenchJSON(t *testing.T) {
+	rep, err := RunBenchJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != len(benchWorkloads()) {
+		t.Fatalf("got %d workloads, want %d", len(rep.Workloads), len(benchWorkloads()))
+	}
+	families := map[string]bool{}
+	langs := map[string]bool{}
+	gated := 0
+	for _, w := range rep.Workloads {
+		families[w.Family] = true
+		langs[w.Lang] = true
+		if w.Gated {
+			gated++
+			if w.Family != "reachability" {
+				t.Errorf("%s: gated workload in family %q, want reachability", w.Name, w.Family)
+			}
+		}
+		if w.EvaluatorNs <= 0 || w.EngineNs <= 0 {
+			t.Errorf("%s: non-positive timings %d/%d", w.Name, w.EvaluatorNs, w.EngineNs)
+		}
+		if w.Speedup <= 0 {
+			t.Errorf("%s: speedup %f", w.Name, w.Speedup)
+		}
+		if w.ResultSize <= 0 {
+			t.Errorf("%s: empty result — the workload measures nothing", w.Name)
+		}
+	}
+	for _, fam := range []string{"reachability", "join", "translated"} {
+		if !families[fam] {
+			t.Errorf("no workload in family %q", fam)
+		}
+	}
+	// The translated family must cover frontend languages, the point of
+	// routing them through the engine.
+	for _, lang := range []string{"rpq", "gxpath", "nsparql"} {
+		if !langs[lang] {
+			t.Errorf("no workload in language %q", lang)
+		}
+	}
+	if gated == 0 {
+		t.Error("no gated workloads: the CI regression gate would pass vacuously")
+	}
+	if min := rep.MinGatedSpeedup(); min <= 0 {
+		t.Errorf("MinGatedSpeedup = %f", min)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Workloads) != len(rep.Workloads) {
+		t.Error("JSON round trip lost workloads")
+	}
+}
+
+func TestMinGatedSpeedup(t *testing.T) {
+	rep := &BenchReport{Workloads: []BenchResult{
+		{Name: "a", Speedup: 2.0, Gated: true},
+		{Name: "b", Speedup: 1.5, Gated: true},
+		{Name: "c", Speedup: 0.5}, // ungated: ignored
+	}}
+	if got := rep.MinGatedSpeedup(); got != 1.5 {
+		t.Errorf("MinGatedSpeedup = %f, want 1.5", got)
+	}
+	if got := (&BenchReport{}).MinGatedSpeedup(); got != 0 {
+		t.Errorf("empty report MinGatedSpeedup = %f, want 0", got)
+	}
+}

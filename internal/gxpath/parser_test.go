@@ -1,0 +1,133 @@
+package gxpath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParsePathExamples(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Path
+	}{
+		{"eps", Eps{}},
+		{"a", Label{A: "a"}},
+		{"part_of", Label{A: "part_of"}},
+		{"a^-", Label{A: "a", Inv: true}},
+		{"a.b", Concat{L: Label{A: "a"}, R: Label{A: "b"}}},
+		{"a u b", Union{L: Label{A: "a"}, R: Label{A: "b"}}},
+		{"a*", Star{P: Label{A: "a"}}},
+		{"~(a)", Complement{P: Label{A: "a"}}},
+		{"[T]", Test{N: Top{}}},
+		{"a_=", DataCmp{P: Label{A: "a"}}},
+		{"part_of_!=", DataCmp{P: Label{A: "part_of"}, Neq: true}},
+		{"(a.b)* u eps", Union{
+			L: Star{P: Concat{L: Label{A: "a"}, R: Label{A: "b"}}},
+			R: Eps{}}},
+		{"[<a> & !(T)]", Test{N: And{L: Diamond{P: Label{A: "a"}}, R: Not{N: Top{}}}}},
+		{"[<a = b^->]", Test{N: DataTest{L: Label{A: "a"}, R: Label{A: "b", Inv: true}}}},
+		{"[<a != b>]", Test{N: DataTest{L: Label{A: "a"}, R: Label{A: "b"}, Neq: true}}},
+	}
+	for _, c := range cases {
+		got, err := ParsePath(c.in)
+		if err != nil {
+			t.Errorf("ParsePath(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want.String() {
+			t.Errorf("ParsePath(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "(", "(a", "a u", "a.", "~a", "[T", "[<a>", "a )", "<a>", "!T",
+		"[<a = >]", "u", "*",
+	} {
+		if _, err := ParsePath(in); err == nil {
+			t.Errorf("ParsePath(%q): want error", in)
+		}
+	}
+}
+
+func TestParseNodeExamples(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Node
+	}{
+		{"T", Top{}},
+		{"!(T)", Not{N: Top{}}},
+		{"(T & T)", And{L: Top{}, R: Top{}}},
+		{"T | T", Or{L: Top{}, R: Top{}}},
+		{"<a u b>", Diamond{P: Union{L: Label{A: "a"}, R: Label{A: "b"}}}},
+		{"<eps = a>", DataTest{L: Eps{}, R: Label{A: "a"}}},
+	}
+	for _, c := range cases {
+		got, err := ParseNode(c.in)
+		if err != nil {
+			t.Errorf("ParseNode(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want.String() {
+			t.Errorf("ParseNode(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseNodeErrors(t *testing.T) {
+	for _, in := range []string{"", "T &", "T |", "(T", "<a", "<a = b", "x"} {
+		if _, err := ParseNode(in); err == nil {
+			t.Errorf("ParseNode(%q): want error", in)
+		}
+	}
+}
+
+// TestParseRoundTrip: parsing the String rendering of random formulas
+// reproduces the formula. This pins parser and printer to each other —
+// the property internal/query relies on when it accepts GXPath text.
+func TestParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 300; i++ {
+		p := randPathQ(rng, 3)
+		got, err := ParsePath(p.String())
+		if err != nil {
+			t.Fatalf("ParsePath(%q): %v", p, err)
+		}
+		if got.String() != p.String() {
+			t.Fatalf("round trip changed %q to %q", p, got)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		n := randNodeQ(rng, 3)
+		got, err := ParseNode(n.String())
+		if err != nil {
+			t.Fatalf("ParseNode(%q): %v", n, err)
+		}
+		if got.String() != n.String() {
+			t.Fatalf("round trip changed %q to %q", n, got)
+		}
+	}
+}
+
+// randNodeQ generates a random node formula (randPathQ lives in
+// quick_test.go and only emits Test-wrapped Diamond nodes).
+func randNodeQ(rng *rand.Rand, depth int) Node {
+	if depth <= 0 {
+		return Top{}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return Top{}
+	case 1:
+		return Not{N: randNodeQ(rng, depth-1)}
+	case 2:
+		return And{L: randNodeQ(rng, depth-1), R: randNodeQ(rng, depth-1)}
+	case 3:
+		return Or{L: randNodeQ(rng, depth-1), R: randNodeQ(rng, depth-1)}
+	case 4:
+		return Diamond{P: randPathQ(rng, depth-1)}
+	default:
+		return DataTest{L: randPathQ(rng, depth-1), R: randPathQ(rng, depth-1), Neq: rng.Intn(2) == 0}
+	}
+}

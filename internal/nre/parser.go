@@ -1,0 +1,171 @@
+package nre
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the textual NRE syntax, which round-trips the String
+// renderings of this package (ASCII alternatives accepted):
+//
+//	expr   := cat ('+' cat)*                union
+//	cat    := factor (('·' | '.') factor)*  concatenation
+//	factor := atom '*'*
+//	atom   := 'ε' | 'eps' | label ['⁻' | '^-']
+//	        | '[' expr ']'                  nesting (node test)
+//	        | '(' expr ')'
+//
+// Labels are bare identifiers (letters, digits, '_', '-', ':', '#');
+// the name 'eps' is reserved by the grammar.
+func Parse(input string) (Expr, error) {
+	p := &nreParser{in: input}
+	e, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("nre: trailing input at %d: %q", p.pos, p.in[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type nreParser struct {
+	in  string
+	pos int
+}
+
+func (p *nreParser) skip() {
+	for p.pos < len(p.in) && unicode.IsSpace(rune(p.in[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *nreParser) peek() byte {
+	p.skip()
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *nreParser) has(s string) bool {
+	p.skip()
+	return strings.HasPrefix(p.in[p.pos:], s)
+}
+
+func (p *nreParser) parseUnion() (Expr, error) {
+	l, err := p.parseCat()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '+' {
+		p.pos++
+		r, err := p.parseCat()
+		if err != nil {
+			return nil, err
+		}
+		l = Union{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *nreParser) parseCat() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.has("·"):
+			p.pos += len("·")
+		case p.peek() == '.':
+			p.pos++
+		default:
+			return l, nil
+		}
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = Concat{L: l, R: r}
+	}
+}
+
+func (p *nreParser) parseFactor() (Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '*' {
+		p.pos++
+		e = Star{E: e}
+	}
+	return e, nil
+}
+
+func (p *nreParser) parseAtom() (Expr, error) {
+	switch p.peek() {
+	case '(':
+		p.pos++
+		e, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("nre: expected ')' at %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	case '[':
+		p.pos++
+		e, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ']' {
+			return nil, fmt.Errorf("nre: expected ']' at %d", p.pos)
+		}
+		p.pos++
+		return Nest{E: e}, nil
+	}
+	if p.has("ε") {
+		p.pos += len("ε")
+		return Epsilon{}, nil
+	}
+	start := p.pos
+	for p.pos < len(p.in) && isNREIdent(p.in[p.pos]) {
+		p.pos++
+	}
+	name := p.in[start:p.pos]
+	if name == "" {
+		return nil, fmt.Errorf("nre: expected atom at %d: %q", p.pos, p.in[p.pos:])
+	}
+	if name == "eps" {
+		return Epsilon{}, nil
+	}
+	if p.has("⁻") {
+		p.pos += len("⁻")
+		return Label{A: name, Inv: true}, nil
+	}
+	if p.has("^-") {
+		p.pos += 2
+		return Label{A: name, Inv: true}, nil
+	}
+	return Label{A: name}, nil
+}
+
+func isNREIdent(c byte) bool {
+	return c == '_' || c == '-' || c == ':' || c == '#' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}

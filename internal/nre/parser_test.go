@@ -1,0 +1,63 @@
+package nre
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseExamples(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Expr
+	}{
+		{"eps", Epsilon{}},
+		{"ε", Epsilon{}},
+		{"a", Label{A: "a"}},
+		{"part_of", Label{A: "part_of"}},
+		{"a^-", Label{A: "a", Inv: true}},
+		{"a⁻", Label{A: "a", Inv: true}},
+		{"a.b", Concat{L: Label{A: "a"}, R: Label{A: "b"}}},
+		{"a·b", Concat{L: Label{A: "a"}, R: Label{A: "b"}}},
+		{"a+b", Union{L: Label{A: "a"}, R: Label{A: "b"}}},
+		{"a*", Star{E: Label{A: "a"}}},
+		{"[a]", Nest{E: Label{A: "a"}}},
+		{"(a+b)·c*", Concat{
+			L: Union{L: Label{A: "a"}, R: Label{A: "b"}},
+			R: Star{E: Label{A: "c"}}}},
+		{"[a·[b]]*", Star{E: Nest{E: Concat{L: Label{A: "a"}, R: Nest{E: Label{A: "b"}}}}}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want.String() {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "(", "(a", "[a", "a+", "a.", "*", "+", "a)b"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+}
+
+// TestParseRoundTrip: parsing the String rendering of random expressions
+// reproduces the expression.
+func TestParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 500; i++ {
+		e := randNREQ(rng, 3)
+		got, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", e, err)
+		}
+		if got.String() != e.String() {
+			t.Fatalf("round trip changed %q to %q", e, got)
+		}
+	}
+}

@@ -114,6 +114,34 @@ func (s Star) String() string { return s.E.String() + "*" }
 // Rel is a binary relation over resource names.
 type Rel map[[2]string]bool
 
+// Pairs returns the relation's pairs, sorted.
+func (r Rel) Pairs() [][2]string {
+	out := make([][2]string, 0, len(r))
+	for p := range r {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Equal reports relation equality.
+func (r Rel) Equal(s Rel) bool {
+	if len(r) != len(s) {
+		return false
+	}
+	for p := range r {
+		if !s[p] {
+			return false
+		}
+	}
+	return true
+}
+
 // Eval computes the relation of a path expression over the document.
 func Eval(e Expr, d *rdf.Document) Rel {
 	return eval(e, d, voc(d))

@@ -1,0 +1,66 @@
+package query
+
+import (
+	"container/list"
+
+	"repro/internal/engine"
+)
+
+// lruCache is a fixed-capacity least-recently-used map from planKey to
+// compiled plans. Not safe for concurrent use; the Querier serializes
+// access under its mutex.
+type lruCache struct {
+	cap     int
+	order   *list.List // front = most recently used; values are *lruEntry
+	entries map[planKey]*list.Element
+}
+
+type lruEntry struct {
+	key  planKey
+	plan *engine.Prepared
+}
+
+// newLRUCache returns a cache holding at most cap plans. A capacity
+// below 1 yields a cache that stores nothing (every get misses).
+func newLRUCache(cap int) *lruCache {
+	return &lruCache{
+		cap:     cap,
+		order:   list.New(),
+		entries: make(map[planKey]*list.Element),
+	}
+}
+
+func (c *lruCache) len() int { return len(c.entries) }
+
+// get returns the plan for key, marking it most recently used.
+func (c *lruCache) get(key planKey) (*engine.Prepared, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).plan, true
+}
+
+// put inserts the plan, evicting the least recently used entry when the
+// cache is full. It reports whether an eviction happened.
+func (c *lruCache) put(key planKey, p *engine.Prepared) (evicted bool) {
+	if c.cap < 1 {
+		return false
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).plan = p
+		c.order.MoveToFront(el)
+		return false
+	}
+	if len(c.entries) >= c.cap {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*lruEntry).key)
+			evicted = true
+		}
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, plan: p})
+	return evicted
+}

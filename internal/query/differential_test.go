@@ -1,0 +1,289 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/gxpath"
+	"repro/internal/nre"
+	"repro/internal/nsparql"
+	"repro/internal/rdf"
+	"repro/internal/rpq"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// The differential contract of the unified query layer: for every
+// supported language, over fixture and random graphs alike, the façade's
+// engine-executed result is identical to the reference trial.Evaluator
+// run on the same translated expression, and — projected to pairs — to
+// the language's own native evaluator.
+
+// diffGraphs returns the graphs the differential tests run over. All use
+// alphabet {a, b} and data values so every language feature is live.
+func diffGraphs() map[string]*graph.Graph {
+	out := map[string]*graph.Graph{}
+
+	chain := graph.New()
+	for i := 0; i < 6; i++ {
+		lab := "a"
+		if i%2 == 1 {
+			lab = "b"
+		}
+		chain.AddEdge(fmt.Sprintf("n%d", i), lab, fmt.Sprintf("n%d", i+1))
+	}
+	out["chain"] = chain
+
+	cycle := graph.New()
+	for i := 0; i < 5; i++ {
+		cycle.AddEdge(fmt.Sprintf("c%d", i), "a", fmt.Sprintf("c%d", (i+1)%5))
+	}
+	cycle.AddEdge("c0", "b", "c2")
+	out["cycle"] = cycle
+
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 3; i++ {
+		g := graph.New()
+		n := 5 + i
+		for g.NumEdges() < 2*n {
+			g.AddEdge(
+				fmt.Sprintf("v%d", rng.Intn(n)),
+				string(rune('a'+rng.Intn(2))),
+				fmt.Sprintf("v%d", rng.Intn(n)))
+		}
+		for _, v := range g.Nodes() {
+			g.SetValue(v, triplestore.V(string(rune('u'+rng.Intn(2)))))
+		}
+		out[fmt.Sprintf("random%d", i)] = g
+	}
+	return out
+}
+
+// checkFacade runs source through the façade and asserts the engine
+// result matches the reference Evaluator on the compiled expression.
+// It returns the result projected to pairs for native comparison.
+func checkFacade(t *testing.T, q *Querier, lang Lang, source string) map[[2]string]bool {
+	t.Helper()
+	x, err := q.Compile(lang, source)
+	if err != nil {
+		t.Fatalf("%s %q: compile: %v", lang, source, err)
+	}
+	want, err := trial.NewEvaluator(q.Engine().Store()).Eval(x)
+	if err != nil {
+		t.Fatalf("%s %q: evaluator: %v", lang, source, err)
+	}
+	got, err := q.Query(lang, source)
+	if err != nil {
+		t.Fatalf("%s %q: query: %v", lang, source, err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("%s %q: façade (engine) disagrees with Evaluator: %d vs %d triples",
+			lang, source, got.Len(), want.Len())
+	}
+	pairs, err := q.Pairs(got)
+	if err != nil {
+		t.Fatalf("%s %q: %v", lang, source, err)
+	}
+	set := make(map[[2]string]bool, len(pairs))
+	for _, p := range pairs {
+		set[p] = true
+	}
+	return set
+}
+
+func samePairs(got map[[2]string]bool, want map[[2]string]bool) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for p := range got {
+		if !want[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialRPQ(t *testing.T) {
+	sources := []string{
+		"a", "b", "a^-", "a b", "a|b", "a*", "a+", "a?", "(a|b)*",
+		"a^- b", "(a b)* a?", "a* b^- a*",
+	}
+	for name, g := range diffGraphs() {
+		t.Run(name, func(t *testing.T) {
+			q := New(g.ToTriplestore())
+			for _, src := range sources {
+				re, err := rpq.ParseRegex(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := rpq.Eval(re, g)
+				if got := checkFacade(t, q, LangRPQ, src); !samePairs(got, want) {
+					t.Errorf("rpq %q: façade pairs disagree with rpq.Eval", src)
+				}
+			}
+		})
+	}
+}
+
+func TestDifferentialNRE(t *testing.T) {
+	sources := []string{
+		"a", "b⁻", "b^-", "a·b", "a+b", "a*", "[a]", "[a·b]·a",
+		"(a+b)*", "[a⁻]·(a+b)", "[a·[b]]*",
+	}
+	for name, g := range diffGraphs() {
+		t.Run(name, func(t *testing.T) {
+			q := New(g.ToTriplestore())
+			st := nre.GraphStructure{G: g}
+			for _, src := range sources {
+				e, err := nre.Parse(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := map[[2]string]bool(nre.Eval(e, st))
+				if got := checkFacade(t, q, LangNRE, src); !samePairs(got, want) {
+					t.Errorf("nre %q: façade pairs disagree with nre.Eval", src)
+				}
+			}
+		})
+	}
+}
+
+func TestDifferentialGXPath(t *testing.T) {
+	sources := []string{
+		"a", "a^-", "eps", "a.b", "a u b", "a*", "~(a)", "[T].a",
+		"[<a>]", "[!(<a.b>)]", "(a u b)*", "a_=", "(a.b)_!=",
+		"[<a = b>]", "[<a != a^->].b",
+	}
+	for name, g := range diffGraphs() {
+		t.Run(name, func(t *testing.T) {
+			q := New(g.ToTriplestore())
+			for _, src := range sources {
+				p, err := gxpath.ParsePath(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := map[[2]string]bool(gxpath.EvalPath(p, g))
+				if got := checkFacade(t, q, LangGXPath, src); !samePairs(got, want) {
+					t.Errorf("gxpath %q: façade pairs disagree with gxpath.EvalPath", src)
+				}
+			}
+		})
+	}
+}
+
+func TestDifferentialNSPARQL(t *testing.T) {
+	sources := []string{
+		"self", "next", "edge", "node", "next^-", "next::a",
+		"next*", "next/next", "next|edge", "next::[next]",
+		"self::[edge]", "(next|node)*", "node::[next::a]/next",
+	}
+	for name, g := range diffGraphs() {
+		t.Run(name, func(t *testing.T) {
+			s := g.ToTriplestore()
+			q := New(s)
+			// The graph encoding T_G is itself an RDF document; nSPARQL's
+			// reference semantics reads it back through rdf.FromStore.
+			doc, err := rdf.FromStore(s, q.Relation())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, src := range sources {
+				e, err := nsparql.ParseExpr(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := map[[2]string]bool(nsparql.Eval(e, doc))
+				if got := checkFacade(t, q, LangNSPARQL, src); !samePairs(got, want) {
+					t.Errorf("nsparql %q: façade pairs disagree with nsparql.Eval", src)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialTriAL pins the façade's native-language path: engine
+// results equal Evaluator results for the paper's named queries. (TriAL*
+// results are arbitrary relations, so there is no pair projection here.)
+func TestDifferentialTriAL(t *testing.T) {
+	sources := []string{
+		"E",
+		"join[1,3',3; 2=1'](E, E)",
+		"rstar[1,2,3'; 3=1'](E)",
+		"lstar[1',2,3; 3'=1](E)",
+		"sigma[1!=3](E)",
+		"diff(union(E, E), E)",
+	}
+	for name, g := range diffGraphs() {
+		t.Run(name, func(t *testing.T) {
+			q := New(g.ToTriplestore())
+			for _, src := range sources {
+				x, err := trial.Parse(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := trial.NewEvaluator(q.Engine().Store()).Eval(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := q.Query(LangTriAL, src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Errorf("trial %q: façade disagrees with Evaluator", src)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialRandomGXPath fuzzes the full pipeline with random
+// GXPath formulas rendered to text, parsed back, and run both ways.
+func TestDifferentialRandomGXPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	graphs := diffGraphs()
+	for i := 0; i < 60; i++ {
+		p := randGXPath(rng, 2)
+		src := p.String()
+		for name, g := range graphs {
+			q := New(g.ToTriplestore())
+			want := map[[2]string]bool(gxpath.EvalPath(p, g))
+			if got := checkFacade(t, q, LangGXPath, src); !samePairs(got, want) {
+				t.Errorf("gxpath %q over %s: façade pairs disagree with native eval", src, name)
+			}
+		}
+	}
+}
+
+func randGXPath(rng *rand.Rand, depth int) gxpath.Path {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return gxpath.Eps{}
+		case 1:
+			return gxpath.Label{A: "a"}
+		case 2:
+			return gxpath.Label{A: "b"}
+		default:
+			return gxpath.Label{A: string(rune('a' + rng.Intn(2))), Inv: true}
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return gxpath.Concat{L: randGXPath(rng, depth-1), R: randGXPath(rng, depth-1)}
+	case 1:
+		return gxpath.Union{L: randGXPath(rng, depth-1), R: randGXPath(rng, depth-1)}
+	case 2:
+		return gxpath.Star{P: randGXPath(rng, depth-1)}
+	case 3:
+		return gxpath.Complement{P: randGXPath(rng, depth-1)}
+	case 4:
+		return gxpath.Test{N: gxpath.Diamond{P: randGXPath(rng, depth-1)}}
+	case 5:
+		return gxpath.DataCmp{P: randGXPath(rng, depth-1), Neq: rng.Intn(2) == 0}
+	default:
+		return randGXPath(rng, 0)
+	}
+}

@@ -1,0 +1,303 @@
+// Package query is the unified query layer: one entry point that takes a
+// query in any supported frontend language, compiles it through
+// internal/translate into a TriAL* expression, and executes it on the
+// indexed, parallel engine of internal/engine.
+//
+// §6.2 of the TriAL paper (Theorems 7–8, Corollaries 2 and 4) shows that
+// GXPath, nested regular expressions, regular path queries and nSPARQL
+// all embed into TriAL*. This package turns those inclusions into one
+// canonical fast path: every language reaches the same physical planner,
+// the same parallel operators and the same semi-naive recursion, instead
+// of each frontend carrying its own interpreter. Differential tests pin
+// the results to the reference trial.Evaluator and to each language's
+// native evaluator.
+//
+// Compiled physical plans are cached in an LRU keyed by (language,
+// source text, relation, store version), so a repeated query skips
+// parsing, translation, optimization and planning entirely — the cache
+// is what makes the façade cheap enough to sit on the server's hot path.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/gxpath"
+	"repro/internal/nre"
+	"repro/internal/nsparql"
+	"repro/internal/rpq"
+	"repro/internal/translate"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// Lang identifies a supported frontend language.
+type Lang string
+
+// The supported languages.
+const (
+	// LangTriAL is the native TriAL* algebra in the syntax of trial.Parse.
+	LangTriAL Lang = "trial"
+	// LangNSPARQL is an nSPARQL path expression (nsparql.ParseExpr) over
+	// the raw triples of the store's relation.
+	LangNSPARQL Lang = "nsparql"
+	// LangRPQ is a regular path query with inverses (rpq.ParseRegex) over
+	// the graph encoded in the store's relation.
+	LangRPQ Lang = "rpq"
+	// LangNRE is a nested regular expression (nre.Parse) over the graph
+	// encoded in the store's relation.
+	LangNRE Lang = "nre"
+	// LangGXPath is a GXPath path formula (gxpath.ParsePath) over the
+	// graph encoded in the store's relation.
+	LangGXPath Lang = "gxpath"
+)
+
+// Langs returns the supported languages in stable order.
+func Langs() []Lang {
+	return []Lang{LangTriAL, LangNSPARQL, LangRPQ, LangNRE, LangGXPath}
+}
+
+// ParseLang normalizes a language name. The empty string means TriAL*,
+// so callers can pass an optional user-facing parameter straight through.
+func ParseLang(s string) (Lang, error) {
+	switch s {
+	case "", "trial", "trial*", "TriAL", "TriAL*":
+		return LangTriAL, nil
+	case "nsparql", "nSPARQL":
+		return LangNSPARQL, nil
+	case "rpq", "RPQ", "2rpq", "2RPQ":
+		return LangRPQ, nil
+	case "nre", "NRE":
+		return LangNRE, nil
+	case "gxpath", "GXPath":
+		return LangGXPath, nil
+	}
+	return "", fmt.Errorf("query: unknown language %q (want one of trial, nsparql, rpq, nre, gxpath)", s)
+}
+
+// Querier routes queries in every supported language through one engine.
+// It is safe for concurrent use under the engine's contract that the
+// store is not mutated while queries run.
+type Querier struct {
+	eng *engine.Engine
+	rel string
+
+	mu    sync.Mutex
+	cache *lruCache
+	stats CacheStats
+}
+
+// Option configures a Querier.
+type Option func(*config)
+
+type config struct {
+	rel       string
+	cacheSize int
+	engOpts   []engine.Option
+}
+
+// WithRelation sets the store relation queries run against: the edge
+// relation of the graph encoding T_G for the graph languages, and the
+// raw triple relation for nSPARQL and TriAL* relation references.
+// Defaults to "E", the name used by graph.ToTriplestore.
+func WithRelation(rel string) Option {
+	return func(c *config) { c.rel = rel }
+}
+
+// WithCacheSize bounds the plan cache (number of compiled plans kept).
+// Values below 1 disable caching. Defaults to 128.
+func WithCacheSize(n int) Option {
+	return func(c *config) { c.cacheSize = n }
+}
+
+// WithEngineOptions passes options through to engine.New.
+func WithEngineOptions(opts ...engine.Option) Option {
+	return func(c *config) { c.engOpts = append(c.engOpts, opts...) }
+}
+
+// DefaultCacheSize is the plan-cache capacity used when WithCacheSize is
+// not given.
+const DefaultCacheSize = 128
+
+// New returns a Querier over the given store.
+func New(s *triplestore.Store, opts ...Option) *Querier {
+	cfg := config{rel: "E", cacheSize: DefaultCacheSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	q := &Querier{
+		eng:   engine.New(s, cfg.engOpts...),
+		rel:   cfg.rel,
+		cache: newLRUCache(cfg.cacheSize),
+	}
+	q.stats.Capacity = cfg.cacheSize
+	return q
+}
+
+// Engine returns the underlying execution engine.
+func (q *Querier) Engine() *engine.Engine { return q.eng }
+
+// Relation returns the relation name queries are compiled against.
+func (q *Querier) Relation() string { return q.rel }
+
+// Compile parses source in the given language and translates it to a
+// TriAL* expression over the Querier's relation. Graph languages denote
+// binary relations; their expressions follow the canonical convention of
+// internal/translate, {(x, x, y) | (x, y) ∈ ⟦α⟧}.
+func (q *Querier) Compile(lang Lang, source string) (trial.Expr, error) {
+	switch lang {
+	case LangTriAL:
+		return trial.Parse(source)
+	case LangNSPARQL:
+		e, err := nsparql.ParseExpr(source)
+		if err != nil {
+			return nil, err
+		}
+		return translate.NSPARQL(e, q.rel)
+	case LangRPQ:
+		e, err := rpq.ParseRegex(source)
+		if err != nil {
+			return nil, err
+		}
+		return translate.RPQ(e, q.rel), nil
+	case LangNRE:
+		e, err := nre.Parse(source)
+		if err != nil {
+			return nil, err
+		}
+		return translate.NRE(e, q.rel), nil
+	case LangGXPath:
+		e, err := gxpath.ParsePath(source)
+		if err != nil {
+			return nil, err
+		}
+		return translate.Path(e, q.rel), nil
+	}
+	return nil, fmt.Errorf("query: unknown language %q", lang)
+}
+
+// Query compiles and executes source, returning the result relation.
+// Graph-language results are canonical: each answer pair (x, y) appears
+// as the triple (x, x, y).
+func (q *Querier) Query(lang Lang, source string) (*triplestore.Relation, error) {
+	p, err := q.prepare(lang, source)
+	if err != nil {
+		return nil, err
+	}
+	return p.Exec()
+}
+
+// Pairs projects a canonical graph-language result to its answer pairs
+// (named), sorted by name. It errors on a non-canonical relation, which
+// can only come from a LangTriAL expression that does not follow the
+// convention.
+func (q *Querier) Pairs(r *triplestore.Relation) ([][2]string, error) {
+	s := q.eng.Store()
+	out := make([][2]string, 0, r.Len())
+	for _, t := range r.Triples() {
+		if t[0] != t[1] {
+			return nil, fmt.Errorf("query: relation is not canonical: triple %s", s.FormatTriple(t))
+		}
+		out = append(out, [2]string{s.Name(t[0]), s.Name(t[2])})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out, nil
+}
+
+// Explain compiles source and renders the physical plan the engine chose
+// for it (caching the plan like Query does).
+func (q *Querier) Explain(lang Lang, source string) (string, error) {
+	p, err := q.prepare(lang, source)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// CompileError marks a failure in the parse/translate phase of Query or
+// Explain, as opposed to planning or execution. HTTP callers use it to
+// classify bad queries (400) versus evaluation failures (422) without
+// re-compiling the source.
+type CompileError struct{ Err error }
+
+func (e *CompileError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying parser or translator error.
+func (e *CompileError) Unwrap() error { return e.Err }
+
+// CacheStats are counters for the plan cache.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats returns a snapshot of the plan-cache counters.
+func (q *Querier) Stats() CacheStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.stats
+	st.Size = q.cache.len()
+	return st
+}
+
+// planKey identifies a compiled plan: same language, source text and
+// relation against the same snapshot of the store. The version component
+// makes plans compiled before a store mutation unreachable (they age out
+// of the LRU) rather than silently stale.
+type planKey struct {
+	lang    Lang
+	source  string
+	rel     string
+	version uint64
+}
+
+// prepare returns the cached plan for (lang, source) or compiles and
+// caches a new one.
+func (q *Querier) prepare(lang Lang, source string) (*engine.Prepared, error) {
+	key := planKey{lang: lang, source: source, rel: q.rel, version: q.eng.Store().Version()}
+
+	q.mu.Lock()
+	if p, ok := q.cache.get(key); ok {
+		q.stats.Hits++
+		q.mu.Unlock()
+		return p, nil
+	}
+	q.stats.Misses++
+	q.mu.Unlock()
+
+	x, err := q.Compile(lang, source)
+	if err != nil {
+		return nil, &CompileError{Err: err}
+	}
+	// Planning errors (unknown relations, malformed conditions) are not
+	// CompileErrors: the reference Evaluator rejects them at evaluation
+	// time, and the HTTP server's status split follows that parity.
+	p, err := q.eng.Prepare(x)
+	if err != nil {
+		return nil, err
+	}
+
+	q.mu.Lock()
+	// A concurrent miss may have inserted the same key; keep the first
+	// plan so cached pointers stay stable. This request was already
+	// counted as a miss, so the duplicate compile is not also a hit.
+	if prev, ok := q.cache.get(key); ok {
+		q.mu.Unlock()
+		return prev, nil
+	}
+	if q.cache.put(key, p) {
+		q.stats.Evictions++
+	}
+	q.mu.Unlock()
+	return p, nil
+}

@@ -1,0 +1,160 @@
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/nsparql"
+	"repro/internal/trial"
+)
+
+// This file translates nSPARQL path expressions into TriAL*, completing
+// the §6.2 picture: nSPARQL's navigational core is NREs over the axes
+// next/edge/node/self, and Proposition 2 of the paper shows TriAL*
+// subsumes it when queries run directly over the triples of an RDF
+// document (no σ(·) detour). The translation targets a store holding the
+// document's triples (s, p, o) in one relation — rdf.Document.ToStore —
+// and keeps the canonical representation of this package: a path
+// expression denotes {(x, x, y) | (x, y) ∈ ⟦exp⟧}.
+//
+// The axes read the three rotations of the triple relation:
+//
+//	next = {(x, y) | ∃z (x, z, y) ∈ D}   test position: the predicate z
+//	edge = {(x, y) | ∃z (x, y, z) ∈ D}   test position: the object z
+//	node = {(x, y) | ∃z (z, x, y) ∈ D}   test position: the subject z
+//	self = {(v, v) | v ∈ voc(D)}         test position: v itself
+//
+// and the star is reflexive over voc(D), the set of all resources of the
+// document — subjects, predicates and objects alike — which is exactly
+// the diagonal VocDiag below.
+
+// VocDiag returns {(v, v, v) | v occurs in any position of rel}: the
+// diagonal over nSPARQL's vocabulary voc(D). Unlike NodeDiag (which spans
+// only subjects and objects, the node set of a graph encoding), VocDiag
+// includes predicates, because nSPARQL navigation moves through them.
+func VocDiag(rel string) trial.Expr {
+	d := rearrange(trial.R(rel), [3]trial.Pos{trial.L1, trial.L1, trial.L1})
+	for _, p := range []trial.Pos{trial.L2, trial.L3} {
+		d = trial.Union{L: d, R: rearrange(trial.R(rel), [3]trial.Pos{p, p, p})}
+	}
+	return d
+}
+
+// NSPARQL translates an nSPARQL path expression (§2.2 of the paper;
+// Pérez, Arenas & Gutierrez 2010) into TriAL* over the raw triple
+// relation rel. The resulting expression's value is the canonical
+// {(x, x, y) | (x, y) ∈ ⟦e⟧_D} for the document D stored in rel.
+func NSPARQL(e nsparql.Expr, rel string) (trial.Expr, error) {
+	switch x := e.(type) {
+	case nsparql.Step:
+		return nsparqlStep(x, rel)
+	case nsparql.Seq:
+		l, err := NSPARQL(x.L, rel)
+		if err != nil {
+			return nil, err
+		}
+		r, err := NSPARQL(x.R, rel)
+		if err != nil {
+			return nil, err
+		}
+		return trial.MustJoin(l, [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+			r), nil
+	case nsparql.Alt:
+		l, err := NSPARQL(x.L, rel)
+		if err != nil {
+			return nil, err
+		}
+		r, err := NSPARQL(x.R, rel)
+		if err != nil {
+			return nil, err
+		}
+		return trial.Union{L: l, R: r}, nil
+	case nsparql.Star:
+		inner, err := NSPARQL(x.E, rel)
+		if err != nil {
+			return nil, err
+		}
+		// nSPARQL's closure is reflexive over the whole vocabulary, not
+		// just the endpoints of the inner relation.
+		star := trial.MustStar(inner, [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}}, false)
+		return trial.Union{L: VocDiag(rel), R: star}, nil
+	}
+	return nil, fmt.Errorf("translate: unknown nSPARQL expression %T", e)
+}
+
+// MustNSPARQL is NSPARQL, panicking on error. Intended for statically
+// known expressions (tests, examples).
+func MustNSPARQL(e nsparql.Expr, rel string) trial.Expr {
+	t, err := NSPARQL(e, rel)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// nsparqlStep translates one axis step. For the three triple axes the
+// step reads a rotation of rel: the pair (x, y) comes from two positions
+// and the axis test constrains the third. The self axis reads the
+// vocabulary diagonal and tests the resource itself.
+func nsparqlStep(s nsparql.Step, rel string) (trial.Expr, error) {
+	// xPos, yPos, zPos: the positions of the step's source, target and
+	// test component within a triple of rel.
+	var xPos, yPos, zPos trial.Pos
+	switch s.Axis {
+	case nsparql.Next:
+		xPos, yPos, zPos = trial.L1, trial.L3, trial.L2
+	case nsparql.Edge:
+		xPos, yPos, zPos = trial.L1, trial.L2, trial.L3
+	case nsparql.Node:
+		xPos, yPos, zPos = trial.L2, trial.L3, trial.L1
+	case nsparql.Self:
+		return nsparqlSelf(s, rel)
+	default:
+		return nil, fmt.Errorf("translate: unknown nSPARQL axis %v", s.Axis)
+	}
+	if s.Inv {
+		xPos, yPos = yPos, xPos
+	}
+	base := trial.Expr(trial.R(rel))
+	switch {
+	case s.HasConst:
+		base = trial.MustSelect(base, trial.Cond{Obj: []trial.ObjAtom{
+			trial.Eq(trial.P(zPos), trial.Obj(s.Const)),
+		}})
+	case s.Nested != nil:
+		// axis::[e]: keep triples whose test component has an e-successor,
+		// i.e. lies in the domain of ⟦e⟧. The nested expression's domain
+		// diagonal {(z, z, z)} is probed with the test position.
+		nested, err := NSPARQL(s.Nested, rel)
+		if err != nil {
+			return nil, err
+		}
+		diag := rearrange(nested, [3]trial.Pos{trial.L1, trial.L1, trial.L1})
+		return trial.MustJoin(trial.R(rel), [3]trial.Pos{xPos, xPos, yPos},
+			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(zPos), trial.P(trial.R1))}},
+			diag), nil
+	}
+	return rearrange(base, [3]trial.Pos{xPos, xPos, yPos}), nil
+}
+
+// nsparqlSelf translates the self axis: the vocabulary diagonal,
+// restricted by the test if present. Inversion is a no-op on a diagonal.
+func nsparqlSelf(s nsparql.Step, rel string) (trial.Expr, error) {
+	switch {
+	case s.HasConst:
+		// self::a = {(a, a)} when a occurs in the document, else empty.
+		return trial.MustSelect(VocDiag(rel), trial.Cond{Obj: []trial.ObjAtom{
+			trial.Eq(trial.P(trial.L1), trial.Obj(s.Const)),
+		}}), nil
+	case s.Nested != nil:
+		// self::[e] = {(v, v) | v ∈ dom(⟦e⟧)}; domains are subsets of the
+		// vocabulary, so the nested domain diagonal is the whole answer.
+		nested, err := NSPARQL(s.Nested, rel)
+		if err != nil {
+			return nil, err
+		}
+		return rearrange(nested, [3]trial.Pos{trial.L1, trial.L1, trial.L1}), nil
+	}
+	return VocDiag(rel), nil
+}

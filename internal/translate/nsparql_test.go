@@ -1,0 +1,194 @@
+package translate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/nsparql"
+	"repro/internal/rdf"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+const relT = "T"
+
+// nsparqlDocs returns the documents the nSPARQL differential tests run
+// over: the paper's Figure 1 fragment, a document where a resource occurs
+// as subject, predicate and object, and random documents.
+func nsparqlDocs() map[string]*rdf.Document {
+	docs := map[string]*rdf.Document{}
+
+	fig1 := rdf.NewDocument()
+	fig1.Add("St.Andrews", "BusOp1", "Edinburgh")
+	fig1.Add("Edinburgh", "TrainOp1", "London")
+	fig1.Add("London", "TrainOp2", "Brussels")
+	fig1.Add("BusOp1", "part_of", "NatExpress")
+	fig1.Add("TrainOp1", "part_of", "EastCoast")
+	fig1.Add("TrainOp2", "part_of", "Eurostar")
+	fig1.Add("EastCoast", "part_of", "NatExpress")
+	docs["fig1"] = fig1
+
+	mixed := rdf.NewDocument()
+	mixed.Add("a", "b", "c")
+	mixed.Add("b", "c", "a")
+	mixed.Add("c", "a", "b")
+	mixed.Add("a", "a", "a")
+	docs["mixed"] = mixed
+
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 3; i++ {
+		d := rdf.NewDocument()
+		names := make([]string, 8)
+		for j := range names {
+			names[j] = fmt.Sprintf("r%d", j)
+		}
+		for j := 0; j < 20; j++ {
+			d.Add(names[rng.Intn(len(names))], names[rng.Intn(len(names))], names[rng.Intn(len(names))])
+		}
+		docs[fmt.Sprintf("random%d", i)] = d
+	}
+	return docs
+}
+
+// nsparqlExprs returns the path expressions covered: every axis, inverses,
+// constant and nested tests, and the closure forms.
+func nsparqlExprs(t *testing.T) []nsparql.Expr {
+	t.Helper()
+	sources := []string{
+		"self",
+		"next",
+		"edge",
+		"node",
+		"next^-",
+		"edge^-",
+		"node^-",
+		"next::part_of",
+		"next::<part_of>",
+		"self::part_of",
+		"edge::London",
+		"node::Edinburgh",
+		"next*",
+		"next::part_of*",
+		"next/next",
+		"next|edge",
+		"next/(node|self)",
+		"(next|next^-)*",
+		"next::[next::part_of]",
+		"next::[next*]",
+		"self::[next]",
+		"self::[next::[edge]]",
+		"node::[edge^-]/next",
+		"(next::[node]|edge)*",
+	}
+	out := make([]nsparql.Expr, 0, len(sources))
+	for _, src := range sources {
+		e, err := nsparql.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// relPairs projects a canonical {(x, x, y)} relation to named pairs.
+func relPairs(t *testing.T, s *triplestore.Store, r *triplestore.Relation) nsparql.Rel {
+	t.Helper()
+	out := nsparql.Rel{}
+	for _, tr := range r.Triples() {
+		if tr[0] != tr[1] {
+			t.Fatalf("non-canonical triple %s", s.FormatTriple(tr))
+		}
+		out[[2]string{s.Name(tr[0]), s.Name(tr[2])}] = true
+	}
+	return out
+}
+
+// TestNSPARQLDifferential pins the translation to the reference nSPARQL
+// semantics: for every document and expression, the TriAL* translation —
+// evaluated both by the reference Evaluator and by the engine — equals
+// nsparql.Eval.
+func TestNSPARQLDifferential(t *testing.T) {
+	exprs := nsparqlExprs(t)
+	for name, d := range nsparqlDocs() {
+		t.Run(name, func(t *testing.T) {
+			s := d.ToStore(relT)
+			ev := trial.NewEvaluator(s)
+			eng := engine.New(s)
+			for _, e := range exprs {
+				want := nsparql.Eval(e, d)
+				tx, err := NSPARQL(e, relT)
+				if err != nil {
+					t.Fatalf("%s: %v", e, err)
+				}
+				got, err := ev.Eval(tx)
+				if err != nil {
+					t.Fatalf("%s: evaluator: %v", e, err)
+				}
+				if pairs := relPairs(t, s, got); !pairs.Equal(want) {
+					t.Errorf("%s: evaluator pairs = %v, want %v", e, pairs.Pairs(), want.Pairs())
+					continue
+				}
+				gotE, err := eng.Eval(tx)
+				if err != nil {
+					t.Fatalf("%s: engine: %v", e, err)
+				}
+				if !gotE.Equal(got) {
+					t.Errorf("%s: engine disagrees with evaluator (%d vs %d triples)",
+						e, gotE.Len(), got.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestNSPARQLRandomExprs cross-checks random path expressions against the
+// reference semantics.
+func TestNSPARQLRandomExprs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := nsparqlDocs()["fig1"]
+	s := d.ToStore(relT)
+	ev := trial.NewEvaluator(s)
+	for i := 0; i < 120; i++ {
+		e := randomNSPARQLExpr(rng, 3)
+		want := nsparql.Eval(e, d)
+		tx, err := NSPARQL(e, relT)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		got, err := ev.Eval(tx)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if pairs := relPairs(t, s, got); !pairs.Equal(want) {
+			t.Errorf("%s: pairs = %v, want %v", e, pairs.Pairs(), want.Pairs())
+		}
+	}
+}
+
+// randomNSPARQLExpr generates a random path expression of bounded depth.
+func randomNSPARQLExpr(rng *rand.Rand, depth int) nsparql.Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		step := nsparql.Step{Axis: nsparql.Axis(rng.Intn(4)), Inv: rng.Intn(2) == 0}
+		switch rng.Intn(3) {
+		case 0:
+			step.Const = []string{"part_of", "London", "TrainOp1", "nowhere"}[rng.Intn(4)]
+			step.HasConst = true
+		case 1:
+			if depth > 0 {
+				step.Nested = randomNSPARQLExpr(rng, depth-1)
+			}
+		}
+		return step
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return nsparql.Seq{L: randomNSPARQLExpr(rng, depth-1), R: randomNSPARQLExpr(rng, depth-1)}
+	case 1:
+		return nsparql.Alt{L: randomNSPARQLExpr(rng, depth-1), R: randomNSPARQLExpr(rng, depth-1)}
+	default:
+		return nsparql.Star{E: randomNSPARQLExpr(rng, depth-1)}
+	}
+}

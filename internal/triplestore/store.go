@@ -15,6 +15,7 @@ type Store struct {
 	rels     map[string]*Relation
 	relNames []string
 	values   []Value
+	version  uint64
 }
 
 // NewStore returns an empty triplestore.
@@ -45,8 +46,19 @@ func (s *Store) NumObjects() int { return s.dict.Len() }
 func (s *Store) SetValue(name string, v Value) ID {
 	id := s.Intern(name)
 	s.values[id] = v
+	s.version++
 	return id
 }
+
+// Version returns a counter that advances on every mutation made through
+// the store's own methods (Add, AddTriple, SetValue, EnsureRelation).
+// Callers that cache work derived from the store's contents — compiled
+// query plans, materialized indexes — use it as a cheap snapshot key:
+// equal versions of the same Store mean the cached artifact is still
+// valid. Mutating a Relation obtained from the store directly bypasses
+// the counter, which is outside the store's mutation contract anyway
+// (see the Engine documentation in internal/engine).
+func (s *Store) Version() uint64 { return s.version }
 
 // Value returns ρ(o) for the object with the given ID (nil if unset).
 func (s *Store) Value(id ID) Value {
@@ -68,6 +80,7 @@ func (s *Store) EnsureRelation(name string) *Relation {
 	r := NewRelation()
 	s.rels[name] = r
 	s.relNames = append(s.relNames, name)
+	s.version++
 	return r
 }
 
@@ -82,12 +95,14 @@ func (s *Store) RelationNames() []string { return s.relNames }
 func (s *Store) Add(rel, subj, pred, obj string) Triple {
 	t := Triple{s.Intern(subj), s.Intern(pred), s.Intern(obj)}
 	s.EnsureRelation(rel).Add(t)
+	s.version++
 	return t
 }
 
 // AddTriple inserts an already-interned triple into the named relation.
 func (s *Store) AddTriple(rel string, t Triple) {
 	s.EnsureRelation(rel).Add(t)
+	s.version++
 }
 
 // Size returns the total number of triples across all relations, |T|.

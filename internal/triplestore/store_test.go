@@ -320,3 +320,37 @@ func TestFormatTriple(t *testing.T) {
 		t.Errorf("FormatTriple = %q", got)
 	}
 }
+
+func TestVersionAdvancesOnMutation(t *testing.T) {
+	s := NewStore()
+	v0 := s.Version()
+	s.Add("E", "a", "p", "b")
+	if s.Version() == v0 {
+		t.Error("Add did not advance the version")
+	}
+	v1 := s.Version()
+	s.AddTriple("E", Triple{s.Intern("a"), s.Intern("p"), s.Intern("c")})
+	if s.Version() == v1 {
+		t.Error("AddTriple did not advance the version")
+	}
+	v2 := s.Version()
+	s.SetValue("a", V("1"))
+	if s.Version() == v2 {
+		t.Error("SetValue did not advance the version")
+	}
+	v3 := s.Version()
+	s.EnsureRelation("F")
+	if s.Version() == v3 {
+		t.Error("EnsureRelation (new relation) did not advance the version")
+	}
+	v4 := s.Version()
+	// Read-only operations leave the version alone.
+	s.Lookup("a")
+	s.Intern("a")
+	s.Relation("E")
+	s.EnsureRelation("E")
+	_ = s.ActiveDomain()
+	if s.Version() != v4 {
+		t.Error("read-only operations advanced the version")
+	}
+}
