@@ -1,4 +1,4 @@
-// Ablation benchmarks for the design choices DESIGN.md calls out:
+// Ablation benchmarks for the implementation's load-bearing design choices:
 //
 //   - sorted-set relations + hash joins (the production Evaluator) vs the
 //     paper's literal n×n×n bit-cube representation (MatrixEvaluator);

@@ -1,6 +1,6 @@
 // Benchmarks regenerating the complexity results of §5 of the TriAL paper
-// (the theory paper's analogue of evaluation tables — see DESIGN.md E9–E13
-// and EXPERIMENTS.md for the recorded shapes):
+// (the theory paper's analogue of evaluation tables; experiments E9–E13
+// of the internal/experiments index measure the same bounds):
 //
 //   - BenchmarkJoinNaive:      Theorem 3, O(|T|²) joins (Procedure 1)
 //   - BenchmarkJoinHash:       Proposition 4, ~O(|O|·|T|) TriAL= joins

@@ -1,5 +1,5 @@
 // Command trialbench regenerates the paper-reproduction experiments
-// E1–E22 (see DESIGN.md for the index) and prints their tables, and —
+// E1–E22 (see internal/experiments for the index) and prints their tables, and —
 // with -json — runs the paired evaluator-vs-engine benchmarks and emits
 // the machine-readable BENCH_engine.json that CI archives per commit.
 //

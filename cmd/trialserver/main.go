@@ -318,6 +318,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"workers":    s.workers,
 		"languages":  query.Langs(),
 		"plan_cache": s.q.Stats(),
+		// Logical-optimizer counters: per-rule rewrite hits across all
+		// plan-cache misses (see internal/optimizer).
+		"optimizer": s.q.RewriteStats(),
+		// Statistics snapshot bookkeeping: how often the store-level
+		// per-relation statistics were rebuilt, and the store version the
+		// current snapshot reflects.
+		"store_stats": map[string]any{
+			"refreshes": s.store.StatsRefreshes(),
+			"version":   s.store.Version(),
+		},
 	})
 }
 

@@ -150,8 +150,11 @@ func TestExplainEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	if !strings.Contains(body, "semi-naive") {
+	if !strings.Contains(body, "bfs-reach") && !strings.Contains(body, "semi-naive") {
 		t.Errorf("explain output missing star strategy:\n%s", body)
+	}
+	if !strings.Contains(body, "rewrites[v") {
+		t.Errorf("explain output missing rewrite trace:\n%s", body)
 	}
 }
 
@@ -174,6 +177,34 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 	if stats["workers"] != float64(2) {
 		t.Errorf("stats workers = %v, want the configured 2", stats["workers"])
+	}
+	opt, ok := stats["optimizer"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing optimizer counters: %v", body)
+	}
+	if opt["optimizer_version"] == float64(0) {
+		t.Errorf("optimizer_version = %v, want nonzero", opt["optimizer_version"])
+	}
+	if _, ok := opt["rule_hits"]; !ok {
+		t.Errorf("optimizer stats missing rule_hits: %v", opt)
+	}
+	ss, ok := stats["store_stats"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing store_stats: %v", body)
+	}
+	if _, ok := ss["refreshes"]; !ok {
+		t.Errorf("store_stats missing refreshes: %v", ss)
+	}
+
+	// A query that the optimizer rewrites bumps the counters.
+	get(t, ts.URL+"/query?q=sigma%5B1%3D2%5D(union(E%2C%20E))")
+	_, body = get(t, ts.URL+"/stats")
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	opt = stats["optimizer"].(map[string]any)
+	if opt["rewritten"] == float64(0) {
+		t.Errorf("optimizer rewritten count still zero after rewritten query: %v", opt)
 	}
 }
 

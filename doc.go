@@ -16,12 +16,18 @@
 // the language translations of §6 (internal/translate).
 //
 // Beyond the paper, internal/engine is an execution engine for the same
-// algebra — permutation-indexed joins, parallel probing, semi-naive
-// Kleene stars — kept result-identical to the reference Evaluator by
-// differential tests, and cmd/trialserver serves it over HTTP.
+// algebra — permutation-indexed joins, parallel probing, BFS and
+// semi-naive Kleene stars — fed by the cost-based logical optimizer of
+// internal/optimizer (algebraic rewrites driven by the per-relation
+// statistics of internal/triplestore), kept result-identical to the
+// reference Evaluator by differential tests. internal/query routes all
+// five frontend languages through that stack behind one plan cache, and
+// cmd/trialserver serves it over HTTP.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and the
-// experiment index E1–E22, and EXPERIMENTS.md for paper-vs-measured
-// results. The benchmarks in bench_test.go regenerate the §5 complexity
-// tables; cmd/trialbench regenerates all experiments.
+// See README.md for a tour, ARCHITECTURE.md for the layer diagram and
+// caching contracts, docs/LANGUAGES.md for the frontend syntaxes,
+// and internal/experiments for the experiment index E1–E22 with
+// paper-vs-measured outcomes. The benchmarks in
+// bench_test.go regenerate the §5 complexity tables; cmd/trialbench
+// regenerates all experiments.
 package repro

@@ -1,0 +1,78 @@
+// Documentation checks, run by the CI docs job (and by plain `go test`):
+// relative markdown links in the user-facing documents must resolve, and
+// every internal package must carry package-level godoc in a doc.go.
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the user-facing documents whose links are checked.
+var docFiles = []string{"README.md", "ARCHITECTURE.md", "docs/LANGUAGES.md"}
+
+var (
+	mdLink     = regexp.MustCompile(`\]\(([^)]+)\)`)
+	fencedCode = regexp.MustCompile("(?s)```.*?```")
+	inlineCode = regexp.MustCompile("`[^`\n]*`")
+)
+
+// TestMarkdownLinks: every relative link target in the documentation
+// exists (anchors are checked for file existence only; external URLs are
+// not fetched). Code blocks and inline code are excluded — query syntax
+// like rstar[...](E) is not a link.
+func TestMarkdownLinks(t *testing.T) {
+	for _, doc := range docFiles {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		body := fencedCode.ReplaceAllString(string(raw), "")
+		body = inlineCode.ReplaceAllString(body, "")
+		for _, m := range mdLink.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			// Strip an in-page anchor; a pure anchor points into this file.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			path := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", doc, m[1], path)
+			}
+		}
+	}
+}
+
+// TestInternalPackagesHaveDocGo: each internal package has a doc.go whose
+// comment documents the package (the godoc-presence gate of the CI docs
+// job).
+func TestInternalPackagesHaveDocGo(t *testing.T) {
+	dirs, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		docPath := filepath.Join("internal", d.Name(), "doc.go")
+		body, err := os.ReadFile(docPath)
+		if err != nil {
+			t.Errorf("internal/%s: missing doc.go with package documentation", d.Name())
+			continue
+		}
+		if !strings.Contains(string(body), "// Package "+d.Name()) {
+			t.Errorf("%s: does not start with a \"// Package %s\" comment", docPath, d.Name())
+		}
+	}
+}

@@ -1,20 +1,3 @@
-// Package datalog implements the declarative languages of §4 of the TriAL
-// paper: TripleDatalog¬ (capturing TriAL, Proposition 2) and
-// ReachTripleDatalog¬ (capturing TriAL*, Theorem 2).
-//
-// A program is a finite set of rules
-//
-//	S(x̄) ← S1(x̄1), S2(x̄2), ∼(y1,z1), ..., u1 = v1, ...
-//
-// where S, S1, S2 have arity at most 3, every relational atom and equality
-// or similarity atom may be negated, and all head and condition variables
-// occur in x̄1 or x̄2. The ∼ relation holds between objects with the same
-// data value (ρ(x) = ρ(y)).
-//
-// The package provides a text parser, syntactic validators for the two
-// fragments, a stratified bottom-up evaluator with semi-naive iteration
-// for recursive strata, and the two linear-time translations of the paper:
-// FromTriAL (algebra → program) and ToTriAL (program → algebra).
 package datalog
 
 import (

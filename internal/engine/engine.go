@@ -1,30 +1,11 @@
-// Package engine is a query execution engine for TriAL* expressions: the
-// performance-oriented counterpart to the semantics-reference Evaluator in
-// internal/trial.
-//
-// Where the Evaluator scans whole relations for every join, the engine
-// compiles an expression (after the algebraic rewrites of trial.Optimize)
-// into a tree of physical operators chosen by a simple cost model:
-//
-//   - index nested-loop joins probing the permutation indexes
-//     (SPO/POS/OSP) that internal/triplestore materializes per relation,
-//   - hash joins keyed on the cross-side equality atoms of the join
-//     condition, probed in parallel by a bounded worker pool,
-//   - semi-naive (delta) iteration for Kleene stars, building the access
-//     path over the loop-invariant base once and probing it with only the
-//     newly derived triples each round.
-//
-// The engine computes exactly the relations defined in §3 of the paper —
-// differential tests assert identity with trial.Evaluator on every fixture
-// and on random expressions — it just gets there faster.
 package engine
 
 import (
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 
+	"repro/internal/optimizer"
 	"repro/internal/trial"
 	"repro/internal/triplestore"
 )
@@ -57,9 +38,9 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithoutOptimize disables the trial.Optimize rewrite pass before
-// planning, compiling the expression tree as written. Mostly useful for
-// tests isolating the physical layer.
+// WithoutOptimize disables the logical rewrite pass (internal/optimizer)
+// before planning, compiling the expression tree as written. Mostly
+// useful for tests isolating the physical layer.
 func WithoutOptimize() Option {
 	return func(e *Engine) { e.optimize = false }
 }
@@ -86,6 +67,11 @@ func (e *Engine) Eval(x trial.Expr) (*triplestore.Relation, error) {
 	return p.exec(e)
 }
 
+// Optimizer returns a logical optimizer over the engine's store (and its
+// current statistics snapshot) — the one plan uses when optimization is
+// enabled.
+func (e *Engine) Optimizer() *optimizer.Optimizer { return optimizer.New(e.store) }
+
 // EvalString parses a TriAL* expression in the textual syntax of
 // trial.Parse and evaluates it.
 func (e *Engine) EvalString(query string) (*triplestore.Relation, error) {
@@ -96,28 +82,33 @@ func (e *Engine) EvalString(query string) (*triplestore.Relation, error) {
 	return e.Eval(x)
 }
 
-// Explain returns a rendering of the physical plan chosen for x: one
-// operator per line, children indented, with the selected join strategies
-// and the planner's cardinality estimates.
+// Explain returns a rendering of the plan chosen for x: the logical
+// optimizer's rewrite trace on the first line, then one physical
+// operator per line, children indented, with the selected join
+// strategies and the planner's cardinality estimates.
 func (e *Engine) Explain(x trial.Expr) (string, error) {
 	p, err := e.plan(x)
 	if err != nil {
 		return "", err
 	}
-	var b strings.Builder
-	p.explain(&b, 0)
-	return b.String(), nil
+	return p.explainString(), nil
 }
 
-// plan validates, optimizes and compiles x into a physical operator tree.
-func (e *Engine) plan(x trial.Expr) (planNode, error) {
+// plan validates, optimizes and compiles x into a physical plan.
+func (e *Engine) plan(x trial.Expr) (*compiledPlan, error) {
 	if err := validate(x); err != nil {
 		return nil, err
 	}
+	var tr *optimizer.Trace
 	if e.optimize {
-		x = trial.Optimize(x)
+		x, tr = e.Optimizer().Optimize(x)
 	}
-	return e.compile(x)
+	c := newCompiler(e, x)
+	root, err := c.compile(x)
+	if err != nil {
+		return nil, err
+	}
+	return &compiledPlan{root: root, nShared: c.nShared, trace: tr}, nil
 }
 
 // validate rejects the malformed shapes the Evaluator rejects, before the

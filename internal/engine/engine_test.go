@@ -76,12 +76,23 @@ func TestPlannerLoopWithoutKeys(t *testing.T) {
 	}
 }
 
-// TestStarPlanUsesDeltaIndex: reachability stars should report the
-// index-backed semi-naive strategy.
-func TestStarPlanUsesDeltaIndex(t *testing.T) {
+// TestStarPlanStrategies: reachability-shaped stars should plan the
+// Proposition 5 BFS closure; stars outside the reachTA= shapes keep the
+// index-backed semi-naive delta iteration.
+func TestStarPlanStrategies(t *testing.T) {
 	s := genstore.Chain(8, 1)
 	e := New(s)
 	plan, err := e.Explain(trial.ReachRight(genstore.RelE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "bfs-reach") {
+		t.Errorf("expected bfs-reach star for ReachRight, got:\n%s", plan)
+	}
+	// Output position 1' breaks the reach shape but keeps the 3=1' key.
+	nonReach := trial.MustStar(trial.R(genstore.RelE), [3]trial.Pos{trial.R1, trial.L2, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}}, false)
+	plan, err = e.Explain(nonReach)
 	if err != nil {
 		t.Fatal(err)
 	}

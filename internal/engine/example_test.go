@@ -1,0 +1,39 @@
+package engine_test
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// ExampleEngine_Prepare compiles a reachability closure once and
+// executes the prepared plan; the plan can be reused (and run
+// concurrently) as long as the store is not mutated.
+func ExampleEngine_Prepare() {
+	s := triplestore.NewStore()
+	s.Add("E", "a", "p", "b")
+	s.Add("E", "b", "p", "c")
+
+	e := engine.New(s)
+	x, err := trial.Parse("rstar[1,2,3'; 3=1'](E)")
+	if err != nil {
+		panic(err)
+	}
+	p, err := e.Prepare(x)
+	if err != nil {
+		panic(err)
+	}
+	r, err := p.Exec()
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range r.Triples() {
+		fmt.Println(s.FormatTriple(t))
+	}
+	// Output:
+	// (a, p, b)
+	// (a, p, c)
+	// (b, p, c)
+}

@@ -5,58 +5,117 @@ import (
 	"repro/internal/triplestore"
 )
 
-func (n *scanNode) exec(e *Engine) (*triplestore.Relation, error) {
+func (n *scanNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 	return n.rel, nil
 }
 
-func (n *universeNode) exec(e *Engine) (*triplestore.Relation, error) {
-	return e.Universe(), nil
+func (n *universeNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
+	return ctx.e.Universe(), nil
 }
 
-func (n *filterNode) exec(e *Engine) (*triplestore.Relation, error) {
-	in, err := n.child.exec(e)
+func (n *filterNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
+	in, err := n.child.exec(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return e.parallelCollect(in.Slice(), func(t triplestore.Triple, emit func(triplestore.Triple)) {
+	return ctx.e.parallelCollect(in.Slice(), func(t triplestore.Triple, emit func(triplestore.Triple)) {
 		if n.cc.Holds(t, t) {
 			emit(t)
 		}
 	}), nil
 }
 
-func (n *unionNode) exec(e *Engine) (*triplestore.Relation, error) {
-	l, err := n.l.exec(e)
+func (n *unionNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
+	l, err := n.l.exec(ctx)
 	if err != nil {
 		return nil, err
 	}
-	r, err := n.r.exec(e)
+	r, err := n.r.exec(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return triplestore.Union(l, r), nil
 }
 
-func (n *diffNode) exec(e *Engine) (*triplestore.Relation, error) {
-	l, err := n.l.exec(e)
+func (n *diffNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
+	l, err := n.l.exec(ctx)
 	if err != nil {
 		return nil, err
 	}
-	r, err := n.r.exec(e)
+	r, err := n.r.exec(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return triplestore.Difference(l, r), nil
 }
 
-func (n *joinNode) exec(e *Engine) (*triplestore.Relation, error) {
-	l, err := n.l.exec(e)
+func (n *projectNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
+	in, err := n.child.exec(ctx)
 	if err != nil {
 		return nil, err
 	}
-	r, err := n.r.exec(e)
+	return ctx.e.parallelCollect(in.Slice(), func(t triplestore.Triple, emit func(triplestore.Triple)) {
+		emit(triplestore.Triple{t[n.out[0]], t[n.out[1]], t[n.out[2]]})
+	}), nil
+}
+
+func (n *sharedNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
+	// Plan execution recurses on the calling goroutine (parallelism lives
+	// inside operators), so the memo needs no lock.
+	if r := ctx.shared[n.slot]; r != nil {
+		return r, nil
+	}
+	r, err := n.child.exec(ctx)
 	if err != nil {
 		return nil, err
+	}
+	ctx.shared[n.slot] = r
+	return r, nil
+}
+
+// filterSlice keeps the triples satisfying a compiled single-triple
+// condition (a side-only prefilter).
+func filterSlice(ts []triplestore.Triple, cc trial.CompiledCond) []triplestore.Triple {
+	out := make([]triplestore.Triple, 0, len(ts))
+	for _, t := range ts {
+		if cc.Holds(t, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// filterRelation keeps the triples of r satisfying a compiled
+// single-triple condition.
+func filterRelation(r *triplestore.Relation, cc trial.CompiledCond) *triplestore.Relation {
+	out := triplestore.NewRelationCap(r.Len())
+	r.ForEach(func(t triplestore.Triple) {
+		if cc.Holds(t, t) {
+			out.Add(t)
+		}
+	})
+	return out
+}
+
+func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
+	l, err := n.l.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.r.exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Side-only prefilters shrink the probe side (and for hash/loop the
+	// build side) with one check per triple. Indexed sides stay whole:
+	// their access path is the base relation's cached index, and the full
+	// condition is re-checked per candidate pair anyway.
+	probeLeft := func() []triplestore.Triple {
+		lts := l.Slice()
+		if n.hasLCond {
+			lts = filterSlice(lts, n.lCC)
+		}
+		return lts
 	}
 	switch n.strategy {
 	case joinIndexRight:
@@ -65,7 +124,7 @@ func (n *joinNode) exec(e *Engine) (*triplestore.Relation, error) {
 		// relation's cache under its own lock, but building once up front
 		// keeps workers contention-free.
 		ix := r.Index(triplestore.PermFor(probe[1].Index()))
-		return e.parallelCollect(l.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+		return ctx.e.parallelCollect(probeLeft(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
 			for _, rt := range ix.Match(lt[probe[0].Index()]) {
 				if n.cc.Holds(lt, rt) {
 					emit(trial.Project(n.out, lt, rt))
@@ -75,7 +134,11 @@ func (n *joinNode) exec(e *Engine) (*triplestore.Relation, error) {
 	case joinIndexLeft:
 		probe := n.objKeys[0]
 		ix := l.Index(triplestore.PermFor(probe[0].Index()))
-		return e.parallelCollect(r.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
+		rts := r.Slice()
+		if n.hasRCond {
+			rts = filterSlice(rts, n.rCC)
+		}
+		return ctx.e.parallelCollect(rts, func(rt triplestore.Triple, emit func(triplestore.Triple)) {
 			for _, lt := range ix.Match(rt[probe[1].Index()]) {
 				if n.cc.Holds(lt, rt) {
 					emit(trial.Project(n.out, lt, rt))
@@ -83,13 +146,16 @@ func (n *joinNode) exec(e *Engine) (*triplestore.Relation, error) {
 			}
 		}), nil
 	case joinHash:
-		lKey, rKey := trial.CrossEqualityKeyFuncs(e.store, n.cond)
+		lKey, rKey := trial.CrossEqualityKeyFuncs(ctx.e.store, n.cond)
 		table := make(map[string][]triplestore.Triple, r.Len())
 		r.ForEach(func(rt triplestore.Triple) {
+			if n.hasRCond && !n.rCC.Holds(rt, rt) {
+				return
+			}
 			k := rKey(rt)
 			table[k] = append(table[k], rt)
 		})
-		return e.parallelCollect(l.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+		return ctx.e.parallelCollect(probeLeft(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
 			for _, rt := range table[lKey(lt)] {
 				if n.cc.Holds(lt, rt) {
 					emit(trial.Project(n.out, lt, rt))
@@ -98,7 +164,10 @@ func (n *joinNode) exec(e *Engine) (*triplestore.Relation, error) {
 		}), nil
 	default: // joinLoop
 		rts := r.Slice()
-		return e.parallelCollect(l.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+		if n.hasRCond {
+			rts = filterSlice(rts, n.rCC)
+		}
+		return ctx.e.parallelCollect(probeLeft(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
 			for _, rt := range rts {
 				if n.cc.Holds(lt, rt) {
 					emit(trial.Project(n.out, lt, rt))
@@ -108,20 +177,41 @@ func (n *joinNode) exec(e *Engine) (*triplestore.Relation, error) {
 	}
 }
 
-// exec evaluates the Kleene closure by semi-naive iteration: the result
-// starts as the base, and each round joins only the delta (the triples
-// derived for the first time in the previous round) with the base, until
-// no new triples appear. The access path over the loop-invariant base is
-// built once, before the first round — this is what separates the engine's
-// delta-star from re-running the Theorem 3 join every iteration.
-func (n *starNode) exec(e *Engine) (*triplestore.Relation, error) {
-	base, err := n.child.exec(e)
+// exec evaluates the Kleene closure. Reach-shaped stars (the reachTA=
+// fragment of §5) use Proposition 5's per-source BFS — the same
+// procedure the reference Evaluator uses — honoring the hoisted seed
+// filter if one was attached. Everything else runs semi-naive (delta)
+// iteration: the result starts as the seed set, and each round joins
+// only the delta (the triples derived for the first time in the previous
+// round) with the loop-invariant base, until no new triples appear. The
+// access path over the base is built once, before the first round.
+func (n *starNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
+	base, err := n.child.exec(ctx)
 	if err != nil {
 		return nil, err
 	}
-	step := n.stepFunc(e, base)
-	result := base.Clone()
-	delta := base
+	if n.reach != trial.ReachNone {
+		var seed func(triplestore.Triple) bool
+		if n.hasSeed {
+			seed = func(t triplestore.Triple) bool { return n.seedCC.Holds(t, t) }
+		}
+		return trial.ReachClosure(base, n.reach, seed), nil
+	}
+	// The join side of the iteration may be prefiltered by side-only
+	// condition atoms; the seed set may be filtered by a hoisted
+	// selection. Both filters only prune work: the full join condition is
+	// still checked for every candidate pair.
+	joinBase := base
+	if n.hasBaseCond {
+		joinBase = filterRelation(base, n.baseCC)
+	}
+	seeds := base
+	if n.hasSeed {
+		seeds = filterRelation(base, n.seedCC)
+	}
+	step := n.stepFunc(ctx, joinBase)
+	result := seeds.Clone()
+	delta := seeds
 	for delta.Len() > 0 {
 		derived := step(delta)
 		next := triplestore.NewRelation()
@@ -140,13 +230,13 @@ func (n *starNode) exec(e *Engine) (*triplestore.Relation, error) {
 // closure, base ✶ delta. When the condition has a cross-side object
 // equality the base side is served by a permutation index; otherwise the
 // round degrades to a (parallel) scan of base per delta triple.
-func (n *starNode) stepFunc(e *Engine, base *triplestore.Relation) func(*triplestore.Relation) *triplestore.Relation {
+func (n *starNode) stepFunc(ctx *execCtx, base *triplestore.Relation) func(*triplestore.Relation) *triplestore.Relation {
 	if len(n.objKeys) > 0 {
 		probe := n.objKeys[0]
 		if !n.left {
 			ix := base.Index(triplestore.PermFor(probe[1].Index()))
 			return func(delta *triplestore.Relation) *triplestore.Relation {
-				return e.parallelCollect(delta.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+				return ctx.e.parallelCollect(delta.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
 					for _, rt := range ix.Match(lt[probe[0].Index()]) {
 						if n.cc.Holds(lt, rt) {
 							emit(trial.Project(n.out, lt, rt))
@@ -157,7 +247,7 @@ func (n *starNode) stepFunc(e *Engine, base *triplestore.Relation) func(*triples
 		}
 		ix := base.Index(triplestore.PermFor(probe[0].Index()))
 		return func(delta *triplestore.Relation) *triplestore.Relation {
-			return e.parallelCollect(delta.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
+			return ctx.e.parallelCollect(delta.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
 				for _, lt := range ix.Match(rt[probe[1].Index()]) {
 					if n.cc.Holds(lt, rt) {
 						emit(trial.Project(n.out, lt, rt))
@@ -169,7 +259,7 @@ func (n *starNode) stepFunc(e *Engine, base *triplestore.Relation) func(*triples
 	baseTs := base.Slice()
 	if !n.left {
 		return func(delta *triplestore.Relation) *triplestore.Relation {
-			return e.parallelCollect(delta.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+			return ctx.e.parallelCollect(delta.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
 				for _, rt := range baseTs {
 					if n.cc.Holds(lt, rt) {
 						emit(trial.Project(n.out, lt, rt))
@@ -179,7 +269,7 @@ func (n *starNode) stepFunc(e *Engine, base *triplestore.Relation) func(*triples
 		}
 	}
 	return func(delta *triplestore.Relation) *triplestore.Relation {
-		return e.parallelCollect(delta.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
+		return ctx.e.parallelCollect(delta.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
 			for _, lt := range baseTs {
 				if n.cc.Holds(lt, rt) {
 					emit(trial.Project(n.out, lt, rt))

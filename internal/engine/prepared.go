@@ -1,47 +1,49 @@
 package engine
 
 import (
-	"strings"
-
+	"repro/internal/optimizer"
 	"repro/internal/trial"
 	"repro/internal/triplestore"
 )
 
-// Prepared is a compiled physical plan bound to its engine: the product of
-// validation, the trial.Optimize rewrites and physical planning, ready to
-// execute any number of times. Plan nodes hold no per-execution state
-// (hash tables and delta sets are built inside exec), so a Prepared is
-// safe for concurrent Exec calls under the engine's usual contract that
-// the store is not mutated while in use. internal/query caches Prepared
-// values keyed by source text and store version so repeated queries skip
-// parsing, translation and planning entirely.
+// Prepared is a compiled physical plan bound to its engine: the product
+// of validation, the logical rewrites of internal/optimizer and physical
+// planning, ready to execute any number of times. Plan nodes hold no
+// per-execution state (hash tables, delta sets and the
+// common-subexpression memo live in a per-run execution context), so a
+// Prepared is safe for concurrent Exec calls under the engine's usual
+// contract that the store is not mutated while in use. internal/query
+// caches Prepared values keyed by source text, store version and
+// optimizer version so repeated queries skip parsing, translation,
+// rewriting and planning entirely.
 type Prepared struct {
 	e    *Engine
-	root planNode
+	plan *compiledPlan
 	expr trial.Expr
 }
 
 // Prepare validates, optimizes and compiles x into a reusable plan.
 func (e *Engine) Prepare(x trial.Expr) (*Prepared, error) {
-	root, err := e.plan(x)
+	plan, err := e.plan(x)
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{e: e, root: root, expr: x}, nil
+	return &Prepared{e: e, plan: plan, expr: x}, nil
 }
 
 // Exec computes the relation of the prepared expression.
 func (p *Prepared) Exec() (*triplestore.Relation, error) {
-	return p.root.exec(p.e)
+	return p.plan.exec(p.e)
 }
 
 // Expr returns the expression the plan was prepared from (as written,
 // before optimization).
 func (p *Prepared) Expr() trial.Expr { return p.expr }
 
-// Explain renders the physical plan, in the same format as Engine.Explain.
-func (p *Prepared) Explain() string {
-	var b strings.Builder
-	p.root.explain(&b, 0)
-	return b.String()
-}
+// Trace returns the logical optimizer's rewrite trace for this plan, or
+// nil when the engine was built WithoutOptimize.
+func (p *Prepared) Trace() *optimizer.Trace { return p.plan.trace }
+
+// Explain renders the rewrite trace and the physical plan, in the same
+// format as Engine.Explain.
+func (p *Prepared) Explain() string { return p.plan.explainString() }

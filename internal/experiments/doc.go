@@ -1,0 +1,12 @@
+// Package experiments reproduces, as executable checks, the claims of the
+// TriAL paper: worked examples (Examples 2–4), inexpressibility witnesses
+// (Proposition 1, Theorem 1, Theorems 4–8, Proposition 6), the capture
+// results (Proposition 2, Theorem 2) and the complexity bounds of §5
+// (Theorem 3, Propositions 4 and 5) as measured scaling curves.
+//
+// The paper has no experimental tables or figures — it is a theory paper —
+// so these experiments play that role: each one regenerates a table whose
+// shape the paper predicts. The experiment IDs (E1–E22) are indexed by
+// All() below; cmd/trialbench prints any subset, and each report records
+// the paper-expected versus measured outcome.
+package experiments

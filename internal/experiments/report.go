@@ -1,14 +1,3 @@
-// Package experiments reproduces, as executable checks, the claims of the
-// TriAL paper: worked examples (Examples 2–4), inexpressibility witnesses
-// (Proposition 1, Theorem 1, Theorems 4–8, Proposition 6), the capture
-// results (Proposition 2, Theorem 2) and the complexity bounds of §5
-// (Theorem 3, Propositions 4 and 5) as measured scaling curves.
-//
-// The paper has no experimental tables or figures — it is a theory paper —
-// so these experiments play that role: each one regenerates a table whose
-// shape the paper predicts. The experiment IDs (E1–E22) are indexed in
-// DESIGN.md; cmd/trialbench prints any subset; EXPERIMENTS.md records
-// paper-expected versus measured outcomes.
 package experiments
 
 import (
@@ -19,7 +8,7 @@ import (
 
 // Report is the outcome of one experiment.
 type Report struct {
-	// ID is the experiment identifier (E1..E22, per DESIGN.md).
+	// ID is the experiment identifier (E1..E22; All() is the index).
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -75,7 +64,7 @@ func (r *Report) String() string {
 }
 
 // Markdown renders the report as a GitHub-flavored markdown section, for
-// pasting into EXPERIMENTS.md-style documents.
+// pasting into results documents.
 func (r *Report) Markdown() string {
 	var b strings.Builder
 	status := "PASS"

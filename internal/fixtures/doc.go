@@ -1,0 +1,7 @@
+// Package fixtures builds the concrete example structures that appear in
+// the TriAL paper (PODS 2013): the transport network of Figure 1, the
+// inexpressibility witnesses D1/D2 from the proof of Proposition 1, the
+// pebble-game structures of the appendix (T3/T4, T5/T6, A/B), the
+// social-network triplestore of §2.3, and the Example 3 store. Every
+// experiment and many tests evaluate queries over these structures.
+package fixtures

@@ -1,14 +1,3 @@
-// Package fo implements first-order logic over the relational vocabulary
-// ⟨E1, ..., En, ∼⟩ the TriAL paper uses in §6.1 to compare the algebra
-// with bounded-variable logics: ternary relation symbols for the
-// triplestore relations, the binary similarity relation ∼ (ρ-equality,
-// with ∼i variants for tuple components), equality, and object constants.
-// It also implements transitive-closure logic TrCl (the trcl operator of
-// §6.1) and the FO³ → TriAL translation from the proof of Theorem 4.
-//
-// Evaluation uses active-domain semantics, as the paper assumes
-// (Remark 3 of the appendix): quantifiers range over objects occurring in
-// some triple.
 package fo
 
 import (

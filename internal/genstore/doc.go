@@ -1,0 +1,8 @@
+// Package genstore generates triplestore workloads for tests and for the
+// benchmark harness that reproduces the paper's complexity bounds
+// (Theorem 3, Propositions 4 and 5): random stores with tunable object
+// and triple counts, structured topologies (chains, cycles, grids, layered
+// DAGs), transport-style networks modeled on Figure 1, and social-network
+// stores modeled on §2.3. It also generates random TriAL expressions for
+// differential testing of the evaluation strategies.
+package genstore

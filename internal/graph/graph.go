@@ -1,9 +1,3 @@
-// Package graph implements the graph-database model of §2.1 of the TriAL
-// paper: finite edge-labeled directed graphs G = (V, E, ρ) with a data
-// value attached to each node, the basic model for RPQs, NREs and GXPath.
-// It also provides the encoding of graphs as triplestores used in §6.2
-// (T_G over O = V ∪ Σ) so that TriAL* can be compared with graph query
-// languages.
 package graph
 
 import (

@@ -1,0 +1,13 @@
+// Package gxpath implements GXPath, the graph adaptation of XPath used as
+// the yardstick graph language in §6.2 of the TriAL paper (after Libkin,
+// Martens & Vrgoč, ICDT 2013). Node formulas and path formulas are defined
+// by mutual recursion:
+//
+//	ϕ, ψ := ⊤ | ¬ϕ | ϕ∧ψ | ϕ∨ψ | ⟨α⟩ | ⟨α = β⟩ | ⟨α ≠ β⟩
+//	α, β := ε | a | a⁻ | [ϕ] | α·β | α∪β | ᾱ | α* | α₌ | α≠
+//
+// The data comparisons (the last two node forms and the subscripted path
+// forms) constitute GXPath(∼) of §6.2.2; the purely navigational language
+// omits them. Path formulas denote binary relations over nodes, node
+// formulas denote sets of nodes; the complement ᾱ is V×V minus α.
+package gxpath

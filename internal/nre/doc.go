@@ -1,0 +1,16 @@
+// Package nre implements nested regular expressions (NREs) as defined in
+// §2.1 of the TriAL paper (after Pérez, Arenas & Gutierrez's nSPARQL):
+//
+//	e := ε | a | a⁻ | e·e | e* | e + e | [e]
+//
+// An NRE denotes a binary relation over the nodes of a graph database.
+// The package evaluates NREs both over ordinary graphs and over the
+// nSPARQL triple semantics of the Theorem 1 proof, in which the alphabet
+// is {next, edge, node} and, for a ternary relation E,
+//
+//	next = {(v, v′) | ∃z E(v, z, v′)}
+//	edge = {(v, v′) | ∃z E(v, v′, z)}
+//	node = {(v, v′) | ∃z E(z, v, v′)}
+//
+// Conjunctive NREs (CNREs, §6.2.1) are provided in cnre.go.
+package nre

@@ -1,34 +1,3 @@
-// Package nsparql implements the navigational core of nSPARQL (Pérez,
-// Arenas & Gutierrez, J. Web Sem. 2010), the language Theorem 1 of the
-// TriAL paper proves unable to express the query Q. Path expressions are
-// nested regular expressions over the four axes
-//
-//	exp := axis | axis::a | axis::[exp] | exp/exp | exp|exp | exp*
-//	axis ∈ {self, next, edge, node} and their inverses
-//
-// interpreted over an RDF document D (vocabulary voc(D) = all resources):
-//
-//	next  = {(x, y) | ∃z (x, z, y) ∈ D}    next::a  via (x, a, y)
-//	edge  = {(x, y) | ∃z (x, y, z) ∈ D}    edge::a  via (x, y, a)
-//	node  = {(x, y) | ∃z (z, x, y) ∈ D}    node::a  via (a, x, y)
-//	self  = {(x, x) | x ∈ voc(D)}          self::a  = {(a, a)}
-//
-// The nested test axis::[e] constrains the triple's remaining component:
-// next::[e] relates x to y through a triple (x, z, y) whose predicate z
-// has an e-successor — the mechanism nSPARQL uses to emulate RDFS
-// inference. Queries combine triple patterns whose middle position is a
-// path expression, with AND and UNION.
-//
-// Semantics note. Plain axis navigation factors through the σ(·)
-// encoding, which is how the TriAL paper's Theorem 1 proof formalizes
-// nSPARQL (and experiment E5 reproduces). The triple-local nested test
-// axis::[e] implemented here is strictly stronger than an NRE over σ(·):
-// σ decouples the edge and node steps of a single triple, so the one-hop
-// pattern next::[next::part_of] distinguishes the Theorem 1 witness
-// documents D1/D2 even though no NRE over σ(·) can (see
-// TestTheorem1OnD1D2 and the Deviations section of EXPERIMENTS.md). The
-// paper's recursive query Q remains inexpressible either way: the Kleene
-// star cannot hold the witnessing company fixed across hops.
 package nsparql
 
 import (

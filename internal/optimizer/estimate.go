@@ -1,0 +1,125 @@
+package optimizer
+
+import (
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// Cardinality estimation for the cost-based rules. The estimates are the
+// usual System R-style heuristics grounded in the per-relation statistics
+// of internal/triplestore (cardinalities and per-position distinct
+// counts); without a store they fall back to neutral constants so the
+// stats-free rules still apply deterministically.
+
+const (
+	// defaultRelCard is the assumed relation size when no statistics are
+	// available.
+	defaultRelCard = 1000
+	// starGrowth matches the physical planner's guess for how much a
+	// Kleene closure grows its base.
+	starGrowth = 8
+	// commuteRatio is how lopsided a join must be before the commute rule
+	// mirrors it: the estimated build side (right) must exceed the probe
+	// side (left) by this factor. A strict ratio > 1 also guarantees the
+	// rule cannot oscillate between passes.
+	commuteRatio = 2
+)
+
+// Estimate returns the optimizer's output-cardinality estimate for e.
+func (o *Optimizer) Estimate(e trial.Expr) float64 {
+	switch x := e.(type) {
+	case trial.Rel:
+		if o.hasStats {
+			return float64(o.stats.Rel(x.Name).Triples)
+		}
+		return defaultRelCard
+	case trial.Universe:
+		d := float64(defaultRelCard)
+		if o.store != nil {
+			d = float64(o.store.NumObjects())
+		}
+		return d * d * d
+	case trial.Select:
+		return o.Estimate(x.E) * o.selectivity(x.Cond, x.E)
+	case trial.Union:
+		return o.Estimate(x.L) + o.Estimate(x.R)
+	case trial.Diff:
+		return o.Estimate(x.L)
+	case trial.Join:
+		if _, ok := ProjectionShape(x); ok {
+			return o.Estimate(x.L)
+		}
+		l, r := o.Estimate(x.L), o.Estimate(x.R)
+		if len(x.Cond.CrossObjEqualities())+len(x.Cond.CrossValEqualities()) == 0 {
+			return l * r
+		}
+		if l > r {
+			return l
+		}
+		return r
+	case trial.Star:
+		return o.Estimate(x.E) * starGrowth
+	}
+	return 1
+}
+
+// selectivity estimates the fraction of child's triples a selection
+// condition keeps, using per-position distinct counts when the child is
+// a base relation with statistics.
+func (o *Optimizer) selectivity(c trial.Cond, child trial.Expr) float64 {
+	if r, ok := child.(trial.Rel); ok && o.hasStats {
+		return Selectivity(c, o.stats.Rel(r.Name))
+	}
+	return Selectivity(c, triplestore.RelStats{})
+}
+
+// Selectivity estimates the fraction of triples a selection condition
+// keeps. Equality with a constant on position i of a relation with
+// statistics keeps about 1/Distinct[i] (exact under uniformity); with
+// the zero RelStats (no statistics) fixed factors apply. The physical
+// planner in internal/engine shares this estimate.
+func Selectivity(c trial.Cond, st triplestore.RelStats) float64 {
+	var stats func(posIdx int) float64 // per-position distinct count, or 0
+	if st.Triples > 0 {
+		stats = func(posIdx int) float64 { return float64(st.Distinct[posIdx]) }
+	}
+	sel := 1.0
+	for _, a := range c.Obj {
+		switch {
+		case a.Neq:
+			sel *= 0.9
+		case a.L.IsConst && a.R.IsConst:
+			// Constant against constant: decided statically.
+			if a.L.Name != a.R.Name {
+				sel *= 1e-6
+			}
+		case a.L.IsConst != a.R.IsConst:
+			// position = constant: a point lookup on that position.
+			pos := a.L.Pos
+			if a.L.IsConst {
+				pos = a.R.Pos
+			}
+			if stats != nil {
+				if d := stats(pos.Index()); d >= 1 {
+					sel *= 1 / d
+					continue
+				}
+			}
+			sel *= 0.1
+		default:
+			// position = position within one triple.
+			sel *= 0.1
+		}
+	}
+	for _, a := range c.Val {
+		if a.Neq {
+			sel *= 0.9
+		} else {
+			sel *= 0.5
+		}
+	}
+	if sel < 1e-6 {
+		sel = 1e-6
+	}
+	return sel
+}

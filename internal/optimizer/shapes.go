@@ -1,0 +1,80 @@
+package optimizer
+
+import "repro/internal/trial"
+
+// This file recognizes the canonical expression shapes the rewrite rules
+// and the physical planner care about: identity self-joins (projections
+// in disguise) and composition-shaped joins/stars.
+
+// identityCond returns the condition 1=1′ ∧ 2=2′ ∧ 3=3′ that equates the
+// two operands of a join triple-by-triple.
+func identityCond() trial.Cond {
+	return trial.Cond{Obj: []trial.ObjAtom{
+		trial.Eq(trial.P(trial.L1), trial.P(trial.R1)),
+		trial.Eq(trial.P(trial.L2), trial.P(trial.R2)),
+		trial.Eq(trial.P(trial.L3), trial.P(trial.R3)),
+	}}
+}
+
+// condIsIdentity reports whether c is exactly the identity condition:
+// three object equalities pairing each left position with the same right
+// position, no data atoms, nothing else.
+func condIsIdentity(c trial.Cond) bool {
+	if len(c.Val) != 0 || len(c.Obj) != 3 {
+		return false
+	}
+	var have [3]bool
+	for _, a := range c.Obj {
+		if a.Neq || a.L.IsConst || a.R.IsConst {
+			return false
+		}
+		lp, rp := a.L.Pos, a.R.Pos
+		if !lp.Left() {
+			lp, rp = rp, lp
+		}
+		if !lp.Left() || rp.Left() || lp.Index() != rp.Index() || have[lp.Index()] {
+			return false
+		}
+		have[lp.Index()] = true
+	}
+	return have[0] && have[1] && have[2]
+}
+
+// ProjectionShape reports whether j is an identity self-join — the
+// E ✶^{i,j,k}_{1=1′,2=2′,3=3′} E device internal/translate uses to
+// permute and duplicate triple components — and if so returns the
+// projection it denotes as component indexes into the operand's triple:
+// j(T) = {(t[out[0]], t[out[1]], t[out[2]]) | t ∈ e(T)}.
+//
+// The identity condition forces the right triple to equal the left one,
+// so any output position (primed or not) reads the same single triple;
+// the returned indexes are therefore side-free. The physical planner
+// compiles such joins as a linear projection operator instead of a
+// self-join.
+func ProjectionShape(j trial.Join) ([3]int, bool) {
+	if !condIsIdentity(j.Cond) {
+		return [3]int{}, false
+	}
+	if j.L == nil || j.R == nil || j.L.String() != j.R.String() {
+		return [3]int{}, false
+	}
+	return [3]int{j.Out[0].Index(), j.Out[1].Index(), j.Out[2].Index()}, true
+}
+
+// projection builds the identity self-join denoting the projection of e
+// through the given component indexes, with output positions normalized
+// to the left side.
+func projection(e trial.Expr, out [3]int) trial.Join {
+	return trial.Join{
+		L:    e,
+		R:    e,
+		Out:  [3]trial.Pos{trial.Pos(out[0]), trial.Pos(out[1]), trial.Pos(out[2])},
+		Cond: identityCond(),
+	}
+}
+
+// starShape classifies a star's join for the idempotence rules: the
+// composition-like shapes (the reachTA= shapes of §5) are associative,
+// which is what makes nested closures collapsible. trial.StarReachShape
+// is the single source of truth for the recognition.
+func starShape(st trial.Star) trial.ReachShape { return trial.StarReachShape(st) }

@@ -1,0 +1,53 @@
+package query_test
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/triplestore"
+)
+
+// ExampleQuerier runs one query in two frontend languages through the
+// unified layer: both compile to TriAL*, pass the logical optimizer, and
+// execute on the parallel engine.
+func ExampleQuerier() {
+	s := triplestore.NewStore()
+	s.Add("E", "a", "knows", "b")
+	s.Add("E", "b", "knows", "c")
+
+	q := query.New(s)
+	r, err := q.Query(query.LangRPQ, "knows+")
+	if err != nil {
+		panic(err)
+	}
+	pairs, err := q.Pairs(r)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pairs {
+		fmt.Println(p[0], "->", p[1])
+	}
+
+	// The same reachability as a native TriAL* closure.
+	r, err = q.Query(query.LangTriAL, "rstar[1,2,3'; 3=1'](E)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("triples:", r.Len())
+	// Output:
+	// a -> b
+	// a -> c
+	// b -> c
+	// triples: 3
+}
+
+// ExampleQuerier_Engine reaches through the façade to the execution
+// engine, e.g. to explain a plan against the same store and relation.
+func ExampleQuerier_Engine() {
+	s := triplestore.NewStore()
+	s.Add("E", "a", "p", "b")
+	q := query.New(s)
+	fmt.Println(q.Engine().Store().Size(), q.Relation())
+	// Output:
+	// 1 E
+}

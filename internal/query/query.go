@@ -1,21 +1,3 @@
-// Package query is the unified query layer: one entry point that takes a
-// query in any supported frontend language, compiles it through
-// internal/translate into a TriAL* expression, and executes it on the
-// indexed, parallel engine of internal/engine.
-//
-// §6.2 of the TriAL paper (Theorems 7–8, Corollaries 2 and 4) shows that
-// GXPath, nested regular expressions, regular path queries and nSPARQL
-// all embed into TriAL*. This package turns those inclusions into one
-// canonical fast path: every language reaches the same physical planner,
-// the same parallel operators and the same semi-naive recursion, instead
-// of each frontend carrying its own interpreter. Differential tests pin
-// the results to the reference trial.Evaluator and to each language's
-// native evaluator.
-//
-// Compiled physical plans are cached in an LRU keyed by (language,
-// source text, relation, store version), so a repeated query skips
-// parsing, translation, optimization and planning entirely — the cache
-// is what makes the façade cheap enough to sit on the server's hot path.
 package query
 
 import (
@@ -27,6 +9,7 @@ import (
 	"repro/internal/gxpath"
 	"repro/internal/nre"
 	"repro/internal/nsparql"
+	"repro/internal/optimizer"
 	"repro/internal/rpq"
 	"repro/internal/translate"
 	"repro/internal/trial"
@@ -84,9 +67,10 @@ type Querier struct {
 	eng *engine.Engine
 	rel string
 
-	mu    sync.Mutex
-	cache *lruCache
-	stats CacheStats
+	mu       sync.Mutex
+	cache    *lruCache
+	stats    CacheStats
+	rewrites RewriteStats
 }
 
 // Option configures a Querier.
@@ -250,21 +234,71 @@ func (q *Querier) Stats() CacheStats {
 	return st
 }
 
+// RewriteStats are counters over the logical optimizer's work on this
+// Querier: how many plans were optimized, how many were changed by at
+// least one rule, and per-rule hit counts (the server's /stats exposes
+// them). Cache hits don't re-optimize, so these count plan-cache misses.
+type RewriteStats struct {
+	OptimizerVersion int               `json:"optimizer_version"`
+	Planned          uint64            `json:"planned"`
+	Rewritten        uint64            `json:"rewritten"`
+	RuleHits         map[string]uint64 `json:"rule_hits"`
+}
+
+// RewriteStats returns a snapshot of the rewrite-hit counters.
+func (q *Querier) RewriteStats() RewriteStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.rewrites
+	st.OptimizerVersion = optimizer.Version
+	st.RuleHits = make(map[string]uint64, len(q.rewrites.RuleHits))
+	for k, v := range q.rewrites.RuleHits {
+		st.RuleHits[k] = v
+	}
+	return st
+}
+
+// recordTrace folds one plan's rewrite trace into the counters.
+func (q *Querier) recordTrace(tr *optimizer.Trace) {
+	if tr == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.rewrites.Planned++
+	if tr.Changed() {
+		q.rewrites.Rewritten++
+	}
+	if q.rewrites.RuleHits == nil {
+		q.rewrites.RuleHits = make(map[string]uint64)
+	}
+	for _, h := range tr.Hits() {
+		q.rewrites.RuleHits[h.Rule] += uint64(h.Count)
+	}
+}
+
 // planKey identifies a compiled plan: same language, source text and
-// relation against the same snapshot of the store. The version component
-// makes plans compiled before a store mutation unreachable (they age out
-// of the LRU) rather than silently stale.
+// relation against the same snapshot of the store, compiled by the same
+// optimizer rule set. The store-version component makes plans compiled
+// before a store mutation unreachable (they age out of the LRU) rather
+// than silently stale; the optimizer-version component does the same
+// across rule-set upgrades.
 type planKey struct {
-	lang    Lang
-	source  string
-	rel     string
-	version uint64
+	lang       Lang
+	source     string
+	rel        string
+	version    uint64
+	optVersion int
 }
 
 // prepare returns the cached plan for (lang, source) or compiles and
 // caches a new one.
 func (q *Querier) prepare(lang Lang, source string) (*engine.Prepared, error) {
-	key := planKey{lang: lang, source: source, rel: q.rel, version: q.eng.Store().Version()}
+	key := planKey{
+		lang: lang, source: source, rel: q.rel,
+		version:    q.eng.Store().Version(),
+		optVersion: optimizer.Version,
+	}
 
 	q.mu.Lock()
 	if p, ok := q.cache.get(key); ok {
@@ -286,6 +320,7 @@ func (q *Querier) prepare(lang Lang, source string) (*engine.Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	q.recordTrace(p.Trace())
 
 	q.mu.Lock()
 	// A concurrent miss may have inserted the same key; keep the first

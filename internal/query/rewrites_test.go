@@ -1,0 +1,62 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/genstore"
+	"repro/internal/optimizer"
+)
+
+// TestRewriteStats: the Querier aggregates per-rule rewrite counters
+// from every plan-cache miss, and cache hits do not re-optimize.
+func TestRewriteStats(t *testing.T) {
+	q := New(genstore.Chain(10, 2))
+	st := q.RewriteStats()
+	if st.OptimizerVersion != optimizer.Version {
+		t.Fatalf("OptimizerVersion = %d, want %d", st.OptimizerVersion, optimizer.Version)
+	}
+	if st.Planned != 0 {
+		t.Fatalf("fresh Querier Planned = %d, want 0", st.Planned)
+	}
+
+	// A query the optimizer visibly rewrites: the duplicate union arm is
+	// dropped and the selection fuses into what remains.
+	if _, err := q.Query(LangTriAL, "sigma[1=2](union(E, E))"); err != nil {
+		t.Fatal(err)
+	}
+	st = q.RewriteStats()
+	if st.Planned != 1 || st.Rewritten != 1 {
+		t.Fatalf("after one optimized query: %+v", st)
+	}
+	if st.RuleHits["dedupe-union"] == 0 {
+		t.Fatalf("dedupe-union not recorded: %+v", st.RuleHits)
+	}
+
+	// Same query again: a cache hit, no new optimization.
+	if _, err := q.Query(LangTriAL, "sigma[1=2](union(E, E))"); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := q.RewriteStats(); st2.Planned != 1 {
+		t.Fatalf("cache hit re-optimized: %+v", st2)
+	}
+
+	// The snapshot is a copy: mutating it must not corrupt the Querier.
+	st.RuleHits["bogus"] = 99
+	if _, ok := q.RewriteStats().RuleHits["bogus"]; ok {
+		t.Fatal("RewriteStats returned its internal map")
+	}
+}
+
+// TestExplainHasTrace: the façade's Explain output carries the
+// optimizer's rewrite trace ahead of the physical plan.
+func TestExplainHasTrace(t *testing.T) {
+	q := New(genstore.Grid(4, 4))
+	plan, err := q.Explain(LangGXPath, "(right u down)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "rewrites[v") {
+		t.Errorf("Explain missing rewrite trace:\n%s", plan)
+	}
+}

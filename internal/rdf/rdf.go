@@ -1,9 +1,3 @@
-// Package rdf implements ground RDF documents (§2.2 of the TriAL paper) —
-// finite sets of triples (s, p, o) over URIs, with no blank nodes or
-// literals — and the transformation σ(D) of Arenas and Pérez used by
-// nSPARQL: the graph over the alphabet {next, edge, node} containing, for
-// each triple (s, p, o), the edges (s, edge, p), (p, node, o) and
-// (s, next, o) (Figure 2).
 package rdf
 
 import (

@@ -1,0 +1,17 @@
+// Package regmem implements regular expressions with memory in the style
+// of Libkin & Vrgoč (ICDT 2012), the register-automata formalism the TriAL
+// paper compares against in Proposition 6. An expression walks a data
+// graph, can store the data value of the current node in a register
+// (↓x), and can test the current node's value against registers ((x=) and
+// (x≠)) while traversing labeled edges:
+//
+//	e := ε | ↓x.e | a[c] | e·e | e + e | e*
+//
+// where c is a conjunction of register (in)equality tests applied at the
+// node reached by the a-edge.
+//
+// The paper's Proposition 6 witness is the family eₙ (ExprN): its answer
+// set is nonempty on a graph iff the graph contains a path visiting n
+// nodes with pairwise distinct data values — a property beyond L⁶∞ω and
+// hence beyond TriAL*.
+package regmem

@@ -1,9 +1,3 @@
-// Package rpq implements regular path queries (§2.1 of the TriAL paper)
-// and their conjunctive extensions: an RPQ x →L y selects pairs of nodes
-// connected by a path whose label lies in the regular language L. The
-// package includes a small regular-expression language over edge labels
-// (with inverses, i.e. 2RPQs), a Thompson NFA construction, and
-// product-graph evaluation. CRPQs and C2RPQs (§6.2.1) are in crpq.go.
 package rpq
 
 import (

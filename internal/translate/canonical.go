@@ -1,0 +1,87 @@
+package translate
+
+import (
+	"repro/internal/gxpath"
+	"repro/internal/nre"
+	"repro/internal/nsparql"
+)
+
+// Canonical star bodies. All three frontend closures are reflexive
+// (over the node set for the graph languages, the vocabulary for
+// nSPARQL), so source-level identities let the translations emit one
+// flat TriAL* star where a verbatim translation would nest closures:
+//
+//	(β*)*     = β*        nested stars unnest
+//	(β ∪ ε)*  = β*        reflexive parts of the body are redundant
+//	ε*        = ε         a pure-ε star is just the diagonal
+//
+// Rewriting here — before translation — is worthwhile beyond what the
+// logical optimizer later does to the TriAL* tree: the translation of a
+// nested star carries its own reflexive diagonal, so unnesting at the
+// source level avoids ever materializing it.
+
+// starBodyPath returns the body of a GXPath α* with nested stars
+// unnested and ε arms removed; nil means the body is empty (the star is
+// the node diagonal).
+func starBodyPath(p gxpath.Path) gxpath.Path {
+	switch x := p.(type) {
+	case gxpath.Star:
+		return starBodyPath(x.P)
+	case gxpath.Eps:
+		return nil
+	case gxpath.Union:
+		l, r := starBodyPath(x.L), starBodyPath(x.R)
+		switch {
+		case l == nil:
+			return r
+		case r == nil:
+			return l
+		}
+		return gxpath.Union{L: l, R: r}
+	}
+	return p
+}
+
+// starBodyNRE is starBodyPath for nested regular expressions.
+func starBodyNRE(e nre.Expr) nre.Expr {
+	switch x := e.(type) {
+	case nre.Star:
+		return starBodyNRE(x.E)
+	case nre.Epsilon:
+		return nil
+	case nre.Union:
+		l, r := starBodyNRE(x.L), starBodyNRE(x.R)
+		switch {
+		case l == nil:
+			return r
+		case r == nil:
+			return l
+		}
+		return nre.Union{L: l, R: r}
+	}
+	return e
+}
+
+// starBodyNSPARQL is the nSPARQL variant: a bare self step (no constant,
+// no nested test) is the vocabulary diagonal, which the reflexive
+// closure contributes anyway.
+func starBodyNSPARQL(e nsparql.Expr) nsparql.Expr {
+	switch x := e.(type) {
+	case nsparql.Star:
+		return starBodyNSPARQL(x.E)
+	case nsparql.Step:
+		if x.Axis == nsparql.Self && !x.HasConst && x.Nested == nil && !x.Inv {
+			return nil
+		}
+	case nsparql.Alt:
+		l, r := starBodyNSPARQL(x.L), starBodyNSPARQL(x.R)
+		switch {
+		case l == nil:
+			return r
+		case r == nil:
+			return l
+		}
+		return nsparql.Alt{L: l, R: r}
+	}
+	return e
+}

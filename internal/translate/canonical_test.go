@@ -1,0 +1,54 @@
+package translate
+
+import (
+	"testing"
+
+	"repro/internal/gxpath"
+	"repro/internal/nre"
+	"repro/internal/nsparql"
+	"repro/internal/rpq"
+)
+
+// TestCanonicalStarBodies: nested stars, ε arms and bare self steps
+// vanish before translation, so the emitted TriAL* has one flat star.
+func TestCanonicalStarBodies(t *testing.T) {
+	// (a*)* and a* translate identically.
+	a := gxpath.Label{A: "a"}
+	nested := Path(gxpath.Star{P: gxpath.Star{P: a}}, "E")
+	flat := Path(gxpath.Star{P: a}, "E")
+	if nested.String() != flat.String() {
+		t.Errorf("GXPath (a*)* != a*:\n%s\n%s", nested, flat)
+	}
+	// (a u eps)* = a*.
+	withEps := Path(gxpath.Star{P: gxpath.Union{L: a, R: gxpath.Eps{}}}, "E")
+	if withEps.String() != flat.String() {
+		t.Errorf("GXPath (a u eps)* != a*:\n%s\n%s", withEps, flat)
+	}
+	// eps* is just the node diagonal.
+	if got := Path(gxpath.Star{P: gxpath.Eps{}}, "E"); got.String() != NodeDiag("E").String() {
+		t.Errorf("GXPath eps* != node diagonal: %s", got)
+	}
+
+	// Same at the NRE level, which RPQ also routes through: (a?)* = a*.
+	na := nre.Label{A: "a"}
+	if got, want := NRE(nre.Star{E: nre.Star{E: na}}, "E"), NRE(nre.Star{E: na}, "E"); got.String() != want.String() {
+		t.Errorf("NRE (a*)* != a*:\n%s\n%s", got, want)
+	}
+	opt := RPQ(rpq.Star{E: rpq.Opt{E: rpq.Sym{A: "a"}}}, "E")
+	if want := RPQ(rpq.Star{E: rpq.Sym{A: "a"}}, "E"); opt.String() != want.String() {
+		t.Errorf("RPQ (a?)* != a*:\n%s\n%s", opt, want)
+	}
+
+	// nSPARQL: (self | next::a)* = (next::a)*.
+	step := nsparql.Step{Axis: nsparql.Next, HasConst: true, Const: "a"}
+	self := nsparql.Step{Axis: nsparql.Self}
+	got := MustNSPARQL(nsparql.Star{E: nsparql.Alt{L: self, R: step}}, "E")
+	want := MustNSPARQL(nsparql.Star{E: step}, "E")
+	if got.String() != want.String() {
+		t.Errorf("nSPARQL (self|next::a)* != (next::a)*:\n%s\n%s", got, want)
+	}
+	// self* is the vocabulary diagonal.
+	if got := MustNSPARQL(nsparql.Star{E: self}, "E"); got.String() != VocDiag("E").String() {
+		t.Errorf("nSPARQL self* != voc diagonal: %s", got)
+	}
+}

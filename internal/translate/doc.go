@@ -1,0 +1,21 @@
+// Package translate implements the language inclusions of §6.2 of the
+// TriAL paper as executable translations into TriAL*:
+//
+//   - GXPath (navigational and with data tests) → TriAL* (Theorem 7,
+//     Corollary 4),
+//   - nested regular expressions → TriAL* (Corollary 2),
+//   - regular path queries (with inverses) → TriAL* (Corollary 2),
+//   - conjunctive NREs over three variables → TriAL* (Theorem 8).
+//
+// All translations target the triplestore encoding T_G of a graph database
+// (graph.ToTriplestore): O = V ∪ Σ with one triple per edge.
+//
+// Representation invariant. A binary graph query α translates to an
+// expression e_α whose value is {(u, u, v) | (u, v) ∈ ⟦α⟧}: the middle
+// position duplicates the source. Keeping the representation canonical
+// (rather than leaving arbitrary middles, as the paper's sketch does)
+// makes complement — which the paper's GXPath includes — expressible
+// triple-by-triple: π₁,₃ of a complement of a canonical relation is the
+// complement of the binary relation. A node formula ϕ translates to an
+// expression whose value is {(u, u, u) | u ∈ ⟦ϕ⟧}.
+package translate

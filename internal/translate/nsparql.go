@@ -70,12 +70,18 @@ func NSPARQL(e nsparql.Expr, rel string) (trial.Expr, error) {
 		}
 		return trial.Union{L: l, R: r}, nil
 	case nsparql.Star:
-		inner, err := NSPARQL(x.E, rel)
+		// nSPARQL's closure is reflexive over the whole vocabulary, not
+		// just the endpoints of the inner relation; the body is
+		// canonicalized first (canonical.go), and bare self steps drop
+		// because the vocabulary diagonal subsumes them.
+		body := starBodyNSPARQL(x.E)
+		if body == nil {
+			return VocDiag(rel), nil
+		}
+		inner, err := NSPARQL(body, rel)
 		if err != nil {
 			return nil, err
 		}
-		// nSPARQL's closure is reflexive over the whole vocabulary, not
-		// just the endpoints of the inner relation.
 		star := trial.MustStar(inner, [3]trial.Pos{trial.L1, trial.L2, trial.R3},
 			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}}, false)
 		return trial.Union{L: VocDiag(rel), R: star}, nil

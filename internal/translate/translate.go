@@ -1,23 +1,3 @@
-// Package translate implements the language inclusions of §6.2 of the
-// TriAL paper as executable translations into TriAL*:
-//
-//   - GXPath (navigational and with data tests) → TriAL* (Theorem 7,
-//     Corollary 4),
-//   - nested regular expressions → TriAL* (Corollary 2),
-//   - regular path queries (with inverses) → TriAL* (Corollary 2),
-//   - conjunctive NREs over three variables → TriAL* (Theorem 8).
-//
-// All translations target the triplestore encoding T_G of a graph database
-// (graph.ToTriplestore): O = V ∪ Σ with one triple per edge.
-//
-// Representation invariant. A binary graph query α translates to an
-// expression e_α whose value is {(u, u, v) | (u, v) ∈ ⟦α⟧}: the middle
-// position duplicates the source. Keeping the representation canonical
-// (rather than leaving arbitrary middles, as the paper's sketch does)
-// makes complement — which the paper's GXPath includes — expressible
-// triple-by-triple: π₁,₃ of a complement of a canonical relation is the
-// complement of the binary relation. A node formula ϕ translates to an
-// expression whose value is {(u, u, u) | u ∈ ⟦ϕ⟧}.
 package translate
 
 import (
@@ -85,8 +65,13 @@ func Path(p gxpath.Path, rel string) trial.Expr {
 		return trial.Diff{L: AllNodePairs(rel), R: Path(x.P, rel)}
 	case gxpath.Star:
 		// GXPath's α* is reflexive; the algebra's Kleene closure is not,
-		// so the node diagonal is united in.
-		star := trial.MustStar(Path(x.P, rel), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		// so the node diagonal is united in. The body is canonicalized
+		// first (canonical.go): nested stars unnest, ε arms drop.
+		body := starBodyPath(x.P)
+		if body == nil {
+			return NodeDiag(rel)
+		}
+		star := trial.MustStar(Path(body, rel), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
 			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}}, false)
 		return trial.Union{L: NodeDiag(rel), R: star}
 	case gxpath.DataCmp:
@@ -136,7 +121,11 @@ func NRE(e nre.Expr, rel string) trial.Expr {
 	case nre.Union:
 		return trial.Union{L: NRE(x.L, rel), R: NRE(x.R, rel)}
 	case nre.Star:
-		star := trial.MustStar(NRE(x.E, rel), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		body := starBodyNRE(x.E)
+		if body == nil {
+			return NodeDiag(rel)
+		}
+		star := trial.MustStar(NRE(body, rel), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
 			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}}, false)
 		return trial.Union{L: NodeDiag(rel), R: star}
 	case nre.Nest:

@@ -113,3 +113,34 @@ type CrossValEq struct {
 	L, R      Pos
 	Component int
 }
+
+// ReachShape classifies a Kleene star against the two reachTA= shapes of
+// §5 (Proposition 5), for which transitive closure is computable in
+// O(|O|·|T|) instead of the generic fixpoint. Exported so external
+// engines (internal/engine) and the logical optimizer share exactly the
+// recognition the Evaluator uses.
+type ReachShape int
+
+const (
+	// ReachNone: not a reachability star; evaluate by generic fixpoint.
+	ReachNone ReachShape = ReachShape(reachNone)
+	// ReachAny is (R ✶^{1,2,3′}_{3=1′})*: reachable by an arbitrary path.
+	ReachAny ReachShape = ReachShape(reachAny)
+	// ReachSameLabel is (R ✶^{1,2,3′}_{3=1′,2=2′})*: reachable by a path
+	// whose triples all carry the same middle element.
+	ReachSameLabel ReachShape = ReachShape(reachSameLabel)
+)
+
+// StarReachShape recognizes the reachTA= star shapes. Both orientations
+// qualify: for these composition-like joins the right and left closures
+// compute the same relation.
+func StarReachShape(st Star) ReachShape { return ReachShape(reachStarKind(st)) }
+
+// ReachClosure computes the star of a reachability-shaped join over base
+// by per-source BFS (Procedures 3 and 4 of the paper). A non-nil seed
+// restricts which base triples start chains: the result is then
+// σ_seed(star(base)) for seed conditions over the star's invariant
+// positions 1 and 2 — the device behind the engine's selection hoisting.
+func ReachClosure(base *triplestore.Relation, shape ReachShape, seed func(triplestore.Triple) bool) *triplestore.Relation {
+	return reachClosure(base, reachKind(shape), seed)
+}

@@ -110,7 +110,7 @@ func (ev *Evaluator) Eval(e Expr) (*triplestore.Relation, error) {
 		}
 		if !ev.DisableReachStar {
 			if kind := reachStarKind(x); kind != reachNone {
-				return ev.reachStar(base, kind), nil
+				return reachClosure(base, kind, nil), nil
 			}
 		}
 		return ev.fixpointStar(base, x), nil
@@ -336,15 +336,29 @@ func reachStarKind(st Star) reachKind {
 	return reachNone
 }
 
-// reachStar implements Procedures 3 and 4 of the paper: evaluate the
+// reachClosure implements Procedures 3 and 4 of the paper: evaluate the
 // reachability stars in O(|O|·|T|) by computing, for every object that
 // occurs as the endpoint of a base triple, the set of objects reachable
 // from it in the edge graph {(s,o) : (s,p,o) ∈ base} — per label for
 // reachSameLabel. (We use per-source BFS instead of the paper's Warshall
 // transitive closure; both meet the bound, BFS without the O(|O|³)
 // matrix.)
-func (ev *Evaluator) reachStar(base *triplestore.Relation, kind reachKind) *triplestore.Relation {
-	result := base.Clone()
+//
+// When seed is non-nil only base triples satisfying it start chains: the
+// result is σ_seed(star(base)) for conditions over the star's invariant
+// positions (1 and 2, which every derived triple inherits from its seed).
+// The engine uses this to hoist such selections out of the fixpoint.
+func reachClosure(base *triplestore.Relation, kind reachKind, seed func(triplestore.Triple) bool) *triplestore.Relation {
+	var result *triplestore.Relation
+	if seed == nil {
+		// BFS from t's endpoint includes the endpoint itself (a length-0
+		// path), so every base triple re-derives; cloning just skips the
+		// per-triple Add work.
+		result = base.Clone()
+		seed = func(triplestore.Triple) bool { return true }
+	} else {
+		result = triplestore.NewRelation()
+	}
 	switch kind {
 	case reachAny:
 		adj := make(map[triplestore.ID][]triplestore.ID)
@@ -353,6 +367,9 @@ func (ev *Evaluator) reachStar(base *triplestore.Relation, kind reachKind) *trip
 		})
 		reach := newReachCache(adj)
 		base.ForEach(func(t triplestore.Triple) {
+			if !seed(t) {
+				return
+			}
 			for _, l := range reach.from(t[2]) {
 				result.Add(triplestore.Triple{t[0], t[1], l})
 			}
@@ -369,6 +386,9 @@ func (ev *Evaluator) reachStar(base *triplestore.Relation, kind reachKind) *trip
 		})
 		caches := make(map[triplestore.ID]*reachCache, len(byLabel))
 		base.ForEach(func(t triplestore.Triple) {
+			if !seed(t) {
+				return
+			}
 			rc := caches[t[1]]
 			if rc == nil {
 				rc = newReachCache(byLabel[t[1]])

@@ -15,6 +15,11 @@ package trial
 // Fusing selections into joins matters beyond constant factors: equality
 // atoms that reach the join condition become hash keys for the
 // Proposition 4 strategy, turning filter-after-join into an indexed join.
+//
+// This is the minimal, dependency-free rewriter kept with the reference
+// implementation. The production query stack uses internal/optimizer — a
+// superset of these rules with statistics-driven cost-based rewrites,
+// projection and star identities, and a rewrite trace.
 func Optimize(e Expr) Expr {
 	switch x := e.(type) {
 	case Rel, Universe:

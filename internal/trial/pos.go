@@ -1,15 +1,3 @@
-// Package trial implements the Triple Algebra TriAL and its recursive
-// extension TriAL* from Libkin, Reutter and Vrgoč, "TriAL for RDF"
-// (PODS 2013), §3, together with the evaluation algorithms of §5:
-// the generic algorithms of Theorem 3, the O(|e|·|O|·|T|) equality-only
-// strategy of Proposition 4, and the reachTA= star procedures of
-// Proposition 5.
-//
-// TriAL is a closed algebra over triplestores: every expression evaluates
-// to a set of triples. Its operations are relation names, selection
-// σ_{θ,η}, union, difference, and the family of joins e1 ✶^{i,j,k}_{θ,η} e2
-// that keep three of the six positions of the joined pair. TriAL* adds
-// right and left Kleene closures of joins, (e ✶)* and (✶ e)*.
 package trial
 
 import (

@@ -1,12 +1,3 @@
-// Package triplestore implements the triplestore data model of
-// Libkin, Reutter and Vrgoč, "TriAL for RDF" (PODS 2013), Definition 1:
-// a triplestore database T = (O, E1, ..., En, ρ) consists of a finite set
-// of objects O, one or more ternary relations Ei over O, and a function ρ
-// assigning a data value to each object.
-//
-// Objects are interned to dense numeric IDs so that relations can be
-// stored compactly and the evaluation algorithms of the paper (which
-// assume an array representation, §5) can be implemented directly.
 package triplestore
 
 import "fmt"

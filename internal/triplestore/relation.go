@@ -19,6 +19,7 @@ type Relation struct {
 	mu     sync.Mutex       // guards the lazy caches below
 	sorted []Triple         // cached sorted view; nil when stale
 	idx    [numPerms]*Index // cached permutation indexes; nil when stale
+	stats  *RelStats        // cached statistics; nil when stale
 }
 
 // NewRelation returns an empty relation.
@@ -48,6 +49,7 @@ func (r *Relation) Add(t Triple) bool {
 	r.set[t] = struct{}{}
 	r.sorted = nil
 	r.idx = [numPerms]*Index{}
+	r.stats = nil
 	return true
 }
 
@@ -112,6 +114,7 @@ func (r *Relation) Clone() *Relation {
 	r.mu.Lock()
 	c.sorted = r.sorted
 	c.idx = r.idx
+	c.stats = r.stats
 	r.mu.Unlock()
 	return c
 }

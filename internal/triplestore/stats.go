@@ -1,0 +1,117 @@
+package triplestore
+
+import "sync"
+
+// RelStats summarizes one relation for cost-based query optimization:
+// its cardinality and the number of distinct objects in each of the
+// three positions. The per-position distinct counts estimate the bucket
+// size of a single-position index probe (|R| / Distinct[i]) far more
+// accurately than the global |O| bound: a relation whose middle position
+// holds only a handful of predicates has large POS buckets, and the
+// planner should know.
+type RelStats struct {
+	// Triples is the relation's cardinality |R|.
+	Triples int `json:"triples"`
+	// Distinct counts the distinct objects per position: subjects,
+	// predicates, objects in RDF terms.
+	Distinct [3]int `json:"distinct"`
+}
+
+// Fanout estimates how many triples of the relation match a point probe
+// on the given position (0..2): |R| divided by the position's distinct
+// count, at least 1 for nonempty relations. It is the expected bucket
+// size under a uniform distribution — exact when the relation is a key
+// on that position.
+func (st RelStats) Fanout(pos int) float64 {
+	if st.Triples == 0 {
+		return 0
+	}
+	d := st.Distinct[pos]
+	if d < 1 {
+		d = 1
+	}
+	f := float64(st.Triples) / float64(d)
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// Stats computes (and caches) the relation's statistics. Like the sorted
+// view and the permutation indexes, the cached statistics are dropped on
+// mutation, so they are always consistent with the current contents; the
+// recomputation is a single O(|R|) pass. Safe for concurrent readers.
+func (r *Relation) Stats() RelStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stats != nil {
+		return *r.stats
+	}
+	var seen [3]map[ID]struct{}
+	for i := range seen {
+		seen[i] = make(map[ID]struct{}, len(r.set))
+	}
+	for t := range r.set {
+		seen[0][t[0]] = struct{}{}
+		seen[1][t[1]] = struct{}{}
+		seen[2][t[2]] = struct{}{}
+	}
+	st := RelStats{
+		Triples:  len(r.set),
+		Distinct: [3]int{len(seen[0]), len(seen[1]), len(seen[2])},
+	}
+	r.stats = &st
+	return st
+}
+
+// StoreStats is a snapshot of the statistics of every relation in a
+// store, taken at one store version. The optimizer and the physical
+// planner consume it; the server's /stats endpoint exposes the refresh
+// counter so operators can see when statistics were rebuilt.
+type StoreStats struct {
+	// Version is the Store.Version the snapshot was computed at.
+	Version uint64 `json:"version"`
+	// Relations maps each relation name to its statistics.
+	Relations map[string]RelStats `json:"relations"`
+}
+
+// Rel returns the statistics for the named relation (the zero RelStats
+// if the relation does not exist in the snapshot).
+func (ss StoreStats) Rel(name string) RelStats { return ss.Relations[name] }
+
+// statsCache is the store-level statistics snapshot, guarded by its own
+// mutex so concurrent readers (engines planning queries in parallel)
+// can share one snapshot without racing on the lazy rebuild.
+type statsCache struct {
+	mu        sync.Mutex
+	snap      *StoreStats
+	refreshes uint64
+}
+
+// Stats returns a statistics snapshot for the store's current version,
+// recomputing it only when the store has been mutated since the last
+// snapshot (Store.Version advanced). The returned value is shared and
+// must be treated as read-only.
+func (s *Store) Stats() StoreStats {
+	s.statsCache.mu.Lock()
+	defer s.statsCache.mu.Unlock()
+	v := s.Version()
+	if s.statsCache.snap != nil && s.statsCache.snap.Version == v {
+		return *s.statsCache.snap
+	}
+	snap := StoreStats{Version: v, Relations: make(map[string]RelStats, len(s.rels))}
+	for _, name := range s.relNames {
+		snap.Relations[name] = s.rels[name].Stats()
+	}
+	s.statsCache.snap = &snap
+	s.statsCache.refreshes++
+	return snap
+}
+
+// StatsRefreshes reports how many times the store-level statistics
+// snapshot has been rebuilt (i.e. how often Stats found its cache stale).
+func (s *Store) StatsRefreshes() uint64 {
+	s.statsCache.mu.Lock()
+	defer s.statsCache.mu.Unlock()
+	return s.statsCache.refreshes
+}

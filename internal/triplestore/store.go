@@ -16,6 +16,8 @@ type Store struct {
 	relNames []string
 	values   []Value
 	version  uint64
+
+	statsCache statsCache // lazily computed statistics snapshot (stats.go)
 }
 
 // NewStore returns an empty triplestore.
