@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func doReq(t *testing.T, method, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	// HEAD responses carry the JSON content-type but no body.
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") && len(raw) > 0 {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp, out
+}
+
+// TestIngestSmoke is the end-to-end ingest smoke test: POST triples,
+// then query and see them; DELETE one, and see it gone.
+func TestIngestSmoke(t *testing.T) {
+	srv, ts := testServer(t)
+	before := srv.store.Size()
+
+	// Single-object body.
+	resp, out := doReq(t, http.MethodPost, ts.URL+"/triples",
+		`{"s":"NewTown","p":"Shiny Rail","o":"Edinburgh"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /triples status %d", resp.StatusCode)
+	}
+	if out["added"] != float64(1) || out["removed"] != float64(0) {
+		t.Errorf("single insert response: %v", out)
+	}
+
+	// NDJSON bulk body, with an explicit rel and a delete op inline.
+	resp, out = doReq(t, http.MethodPost, ts.URL+"/triples",
+		`{"s":"NewTown","p":"Shiny Rail","o":"Glasgow"}
+{"rel":"E","s":"Glasgow","p":"Shiny Rail","o":"NewTown"}
+{"op":"delete","s":"NewTown","p":"Shiny Rail","o":"Edinburgh"}
+`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk POST status %d", resp.StatusCode)
+	}
+	if out["added"] != float64(2) || out["removed"] != float64(1) {
+		t.Errorf("bulk response: %v", out)
+	}
+	if got := srv.store.Size(); got != before+2 {
+		t.Errorf("store size = %d, want %d", got, before+2)
+	}
+
+	// The query path must reflect the ingest (snapshot refresh + plan
+	// cache invalidation), through the engine, not just the store.
+	_, body := get(t, ts.URL+"/query?q=E")
+	if !strings.Contains(body, "NewTown\tShiny Rail\tGlasgow") {
+		t.Errorf("query does not reflect ingested triple:\n%s", body)
+	}
+	if strings.Contains(body, "NewTown\tShiny Rail\tEdinburgh") {
+		t.Errorf("query still shows deleted triple:\n%s", body)
+	}
+
+	// DELETE /triples forces deletion regardless of per-line op.
+	resp, out = doReq(t, http.MethodDelete, ts.URL+"/triples",
+		`{"s":"NewTown","p":"Shiny Rail","o":"Glasgow"}`)
+	if resp.StatusCode != http.StatusOK || out["removed"] != float64(1) {
+		t.Fatalf("DELETE status %d response %v", resp.StatusCode, out)
+	}
+	_, body = get(t, ts.URL+"/query?q=E")
+	if strings.Contains(body, "NewTown\tShiny Rail\tGlasgow") {
+		t.Errorf("query still shows triple deleted via DELETE:\n%s", body)
+	}
+
+	// Ingest counters surface on /stats.
+	_, stats := doReq(t, http.MethodGet, ts.URL+"/stats", "")
+	ingest, ok := stats["ingest"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no ingest section: %v", stats)
+	}
+	if ingest["batches"] != float64(3) || ingest["added"] != float64(3) || ingest["removed"] != float64(2) {
+		t.Errorf("ingest counters = %v", ingest)
+	}
+	if _, ok := stats["store_mutations"].(map[string]any); !ok {
+		t.Errorf("/stats has no store_mutations section: %v", stats)
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	_, ts := testServer(t)
+	for name, tc := range map[string]struct {
+		method, body string
+		status       int
+	}{
+		"bad method":    {http.MethodGet, "", http.StatusMethodNotAllowed},
+		"empty body":    {http.MethodPost, "", http.StatusBadRequest},
+		"malformed":     {http.MethodPost, `{"s":`, http.StatusBadRequest},
+		"missing field": {http.MethodPost, `{"s":"a","p":"b"}`, http.StatusBadRequest},
+		"unknown op":    {http.MethodPost, `{"op":"merge","s":"a","p":"b","o":"c"}`, http.StatusBadRequest},
+	} {
+		resp, _ := doReq(t, tc.method, ts.URL+"/triples", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, tc.status)
+		}
+	}
+	// A body over the ingest cap is rejected with 413, not buffered.
+	line := `{"s":"` + strings.Repeat("x", 1<<20) + `","p":"p","o":"o"}` + "\n"
+	huge := strings.Repeat(line, maxIngestBody/len(line)+2)
+	resp, _ := doReq(t, http.MethodPost, ts.URL+"/triples", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestMethodChecks(t *testing.T) {
+	_, ts := testServer(t)
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodDelete, "/query"},
+		{http.MethodPost, "/explain"},
+		{http.MethodPost, "/stats"},
+		{http.MethodPost, "/healthz"},
+	} {
+		resp, _ := doReq(t, tc.method, ts.URL+tc.path, "q=E")
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if resp.Header.Get("Allow") == "" {
+			t.Errorf("%s %s: missing Allow header", tc.method, tc.path)
+		}
+	}
+	// HEAD rides along with GET: health probes must keep working.
+	for _, path := range []string{"/healthz", "/stats", "/query?q=E"} {
+		resp, _ := doReq(t, http.MethodHead, ts.URL+path, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("HEAD %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestConcurrentIngestAndQuery is the acceptance race test: concurrent
+// POST /triples batches against concurrent /query requests. Every query
+// must observe a consistent snapshot — the scan size always sits on a
+// batch boundary because a batch advances the version once — and a query
+// after all ingest completes reflects every new triple.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	srv, ts := testServer(t)
+	base := srv.store.Size()
+	const nWriters, nBatches, batchSize = 2, 12, 4
+
+	var wg sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < nBatches; b++ {
+				var sb strings.Builder
+				for i := 0; i < batchSize; i++ {
+					fmt.Fprintf(&sb, "{\"s\":\"w%d-b%d-%d\",\"p\":\"ingest\",\"o\":\"w%d-b%d-%d\"}\n",
+						w, b, i, w, b, i+1)
+				}
+				resp, out := doReq(t, http.MethodPost, ts.URL+"/triples", sb.String())
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("ingest status %d", resp.StatusCode)
+					return
+				}
+				if out["added"] != float64(batchSize) {
+					t.Errorf("batch added %v, want %d", out["added"], batchSize)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				resp, body := get(t, ts.URL+"/query?q=E")
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query status %d: %s", resp.StatusCode, body)
+					return
+				}
+				n, err := strconv.Atoi(resp.Header.Get("X-Trial-Result-Size"))
+				if err != nil {
+					t.Errorf("bad result-size header: %v", err)
+					return
+				}
+				if extra := n - base; extra < 0 || extra%batchSize != 0 {
+					t.Errorf("scan saw %d triples: not on a batch boundary (base %d, batch %d)",
+						n, base, batchSize)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	resp, _ := get(t, ts.URL+"/query?q=E")
+	n, err := strconv.Atoi(resp.Header.Get("X-Trial-Result-Size"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base + nWriters*nBatches*batchSize; n != want {
+		t.Errorf("final scan = %d triples, want %d", n, want)
+	}
+	// And a recursive query over the ingested chain works end to end.
+	resp, body := get(t, ts.URL+"/query?lang=rpq&q=ingest%2B&limit=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("rpq over ingested data: status %d: %s", resp.StatusCode, body)
+	}
+}

@@ -2,9 +2,12 @@
 // unified query layer (TriAL*, nSPARQL, RPQ, NRE, GXPath), compiling
 // them through internal/query and evaluating them with the
 // internal/engine execution engine (indexed joins, parallel probes,
-// semi-naive stars) over a store loaded once at startup. Compiled
-// physical plans are cached per (language, source) in an LRU, so
-// repeated queries skip parse and plan entirely.
+// semi-naive stars). The store is loaded at startup and mutable at
+// runtime: /triples ingests (and deletes) triples in batches, each batch
+// advancing the store version once, while in-flight queries keep reading
+// their own immutable snapshot. Compiled physical plans are cached per
+// (language, source, store version) in an LRU; plans for dead versions
+// are swept as ingest advances the version.
 //
 // Usage:
 //
@@ -23,8 +26,14 @@
 //	    &explain=1             prepend the physical plan as comments
 //	                           (text format only)
 //	POST /query                body is the expression (same parameters)
+//	POST /triples              ingest triples: a single JSON object
+//	                           {"s":..,"p":..,"o":..[,"rel":..]} or an
+//	                           NDJSON stream of them (one per line; an
+//	                           optional "op":"delete" deletes instead);
+//	                           applied as one atomic batch
+//	DELETE /triples            same body formats; every line deletes
 //	GET /explain?q=EXPR&lang=L the physical plan only
-//	GET /stats                 store, runtime and plan-cache counters
+//	GET /stats                 store, runtime, ingest and plan-cache counters
 //	GET /healthz               liveness probe
 //
 // The full result size is reported in the X-Trial-Result-Size response
@@ -112,15 +121,25 @@ func buildStore(data, rel, fixture string, n int) (*triplestore.Store, string, e
 	return nil, "", fmt.Errorf("unknown -fixture %q", fixture)
 }
 
-// server holds the immutable store and the query layer shared by all
-// requests.
+// maxIngestBody bounds a /triples request body (NDJSON batch): 32 MiB,
+// enough for ~hundred-thousand-triple batches while keeping a single
+// request from exhausting memory.
+const maxIngestBody = 32 << 20
+
+// server holds the live store and the query layer shared by all
+// requests. Queries snapshot the store per version; ingest mutates it
+// through batched store methods, so the two sides never block each other
+// beyond the store's internal writer lock.
 type server struct {
-	store   *triplestore.Store
-	q       *query.Querier
-	workers int
-	mux     *http.ServeMux
-	start   time.Time
-	nQuery  atomic.Int64
+	store    *triplestore.Store
+	q        *query.Querier
+	workers  int
+	mux      *http.ServeMux
+	start    time.Time
+	nQuery   atomic.Int64
+	nBatches atomic.Int64
+	nAdded   atomic.Int64
+	nRemoved atomic.Int64
 }
 
 func newServer(store *triplestore.Store, workers int, rel string, cacheSize int) *server {
@@ -138,11 +157,28 @@ func newServer(store *triplestore.Store, workers int, rel string, cacheSize int)
 		start:   time.Now(),
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/explain", s.handleExplain)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/query", methods(s.handleQuery, http.MethodGet, http.MethodPost))
+	s.mux.HandleFunc("/triples", methods(s.handleTriples, http.MethodPost, http.MethodDelete))
+	s.mux.HandleFunc("/explain", methods(s.handleExplain, http.MethodGet))
+	s.mux.HandleFunc("/stats", methods(s.handleStats, http.MethodGet))
+	s.mux.HandleFunc("/healthz", methods(s.handleHealthz, http.MethodGet))
 	return s
+}
+
+// methods wraps a handler with an allowed-method check, answering 405
+// (with an Allow header) otherwise. HEAD rides along wherever GET is
+// allowed (net/http discards the body), so health probes keep working.
+func methods(h http.HandlerFunc, allowed ...string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for _, m := range allowed {
+			if r.Method == m || (r.Method == http.MethodHead && m == http.MethodGet) {
+				h(w, r)
+				return
+			}
+		}
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -154,13 +190,16 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, `trialserver — unified query engine over HTTP
 
-GET  /query?q=EXPR[&lang=trial|nsparql|rpq|nre|gxpath][&limit=N][&format=text|json][&explain=1]
-POST /query            (expression in the body)
-GET  /explain?q=EXPR[&lang=L]
-GET  /stats
-GET  /healthz
+GET    /query?q=EXPR[&lang=trial|nsparql|rpq|nre|gxpath][&limit=N][&format=text|json][&explain=1]
+POST   /query            (expression in the body)
+POST   /triples          ingest: {"s":..,"p":..,"o":..[,"rel":..][,"op":"delete"]} or NDJSON stream (one batch)
+DELETE /triples          same formats, every line deletes
+GET    /explain?q=EXPR[&lang=L]
+GET    /stats
+GET    /healthz
 
 Every language compiles to TriAL* and runs on the parallel engine.
+Queries read immutable snapshots; ingest batches advance the store version once each.
 Examples: /query?q=join[1,3',3; 2=1'](E, E)
           /query?lang=rpq&q=a*
           /query?lang=gxpath&q=[<a>].b
@@ -287,6 +326,67 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// capTrackReader remembers whether the underlying http.MaxBytesReader
+// tripped its limit: the NDJSON scanner reports the truncated final line
+// as a parse error first, so the handler needs the flag (not the
+// returned error) to answer 413 rather than 400.
+type capTrackReader struct {
+	r   io.Reader
+	hit bool
+}
+
+func (c *capTrackReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		c.hit = true
+	}
+	return n, err
+}
+
+// handleTriples ingests mutations: POST applies the body's ops (adds by
+// default, per-line "op":"delete" honored), DELETE forces every line to
+// be a deletion. The body is a single JSON object or an NDJSON stream,
+// applied as ONE batch: the store version advances at most once, queries
+// racing the ingest see either the whole batch or none of it.
+func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
+	body := &capTrackReader{r: http.MaxBytesReader(w, r.Body, maxIngestBody)}
+	ops, err := triplestore.ReadOps(body, s.q.Relation())
+	if err != nil {
+		status := http.StatusBadRequest
+		if body.hit {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if len(ops) == 0 {
+		http.Error(w, "empty batch: body must hold at least one JSON triple", http.StatusBadRequest)
+		return
+	}
+	if r.Method == http.MethodDelete {
+		for i := range ops {
+			ops[i].Delete = true
+		}
+	}
+	res, err := s.store.ApplyBatch(ops)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.nBatches.Add(1)
+	s.nAdded.Add(int64(res.Added))
+	s.nRemoved.Add(int64(res.Removed))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"added":   res.Added,
+		"removed": res.Removed,
+		"version": res.Version,
+		"objects": s.store.NumObjects(),
+		"triples": s.store.Size(),
+	})
+}
+
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	q, err := readQuery(r)
 	if err != nil {
@@ -328,6 +428,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"refreshes": s.store.StatsRefreshes(),
 			"version":   s.store.Version(),
 		},
+		// Ingest counters: what arrived through /triples (batches and
+		// the triples they actually changed) ...
+		"ingest": map[string]any{
+			"batches": s.nBatches.Load(),
+			"added":   s.nAdded.Load(),
+			"removed": s.nRemoved.Load(),
+		},
+		// ... and the store's own lifetime mutation counters, which also
+		// cover writes not made through HTTP (initial load, snapshots).
+		"store_mutations": s.store.MutationStats(),
 	})
 }
 

@@ -32,6 +32,14 @@
 // Prepare returns a reusable compiled plan carrying the optimizer's
 // rewrite trace; Explain renders the trace and the chosen physical plan.
 //
+// An engine expects its store view to hold still: build it over a
+// triplestore Snapshot (what internal/query does, so concurrent ingest
+// through the store's mutation methods never races a running query), or
+// over a live store that is only mutated between queries — compiled
+// plans bind relation access paths at plan time, and the version-keyed
+// caches above the engine (plans, statistics, the universal relation)
+// refresh per store version.
+//
 // The engine computes exactly the relations defined in §3 of the paper —
 // differential tests assert identity with trial.Evaluator on every
 // fixture and on random expressions — it just gets there faster.

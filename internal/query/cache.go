@@ -64,3 +64,20 @@ func (c *lruCache) put(key planKey, p *engine.Prepared) (evicted bool) {
 	c.entries[key] = c.order.PushFront(&lruEntry{key: key, plan: p})
 	return evicted
 }
+
+// sweep removes every entry whose store version differs from live —
+// versions are never revisited, so those plans can never hit again — and
+// returns how many were removed.
+func (c *lruCache) sweep(live uint64) int {
+	removed := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*lruEntry); e.key.version != live {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			removed++
+		}
+		el = next
+	}
+	return removed
+}

@@ -1,0 +1,150 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/genstore"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// TestPlanCacheInvalidationAcrossVersions pins the stale-sweep contract:
+// plans cached for a store version that died are removed on the next
+// miss (counted in StaleEvictions), not retained until capacity
+// eviction, and post-mutation queries reflect the new data.
+func TestPlanCacheInvalidationAcrossVersions(t *testing.T) {
+	s := genstore.Chain(6, 1)
+	q := New(s, WithRelation(genstore.RelE))
+	queries := []string{"E", "join[1,3',3; 2=1'](E, E)", "join[1,1,3'; 3=1'](E, E)*"}
+	for _, src := range queries {
+		if _, err := q.Query(LangTriAL, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := q.Stats(); st.Size != len(queries) || st.StaleEvictions != 0 {
+		t.Fatalf("warm cache: %+v", st)
+	}
+	before, err := q.Query(LangTriAL, "E")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Add(genstore.RelE, "z0", "a", "z1")
+
+	after, err := q.Query(LangTriAL, "E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Len() != before.Len()+1 {
+		t.Errorf("post-mutation query returned %d triples, want %d", after.Len(), before.Len()+1)
+	}
+	st := q.Stats()
+	if st.StaleEvictions != uint64(len(queries)) {
+		t.Errorf("StaleEvictions = %d, want %d (all pre-mutation plans)", st.StaleEvictions, len(queries))
+	}
+	if st.Size != 1 {
+		t.Errorf("cache Size = %d after sweep, want 1", st.Size)
+	}
+}
+
+// TestBulkIngestDuringEvaluate runs ApplyBatch batches against a Querier
+// serving concurrent queries (run with -race). Because batches advance
+// the version once and queries evaluate against snapshots, every scan
+// must observe a batch boundary: base size plus a multiple of the batch
+// size.
+func TestBulkIngestDuringEvaluate(t *testing.T) {
+	const batchSize, nBatches = 5, 24
+	s := triplestore.NewStore()
+	s.Add("E", "a", "p", "b")
+	base := s.Size()
+	q := New(s, WithRelation("E"))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < nBatches; b++ {
+			ops := make([]triplestore.Op, batchSize)
+			for i := range ops {
+				ops[i] = triplestore.Op{Rel: "E", S: fmt.Sprintf("s%d-%d", b, i), P: "p", O: "b"}
+			}
+			if _, err := s.ApplyBatch(ops); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := q.Query(LangTriAL, "E")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if extra := res.Len() - base; extra < 0 || extra%batchSize != 0 {
+					t.Errorf("scan saw %d triples: not on a batch boundary (base %d, batch %d)",
+						res.Len(), base, batchSize)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res, err := q.Query(LangTriAL, "E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base + batchSize*nBatches; res.Len() != want {
+		t.Errorf("final scan = %d triples, want %d", res.Len(), want)
+	}
+}
+
+// TestDifferentialOnMutatedStore pins the query façade to the reference
+// Evaluator after interleaved single writes, batches and deletions.
+func TestDifferentialOnMutatedStore(t *testing.T) {
+	s := genstore.Chain(8, 2)
+	q := New(s, WithRelation(genstore.RelE))
+	srcs := []string{"E", "join[1,3',3; 2=1'](E, E)", "join[1,1,3'; 3=1'](E, E)*"}
+
+	check := func(label string) {
+		t.Helper()
+		for _, src := range srcs {
+			x, err := trial.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := trial.NewEvaluator(s).Eval(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := q.Query(LangTriAL, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gw, gg := s.FormatRelation(want), s.FormatRelation(got); gw != gg {
+				t.Errorf("%s: %q diverges:\nevaluator:\n%squerier:\n%s", label, src, gw, gg)
+			}
+		}
+	}
+
+	check("initial")
+	s.Add(genstore.RelE, "x1", "a", "x2")
+	check("after add")
+	if _, err := s.ApplyBatch([]triplestore.Op{
+		{Rel: genstore.RelE, S: "x2", P: "a", O: "x3"},
+		{Rel: genstore.RelE, S: "x3", P: "b", O: "x1"},
+		{Delete: true, Rel: genstore.RelE, S: "x1", P: "a", O: "x2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check("after batch")
+	s.Remove(genstore.RelE, "x3", "b", "x1")
+	check("after remove")
+}

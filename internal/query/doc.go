@@ -22,4 +22,10 @@
 // repeated query skips parsing, translation, optimization and planning
 // entirely — the cache is what makes the façade cheap enough to sit on
 // the server's hot path.
+//
+// The Querier is safe to use while the store is being mutated through
+// the store's own methods: each query runs against an immutable
+// Snapshot of the store's current version (one engine per version,
+// refreshed lazily), and plans cached for versions that died are swept
+// out of the LRU on the next miss, counted in CacheStats.StaleEvictions.
 package query

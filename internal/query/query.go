@@ -61,13 +61,19 @@ func ParseLang(s string) (Lang, error) {
 }
 
 // Querier routes queries in every supported language through one engine.
-// It is safe for concurrent use under the engine's contract that the
-// store is not mutated while queries run.
+// It is safe for concurrent use even while the store is being mutated
+// through the store's own methods: every query is compiled and executed
+// against an immutable Snapshot of the store's current version, so
+// readers never observe a half-applied batch, and plans cached for dead
+// versions are swept out of the LRU as the version advances.
 type Querier struct {
-	eng *engine.Engine
-	rel string
+	store   *triplestore.Store
+	rel     string
+	engOpts []engine.Option
 
 	mu       sync.Mutex
+	eng      *engine.Engine // engine over the snapshot at engVer; nil until first use
+	engVer   uint64
 	cache    *lruCache
 	stats    CacheStats
 	rewrites RewriteStats
@@ -112,16 +118,40 @@ func New(s *triplestore.Store, opts ...Option) *Querier {
 		o(&cfg)
 	}
 	q := &Querier{
-		eng:   engine.New(s, cfg.engOpts...),
-		rel:   cfg.rel,
-		cache: newLRUCache(cfg.cacheSize),
+		store:   s,
+		rel:     cfg.rel,
+		engOpts: cfg.engOpts,
+		cache:   newLRUCache(cfg.cacheSize),
 	}
 	q.stats.Capacity = cfg.cacheSize
 	return q
 }
 
-// Engine returns the underlying execution engine.
-func (q *Querier) Engine() *engine.Engine { return q.eng }
+// Engine returns the execution engine for the store's current version.
+// The engine is bound to an immutable Snapshot of the store; once the
+// store is mutated, a later Engine (or Query) call returns a fresh
+// engine over a fresh snapshot.
+func (q *Querier) Engine() *engine.Engine {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.engineLocked()
+}
+
+// engineLocked returns the engine over the store's current version,
+// re-snapshotting (and sweeping plans cached for dead versions) when the
+// live store has moved on. Callers hold q.mu.
+func (q *Querier) engineLocked() *engine.Engine {
+	if v := q.store.Version(); q.eng == nil || q.engVer != v {
+		snap := q.store.Snapshot()
+		q.eng = engine.New(snap, q.engOpts...)
+		q.engVer = snap.Version()
+		q.stats.StaleEvictions += uint64(q.cache.sweep(q.engVer))
+	}
+	return q.eng
+}
+
+// Store returns the live store the Querier snapshots from.
+func (q *Querier) Store() *triplestore.Store { return q.store }
 
 // Relation returns the relation name queries are compiled against.
 func (q *Querier) Relation() string { return q.rel }
@@ -178,7 +208,7 @@ func (q *Querier) Query(lang Lang, source string) (*triplestore.Relation, error)
 // can only come from a LangTriAL expression that does not follow the
 // convention.
 func (q *Querier) Pairs(r *triplestore.Relation) ([][2]string, error) {
-	s := q.eng.Store()
+	s := q.store
 	out := make([][2]string, 0, r.Len())
 	for _, t := range r.Triples() {
 		if t[0] != t[1] {
@@ -216,13 +246,18 @@ func (e *CompileError) Error() string { return e.Err.Error() }
 // Unwrap exposes the underlying parser or translator error.
 func (e *CompileError) Unwrap() error { return e.Err }
 
-// CacheStats are counters for the plan cache.
+// CacheStats are counters for the plan cache. Evictions counts plans
+// pushed out by capacity pressure; StaleEvictions counts plans swept
+// because their store version died (the store was mutated), which
+// happens eagerly on the first miss after a version change rather than
+// waiting for capacity eviction.
 type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Size      int    `json:"size"`
-	Capacity  int    `json:"capacity"`
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Evictions      uint64 `json:"evictions"`
+	StaleEvictions uint64 `json:"stale_evictions"`
+	Size           int    `json:"size"`
+	Capacity       int    `json:"capacity"`
 }
 
 // Stats returns a snapshot of the plan-cache counters.
@@ -280,9 +315,11 @@ func (q *Querier) recordTrace(tr *optimizer.Trace) {
 // planKey identifies a compiled plan: same language, source text and
 // relation against the same snapshot of the store, compiled by the same
 // optimizer rule set. The store-version component makes plans compiled
-// before a store mutation unreachable (they age out of the LRU) rather
-// than silently stale; the optimizer-version component does the same
-// across rule-set upgrades.
+// before a store mutation unreachable — and the Querier sweeps such
+// dead-version entries out eagerly on the first miss after the version
+// advances, rather than letting them squat in the LRU until capacity
+// eviction; the optimizer-version component does the same across
+// rule-set upgrades.
 type planKey struct {
 	lang       Lang
 	source     string
@@ -292,15 +329,18 @@ type planKey struct {
 }
 
 // prepare returns the cached plan for (lang, source) or compiles and
-// caches a new one.
+// caches a new one. Compilation runs against the engine for the store
+// version current at entry; a query racing a mutation is therefore
+// pinned to one consistent snapshot for its whole compile-and-execute
+// lifetime, even if the live store moves on underneath it.
 func (q *Querier) prepare(lang Lang, source string) (*engine.Prepared, error) {
+	q.mu.Lock()
+	eng := q.engineLocked()
 	key := planKey{
 		lang: lang, source: source, rel: q.rel,
-		version:    q.eng.Store().Version(),
+		version:    eng.Store().Version(),
 		optVersion: optimizer.Version,
 	}
-
-	q.mu.Lock()
 	if p, ok := q.cache.get(key); ok {
 		q.stats.Hits++
 		q.mu.Unlock()
@@ -316,7 +356,7 @@ func (q *Querier) prepare(lang Lang, source string) (*engine.Prepared, error) {
 	// Planning errors (unknown relations, malformed conditions) are not
 	// CompileErrors: the reference Evaluator rejects them at evaluation
 	// time, and the HTTP server's status split follows that parity.
-	p, err := q.eng.Prepare(x)
+	p, err := eng.Prepare(x)
 	if err != nil {
 		return nil, err
 	}
@@ -330,8 +370,14 @@ func (q *Querier) prepare(lang Lang, source string) (*engine.Prepared, error) {
 		q.mu.Unlock()
 		return prev, nil
 	}
-	if q.cache.put(key, p) {
-		q.stats.Evictions++
+	// Only cache the plan while its version is still the live one; a
+	// mutation that landed during compilation has already made it dead.
+	// (No sweep needed here: engineLocked already swept the cache down
+	// to engVer entries when the version last advanced.)
+	if key.version == q.engVer {
+		if q.cache.put(key, p) {
+			q.stats.Evictions++
+		}
 	}
 	q.mu.Unlock()
 	return p, nil

@@ -269,8 +269,21 @@ func TestOptions(t *testing.T) {
 	if q.Relation() != genstore.RelE {
 		t.Errorf("Relation = %q", q.Relation())
 	}
-	if q.Engine() == nil || q.Engine().Store() != s {
-		t.Error("Engine not wired to the store")
+	if q.Store() != s {
+		t.Error("Store not wired to the live store")
+	}
+	// The engine evaluates against an immutable snapshot of the store's
+	// current version, not the live store itself.
+	eng := q.Engine()
+	if eng == nil || !eng.Store().IsSnapshot() || eng.Store().Version() != s.Version() {
+		t.Error("Engine not bound to a snapshot of the current version")
+	}
+	if q.Engine() != eng {
+		t.Error("Engine rebuilt although the store version did not change")
+	}
+	s.Add(genstore.RelE, "x", "a", "y")
+	if q.Engine() == eng {
+		t.Error("Engine not refreshed after a store mutation")
 	}
 	// Unknown relation surfaces the engine's error.
 	q2 := New(s, WithRelation("missing"))

@@ -1,0 +1,155 @@
+package triplestore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Op is one mutation of a batch: inserting or deleting a single triple of
+// a named relation. The zero Op with the three object names set is an
+// insert.
+type Op struct {
+	// Delete removes the triple instead of inserting it.
+	Delete bool
+	// Rel names the target relation. ReadOps fills it with its default
+	// when a line omits it; ApplyBatch requires it to be non-empty.
+	Rel string
+	// S, P, O are the triple's object names.
+	S, P, O string
+}
+
+// BatchResult summarizes one ApplyBatch call.
+type BatchResult struct {
+	// Added and Removed count triples actually inserted and deleted;
+	// duplicate inserts and absent deletes are no-ops.
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+	// Version is the store version after the batch.
+	Version uint64 `json:"version"`
+}
+
+// ApplyBatch applies the ops as one atomic batch: writers and snapshots
+// are excluded for its duration, and the version advances at most once —
+// per batch, not per op — so version-keyed caches (statistics, plans, the
+// engine's universe) are invalidated once however large the ingest. Ops
+// with an empty relation name are rejected. A batch that changes nothing
+// (all duplicates and absent deletes) leaves the version untouched.
+func (s *Store) ApplyBatch(ops []Op) (BatchResult, error) {
+	s.ensureMutable()
+	for i, op := range ops {
+		if op.Rel == "" {
+			return BatchResult{}, fmt.Errorf("triplestore: batch op %d: empty relation name", i)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res BatchResult
+	changed := false
+	for _, op := range ops {
+		if op.Delete {
+			si, pi, oi := s.dict.Lookup(op.S), s.dict.Lookup(op.P), s.dict.Lookup(op.O)
+			if si == NoID || pi == NoID || oi == NoID {
+				continue
+			}
+			t := Triple{si, pi, oi}
+			r, ok := s.rels[op.Rel]
+			if !ok || !r.Has(t) {
+				continue
+			}
+			s.mutableRelLocked(op.Rel).Remove(t)
+			res.Removed++
+			changed = true
+			continue
+		}
+		si, new1 := s.internLocked(op.S)
+		pi, new2 := s.internLocked(op.P)
+		oi, new3 := s.internLocked(op.O)
+		changed = changed || new1 || new2 || new3
+		t := Triple{si, pi, oi}
+		if r, ok := s.rels[op.Rel]; ok && r.Has(t) {
+			continue // duplicate: don't copy-on-write a frozen relation
+		}
+		if s.mutableRelLocked(op.Rel).Add(t) {
+			res.Added++
+			changed = true
+		}
+	}
+	if changed {
+		s.bumpVersion()
+	}
+	s.adds.Add(uint64(res.Added))
+	s.removes.Add(uint64(res.Removed))
+	s.batches.Add(1)
+	res.Version = s.version.Load()
+	return res, nil
+}
+
+// batchLine is the NDJSON wire form of an Op.
+type batchLine struct {
+	Op  string `json:"op,omitempty"` // "", "add" or "delete"
+	Rel string `json:"rel,omitempty"`
+	S   string `json:"s"`
+	P   string `json:"p"`
+	O   string `json:"o"`
+}
+
+// ReadOps parses a batch of mutations from NDJSON: one JSON object per
+// line, {"s":..,"p":..,"o":..} plus optional "rel" (defaulting to
+// defaultRel) and optional "op" ("add", the default, or "delete"). Blank
+// lines are skipped. A single JSON object without a trailing newline is
+// a valid one-op batch, so callers can feed single-triple request bodies
+// through the same path as bulk loads.
+func ReadOps(r io.Reader, defaultRel string) ([]Op, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var ops []Op
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var bl batchLine
+		if err := json.Unmarshal([]byte(text), &bl); err != nil {
+			return nil, fmt.Errorf("triplestore: batch line %d: %v", line, err)
+		}
+		op := Op{Rel: bl.Rel, S: bl.S, P: bl.P, O: bl.O}
+		switch bl.Op {
+		case "", "add":
+		case "delete":
+			op.Delete = true
+		default:
+			return nil, fmt.Errorf("triplestore: batch line %d: unknown op %q (want add or delete)", line, bl.Op)
+		}
+		if op.S == "" || op.P == "" || op.O == "" {
+			return nil, fmt.Errorf("triplestore: batch line %d: s, p and o must all be non-empty", line)
+		}
+		if op.Rel == "" {
+			op.Rel = defaultRel
+		}
+		if op.Rel == "" {
+			return nil, fmt.Errorf("triplestore: batch line %d: no relation (no rel field and no default)", line)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		// %w so callers can classify transport-level causes (e.g. an
+		// http.MaxBytesError from a capped request body).
+		return nil, fmt.Errorf("triplestore: reading batch: %w", err)
+	}
+	return ops, nil
+}
+
+// ApplyNDJSON reads a batch from r (ReadOps format) and applies it as one
+// ApplyBatch call.
+func (s *Store) ApplyNDJSON(r io.Reader, defaultRel string) (BatchResult, error) {
+	ops, err := ReadOps(r, defaultRel)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return s.ApplyBatch(ops)
+}

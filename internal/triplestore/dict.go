@@ -1,9 +1,18 @@
 package triplestore
 
+import "sync"
+
 // Dict interns object names to dense IDs. It is the dictionary-encoding
 // layer common to triplestore implementations: every URI or node name is
 // mapped to a small integer once, and all relations work over integers.
+//
+// A Dict is append-only — an ID, once assigned, never changes its name —
+// and internally synchronized, so it can be shared between a live Store
+// and any number of Snapshot views: writers interning new names do not
+// disturb readers resolving old ones. Snapshots bound the visible ID
+// range themselves (Store.NumObjects, Store.Lookup).
 type Dict struct {
+	mu     sync.RWMutex
 	byName map[string]ID
 	names  []string
 }
@@ -15,17 +24,34 @@ func NewDict() *Dict {
 
 // Intern returns the ID for name, assigning a fresh one if necessary.
 func (d *Dict) Intern(name string) ID {
-	if id, ok := d.byName[name]; ok {
-		return id
+	id, _ := d.intern(name)
+	return id
+}
+
+// intern is Intern plus a report of whether the name was new — the store
+// uses it to advance its version only on actual growth.
+func (d *Dict) intern(name string) (ID, bool) {
+	d.mu.RLock()
+	id, ok := d.byName[name]
+	d.mu.RUnlock()
+	if ok {
+		return id, false
 	}
-	id := ID(len(d.names))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byName[name]; ok {
+		return id, false
+	}
+	id = ID(len(d.names))
 	d.byName[name] = id
 	d.names = append(d.names, name)
-	return id
+	return id, true
 }
 
 // Lookup returns the ID for name, or NoID if it has not been interned.
 func (d *Dict) Lookup(name string) ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id, ok := d.byName[name]; ok {
 		return id
 	}
@@ -33,11 +59,24 @@ func (d *Dict) Lookup(name string) ID {
 }
 
 // Name returns the name interned under id. It panics if id is out of range.
-func (d *Dict) Name(id ID) string { return d.names[id] }
+func (d *Dict) Name(id ID) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.names[id]
+}
 
 // Len returns the number of interned objects.
-func (d *Dict) Len() int { return len(d.names) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.names)
+}
 
-// Names returns the interned names in ID order. The returned slice is
-// shared with the dictionary and must not be modified.
-func (d *Dict) Names() []string { return d.names }
+// Names returns the interned names in ID order. The returned slice must
+// not be modified; entries present at call time are stable, but the
+// dictionary may grow past them afterwards.
+func (d *Dict) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.names[:len(d.names):len(d.names)]
+}

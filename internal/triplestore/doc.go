@@ -7,4 +7,16 @@
 // Objects are interned to dense numeric IDs so that relations can be
 // stored compactly and the evaluation algorithms of the paper (which
 // assume an array representation, §5) can be implemented directly.
+//
+// The store is mutable under concurrent readers: mutations go through
+// Store methods (Add, Remove, SetValue, ApplyBatch, ...), which are
+// serialized internally and advance an atomic version counter, while
+// readers that need a consistent view evaluate against Store.Snapshot —
+// an immutable copy-on-write view whose relations are frozen and cloned
+// by the live store before its next write. ApplyBatch ingests NDJSON
+// batches (ReadOps) and advances the version once per batch, making the
+// batch the unit of visibility for concurrent queries. Already-built
+// permutation indexes are maintained incrementally on insertion (a
+// sorted overlay per Index, merged when it outgrows a threshold) rather
+// than rebuilt from scratch.
 package triplestore

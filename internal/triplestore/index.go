@@ -70,19 +70,29 @@ func (p Perm) String() string {
 	}
 }
 
-// Index is a materialized access path over a relation: all triples sorted
-// in one permutation order, supporting binary-search point lookups on the
-// permutation's leading position. Indexes are immutable snapshots; the
-// relation caches one per permutation and drops them on mutation.
+// maxIndexTail bounds the overlay of an incrementally maintained index:
+// once the tail outgrows it, the next insertion merges tail and base into
+// one sorted run. The bound keeps point lookups at two binary searches
+// over well-sized runs while amortizing the O(n) merge over many inserts.
+const maxIndexTail = 256
+
+// Index is a materialized access path over a relation: triples sorted in
+// one permutation order, supporting binary-search point lookups on the
+// permutation's leading position. An Index value is immutable — mutation
+// produces a new Index via withAdded, which appends into a small sorted
+// overlay (the tail) and merges it into the base run when it outgrows
+// maxIndexTail. Relations cache one Index per permutation, extend it
+// incrementally on Add, and drop it on Remove.
 type Index struct {
 	perm    Perm
-	triples []Triple // sorted by perm.key order
+	triples []Triple // base run, sorted by perm.key order
+	tail    []Triple // recent additions, also sorted by perm.key order
 }
 
 // BuildIndex materializes the access path for r in the given permutation.
 // Prefer Relation.Index, which caches.
 func BuildIndex(r *Relation, perm Perm) *Index {
-	ts := make([]Triple, 0, r.Len())
+	ts := make([]Triple, 0, len(r.set))
 	for t := range r.set {
 		ts = append(ts, t)
 	}
@@ -90,35 +100,104 @@ func BuildIndex(r *Relation, perm Perm) *Index {
 	return &Index{perm: perm, triples: ts}
 }
 
+// withAdded returns a new Index that additionally covers t (which must
+// not already be present). The receiver is not modified, so an Index
+// captured by a snapshot or an in-flight query stays consistent.
+func (ix *Index) withAdded(t Triple) *Index {
+	key := ix.perm.key(t)
+	pos := sort.Search(len(ix.tail), func(i int) bool { return !ix.perm.key(ix.tail[i]).Less(key) })
+	tail := make([]Triple, 0, len(ix.tail)+1)
+	tail = append(tail, ix.tail[:pos]...)
+	tail = append(tail, t)
+	tail = append(tail, ix.tail[pos:]...)
+	if len(tail) <= maxIndexTail {
+		return &Index{perm: ix.perm, triples: ix.triples, tail: tail}
+	}
+	// Overlay full: linear-merge the two sorted runs into a new base.
+	return &Index{perm: ix.perm, triples: mergeRuns(ix.perm, ix.triples, tail)}
+}
+
+// mergeRuns linearly merges two runs sorted in perm.key order.
+func mergeRuns(perm Perm, a, b []Triple) []Triple {
+	out := make([]Triple, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if perm.key(a[i]).Less(perm.key(b[j])) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
 // Perm returns the index's permutation order.
 func (ix *Index) Perm() Perm { return ix.perm }
 
 // Len returns the number of indexed triples.
-func (ix *Index) Len() int { return len(ix.triples) }
+func (ix *Index) Len() int { return len(ix.triples) + len(ix.tail) }
 
-// Triples returns all triples in permutation order. Callers must not
-// modify the returned slice.
-func (ix *Index) Triples() []Triple { return ix.triples }
-
-// Match returns the triples whose leading-position component equals id, as
-// a subslice of the index (do not modify). The lookup is O(log n) plus the
-// match count.
-func (ix *Index) Match(id ID) []Triple {
-	lead := ix.perm.Lead()
-	lo := sort.Search(len(ix.triples), func(i int) bool { return ix.triples[i][lead] >= id })
-	hi := lo
-	for hi < len(ix.triples) && ix.triples[hi][lead] == id {
-		hi++
+// Triples returns all indexed triples in permutation order. When the
+// index carries no overlay the base run is returned directly (do not
+// modify); otherwise base and tail are merged into a fresh slice.
+func (ix *Index) Triples() []Triple {
+	if len(ix.tail) == 0 {
+		return ix.triples
 	}
-	return ix.triples[lo:hi]
+	return mergeRuns(ix.perm, ix.triples, ix.tail)
 }
 
-// MatchCount returns len(Match(id)) without materializing anything extra.
-func (ix *Index) MatchCount(id ID) int { return len(ix.Match(id)) }
+// matchRun returns the subrange of the sorted run ts whose leading
+// component equals id.
+func matchRun(ts []Triple, lead int, id ID) []Triple {
+	lo := sort.Search(len(ts), func(i int) bool { return ts[i][lead] >= id })
+	hi := lo
+	for hi < len(ts) && ts[hi][lead] == id {
+		hi++
+	}
+	return ts[lo:hi]
+}
+
+// Match returns the triples whose leading-position component equals id.
+// When all matches live in the base run the result is a subslice of the
+// index (do not modify); matches spanning the overlay are concatenated
+// into a fresh slice. The lookup is O(log n) plus the match count.
+func (ix *Index) Match(id ID) []Triple {
+	lead := ix.perm.Lead()
+	base := matchRun(ix.triples, lead, id)
+	if len(ix.tail) == 0 {
+		return base
+	}
+	extra := matchRun(ix.tail, lead, id)
+	if len(extra) == 0 {
+		return base
+	}
+	if len(base) == 0 {
+		return extra
+	}
+	out := make([]Triple, 0, len(base)+len(extra))
+	out = append(out, base...)
+	out = append(out, extra...)
+	return out
+}
+
+// MatchCount returns len(Match(id)) without concatenating overlay matches.
+func (ix *Index) MatchCount(id ID) int {
+	lead := ix.perm.Lead()
+	n := len(matchRun(ix.triples, lead, id))
+	if len(ix.tail) > 0 {
+		n += len(matchRun(ix.tail, lead, id))
+	}
+	return n
+}
 
 // Index returns the relation's access path for the given permutation,
-// building and caching it on first use. The cache is invalidated by Add,
-// so repeated probes during a join or fixpoint pay the sort once.
+// building and caching it on first use. Store-mediated additions extend
+// the cached index incrementally (see Relation.Add); removals drop it.
 func (r *Relation) Index(perm Perm) *Index {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -11,10 +11,14 @@ import (
 //
 // A relation is safe for concurrent readers (Has, Triples, Index, ForEach,
 // ...): the lazily built sorted view and permutation indexes are guarded
-// by a mutex. Mutation (Add, AddAll) requires exclusive access, the same
-// contract the Evaluator already imposes on stores in use.
+// by a mutex. Mutation (Add, AddAll, Remove) requires exclusive access.
+// Store.Snapshot freezes its relations: a frozen relation rejects
+// mutation (panics), and the live store transparently clones it on the
+// next store-mediated write (copy-on-write), so snapshot readers never
+// observe a change.
 type Relation struct {
-	set map[Triple]struct{}
+	set    map[Triple]struct{}
+	frozen bool // set by Store.Snapshot; mutation panics, the store clones first
 
 	mu     sync.Mutex       // guards the lazy caches below
 	sorted []Triple         // cached sorted view; nil when stale
@@ -41,12 +45,39 @@ func RelationOf(ts ...Triple) *Relation {
 	return r
 }
 
-// Add inserts t and reports whether it was new.
+// Add inserts t and reports whether it was new. Permutation indexes that
+// have already been built are maintained incrementally (each gains t in
+// its sorted overlay) instead of being dropped for a full rebuild; the
+// sorted view and statistics are still invalidated.
 func (r *Relation) Add(t Triple) bool {
+	if r.frozen {
+		panic("triplestore: Add on a frozen (snapshot) relation")
+	}
 	if _, ok := r.set[t]; ok {
 		return false
 	}
 	r.set[t] = struct{}{}
+	r.sorted = nil
+	r.stats = nil
+	for p, ix := range r.idx {
+		if ix != nil {
+			r.idx[p] = ix.withAdded(t)
+		}
+	}
+	return true
+}
+
+// Remove deletes t and reports whether it was present. Unlike Add,
+// removal invalidates the permutation indexes (the overlay handles
+// additions only); the next probe rebuilds them.
+func (r *Relation) Remove(t Triple) bool {
+	if r.frozen {
+		panic("triplestore: Remove on a frozen (snapshot) relation")
+	}
+	if _, ok := r.set[t]; !ok {
+		return false
+	}
+	delete(r.set, t)
 	r.sorted = nil
 	r.idx = [numPerms]*Index{}
 	r.stats = nil
@@ -103,9 +134,11 @@ func (r *Relation) ForEach(f func(Triple)) {
 	}
 }
 
-// Clone returns a copy of r. The sorted view and permutation indexes are
-// shared with r (both are immutable snapshots, dropped independently on
-// mutation), so cloning before a fixpoint does not re-sort.
+// Clone returns an unfrozen copy of r. The sorted view and permutation
+// indexes are shared with r (both are immutable snapshots, replaced or
+// dropped independently on mutation), so cloning before a fixpoint does
+// not re-sort — and the store's copy-on-write of a frozen relation keeps
+// its access paths warm.
 func (r *Relation) Clone() *Relation {
 	c := NewRelationCap(len(r.set))
 	for t := range r.set {

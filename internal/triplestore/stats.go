@@ -99,9 +99,18 @@ func (s *Store) Stats() StoreStats {
 	if s.statsCache.snap != nil && s.statsCache.snap.Version == v {
 		return *s.statsCache.snap
 	}
+	// Hold the store's reader lock (live stores only) for the whole
+	// recomputation: Relation.Stats iterates each relation's triple set,
+	// which store-mediated writers mutate under the writer lock.
+	if !s.frozen {
+		s.mu.RLock()
+	}
 	snap := StoreStats{Version: v, Relations: make(map[string]RelStats, len(s.rels))}
 	for _, name := range s.relNames {
 		snap.Relations[name] = s.rels[name].Stats()
+	}
+	if !s.frozen {
+		s.mu.RUnlock()
 	}
 	s.statsCache.snap = &snap
 	s.statsCache.refreshes++

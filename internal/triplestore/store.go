@@ -3,6 +3,8 @@ package triplestore
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Store is a triplestore database T = (O, E1, ..., En, ρ): a dictionary of
@@ -10,12 +12,49 @@ import (
 // assignment ρ. It is the input model for all query languages in this
 // repository (TriAL, TriAL*, the Datalog fragments, and — via encodings —
 // the graph query languages).
+//
+// # Mutation and snapshots
+//
+// A Store is safe for concurrent use when every mutation goes through its
+// own methods (Add, AddTriple, Remove, RemoveTriple, SetValue, Intern,
+// EnsureRelation, ApplyBatch): writers are serialized by an internal
+// lock, and every state change advances the version counter. Readers
+// that must observe a consistent state while writers run — the execution
+// engine above all — evaluate against Snapshot(), an immutable
+// copy-on-write view. Point reads on the live store (Size, NumObjects,
+// Version, Name, Lookup, Value, Stats, ActiveDomain, ...) are also safe
+// concurrently with writers, though successive calls may observe
+// different versions. What is NOT safe is holding a *Relation obtained
+// from the live store (Relation, EnsureRelation) across concurrent
+// writes — the store mutates live relations in place; take the relation
+// from a Snapshot instead.
+//
+// Mutating a Relation obtained from the store directly bypasses the
+// version counter and the copy-on-write machinery; it is only sound
+// while the store is provably private (e.g. single-threaded loading
+// before the store is shared), and remains outside the concurrent
+// contract.
 type Store struct {
-	dict     *Dict
-	rels     map[string]*Relation
-	relNames []string
-	values   []Value
-	version  uint64
+	dict    *Dict
+	version atomic.Uint64
+
+	// frozen marks an immutable Snapshot view: mutators panic, readers
+	// skip locking, and dictLen bounds the visible dictionary prefix.
+	frozen  bool
+	dictLen int
+
+	mu              sync.RWMutex
+	rels            map[string]*Relation
+	relNames        []string
+	values          []Value
+	valuesSharedLen int // prefix of values shared with snapshots; in-place writes below it copy first
+
+	// Mutation counters (MutationStats): lifetime totals, not reset by
+	// snapshots. Only the live store advances them.
+	adds      atomic.Uint64
+	removes   atomic.Uint64
+	batches   atomic.Uint64
+	snapshots atomic.Uint64
 
 	statsCache statsCache // lazily computed statistics snapshot (stats.go)
 }
@@ -25,90 +64,312 @@ func NewStore() *Store {
 	return &Store{dict: NewDict(), rels: make(map[string]*Relation)}
 }
 
+// ensureMutable panics when s is a read-only Snapshot view.
+func (s *Store) ensureMutable() {
+	if s.frozen {
+		panic("triplestore: mutation of a read-only Snapshot")
+	}
+}
+
+// IsSnapshot reports whether s is an immutable Snapshot view.
+func (s *Store) IsSnapshot() bool { return s.frozen }
+
+// bumpVersion advances the version counter by one.
+func (s *Store) bumpVersion() { s.version.Add(1) }
+
 // Intern returns the ID of the object named name, creating it if needed.
+// Interning a new object grows |O| and therefore advances the version
+// (statistics and plans that saw the old |O| are stale); interning an
+// existing name is a pure read.
 func (s *Store) Intern(name string) ID {
-	id := s.dict.Intern(name)
-	for int(id) >= len(s.values) {
-		s.values = append(s.values, nil)
+	s.ensureMutable()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, isNew := s.internLocked(name)
+	if isNew {
+		s.bumpVersion()
 	}
 	return id
 }
 
+// internLocked interns name and grows the values slice, without touching
+// the version counter. Callers hold s.mu and bump the version themselves
+// (once per logical mutation, however many objects it interns).
+func (s *Store) internLocked(name string) (ID, bool) {
+	id, isNew := s.dict.intern(name)
+	for int(id) >= len(s.values) {
+		// Appending never disturbs snapshot readers: they hold a slice
+		// header bounded at the length current when the snapshot was
+		// taken, so new slots (even in a shared backing array) are
+		// invisible to them.
+		s.values = append(s.values, nil)
+	}
+	return id, isNew
+}
+
 // Lookup returns the ID of name, or NoID if name is not an object of the store.
-func (s *Store) Lookup(name string) ID { return s.dict.Lookup(name) }
+// On a Snapshot view, objects interned after the snapshot resolve to NoID.
+func (s *Store) Lookup(name string) ID {
+	id := s.dict.Lookup(name)
+	if s.frozen && id != NoID && int(id) >= s.dictLen {
+		return NoID
+	}
+	return id
+}
 
 // Name returns the name of the object with the given ID.
 func (s *Store) Name(id ID) string { return s.dict.Name(id) }
 
 // NumObjects returns the number of interned objects |O|.
-func (s *Store) NumObjects() int { return s.dict.Len() }
+func (s *Store) NumObjects() int {
+	if s.frozen {
+		return s.dictLen
+	}
+	return s.dict.Len()
+}
 
 // SetValue assigns the data value ρ(o) = v for the object named name,
 // interning the object if needed.
 func (s *Store) SetValue(name string, v Value) ID {
-	id := s.Intern(name)
+	s.ensureMutable()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, _ := s.internLocked(name)
+	if int(id) < s.valuesSharedLen {
+		// The slot is visible to at least one snapshot: copy the shared
+		// prefix before writing in place.
+		owned := make([]Value, len(s.values))
+		copy(owned, s.values)
+		s.values = owned
+		s.valuesSharedLen = 0
+	}
 	s.values[id] = v
-	s.version++
+	s.bumpVersion()
 	return id
 }
 
-// Version returns a counter that advances on every mutation made through
-// the store's own methods (Add, AddTriple, SetValue, EnsureRelation).
-// Callers that cache work derived from the store's contents — compiled
-// query plans, materialized indexes — use it as a cheap snapshot key:
+// Version returns a counter that advances on every state change made
+// through the store's own methods: inserting or removing triples,
+// creating relations, interning new objects, assigning data values, and
+// applying batches (which advance it once per batch). Callers that cache
+// work derived from the store's contents — compiled query plans,
+// materialized indexes, statistics — use it as a cheap snapshot key:
 // equal versions of the same Store mean the cached artifact is still
-// valid. Mutating a Relation obtained from the store directly bypasses
-// the counter, which is outside the store's mutation contract anyway
-// (see the Engine documentation in internal/engine).
-func (s *Store) Version() uint64 { return s.version }
+// valid. The read is atomic, so the version can be polled while writers
+// run; to evaluate against a consistent state, pair it with Snapshot().
+func (s *Store) Version() uint64 { return s.version.Load() }
 
 // Value returns ρ(o) for the object with the given ID (nil if unset).
 func (s *Store) Value(id ID) Value {
-	if int(id) >= len(s.values) {
-		return nil
+	if s.frozen {
+		if int(id) >= len(s.values) {
+			return nil
+		}
+		return s.values[id]
 	}
-	return s.values[id]
+	s.mu.RLock()
+	var v Value
+	if int(id) < len(s.values) {
+		v = s.values[id]
+	}
+	s.mu.RUnlock()
+	return v
 }
 
 // SameValue reports whether ρ(a) = ρ(b), i.e. the relation ∼ of §4.
 func (s *Store) SameValue(a, b ID) bool { return s.Value(a).Equal(s.Value(b)) }
 
-// EnsureRelation returns the relation with the given name, creating an
-// empty one if it does not exist.
-func (s *Store) EnsureRelation(name string) *Relation {
-	if r, ok := s.rels[name]; ok {
+// mutableRelLocked returns the named relation ready for mutation,
+// creating it if absent and cloning it first (copy-on-write) when it is
+// frozen into a snapshot. Callers hold s.mu and bump the version.
+func (s *Store) mutableRelLocked(name string) *Relation {
+	r, ok := s.rels[name]
+	if !ok {
+		r = NewRelation()
+		s.rels[name] = r
+		s.relNames = append(s.relNames, name)
 		return r
 	}
-	r := NewRelation()
-	s.rels[name] = r
-	s.relNames = append(s.relNames, name)
-	s.version++
+	if r.frozen {
+		r = r.Clone()
+		s.rels[name] = r
+	}
 	return r
 }
 
-// Relation returns the relation with the given name, or nil.
-func (s *Store) Relation(name string) *Relation { return s.rels[name] }
+// EnsureRelation returns the relation with the given name, creating an
+// empty one if it does not exist. The returned relation is mutable (a
+// copy-on-write clone if the stored one was frozen by a snapshot), but
+// mutating it directly bypasses the version counter — see the type
+// documentation.
+func (s *Store) EnsureRelation(name string) *Relation {
+	s.ensureMutable()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, existed := s.rels[name]
+	r := s.mutableRelLocked(name)
+	if !existed {
+		s.bumpVersion()
+	}
+	return r
+}
 
-// RelationNames returns the relation names in creation order.
-func (s *Store) RelationNames() []string { return s.relNames }
+// Relation returns the relation with the given name, or nil. On a live
+// store with concurrent writers, the returned relation may be mutated in
+// place by the store — read relations through a Snapshot when writers
+// may be running.
+func (s *Store) Relation(name string) *Relation {
+	if s.frozen {
+		return s.rels[name]
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rels[name]
+}
+
+// RelationNames returns the relation names in creation order. The
+// returned slice must not be modified.
+func (s *Store) RelationNames() []string {
+	if s.frozen {
+		return s.relNames
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.relNames[:len(s.relNames):len(s.relNames)]
+}
 
 // Add interns the three object names and inserts the triple into the named
-// relation. It returns the inserted triple.
+// relation. It returns the inserted triple. Like ApplyBatch, a no-op
+// insert (triple present, all names interned) leaves the version alone.
 func (s *Store) Add(rel, subj, pred, obj string) Triple {
-	t := Triple{s.Intern(subj), s.Intern(pred), s.Intern(obj)}
-	s.EnsureRelation(rel).Add(t)
-	s.version++
+	s.ensureMutable()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, hadRel := s.rels[rel]
+	si, new1 := s.internLocked(subj)
+	pi, new2 := s.internLocked(pred)
+	oi, new3 := s.internLocked(obj)
+	t := Triple{si, pi, oi}
+	if hadRel && !new1 && !new2 && !new3 && r.Has(t) {
+		// Pure no-op: don't version-bump, and in particular don't
+		// copy-on-write a snapshot-frozen relation just to re-insert.
+		return t
+	}
+	if s.mutableRelLocked(rel).Add(t) {
+		s.adds.Add(1)
+	}
+	s.bumpVersion()
 	return t
 }
 
 // AddTriple inserts an already-interned triple into the named relation.
+// A duplicate insert into an existing relation leaves the version alone.
 func (s *Store) AddTriple(rel string, t Triple) {
-	s.EnsureRelation(rel).Add(t)
-	s.version++
+	s.ensureMutable()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.rels[rel]; ok && r.Has(t) {
+		return // no-op: no version bump, no copy-on-write
+	}
+	if s.mutableRelLocked(rel).Add(t) {
+		s.adds.Add(1)
+	}
+	s.bumpVersion()
+}
+
+// RemoveTriple deletes an already-interned triple from the named relation
+// and reports whether it was present. Object names stay interned (IDs are
+// never reclaimed).
+func (s *Store) RemoveTriple(rel string, t Triple) bool {
+	s.ensureMutable()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rels[rel]
+	if !ok || !r.Has(t) {
+		return false
+	}
+	s.mutableRelLocked(rel).Remove(t)
+	s.removes.Add(1)
+	s.bumpVersion()
+	return true
+}
+
+// Remove deletes the triple named by the three object names from the
+// named relation and reports whether it was present. Names that were
+// never interned cannot name a stored triple.
+func (s *Store) Remove(rel, subj, pred, obj string) bool {
+	si, pi, oi := s.dict.Lookup(subj), s.dict.Lookup(pred), s.dict.Lookup(obj)
+	if si == NoID || pi == NoID || oi == NoID {
+		return false
+	}
+	return s.RemoveTriple(rel, Triple{si, pi, oi})
+}
+
+// Snapshot returns an immutable view of the store at its current
+// version: a copy-on-write Store sharing the dictionary (append-only and
+// internally synchronized), the data-value assignment and every relation
+// with the live store. The snapshot never changes — subsequent writes to
+// the live store clone any shared relation (and the shared value prefix)
+// before mutating — so engines and statistics keyed on the snapshot's
+// version can evaluate lock-free while ingest proceeds. Snapshotting a
+// snapshot returns the receiver. Mutating a snapshot panics.
+func (s *Store) Snapshot() *Store {
+	if s.frozen {
+		return s
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &Store{
+		dict:    s.dict,
+		frozen:  true,
+		dictLen: s.dict.Len(),
+		rels:    make(map[string]*Relation, len(s.rels)),
+		values:  s.values[:len(s.values):len(s.values)],
+	}
+	snap.relNames = append(snap.relNames, s.relNames...)
+	for name, r := range s.rels {
+		r.frozen = true
+		snap.rels[name] = r
+	}
+	s.valuesSharedLen = len(s.values)
+	snap.version.Store(s.version.Load())
+	s.snapshots.Add(1)
+	return snap
+}
+
+// MutationStats are lifetime mutation counters for a store, surfaced by
+// the query layer and the server's /stats endpoint.
+type MutationStats struct {
+	// Adds and Removes count triples actually inserted and deleted
+	// (duplicate inserts and absent deletes do not count).
+	Adds    uint64 `json:"adds"`
+	Removes uint64 `json:"removes"`
+	// Batches counts ApplyBatch calls.
+	Batches uint64 `json:"batches"`
+	// Snapshots counts Snapshot() calls on the live store.
+	Snapshots uint64 `json:"snapshots"`
+	// Version is the store version at the time of the snapshot of these
+	// counters.
+	Version uint64 `json:"version"`
+}
+
+// MutationStats returns a snapshot of the store's mutation counters.
+func (s *Store) MutationStats() MutationStats {
+	return MutationStats{
+		Adds:      s.adds.Load(),
+		Removes:   s.removes.Load(),
+		Batches:   s.batches.Load(),
+		Snapshots: s.snapshots.Load(),
+		Version:   s.version.Load(),
+	}
 }
 
 // Size returns the total number of triples across all relations, |T|.
 func (s *Store) Size() int {
+	if !s.frozen {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	n := 0
 	for _, r := range s.rels {
 		n += r.Len()
@@ -121,6 +382,10 @@ func (s *Store) Size() int {
 // for the universal relation U of §3 ("all triples (o1,o2,o3) so that each
 // oi occurs in T") and hence for complements.
 func (s *Store) ActiveDomain() []ID {
+	if !s.frozen {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	seen := make(map[ID]struct{})
 	for _, r := range s.rels {
 		r.ForEach(func(t Triple) {
@@ -151,13 +416,23 @@ func (s *Store) FormatRelation(r *Relation) string {
 	return out
 }
 
-// Clone returns a deep copy of the store sharing no mutable state.
+// Clone returns a deep copy of the store sharing no mutable state. Unlike
+// Snapshot, the copy is itself mutable and fully independent (its own
+// dictionary), at the cost of copying everything eagerly.
 func (s *Store) Clone() *Store {
-	c := NewStore()
-	for _, name := range s.dict.Names() {
-		c.Intern(name)
+	if !s.frozen {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 	}
-	copy(c.values, s.values)
+	c := NewStore()
+	names := s.dict.Names()
+	if s.frozen {
+		names = names[:s.dictLen]
+	}
+	for _, name := range names {
+		c.dict.Intern(name)
+	}
+	c.values = make([]Value, len(s.values))
 	for i, v := range s.values {
 		if v != nil {
 			w := make(Value, len(v))
