@@ -8,19 +8,31 @@
 //	trialbench                  # all fast (witness) experiments
 //	trialbench -all             # everything, including the perf sweeps
 //	trialbench -exp E4,E12      # a specific subset
-//	trialbench -json            # write BENCH_engine.json
+//	trialbench -json            # write BENCH_engine.json (includes the
+//	                            # sharded flat-vs-partitioned workloads
+//	                            # at -shards shards)
 //	trialbench -json -out - -min-speedup 1.2
 //	                            # JSON to stdout; exit 1 if any gated
 //	                            # reachability workload is below 1.2x
+//	trialbench -json -shards 8 -min-sharded-speedup 1.2
+//	                            # also fail if the partition-parallel
+//	                            # engine's gain over the flat engine on
+//	                            # the gated star workloads is below 1.2x
+//	                            # (enforced on multi-core hosts only:
+//	                            # with GOMAXPROCS=1 there are no cores
+//	                            # for the shards to use, so the gate is
+//	                            # reported but not enforced)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/triplestore"
 )
 
 func main() {
@@ -31,11 +43,13 @@ func main() {
 		jsonBench  = flag.Bool("json", false, "run the engine-vs-evaluator benchmarks and write them as JSON")
 		out        = flag.String("out", "BENCH_engine.json", "with -json: output path ('-' for stdout)")
 		minSpeedup = flag.Float64("min-speedup", 0, "with -json: fail unless every gated (reachability) workload reaches this engine speedup")
+		shards     = flag.Int("shards", triplestore.DefaultShards, "with -json: shard count for the flat-vs-sharded workloads (<= 1 skips them)")
+		minSharded = flag.Float64("min-sharded-speedup", 0, "with -json: fail unless every gated sharded star workload reaches this speedup over the flat engine (multi-core hosts only)")
 	)
 	flag.Parse()
 	var err error
 	if *jsonBench {
-		err = runJSON(*out, *minSpeedup)
+		err = runJSON(*out, *minSpeedup, *shards, *minSharded)
 	} else {
 		err = run(*exp, *all, *format)
 	}
@@ -46,9 +60,9 @@ func main() {
 }
 
 // runJSON measures the benchmark workloads, writes the report, and
-// enforces the regression gate.
-func runJSON(out string, minSpeedup float64) error {
-	rep, err := experiments.RunBenchJSON()
+// enforces the regression gates.
+func runJSON(out string, minSpeedup float64, shards int, minSharded float64) error {
+	rep, err := experiments.RunBenchJSON(shards)
 	if err != nil {
 		return err
 	}
@@ -69,12 +83,27 @@ func runJSON(out string, minSpeedup float64) error {
 		if b.Gated {
 			gate = " [gated]"
 		}
-		fmt.Fprintf(os.Stderr, "%-20s %-10s lang=%-8s %8d triples -> %8d  speedup %.2fx%s\n",
-			b.Name, b.Family, b.Lang, b.Triples, b.ResultSize, b.Speedup, gate)
+		vs := ""
+		if b.Baseline != "" {
+			vs = fmt.Sprintf(" vs %s @%d shards", b.Baseline, b.Shards)
+		}
+		fmt.Fprintf(os.Stderr, "%-20s %-10s lang=%-8s %8d triples -> %8d  speedup %.2fx%s%s\n",
+			b.Name, b.Family, b.Lang, b.Triples, b.ResultSize, b.Speedup, gate, vs)
 	}
 	if minSpeedup > 0 {
 		if got := rep.MinGatedSpeedup(); got < minSpeedup {
 			return fmt.Errorf("engine speedup regression: min gated speedup %.2fx below threshold %.2fx", got, minSpeedup)
+		}
+	}
+	if minSharded > 0 && shards > 1 {
+		got := rep.MinShardedSpeedup()
+		if runtime.GOMAXPROCS(0) <= 1 {
+			// Partition-parallelism needs cores; on a single-core host the
+			// sharded engine can at best tie the flat one. Report, don't gate.
+			fmt.Fprintf(os.Stderr, "sharded gate skipped: GOMAXPROCS=1 (min sharded speedup %.2fx, threshold %.2fx)\n",
+				got, minSharded)
+		} else if got < minSharded {
+			return fmt.Errorf("sharded speedup regression: min gated sharded speedup %.2fx below threshold %.2fx", got, minSharded)
 		}
 	}
 	return nil

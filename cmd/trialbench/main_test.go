@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -27,7 +28,7 @@ func TestRunBadFormat(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
-	if err := runJSON(path, 0); err != nil {
+	if err := runJSON(path, 0, 4, 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -38,7 +39,9 @@ func TestRunJSON(t *testing.T) {
 		GoVersion string `json:"go_version"`
 		Workloads []struct {
 			Name    string  `json:"name"`
+			Family  string  `json:"family"`
 			Speedup float64 `json:"speedup"`
+			Shards  int     `json:"shards"`
 		} `json:"workloads"`
 	}
 	if err := json.Unmarshal(data, &rep); err != nil {
@@ -47,11 +50,37 @@ func TestRunJSON(t *testing.T) {
 	if rep.GoVersion == "" || len(rep.Workloads) == 0 {
 		t.Errorf("report incomplete: %+v", rep)
 	}
+	sharded := 0
+	for _, w := range rep.Workloads {
+		if w.Family == "sharded" {
+			sharded++
+			if w.Shards != 4 {
+				t.Errorf("%s: shards = %d, want 4", w.Name, w.Shards)
+			}
+		}
+	}
+	if sharded == 0 {
+		t.Error("report has no sharded flat-vs-partitioned workloads")
+	}
 }
 
 func TestRunJSONGate(t *testing.T) {
 	// An absurd threshold must trip the regression gate.
-	if err := runJSON(filepath.Join(t.TempDir(), "b.json"), 1e9); err == nil {
+	if err := runJSON(filepath.Join(t.TempDir(), "b.json"), 1e9, 1, 0); err == nil {
 		t.Error("min-speedup 1e9 should fail the gate")
+	}
+}
+
+func TestRunJSONShardedGate(t *testing.T) {
+	// An impossible sharded threshold must trip the gate on multi-core
+	// hosts; a single-core host has no cores for the shards to use, so
+	// the gate reports and skips there instead of failing.
+	err := runJSON(filepath.Join(t.TempDir(), "c.json"), 0, 2, 1e9)
+	if runtime.GOMAXPROCS(0) <= 1 {
+		if err != nil {
+			t.Fatalf("single-core host must skip the sharded gate, got: %v", err)
+		}
+	} else if err == nil {
+		t.Error("min-sharded-speedup 1e9 should fail the gate on a multi-core host")
 	}
 }

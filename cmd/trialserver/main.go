@@ -9,11 +9,18 @@
 // (language, source, store version) in an LRU; plans for dead versions
 // are swept as ingest advances the version.
 //
+// With -shards=N the store is hash-partitioned by subject into N shards
+// (triplestore.ShardedStore): ingest fans each batch out to the
+// partitions under one atomic version, queries run on the
+// partition-parallel engine (partition-probe joins on the shard key,
+// broadcast-probe otherwise, per-shard semi-naive star rounds), and
+// /stats reports per-shard triple counts.
+//
 // Usage:
 //
 //	trialserver -data triples.txt -addr :8080
 //	trialserver -fixture transport
-//	trialserver -fixture grid -n 50
+//	trialserver -fixture grid -n 50 -shards 8
 //
 // Endpoints:
 //
@@ -72,6 +79,7 @@ func main() {
 		n       = flag.Int("n", 32, "size parameter for generated fixtures (chain length, grid side)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for parallel operators")
 		cache   = flag.Int("cache", query.DefaultCacheSize, "plan-cache capacity (compiled plans kept; 0 disables)")
+		shards  = flag.Int("shards", 1, "hash-partition the store by subject into this many shards and execute partition-parallel (1 = flat store)")
 	)
 	flag.Parse()
 	store, desc, err := buildStore(*data, *rel, *fixture, *n)
@@ -79,7 +87,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trialserver:", err)
 		os.Exit(1)
 	}
-	srv := newServer(store, *workers, *rel, *cache)
+	srv := newServer(store, *workers, *rel, *cache, *shards)
+	if srv.sharded != nil {
+		desc = fmt.Sprintf("%s, %d shards", desc, srv.sharded.NumShards())
+	}
 	log.Printf("trialserver: serving %s (%d objects, %d triples) on %s",
 		desc, store.NumObjects(), store.Size(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
@@ -131,7 +142,11 @@ const maxIngestBody = 32 << 20
 // through batched store methods, so the two sides never block each other
 // beyond the store's internal writer lock.
 type server struct {
-	store    *triplestore.Store
+	store *triplestore.Store
+	// sharded is non-nil when the store is hash-partitioned (-shards > 1):
+	// ingest must then go through it so the partitions stay in lockstep
+	// with the union, and queries run partition-parallel.
+	sharded  *triplestore.ShardedStore
 	q        *query.Querier
 	workers  int
 	mux      *http.ServeMux
@@ -142,19 +157,26 @@ type server struct {
 	nRemoved atomic.Int64
 }
 
-func newServer(store *triplestore.Store, workers int, rel string, cacheSize int) *server {
+func newServer(store *triplestore.Store, workers int, rel string, cacheSize, shards int) *server {
 	if workers < 1 {
 		workers = 1
 	}
+	qopts := []query.Option{
+		query.WithRelation(rel),
+		query.WithCacheSize(cacheSize),
+		query.WithEngineOptions(engine.WithWorkers(workers)),
+	}
 	s := &server{
-		store: store,
-		q: query.New(store,
-			query.WithRelation(rel),
-			query.WithCacheSize(cacheSize),
-			query.WithEngineOptions(engine.WithWorkers(workers))),
+		store:   store,
 		workers: workers,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+	}
+	if shards > 1 {
+		s.sharded = triplestore.Shard(store, shards)
+		s.q = query.NewSharded(s.sharded, qopts...)
+	} else {
+		s.q = query.New(store, qopts...)
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/query", methods(s.handleQuery, http.MethodGet, http.MethodPost))
@@ -369,7 +391,12 @@ func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
 			ops[i].Delete = true
 		}
 	}
-	res, err := s.store.ApplyBatch(ops)
+	var res triplestore.BatchResult
+	if s.sharded != nil {
+		res, err = s.sharded.ApplyBatch(ops)
+	} else {
+		res, err = s.store.ApplyBatch(ops)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -409,7 +436,16 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	// Sharding observability: shard count and per-shard triple counts
+	// (the skew bounds the partition-parallel speedup). count = 1 with no
+	// per-shard list means the store is flat.
+	shardInfo := map[string]any{"count": 1}
+	if s.sharded != nil {
+		shardInfo["count"] = s.sharded.NumShards()
+		shardInfo["per_shard"] = s.sharded.ShardStats()
+	}
 	json.NewEncoder(w).Encode(map[string]any{
+		"shards":     shardInfo,
 		"objects":    s.store.NumObjects(),
 		"triples":    s.store.Size(),
 		"relations":  s.store.RelationNames(),

@@ -18,7 +18,7 @@ import (
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(fixtures.Transport(), 2, fixtures.RelE, 64)
+	srv := newServer(fixtures.Transport(), 2, fixtures.RelE, 64, 1)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return srv, ts

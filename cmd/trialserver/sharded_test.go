@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fixtures"
+)
+
+func testShardedServer(t *testing.T, shards int) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(fixtures.Transport(), 2, fixtures.RelE, 64, shards)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestShardedServerMatchesFlat runs the same queries against a flat and
+// a sharded server over the same fixture: the bodies must be identical.
+func TestShardedServerMatchesFlat(t *testing.T) {
+	_, flat := testServer(t)
+	_, shard := testShardedServer(t, 4)
+	for _, q := range []string{
+		"/query?q=E",
+		"/query?q=" + url.QueryEscape("join[1,3',3; 2=1'](E, E)"),
+		"/query?lang=rpq&q=" + url.QueryEscape("part_of*"),
+	} {
+		_, wantBody := get(t, flat.URL+q)
+		resp, gotBody := get(t, shard.URL+q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", q, resp.StatusCode, gotBody)
+		}
+		if gotBody != wantBody {
+			t.Errorf("%s: sharded body diverges from flat:\n%s\nvs\n%s", q, gotBody, wantBody)
+		}
+	}
+}
+
+// TestShardedServerStats pins the /stats shard section: shard count and
+// per-shard triple counts that sum to the store size.
+func TestShardedServerStats(t *testing.T) {
+	srv, ts := testShardedServer(t, 4)
+	resp, body := get(t, ts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats: %d", resp.StatusCode)
+	}
+	var stats struct {
+		Shards struct {
+			Count    int `json:"count"`
+			PerShard []struct {
+				Shard   int `json:"shard"`
+				Triples int `json:"triples"`
+			} `json:"per_shard"`
+		} `json:"shards"`
+		Triples int `json:"triples"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("/stats unmarshal: %v\n%s", err, body)
+	}
+	if stats.Shards.Count != 4 || len(stats.Shards.PerShard) != 4 {
+		t.Fatalf("shards section = %+v", stats.Shards)
+	}
+	total := 0
+	for _, s := range stats.Shards.PerShard {
+		total += s.Triples
+	}
+	if total != stats.Triples {
+		t.Errorf("per-shard triples sum to %d, store has %d", total, stats.Triples)
+	}
+	if srv.sharded == nil {
+		t.Error("server did not shard the store")
+	}
+
+	// Flat servers report count 1 and no per-shard list.
+	_, flatTS := testServer(t)
+	_, flatBody := get(t, flatTS.URL+"/stats")
+	var flatStats struct {
+		Shards struct {
+			Count    int               `json:"count"`
+			PerShard []json.RawMessage `json:"per_shard"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal([]byte(flatBody), &flatStats); err != nil {
+		t.Fatal(err)
+	}
+	if flatStats.Shards.Count != 1 || flatStats.Shards.PerShard != nil {
+		t.Errorf("flat shards section = %+v", flatStats.Shards)
+	}
+}
+
+// TestShardedIngestDuringQueries is the server-level batch-boundary
+// race test on a sharded store: concurrent POST /triples batches and
+// /query reads (run with -race); every result size must sit on a batch
+// boundary, and the final count must include every batch.
+func TestShardedIngestDuringQueries(t *testing.T) {
+	const batchSize, nBatches = 4, 12
+	srv, ts := testShardedServer(t, 4)
+	base := srv.store.Size()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < nBatches; b++ {
+			var lines strings.Builder
+			for i := 0; i < batchSize; i++ {
+				fmt.Fprintf(&lines, "{\"s\":\"in%d-%d\",\"p\":\"p\",\"o\":\"t\"}\n", b, i)
+			}
+			resp, err := http.Post(ts.URL+"/triples", "application/x-ndjson", strings.NewReader(lines.String()))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("POST /triples: %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, _ := get(t, ts.URL+"/query?q=E&limit=1")
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("/query: %d", resp.StatusCode)
+					return
+				}
+				var size int
+				if _, err := fmt.Sscan(resp.Header.Get("X-Trial-Result-Size"), &size); err != nil {
+					t.Error(err)
+					return
+				}
+				if extra := size - base; extra < 0 || extra%batchSize != 0 {
+					t.Errorf("query saw %d triples: not on a batch boundary", size)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if want := base + batchSize*nBatches; srv.store.Size() != want {
+		t.Errorf("final store size = %d, want %d", srv.store.Size(), want)
+	}
+	// The ingested triples landed in the partitions too.
+	total := 0
+	for _, s := range srv.sharded.ShardStats() {
+		total += s.Triples
+	}
+	if total != srv.store.Size() {
+		t.Errorf("partitions hold %d triples, union %d", total, srv.store.Size())
+	}
+}

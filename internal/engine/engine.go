@@ -25,6 +25,12 @@ type Engine struct {
 	workers  int
 	optimize bool
 
+	// sharded enables the partition-parallel executor (sharded.go): nil
+	// for a flat engine, otherwise the ShardedStore whose union view is
+	// store. Set by NewSharded, never by option, so a sharded engine can
+	// only be built over a store that actually has partitions.
+	sharded *triplestore.ShardedStore
+
 	mu          sync.Mutex
 	universe    *triplestore.Relation
 	universeVer uint64
@@ -61,8 +67,26 @@ func New(s *triplestore.Store, opts ...Option) *Engine {
 	return e
 }
 
+// NewSharded returns an engine with partition-parallel execution over
+// the given sharded store (its union view serves every operator the
+// partitions cannot: universe, difference, unkeyed joins). The usual
+// contract applies: hand it a ShardedStore.Snapshot(), or a live store
+// that is not mutated while the engine is in use. A single-shard store
+// yields a plain flat engine — there is nothing to partition.
+func NewSharded(ss *triplestore.ShardedStore, opts ...Option) *Engine {
+	e := New(ss.Store, opts...)
+	if ss.NumShards() > 1 {
+		e.sharded = ss
+	}
+	return e
+}
+
 // Store returns the engine's store.
 func (e *Engine) Store() *triplestore.Store { return e.store }
+
+// Sharded returns the sharded store driving the partition-parallel
+// executor, or nil for a flat engine.
+func (e *Engine) Sharded() *triplestore.ShardedStore { return e.sharded }
 
 // Eval computes the relation x(T).
 func (e *Engine) Eval(x trial.Expr) (*triplestore.Relation, error) {

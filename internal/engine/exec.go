@@ -120,6 +120,10 @@ func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 	switch n.strategy {
 	case joinIndexRight:
 		probe := n.objKeys[0]
+		if n.shardRels != nil {
+			return ctx.e.shardedIndexJoin(n.shardRels, probeLeft(),
+				probe[0].Index(), probe[1].Index(), false, n.cc, n.out), nil
+		}
 		// Build the access path before fanning out: Index mutates the
 		// relation's cache under its own lock, but building once up front
 		// keeps workers contention-free.
@@ -133,11 +137,15 @@ func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 		}), nil
 	case joinIndexLeft:
 		probe := n.objKeys[0]
-		ix := l.Index(triplestore.PermFor(probe[0].Index()))
 		rts := r.Slice()
 		if n.hasRCond {
 			rts = filterSlice(rts, n.rCC)
 		}
+		if n.shardRels != nil {
+			return ctx.e.shardedIndexJoin(n.shardRels, rts,
+				probe[1].Index(), probe[0].Index(), true, n.cc, n.out), nil
+		}
+		ix := l.Index(triplestore.PermFor(probe[0].Index()))
 		return ctx.e.parallelCollect(rts, func(rt triplestore.Triple, emit func(triplestore.Triple)) {
 			for _, lt := range ix.Match(rt[probe[1].Index()]) {
 				if n.cc.Holds(lt, rt) {
@@ -208,6 +216,9 @@ func (n *starNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 	seeds := base
 	if n.hasSeed {
 		seeds = filterRelation(base, n.seedCC)
+	}
+	if n.shardedN > 0 {
+		return n.execShardedStar(ctx, joinBase, seeds), nil
 	}
 	step := n.stepFunc(ctx, joinBase)
 	result := seeds.Clone()

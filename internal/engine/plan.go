@@ -144,7 +144,28 @@ type joinNode struct {
 	lCC, rCC           trial.CompiledCond
 	hasLCond, hasRCond bool
 
+	// Sharded execution (engines built with NewSharded): the store's
+	// shard partitions of the indexed side, resolved at compile time.
+	// When the probed position is the shard key (subject) the join runs
+	// partition-probe; otherwise it broadcast-probes every shard. The
+	// mode is decided by shardedIndexJoin from the probed position;
+	// indexedProbePos derives it for explain.
+	shardRels []*triplestore.Relation
+
 	rows float64
+}
+
+// indexedProbePos returns the position of the indexed side's triples the
+// join probes on (the component the access path sorts first), or -1 for
+// non-index strategies.
+func (n *joinNode) indexedProbePos() int {
+	switch n.strategy {
+	case joinIndexRight:
+		return n.objKeys[0][1].Index()
+	case joinIndexLeft:
+		return n.objKeys[0][0].Index()
+	}
+	return -1
 }
 
 type starNode struct {
@@ -174,6 +195,11 @@ type starNode struct {
 	baseCond    trial.Cond
 	baseCC      trial.CompiledCond
 	hasBaseCond bool
+
+	// shardedN > 0 marks a partition-parallel semi-naive star (sharded
+	// engines with a probe key only): the per-round delta join runs one
+	// task per shard over shardedN runtime partitions of the base.
+	shardedN int
 
 	rows float64
 }
@@ -360,6 +386,9 @@ func (c *compiler) compileStar(n trial.Star) (*starNode, error) {
 			sn.baseCC = bc.Compile(c.e.store)
 			sn.hasBaseCond = true
 		}
+		if ss := c.e.sharded; ss != nil && len(sn.objKeys) > 0 {
+			sn.shardedN = ss.NumShards()
+		}
 	}
 	return sn, nil
 }
@@ -509,6 +538,17 @@ func (c *compiler) chooseJoin(l, r planNode, out [3]trial.Pos, cond trial.Cond) 
 		keys[0], keys[bestKey] = keys[bestKey], keys[0]
 		jn.objKeys = keys
 	}
+	// Sharded engines resolve the indexed side's shard partitions now, so
+	// exec can run partition-probe (probe key = shard key) or broadcast-
+	// probe per shard instead of probing one union index.
+	if ss := c.e.sharded; ss != nil {
+		switch jn.strategy {
+		case joinIndexRight:
+			jn.shardRels = ss.ShardRelations(r.(*scanNode).name)
+		case joinIndexLeft:
+			jn.shardRels = ss.ShardRelations(l.(*scanNode).name)
+		}
+	}
 	return jn
 }
 
@@ -604,6 +644,13 @@ func (n *joinNode) explain(b *strings.Builder, depth int) {
 	if n.hasRCond {
 		pre += fmt.Sprintf(" prefilter-right=[%s]", n.rCond.String())
 	}
+	if n.shardRels != nil {
+		mode := "broadcast-probe"
+		if n.indexedProbePos() == 0 {
+			mode = "partition-probe"
+		}
+		pre += fmt.Sprintf(" sharded(%d,%s)", len(n.shardRels), mode)
+	}
 	fmt.Fprintf(b, "join[%s,%s,%s%s] %s%s est=%.0f\n",
 		n.out[0], n.out[1], n.out[2], cond, n.strategy, pre, n.rows)
 	n.l.explain(b, depth+1)
@@ -622,6 +669,8 @@ func (n *starNode) explain(b *strings.Builder, depth int) {
 		access = "bfs-reach"
 	case n.reach == trial.ReachSameLabel:
 		access = "bfs-reach-same-label"
+	case n.shardedN > 0:
+		access = fmt.Sprintf("semi-naive delta-index sharded(%d)", n.shardedN)
 	case len(n.objKeys) > 0:
 		access = "semi-naive delta-index"
 	default:

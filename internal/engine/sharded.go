@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// This file is the partition-parallel executor over a
+// triplestore.ShardedStore. The TriAL* algebra is closed under union, so
+// any relation equals the union of its shard partitions and the indexed
+// operators distribute over that union:
+//
+//   - A join whose probe key is the shard key (the subject, position 1)
+//     routes each probe triple to the one shard that can match it and
+//     runs one probe task per shard — a partition-probe join over the
+//     store's per-shard permutation indexes.
+//   - A join probing any other position cannot route (the partitions are
+//     keyed by subject), so it falls back to broadcast-probe: every
+//     shard joins the whole probe side against its own partition, and
+//     the disjoint per-shard results merge into the union.
+//   - The semi-naive star re-partitions its loop-invariant base by the
+//     probed position at fixpoint setup (the base is a derived relation,
+//     so the store's subject partitions do not apply), then routes each
+//     round's delta to shards — every round is a partition-probe join
+//     run per-shard on the worker pool.
+//
+// Each task accumulates into a private relation and the merge
+// deduplicates through set inserts, exactly like parallelCollect, so the
+// result is byte-identical to the flat engine's (internal/proptest pins
+// this). With a single worker the tasks run sequentially on the calling
+// goroutine: same results, no goroutine overhead.
+
+// forEachShard runs task(i) for every shard, in parallel across the
+// engine's worker pool when it has more than one worker.
+func (e *Engine) forEachShard(n int, task func(shard int)) {
+	if e.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			task(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// collectShards runs task per shard and merges the per-shard result
+// relations (nil results are skipped) into one.
+func (e *Engine) collectShards(n int, task func(shard int) *triplestore.Relation) *triplestore.Relation {
+	locals := make([]*triplestore.Relation, n)
+	e.forEachShard(n, func(i int) { locals[i] = task(i) })
+	total := 0
+	for _, l := range locals {
+		if l != nil {
+			total += l.Len()
+		}
+	}
+	out := triplestore.NewRelationCap(total)
+	for _, l := range locals {
+		if l != nil {
+			out.AddAll(l)
+		}
+	}
+	return out
+}
+
+// bucketByPos splits ts into one bucket per shard, keyed by the hash of
+// the triple component at pos — the routing step of a partition-probe.
+func bucketByPos(ss *triplestore.ShardedStore, ts []triplestore.Triple, pos int) [][]triplestore.Triple {
+	buckets := make([][]triplestore.Triple, ss.NumShards())
+	for _, t := range ts {
+		i := ss.ShardOf(t[pos])
+		buckets[i] = append(buckets[i], t)
+	}
+	return buckets
+}
+
+// probeIndex joins probe triples against one shard's index: for every
+// probe triple, the index matches on its probePos component, the full
+// condition is re-checked per candidate pair, and survivors project into
+// the local result. indexedLeft reports that the indexed side is the
+// join's LEFT operand (the probe triples are right operands).
+func probeIndex(probe []triplestore.Triple, ix *triplestore.Index, probePos int, indexedLeft bool,
+	cc trial.CompiledCond, out [3]trial.Pos) *triplestore.Relation {
+	local := triplestore.NewRelation()
+	if indexedLeft {
+		for _, rt := range probe {
+			for _, lt := range ix.Match(rt[probePos]) {
+				if cc.Holds(lt, rt) {
+					local.Add(trial.Project(out, lt, rt))
+				}
+			}
+		}
+		return local
+	}
+	for _, lt := range probe {
+		for _, rt := range ix.Match(lt[probePos]) {
+			if cc.Holds(lt, rt) {
+				local.Add(trial.Project(out, lt, rt))
+			}
+		}
+	}
+	return local
+}
+
+// shardedIndexJoin evaluates an index join against the partitioned base
+// relation: partition-probe when the indexed position is the shard key
+// (subject), broadcast-probe otherwise. parts are the store's shard
+// partitions of the indexed side; probePos/basePos index the key
+// component on the probe and indexed triples.
+func (e *Engine) shardedIndexJoin(parts []*triplestore.Relation, probe []triplestore.Triple,
+	probePos, basePos int, indexedLeft bool, cc trial.CompiledCond, out [3]trial.Pos) *triplestore.Relation {
+	perm := triplestore.PermFor(basePos)
+	if basePos == 0 {
+		buckets := bucketByPos(e.sharded, probe, probePos)
+		return e.collectShards(len(parts), func(i int) *triplestore.Relation {
+			if len(buckets[i]) == 0 || parts[i].Len() == 0 {
+				return nil
+			}
+			return probeIndex(buckets[i], parts[i].Index(perm), probePos, indexedLeft, cc, out)
+		})
+	}
+	return e.collectShards(len(parts), func(i int) *triplestore.Relation {
+		if parts[i].Len() == 0 {
+			return nil
+		}
+		return probeIndex(probe, parts[i].Index(perm), probePos, indexedLeft, cc, out)
+	})
+}
+
+// execShardedStar runs the partition-parallel semi-naive fixpoint: the
+// loop-invariant base is hash-partitioned by the probed position (any
+// disjoint partition is sound under the union closure; the store's
+// subject partitions do not apply to a derived base), each partition
+// gets its own permutation index built on the worker pool, and every
+// round routes the delta to its shards and runs one probe task per
+// shard. The per-shard locals fold straight into the result set —
+// result.Add deduplicates, exactly like the flat loop — so no
+// intermediate merged relation is built per round.
+func (n *starNode) execShardedStar(ctx *execCtx, base, seeds *triplestore.Relation) *triplestore.Relation {
+	e := ctx.e
+	ss := e.sharded
+	probe := n.objKeys[0]
+	// Right closure joins delta ✶ base (base on the primed side); left
+	// closure joins base ✶ delta.
+	basePos, deltaPos := probe[1].Index(), probe[0].Index()
+	if n.left {
+		basePos, deltaPos = probe[0].Index(), probe[1].Index()
+	}
+	parts := bucketByPos(ss, base.Slice(), basePos)
+	perm := triplestore.PermFor(basePos)
+	ixs := make([]*triplestore.Index, len(parts))
+	e.forEachShard(len(parts), func(i int) {
+		if len(parts[i]) > 0 {
+			ixs[i] = triplestore.IndexTriples(parts[i], perm)
+		}
+	})
+	result := seeds.Clone()
+	delta := seeds
+	for delta.Len() > 0 {
+		buckets := bucketByPos(ss, delta.Slice(), deltaPos)
+		locals := make([]*triplestore.Relation, len(parts))
+		e.forEachShard(len(parts), func(i int) {
+			if len(buckets[i]) == 0 || ixs[i] == nil {
+				return
+			}
+			locals[i] = probeIndex(buckets[i], ixs[i], deltaPos, n.left, n.cc, n.out)
+		})
+		next := triplestore.NewRelation()
+		for _, l := range locals {
+			if l == nil {
+				continue
+			}
+			l.ForEach(func(t triplestore.Triple) {
+				if result.Add(t) {
+					next.Add(t)
+				}
+			})
+		}
+		delta = next
+	}
+	return result
+}

@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/genstore"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// shardedVariants returns sharded engines worth covering: several shard
+// counts, parallel and sequential workers, over live stores and
+// snapshots.
+func shardedVariants(s *triplestore.Store) []*Engine {
+	return []*Engine{
+		NewSharded(triplestore.Shard(s, 2)),
+		NewSharded(triplestore.Shard(s, 4), WithWorkers(1)),
+		NewSharded(triplestore.Shard(s, 7), WithWorkers(4)),
+		NewSharded(triplestore.Shard(s, 16).Snapshot()),
+	}
+}
+
+// TestShardedDifferentialNamedQueries pins every sharded engine variant
+// byte-identical (via the sorted rendering) to the flat engine and the
+// reference Evaluator on the paper's named queries.
+func TestShardedDifferentialNamedQueries(t *testing.T) {
+	queries := []trial.Expr{
+		trial.Example2(fixtures.RelE),
+		trial.Example2Extended(fixtures.RelE),
+		trial.ReachRight(fixtures.RelE),
+		trial.ReachUp(fixtures.RelE),
+		trial.ReachUpRight(fixtures.RelE),
+		trial.SameLabelReach(fixtures.RelE),
+		trial.QueryQ(fixtures.RelE),
+	}
+	for name, s := range diffStores() {
+		t.Run(name, func(t *testing.T) {
+			engines := shardedVariants(s)
+			for _, q := range queries {
+				checkAgainstEvaluator(t, s, q, engines)
+			}
+		})
+	}
+}
+
+// TestShardedDifferentialRandomExprs cross-checks sharded engines on
+// random TriAL* expressions, stars included.
+func TestShardedDifferentialRandomExprs(t *testing.T) {
+	cfg := genstore.ExprOptions{
+		Relations:       []string{genstore.RelE},
+		MaxDepth:        3,
+		AllowStar:       true,
+		AllowValueConds: true,
+	}
+	stores := map[string]*triplestore.Store{
+		"random": genstore.Random(rand.New(rand.NewSource(21)), 12, 40, 3),
+		"chain":  genstore.Chain(9, 2),
+		"cycle":  genstore.Cycle(7),
+		"social": genstore.Social(rand.New(rand.NewSource(22)), 8, 20, 3, 3),
+	}
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			engines := shardedVariants(s)
+			rng := rand.New(rand.NewSource(23))
+			for i := 0; i < 60; i++ {
+				x := genstore.RandomExpr(rng, cfg)
+				t.Run(fmt.Sprintf("%d", i), func(t *testing.T) {
+					checkAgainstEvaluator(t, s, x, engines)
+				})
+			}
+		})
+	}
+}
+
+// TestShardedJoinModes pins both sharded join paths against the flat
+// engine on a store large enough to populate every shard: a
+// subject-probed join (partition-probe) and a predicate/object-probed
+// join (broadcast-probe).
+func TestShardedJoinModes(t *testing.T) {
+	s := genstore.Random(rand.New(rand.NewSource(31)), 60, 900, 0)
+	queries := map[string]string{
+		// 3=1': the probed side is keyed on its subject — partition-probe.
+		"partition": "join[1,2,3'; 3=1'](E, E)",
+		// 2=2': probed on the predicate position — broadcast-probe.
+		"broadcast": "join[1,3,3'; 2=2'](E, E)",
+		// 2=1' with output rearrangement (Example 2's shape).
+		"example2": "join[1,3',3; 2=1'](E, E)",
+	}
+	flat := New(s)
+	engines := shardedVariants(s)
+	for name, src := range queries {
+		t.Run(name, func(t *testing.T) {
+			x, err := trial.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := flat.Eval(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, e := range engines {
+				got, err := e.Eval(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gw, gg := s.FormatRelation(want), s.FormatRelation(got); gw != gg {
+					t.Errorf("sharded[%d] diverges from flat on %s (%d vs %d triples)",
+						i, src, got.Len(), want.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestShardedExplain asserts the plan rendering names the sharded access
+// paths, so operators can see partitioning from /explain.
+func TestShardedExplain(t *testing.T) {
+	// Every edge gets a distinct predicate, so the predicate-probed index
+	// has fanout 1 and beats the hash join in the cost model.
+	s := genstore.Chain(64, 64)
+	e := NewSharded(triplestore.Shard(s, 4))
+
+	plan, err := e.Explain(trial.MustJoin(trial.R(genstore.RelE),
+		[3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.R(genstore.RelE)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "sharded(4,partition-probe)") {
+		t.Errorf("subject-probed join plan lacks partition-probe marker:\n%s", plan)
+	}
+
+	plan, err = e.Explain(trial.MustJoin(trial.R(genstore.RelE),
+		[3]trial.Pos{trial.L1, trial.L3, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L2), trial.P(trial.R2))}},
+		trial.R(genstore.RelE)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "sharded(4,broadcast-probe)") {
+		t.Errorf("predicate-probed join plan lacks broadcast-probe marker:\n%s", plan)
+	}
+
+	// A non-reach star (the !=' atom defeats the BFS shape) goes
+	// partition-parallel semi-naive.
+	star, err := trial.Parse("rstar[1,2,3'; 3=1',1!=3'](E)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = e.Explain(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "sharded(4)") {
+		t.Errorf("semi-naive star plan lacks sharded marker:\n%s", plan)
+	}
+
+	// The flat engine renders none of this.
+	plan, err = New(s).Explain(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "sharded") {
+		t.Errorf("flat plan mentions sharding:\n%s", plan)
+	}
+}
+
+// TestShardedSemiNaiveStarLargeChain runs the partition-parallel star on
+// a chain long enough for many delta rounds, against the flat engine.
+func TestShardedSemiNaiveStarLargeChain(t *testing.T) {
+	s := genstore.Chain(300, 1)
+	star, err := trial.Parse("rstar[1,2,3'; 3=1',1!=3'](E)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(s).Eval(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []*Engine{
+		NewSharded(triplestore.Shard(s, 4), WithWorkers(4)),
+		NewSharded(triplestore.Shard(s, 8), WithWorkers(2)),
+	} {
+		got, err := e.Eval(star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("sharded star = %d triples, flat = %d", got.Len(), want.Len())
+		}
+	}
+}
+
+// TestNewShardedSingleShardIsFlat pins the degenerate case: one shard
+// means nothing to partition, so the engine runs flat.
+func TestNewShardedSingleShardIsFlat(t *testing.T) {
+	s := genstore.Chain(8, 1)
+	e := NewSharded(triplestore.Shard(s, 1))
+	if e.Sharded() != nil {
+		t.Error("single-shard engine kept a sharded executor")
+	}
+	ss := triplestore.Shard(s, 4)
+	if NewSharded(ss).Sharded() != ss {
+		t.Error("multi-shard engine lost its sharded store")
+	}
+}
+
+// TestShardedEvalOnSnapshotDuringIngest evaluates on a sharded snapshot
+// while batches land on the live store (run under -race): results must
+// stay pinned to the snapshot's version.
+func TestShardedEvalOnSnapshotDuringIngest(t *testing.T) {
+	ss := triplestore.NewShardedStore(4)
+	for i := 0; i < 64; i++ {
+		ss.Add("E", fmt.Sprintf("s%d", i), "p", fmt.Sprintf("s%d", i+1))
+	}
+	snap := ss.Snapshot()
+	e := NewSharded(snap, WithWorkers(4))
+	x, err := trial.Parse("join[1,2,3'; 3=1'](E, E)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Eval(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for b := 0; b < 10; b++ {
+			ops := make([]triplestore.Op, 8)
+			for i := range ops {
+				ops[i] = triplestore.Op{Rel: "E", S: fmt.Sprintf("n%d-%d", b, i), P: "q", O: "t"}
+			}
+			if _, err := ss.ApplyBatch(ops); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		got, err := e.Eval(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("snapshot-bound eval drifted: %d vs %d triples", got.Len(), want.Len())
+		}
+	}
+	<-done
+}

@@ -11,12 +11,12 @@ import (
 // mismatch), and produce positive timings. Speedups are recorded, not
 // asserted — thresholds are CI policy, not a unit-test invariant.
 func TestRunBenchJSON(t *testing.T) {
-	rep, err := RunBenchJSON()
+	rep, err := RunBenchJSON(4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Workloads) != len(benchWorkloads()) {
-		t.Fatalf("got %d workloads, want %d", len(rep.Workloads), len(benchWorkloads()))
+	if want := len(benchWorkloads()) + len(shardedWorkloads()); len(rep.Workloads) != want {
+		t.Fatalf("got %d workloads, want %d", len(rep.Workloads), want)
 	}
 	families := map[string]bool{}
 	langs := map[string]bool{}
@@ -26,12 +26,29 @@ func TestRunBenchJSON(t *testing.T) {
 		langs[w.Lang] = true
 		if w.Gated {
 			gated++
-			if w.Family != "reachability" {
-				t.Errorf("%s: gated workload in family %q, want reachability", w.Name, w.Family)
+			if w.Family != "reachability" && w.Family != "sharded" {
+				t.Errorf("%s: gated workload in family %q, want reachability or sharded", w.Name, w.Family)
 			}
 		}
-		if w.EvaluatorNs <= 0 || w.EngineNs <= 0 {
-			t.Errorf("%s: non-positive timings %d/%d", w.Name, w.EvaluatorNs, w.EngineNs)
+		if w.Family == "sharded" {
+			if w.Baseline != "flat-engine" || w.Shards != 4 {
+				t.Errorf("%s: sharded workload metadata %q/%d, want flat-engine/4", w.Name, w.Baseline, w.Shards)
+			}
+			// Single-meaning fields: sharded rows time the flat engine in
+			// FlatEngineNs and never touch EvaluatorNs.
+			if w.FlatEngineNs <= 0 || w.EvaluatorNs != 0 {
+				t.Errorf("%s: sharded baseline timings flat=%d evaluator=%d", w.Name, w.FlatEngineNs, w.EvaluatorNs)
+			}
+		} else {
+			if w.Baseline != "" || w.Shards != 0 {
+				t.Errorf("%s: unexpected baseline metadata %q/%d", w.Name, w.Baseline, w.Shards)
+			}
+			if w.EvaluatorNs <= 0 || w.FlatEngineNs != 0 {
+				t.Errorf("%s: baseline timings evaluator=%d flat=%d", w.Name, w.EvaluatorNs, w.FlatEngineNs)
+			}
+		}
+		if w.EngineNs <= 0 {
+			t.Errorf("%s: non-positive engine timing %d", w.Name, w.EngineNs)
 		}
 		if w.Speedup <= 0 {
 			t.Errorf("%s: speedup %f", w.Name, w.Speedup)
@@ -40,7 +57,7 @@ func TestRunBenchJSON(t *testing.T) {
 			t.Errorf("%s: empty result — the workload measures nothing", w.Name)
 		}
 	}
-	for _, fam := range []string{"reachability", "join", "translated"} {
+	for _, fam := range []string{"reachability", "join", "translated", "sharded"} {
 		if !families[fam] {
 			t.Errorf("no workload in family %q", fam)
 		}
@@ -57,6 +74,21 @@ func TestRunBenchJSON(t *testing.T) {
 	}
 	if min := rep.MinGatedSpeedup(); min <= 0 {
 		t.Errorf("MinGatedSpeedup = %f", min)
+	}
+	if min := rep.MinShardedSpeedup(); min <= 0 {
+		t.Errorf("MinShardedSpeedup = %f", min)
+	}
+
+	// shards <= 1 skips the sharded family entirely.
+	flat, err := RunBenchJSON(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Workloads) != len(benchWorkloads()) {
+		t.Errorf("shards=1 report has %d workloads, want %d", len(flat.Workloads), len(benchWorkloads()))
+	}
+	if flat.MinShardedSpeedup() != 0 {
+		t.Errorf("shards=1 MinShardedSpeedup = %f, want 0", flat.MinShardedSpeedup())
 	}
 
 	var buf bytes.Buffer
@@ -76,12 +108,21 @@ func TestMinGatedSpeedup(t *testing.T) {
 	rep := &BenchReport{Workloads: []BenchResult{
 		{Name: "a", Speedup: 2.0, Gated: true},
 		{Name: "b", Speedup: 1.5, Gated: true},
-		{Name: "c", Speedup: 0.5}, // ungated: ignored
+		{Name: "c", Speedup: 0.5},                                       // ungated: ignored
+		{Name: "d", Speedup: 1.1, Gated: true, Baseline: "flat-engine"}, // sharded gate only
+		{Name: "e", Speedup: 0.9, Baseline: "flat-engine", Shards: 4},   // ungated sharded
+		{Name: "f", Speedup: 1.4, Gated: true, Baseline: "flat-engine"}, // sharded gate
 	}}
 	if got := rep.MinGatedSpeedup(); got != 1.5 {
 		t.Errorf("MinGatedSpeedup = %f, want 1.5", got)
 	}
+	if got := rep.MinShardedSpeedup(); got != 1.1 {
+		t.Errorf("MinShardedSpeedup = %f, want 1.1", got)
+	}
 	if got := (&BenchReport{}).MinGatedSpeedup(); got != 0 {
 		t.Errorf("empty report MinGatedSpeedup = %f, want 0", got)
+	}
+	if got := (&BenchReport{}).MinShardedSpeedup(); got != 0 {
+		t.Errorf("empty report MinShardedSpeedup = %f, want 0", got)
 	}
 }

@@ -27,5 +27,12 @@
 // the store's own methods: each query runs against an immutable
 // Snapshot of the store's current version (one engine per version,
 // refreshed lazily), and plans cached for versions that died are swept
-// out of the LRU on the next miss, counted in CacheStats.StaleEvictions.
+// out of the LRU on the next miss — or as soon as Store() observes the
+// advanced version — counted in CacheStats.StaleEvictions.
+//
+// NewSharded routes queries through the partition-parallel engine over
+// a triplestore.ShardedStore, snapshotting union and shard partitions
+// together per store version; a single-shard store transparently
+// degrades to the flat engine. Everything else — languages, plan cache,
+// sweeps — behaves identically in both modes.
 package query

@@ -68,6 +68,7 @@ func ParseLang(s string) (Lang, error) {
 // versions are swept out of the LRU as the version advances.
 type Querier struct {
 	store   *triplestore.Store
+	sharded *triplestore.ShardedStore // non-nil when built by NewSharded
 	rel     string
 	engOpts []engine.Option
 
@@ -127,6 +128,19 @@ func New(s *triplestore.Store, opts ...Option) *Querier {
 	return q
 }
 
+// NewSharded returns a Querier over a sharded store: per store version
+// it snapshots the ShardedStore (union and partitions at one instant)
+// and routes queries through the partition-parallel engine; everything
+// else — languages, plan cache, stale sweeps — works exactly as with
+// New. A single-shard store transparently degrades to the flat engine.
+func NewSharded(ss *triplestore.ShardedStore, opts ...Option) *Querier {
+	q := New(ss.Store, opts...)
+	if ss.NumShards() > 1 {
+		q.sharded = ss
+	}
+	return q
+}
+
 // Engine returns the execution engine for the store's current version.
 // The engine is bound to an immutable Snapshot of the store; once the
 // store is mutated, a later Engine (or Query) call returns a fresh
@@ -142,16 +156,37 @@ func (q *Querier) Engine() *engine.Engine {
 // live store has moved on. Callers hold q.mu.
 func (q *Querier) engineLocked() *engine.Engine {
 	if v := q.store.Version(); q.eng == nil || q.engVer != v {
-		snap := q.store.Snapshot()
-		q.eng = engine.New(snap, q.engOpts...)
-		q.engVer = snap.Version()
+		if q.sharded != nil {
+			snap := q.sharded.Snapshot()
+			q.eng = engine.NewSharded(snap, q.engOpts...)
+			q.engVer = snap.Version()
+		} else {
+			snap := q.store.Snapshot()
+			q.eng = engine.New(snap, q.engOpts...)
+			q.engVer = snap.Version()
+		}
 		q.stats.StaleEvictions += uint64(q.cache.sweep(q.engVer))
 	}
 	return q.eng
 }
 
-// Store returns the live store the Querier snapshots from.
-func (q *Querier) Store() *triplestore.Store { return q.store }
+// Store returns the live store the Querier snapshots from (for a
+// sharded Querier, the union view of the ShardedStore). Observing the
+// store is also a sweep point: when the version has advanced since the
+// last snapshot, plans cached for the dead version are removed now —
+// previously that happened only on the next compile, so a Querier whose
+// store was mutated and then only observed kept dead plans squatting in
+// the LRU.
+func (q *Querier) Store() *triplestore.Store {
+	q.mu.Lock()
+	if q.eng != nil {
+		if v := q.store.Version(); v != q.engVer {
+			q.stats.StaleEvictions += uint64(q.cache.sweep(v))
+		}
+	}
+	q.mu.Unlock()
+	return q.store
+}
 
 // Relation returns the relation name queries are compiled against.
 func (q *Querier) Relation() string { return q.rel }

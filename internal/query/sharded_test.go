@@ -1,0 +1,232 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/genstore"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// TestShardedQuerierDifferential routes every language through a
+// sharded Querier and pins the results byte-identical to a flat Querier
+// over the same data.
+func TestShardedQuerierDifferential(t *testing.T) {
+	s := genstore.Grid(6, 6)
+	flat := New(s, WithRelation(genstore.RelE))
+	ss := triplestore.Shard(s, 4)
+	sharded := NewSharded(ss, WithRelation(genstore.RelE))
+	if sharded.Engine().Sharded() == nil {
+		t.Fatal("sharded Querier built a flat engine")
+	}
+
+	cases := []struct {
+		lang Lang
+		src  string
+	}{
+		{LangTriAL, "E"},
+		{LangTriAL, "join[1,2,3'; 3=1'](E, E)"},
+		{LangTriAL, "rstar[1,2,3'; 3=1',1!=3'](E)"},
+		{LangRPQ, "(right.down)*"},
+		{LangGXPath, "(right u down)*"},
+		{LangNSPARQL, "next::right/next::down"},
+		{LangNRE, "(right)*"},
+	}
+	for _, c := range cases {
+		want, err := flat.Query(c.lang, c.src)
+		if err != nil {
+			t.Fatalf("%s %q: flat: %v", c.lang, c.src, err)
+		}
+		got, err := sharded.Query(c.lang, c.src)
+		if err != nil {
+			t.Fatalf("%s %q: sharded: %v", c.lang, c.src, err)
+		}
+		if gw, gg := s.FormatRelation(want), s.FormatRelation(got); gw != gg {
+			t.Errorf("%s %q diverges: flat %d vs sharded %d triples",
+				c.lang, c.src, want.Len(), got.Len())
+		}
+	}
+}
+
+// TestShardedQuerierPicksEnginePerVersion pins the transparent routing:
+// after a mutation the sharded Querier re-snapshots and the fresh engine
+// still carries the partition-parallel executor at the new version.
+func TestShardedQuerierPicksEnginePerVersion(t *testing.T) {
+	ss := triplestore.NewShardedStore(4)
+	ss.Add("E", "a", "p", "b")
+	q := NewSharded(ss)
+	e1 := q.Engine()
+	if e1.Sharded() == nil || !e1.Store().IsSnapshot() {
+		t.Fatal("first engine is not a sharded snapshot engine")
+	}
+	ss.Add("E", "b", "p", "c")
+	e2 := q.Engine()
+	if e2 == e1 {
+		t.Fatal("engine not refreshed after version change")
+	}
+	if e2.Sharded() == nil {
+		t.Fatal("refreshed engine lost the sharded executor")
+	}
+	if e2.Store().Version() != ss.Version() {
+		t.Errorf("engine version %d, store version %d", e2.Store().Version(), ss.Version())
+	}
+	// Single-shard stores transparently degrade to the flat engine.
+	one := NewSharded(triplestore.Shard(genstore.Chain(4, 1), 1))
+	if one.Engine().Sharded() != nil {
+		t.Error("single-shard Querier built a sharded engine")
+	}
+}
+
+// TestStaleSweepOnStoreObservation is the regression test for the sweep
+// gap: plans cached for a dead version used to survive until the next
+// compile (miss/put); observing the store through Store() after a
+// version change must now sweep them too.
+func TestStaleSweepOnStoreObservation(t *testing.T) {
+	s := genstore.Chain(6, 1)
+	q := New(s, WithRelation(genstore.RelE))
+	queries := []string{"E", "join[1,3',3; 2=1'](E, E)"}
+	for _, src := range queries {
+		if _, err := q.Query(LangTriAL, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := q.Stats(); st.Size != len(queries) || st.StaleEvictions != 0 {
+		t.Fatalf("warm cache: %+v", st)
+	}
+
+	s.Add(genstore.RelE, "z0", "a", "z1")
+
+	// No query in between: the observation alone must sweep.
+	if got := q.Store(); got != s {
+		t.Fatalf("Store() returned %p, want %p", got, s)
+	}
+	st := q.Stats()
+	if st.StaleEvictions != uint64(len(queries)) {
+		t.Errorf("StaleEvictions after Store() = %d, want %d", st.StaleEvictions, len(queries))
+	}
+	if st.Size != 0 {
+		t.Errorf("cache Size after Store() sweep = %d, want 0", st.Size)
+	}
+
+	// The sweep is idempotent and does not double-count on the next miss.
+	q.Store()
+	if _, err := q.Query(LangTriAL, "E"); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.StaleEvictions != uint64(len(queries)) {
+		t.Errorf("StaleEvictions double-counted: %d, want %d", st.StaleEvictions, len(queries))
+	}
+
+	// Before any engine exists, Store() must not sweep (nothing cached).
+	fresh := New(genstore.Chain(3, 1))
+	fresh.Store()
+	if st := fresh.Stats(); st.StaleEvictions != 0 {
+		t.Errorf("fresh Querier swept %d entries", st.StaleEvictions)
+	}
+}
+
+// TestShardedBulkIngestDuringEvaluate is the batch-boundary consistency
+// race test on a ShardedStore: ApplyBatch batches land while concurrent
+// queries run through the sharded Querier (run with -race); every result
+// must sit on a batch boundary, and the final state must match.
+func TestShardedBulkIngestDuringEvaluate(t *testing.T) {
+	const batchSize, nBatches = 5, 24
+	ss := triplestore.NewShardedStore(4)
+	ss.Add("E", "a", "p", "b")
+	base := ss.Size()
+	q := NewSharded(ss, WithRelation("E"))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < nBatches; b++ {
+			ops := make([]triplestore.Op, batchSize)
+			for i := range ops {
+				ops[i] = triplestore.Op{Rel: "E", S: fmt.Sprintf("s%d-%d", b, i), P: "p", O: "b"}
+			}
+			if _, err := ss.ApplyBatch(ops); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := q.Query(LangTriAL, "E")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if extra := res.Len() - base; extra < 0 || extra%batchSize != 0 {
+					t.Errorf("scan saw %d triples: not on a batch boundary (base %d, batch %d)",
+						res.Len(), base, batchSize)
+					return
+				}
+				// A joined query must also be pinned to one snapshot.
+				if _, err := q.Query(LangTriAL, "join[1,2,3'; 3=1'](E, E)"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res, err := q.Query(LangTriAL, "E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base + batchSize*nBatches; res.Len() != want {
+		t.Errorf("final scan = %d triples, want %d", res.Len(), want)
+	}
+}
+
+// TestShardedDifferentialOnMutatedStore pins the sharded Querier to the
+// reference Evaluator across interleaved writes, batches and deletes.
+func TestShardedDifferentialOnMutatedStore(t *testing.T) {
+	ss := triplestore.Shard(genstore.Chain(8, 2), 4)
+	q := NewSharded(ss, WithRelation(genstore.RelE))
+	srcs := []string{"E", "join[1,3',3; 2=1'](E, E)", "rstar[1,2,3'; 3=1',1!=3'](E)"}
+
+	check := func(label string) {
+		t.Helper()
+		for _, src := range srcs {
+			x, err := trial.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := trial.NewEvaluator(ss.Store).Eval(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := q.Query(LangTriAL, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gw, gg := ss.FormatRelation(want), ss.FormatRelation(got); gw != gg {
+				t.Errorf("%s: %q diverges:\nevaluator:\n%squerier:\n%s", label, src, gw, gg)
+			}
+		}
+	}
+
+	check("initial")
+	ss.Add(genstore.RelE, "x1", "a", "x2")
+	check("after add")
+	if _, err := ss.ApplyBatch([]triplestore.Op{
+		{Rel: genstore.RelE, S: "x2", P: "a", O: "x3"},
+		{Rel: genstore.RelE, S: "x3", P: "b", O: "x1"},
+		{Delete: true, Rel: genstore.RelE, S: "x1", P: "a", O: "x2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check("after batch")
+	ss.Remove(genstore.RelE, "x3", "b", "x1")
+	check("after remove")
+}

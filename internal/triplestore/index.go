@@ -100,6 +100,16 @@ func BuildIndex(r *Relation, perm Perm) *Index {
 	return &Index{perm: perm, triples: ts}
 }
 
+// IndexTriples materializes an access path over an arbitrary triple
+// slice (which is not modified). The sharded executor uses it to index
+// runtime partitions of derived relations — star bases and other
+// intermediate results that no Relation caches an index for.
+func IndexTriples(ts []Triple, perm Perm) *Index {
+	sorted := append([]Triple(nil), ts...)
+	sort.Slice(sorted, func(i, j int) bool { return perm.key(sorted[i]).Less(perm.key(sorted[j])) })
+	return &Index{perm: perm, triples: sorted}
+}
+
 // withAdded returns a new Index that additionally covers t (which must
 // not already be present). The receiver is not modified, so an Index
 // captured by a snapshot or an in-flight query stays consistent.
