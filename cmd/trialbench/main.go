@@ -22,6 +22,14 @@
 //	                            # with GOMAXPROCS=1 there are no cores
 //	                            # for the shards to use, so the gate is
 //	                            # reported but not enforced)
+//	trialbench -json -trace     # additionally dump the execution span
+//	                            # tree of every workload below 1.0x
+//	                            # speedup — per-operator timings show
+//	                            # where the engine's time went
+//
+// Each workload's JSON record carries an "operator_ms" breakdown: the
+// exclusive per-operator milliseconds of one traced engine run
+// (internal/obs spans), measured after the timed runs.
 package main
 
 import (
@@ -45,11 +53,12 @@ func main() {
 		minSpeedup = flag.Float64("min-speedup", 0, "with -json: fail unless every gated (reachability) workload reaches this engine speedup")
 		shards     = flag.Int("shards", triplestore.DefaultShards, "with -json: shard count for the flat-vs-sharded workloads (<= 1 skips them)")
 		minSharded = flag.Float64("min-sharded-speedup", 0, "with -json: fail unless every gated sharded star workload reaches this speedup over the flat engine (multi-core hosts only)")
+		trace      = flag.Bool("trace", false, "with -json: dump the execution span tree of every workload below 1.0x speedup (where the time went)")
 	)
 	flag.Parse()
 	var err error
 	if *jsonBench {
-		err = runJSON(*out, *minSpeedup, *shards, *minSharded)
+		err = runJSON(*out, *minSpeedup, *shards, *minSharded, *trace)
 	} else {
 		err = run(*exp, *all, *format)
 	}
@@ -61,7 +70,7 @@ func main() {
 
 // runJSON measures the benchmark workloads, writes the report, and
 // enforces the regression gates.
-func runJSON(out string, minSpeedup float64, shards int, minSharded float64) error {
+func runJSON(out string, minSpeedup float64, shards int, minSharded float64, trace bool) error {
 	rep, err := experiments.RunBenchJSON(shards)
 	if err != nil {
 		return err
@@ -89,6 +98,16 @@ func runJSON(out string, minSpeedup float64, shards int, minSharded float64) err
 		}
 		fmt.Fprintf(os.Stderr, "%-20s %-10s lang=%-8s %8d triples -> %8d  speedup %.2fx%s%s\n",
 			b.Name, b.Family, b.Lang, b.Triples, b.ResultSize, b.Speedup, gate, vs)
+		// -trace: for a workload that lost to its baseline, show WHERE
+		// the engine spent the time (the social-join class of question).
+		if trace && b.Speedup < 1.0 {
+			if sp := rep.Trace(b.Name); sp != nil {
+				fmt.Fprintf(os.Stderr, "  trace (%s below 1.0x):\n", b.Name)
+				for _, line := range strings.Split(strings.TrimSuffix(sp.Tree(), "\n"), "\n") {
+					fmt.Fprintf(os.Stderr, "    %s\n", line)
+				}
+			}
+		}
 	}
 	if minSpeedup > 0 {
 		if got := rep.MinGatedSpeedup(); got < minSpeedup {

@@ -28,7 +28,7 @@ func TestRunBadFormat(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
-	if err := runJSON(path, 0, 4, 0); err != nil {
+	if err := runJSON(path, 0, 4, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -38,10 +38,11 @@ func TestRunJSON(t *testing.T) {
 	var rep struct {
 		GoVersion string `json:"go_version"`
 		Workloads []struct {
-			Name    string  `json:"name"`
-			Family  string  `json:"family"`
-			Speedup float64 `json:"speedup"`
-			Shards  int     `json:"shards"`
+			Name       string             `json:"name"`
+			Family     string             `json:"family"`
+			Speedup    float64            `json:"speedup"`
+			Shards     int                `json:"shards"`
+			OperatorMs map[string]float64 `json:"operator_ms"`
 		} `json:"workloads"`
 	}
 	if err := json.Unmarshal(data, &rep); err != nil {
@@ -58,6 +59,9 @@ func TestRunJSON(t *testing.T) {
 				t.Errorf("%s: shards = %d, want 4", w.Name, w.Shards)
 			}
 		}
+		if len(w.OperatorMs) == 0 {
+			t.Errorf("%s: no operator_ms breakdown", w.Name)
+		}
 	}
 	if sharded == 0 {
 		t.Error("report has no sharded flat-vs-partitioned workloads")
@@ -66,7 +70,7 @@ func TestRunJSON(t *testing.T) {
 
 func TestRunJSONGate(t *testing.T) {
 	// An absurd threshold must trip the regression gate.
-	if err := runJSON(filepath.Join(t.TempDir(), "b.json"), 1e9, 1, 0); err == nil {
+	if err := runJSON(filepath.Join(t.TempDir(), "b.json"), 1e9, 1, 0, false); err == nil {
 		t.Error("min-speedup 1e9 should fail the gate")
 	}
 }
@@ -75,7 +79,7 @@ func TestRunJSONShardedGate(t *testing.T) {
 	// An impossible sharded threshold must trip the gate on multi-core
 	// hosts; a single-core host has no cores for the shards to use, so
 	// the gate reports and skips there instead of failing.
-	err := runJSON(filepath.Join(t.TempDir(), "c.json"), 0, 2, 1e9)
+	err := runJSON(filepath.Join(t.TempDir(), "c.json"), 0, 2, 1e9, false)
 	if runtime.GOMAXPROCS(0) <= 1 {
 		if err != nil {
 			t.Fatalf("single-core host must skip the sharded gate, got: %v", err)

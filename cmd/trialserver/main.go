@@ -32,6 +32,9 @@
 //	                           reports the full result size)
 //	    &explain=1             prepend the physical plan as comments
 //	                           (text format only)
+//	    &trace=1               record a per-operator execution trace;
+//	                           text format appends it as comments, json
+//	                           appends a final {"trace": ...} line
 //	POST /query                body is the expression (same parameters)
 //	POST /triples              ingest triples: a single JSON object
 //	                           {"s":..,"p":..,"o":..[,"rel":..]} or an
@@ -39,16 +42,27 @@
 //	                           optional "op":"delete" deletes instead);
 //	                           applied as one atomic batch
 //	DELETE /triples            same body formats; every line deletes
-//	GET /explain?q=EXPR&lang=L the physical plan only
+//	GET /explain?q=EXPR&lang=L the physical plan only; &trace=1 also
+//	                           executes and appends the measured operator
+//	                           tree
 //	GET /stats                 store, runtime, ingest and plan-cache counters
+//	GET /metrics               Prometheus text exposition (internal/obs)
+//	GET /debug/queries         recent queries from the slow-query ring
+//	                           buffer (see -slow-ms, -slowlog)
 //	GET /healthz               liveness probe
+//
+// With -pprof the net/http/pprof profiling handlers are mounted under
+// /debug/pprof/.
 //
 // The full result size is reported in the X-Trial-Result-Size response
 // header and, for format=text, a trailing "# N triples" comment.
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes and
+// in-flight requests drain for up to -drain before the process exits.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -56,16 +70,19 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
-	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fixtures"
 	"repro/internal/genstore"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/triplestore"
 )
@@ -80,6 +97,11 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for parallel operators")
 		cache   = flag.Int("cache", query.DefaultCacheSize, "plan-cache capacity (compiled plans kept; 0 disables)")
 		shards  = flag.Int("shards", 1, "hash-partition the store by subject into this many shards and execute partition-parallel (1 = flat store)")
+
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		slowCap = flag.Int("slowlog", 128, "slow-query ring-buffer capacity (/debug/queries)")
+		slowMs  = flag.Int("slow-ms", 0, "only log queries at or above this latency in milliseconds (0 = log every query)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	)
 	flag.Parse()
 	store, desc, err := buildStore(*data, *rel, *fixture, *n)
@@ -87,13 +109,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trialserver:", err)
 		os.Exit(1)
 	}
-	srv := newServer(store, *workers, *rel, *cache, *shards)
+	srv := newServer(store, *workers, *rel, *cache, *shards,
+		withSlowLog(*slowCap, time.Duration(*slowMs)*time.Millisecond),
+		withPprof(*pprofOn))
 	if srv.sharded != nil {
 		desc = fmt.Sprintf("%s, %d shards", desc, srv.sharded.NumShards())
 	}
 	log.Printf("trialserver: serving %s (%d objects, %d triples) on %s",
 		desc, store.NumObjects(), store.Size(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
+	// drain in-flight requests (bounded by -drain) before exiting, so a
+	// streaming query or an ingest batch racing the signal completes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills the process immediately
+		log.Printf("trialserver: shutting down (draining up to %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("trialserver: shutdown: %v", err)
+		}
+	}
 }
 
 func buildStore(data, rel, fixture string, n int) (*triplestore.Store, string, error) {
@@ -146,20 +190,43 @@ type server struct {
 	// sharded is non-nil when the store is hash-partitioned (-shards > 1):
 	// ingest must then go through it so the partitions stay in lockstep
 	// with the union, and queries run partition-parallel.
-	sharded  *triplestore.ShardedStore
-	q        *query.Querier
-	workers  int
-	mux      *http.ServeMux
-	start    time.Time
-	nQuery   atomic.Int64
-	nBatches atomic.Int64
-	nAdded   atomic.Int64
-	nRemoved atomic.Int64
+	sharded *triplestore.ShardedStore
+	q       *query.Querier
+	workers int
+	mux     *http.ServeMux
+	start   time.Time
+	m       *serverMetrics
+	slow    *obs.SlowLog
 }
 
-func newServer(store *triplestore.Store, workers int, rel string, cacheSize, shards int) *server {
+// serverOption configures optional server behavior; the positional
+// newServer parameters stay as the tests use them.
+type serverOption func(*serverConfig)
+
+type serverConfig struct {
+	slowCap   int
+	threshold time.Duration
+	pprofOn   bool
+}
+
+// withSlowLog sizes the slow-query ring buffer and sets the latency
+// threshold below which queries are not logged (0 logs every query).
+func withSlowLog(capacity int, threshold time.Duration) serverOption {
+	return func(c *serverConfig) { c.slowCap, c.threshold = capacity, threshold }
+}
+
+// withPprof mounts net/http/pprof under /debug/pprof/.
+func withPprof(on bool) serverOption {
+	return func(c *serverConfig) { c.pprofOn = on }
+}
+
+func newServer(store *triplestore.Store, workers int, rel string, cacheSize, shards int, opts ...serverOption) *server {
 	if workers < 1 {
 		workers = 1
+	}
+	cfg := serverConfig{slowCap: 128}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	qopts := []query.Option{
 		query.WithRelation(rel),
@@ -171,6 +238,7 @@ func newServer(store *triplestore.Store, workers int, rel string, cacheSize, sha
 		workers: workers,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+		slow:    obs.NewSlowLog(cfg.slowCap, cfg.threshold),
 	}
 	if shards > 1 {
 		s.sharded = triplestore.Shard(store, shards)
@@ -178,12 +246,28 @@ func newServer(store *triplestore.Store, workers int, rel string, cacheSize, sha
 	} else {
 		s.q = query.New(store, qopts...)
 	}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/query", methods(s.handleQuery, http.MethodGet, http.MethodPost))
-	s.mux.HandleFunc("/triples", methods(s.handleTriples, http.MethodPost, http.MethodDelete))
-	s.mux.HandleFunc("/explain", methods(s.handleExplain, http.MethodGet))
-	s.mux.HandleFunc("/stats", methods(s.handleStats, http.MethodGet))
-	s.mux.HandleFunc("/healthz", methods(s.handleHealthz, http.MethodGet))
+	s.m = newServerMetrics(s.q, store, s.sharded, s.slow, s.start)
+
+	handle := func(route string, h http.HandlerFunc, allowed ...string) {
+		s.mux.HandleFunc(route, s.m.instrument(route, methods(h, allowed...)))
+	}
+	s.mux.HandleFunc("/", s.m.instrument("/", s.handleIndex))
+	handle("/query", s.handleQuery, http.MethodGet, http.MethodPost)
+	handle("/triples", s.handleTriples, http.MethodPost, http.MethodDelete)
+	handle("/explain", s.handleExplain, http.MethodGet)
+	handle("/stats", s.handleStats, http.MethodGet)
+	handle("/metrics", s.handleMetrics, http.MethodGet)
+	handle("/debug/queries", s.handleDebugQueries, http.MethodGet)
+	handle("/healthz", s.handleHealthz, http.MethodGet)
+	if cfg.pprofOn {
+		// Registered on this mux explicitly; the pprof import's
+		// DefaultServeMux side effect is never served.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -299,12 +383,33 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	result, err := s.q.Query(lang, q)
+
+	traced := r.URL.Query().Get("trace") == "1"
+	start := time.Now()
+	var result *triplestore.Relation
+	var sp *obs.Span
+	if traced {
+		result, sp, err = s.q.QueryTrace(lang, q)
+	} else {
+		result, err = s.q.Query(lang, q)
+	}
+	dur := time.Since(start)
+	s.m.observeQuery(lang, dur, err)
+	rec := obs.QueryRecord{
+		Time:     start,
+		Lang:     string(lang),
+		Source:   q,
+		Duration: dur,
+		Trace:    sp,
+	}
 	if err != nil {
+		rec.Err = err.Error()
+		s.slow.Record(rec)
 		s.queryError(w, err)
 		return
 	}
-	s.nQuery.Add(1)
+	rec.ResultSize = result.Len()
+	s.slow.Record(rec)
 
 	w.Header().Set("X-Trial-Result-Size", strconv.Itoa(result.Len()))
 	if format == "json" {
@@ -345,6 +450,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if format == "text" {
 		fmt.Fprintf(bw, "# %d triples\n", result.Len())
+	}
+	if sp != nil {
+		if format == "json" {
+			enc.Encode(map[string]any{"trace": sp})
+		} else {
+			fmt.Fprintf(bw, "# trace:\n")
+			for _, line := range strings.Split(strings.TrimSuffix(sp.Tree(), "\n"), "\n") {
+				fmt.Fprintf(bw, "#   %s\n", line)
+			}
+		}
 	}
 }
 
@@ -401,9 +516,7 @@ func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.nBatches.Add(1)
-	s.nAdded.Add(int64(res.Added))
-	s.nRemoved.Add(int64(res.Removed))
+	s.m.observeBatch(res)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"added":   res.Added,
@@ -432,6 +545,19 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, plan)
+	if r.URL.Query().Get("trace") != "1" {
+		return
+	}
+	// &trace=1: run the query once and append the measured operator tree
+	// (actual cardinalities and timings) under the predicted plan.
+	start := time.Now()
+	_, sp, err := s.q.QueryTrace(lang, q)
+	s.m.observeQuery(lang, time.Since(start), err)
+	if err != nil {
+		fmt.Fprintf(w, "\nexecution failed: %s\n", err)
+		return
+	}
+	fmt.Fprintf(w, "\nexecution trace:\n%s", sp.Tree())
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -445,11 +571,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		shardInfo["per_shard"] = s.sharded.ShardStats()
 	}
 	json.NewEncoder(w).Encode(map[string]any{
-		"shards":     shardInfo,
-		"objects":    s.store.NumObjects(),
-		"triples":    s.store.Size(),
-		"relations":  s.store.RelationNames(),
-		"queries":    s.nQuery.Load(),
+		"shards":    shardInfo,
+		"objects":   s.store.NumObjects(),
+		"triples":   s.store.Size(),
+		"relations": s.store.RelationNames(),
+		// Served-query count from the obs registry: the sum of
+		// trial_queries_total over every language, counting only
+		// successes (the pre-obs server never counted failed queries).
+		"queries":    s.m.queriesTotal.Sum("status", "ok"),
 		"uptime_s":   int(time.Since(s.start).Seconds()),
 		"workers":    s.workers,
 		"languages":  query.Langs(),
@@ -465,15 +594,36 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"version":   s.store.Version(),
 		},
 		// Ingest counters: what arrived through /triples (batches and
-		// the triples they actually changed) ...
+		// the triples they actually changed), read from the same obs
+		// instruments /metrics exports so the two endpoints agree ...
 		"ingest": map[string]any{
-			"batches": s.nBatches.Load(),
-			"added":   s.nAdded.Load(),
-			"removed": s.nRemoved.Load(),
+			"batches": s.m.ingestBatches.Value(),
+			"added":   s.m.ingestTriples.With("added").Value(),
+			"removed": s.m.ingestTriples.With("removed").Value(),
 		},
 		// ... and the store's own lifetime mutation counters, which also
 		// cover writes not made through HTTP (initial load, snapshots).
 		"store_mutations": s.store.MutationStats(),
+	})
+}
+
+// handleMetrics serves the server's obs registry in Prometheus text
+// exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.m.reg.WritePrometheus(w); err != nil {
+		log.Printf("trialserver: /metrics: %v", err)
+	}
+}
+
+// handleDebugQueries serves the slow-query ring buffer, newest first.
+// Records carry the execution trace when the query ran with &trace=1.
+func (s *server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"threshold_ms": float64(s.slow.Threshold().Microseconds()) / 1000,
+		"total":        s.slow.Total(),
+		"queries":      s.slow.Snapshot(),
 	})
 }
 

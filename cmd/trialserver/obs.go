@@ -1,0 +1,186 @@
+package main
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/triplestore"
+)
+
+// serverMetrics is the server's obs registry and the instruments it
+// updates on the hot paths. Everything else on /metrics — plan-cache
+// counters, store and shard gauges — is exported as callbacks sampling
+// the owning component at scrape time, so there is exactly one source
+// of truth per number and /stats reads the same instruments (the two
+// endpoints cannot drift).
+type serverMetrics struct {
+	reg *obs.Registry
+
+	// Query path. Latency is labeled by language and route (flat vs
+	// sharded executor); outcomes by language and status. Both label
+	// sets are closed (5 languages x fixed statuses), so cardinality is
+	// bounded by construction, not just by the registry cap.
+	queryDur     *obs.HistogramVec // trial_query_duration_seconds{lang,route}
+	queriesTotal *obs.CounterVec   // trial_queries_total{lang,status}
+
+	// Ingest path.
+	ingestBatchSize *obs.Histogram  // trial_ingest_batch_triples
+	ingestBatches   *obs.Counter    // trial_ingest_batches_total
+	ingestTriples   *obs.CounterVec // trial_ingest_triples_total{op}
+
+	// HTTP tier.
+	httpInFlight *obs.Gauge      // trial_http_in_flight
+	httpRequests *obs.CounterVec // trial_http_requests_total{route,class}
+
+	route string // "flat" or "sharded", the executor this server runs
+}
+
+// newServerMetrics builds the registry for one server instance (tests
+// scrape in isolation) and registers the callback-backed families.
+func newServerMetrics(q *query.Querier, store *triplestore.Store,
+	sharded *triplestore.ShardedStore, slow *obs.SlowLog, start time.Time) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		queryDur: reg.HistogramVec("trial_query_duration_seconds",
+			"query latency by language and executor route", obs.DurationBuckets(), "lang", "route"),
+		queriesTotal: reg.CounterVec("trial_queries_total",
+			"queries served by language and status", "lang", "status"),
+		ingestBatchSize: reg.Histogram("trial_ingest_batch_triples",
+			"triples changed per ingest batch", obs.SizeBuckets()),
+		ingestBatches: reg.Counter("trial_ingest_batches_total",
+			"ingest batches applied through /triples"),
+		ingestTriples: reg.CounterVec("trial_ingest_triples_total",
+			"triples changed through /triples by operation", "op"),
+		httpInFlight: reg.Gauge("trial_http_in_flight",
+			"HTTP requests currently being served"),
+		httpRequests: reg.CounterVec("trial_http_requests_total",
+			"HTTP requests by route and status class", "route", "class"),
+		route: "flat",
+	}
+	if sharded != nil {
+		m.route = "sharded"
+	}
+
+	// Plan cache: counters owned by the Querier, sampled at scrape time.
+	reg.CounterFunc("trial_plan_cache_hits_total", "plan-cache hits",
+		func() uint64 { return q.Stats().Hits })
+	reg.CounterFunc("trial_plan_cache_misses_total", "plan-cache misses",
+		func() uint64 { return q.Stats().Misses })
+	reg.CounterFunc("trial_plan_cache_evictions_total",
+		"plans evicted by capacity pressure or store-version death",
+		func() uint64 { return q.Stats().Evictions }, "reason", "capacity")
+	reg.CounterFunc("trial_plan_cache_evictions_total", "",
+		func() uint64 { return q.Stats().StaleEvictions }, "reason", "stale")
+	reg.GaugeFunc("trial_plan_cache_size", "compiled plans currently cached",
+		func() float64 { return float64(q.Stats().Size) })
+	reg.GaugeFunc("trial_plan_cache_capacity", "plan-cache capacity",
+		func() float64 { return float64(q.Stats().Capacity) })
+
+	// Store: version and size gauges, lifetime mutation counters.
+	reg.GaugeFunc("trial_store_version", "store version (each ingest batch advances it once)",
+		func() float64 { return float64(store.Version()) })
+	reg.GaugeFunc("trial_store_triples", "triples in the store",
+		func() float64 { return float64(store.Size()) })
+	reg.GaugeFunc("trial_store_objects", "interned objects in the store",
+		func() float64 { return float64(store.NumObjects()) })
+	reg.CounterFunc("trial_store_stats_refreshes_total",
+		"per-relation statistics snapshot rebuilds",
+		func() uint64 { return store.StatsRefreshes() })
+	reg.CounterFunc("trial_store_mutations_total", "triples actually inserted or deleted, lifetime",
+		func() uint64 { return store.MutationStats().Adds }, "op", "added")
+	reg.CounterFunc("trial_store_mutations_total", "",
+		func() uint64 { return store.MutationStats().Removes }, "op", "removed")
+
+	// Shards: one gauge per partition (bounded by the shard count; the
+	// registry folds anything past MaxCardinality into an overflow
+	// series, so even an absurd -shards cannot blow up the scrape).
+	nShards := 1
+	if sharded != nil {
+		nShards = sharded.NumShards()
+		for i := 0; i < nShards; i++ {
+			shard := i
+			reg.GaugeFunc("trial_shard_triples", "triples per shard (skew bounds the parallel win)",
+				func() float64 { return float64(sharded.ShardStats()[shard].Triples) },
+				"shard", strconv.Itoa(shard))
+		}
+	}
+	reg.GaugeFunc("trial_shards", "shard count (1 = flat store)",
+		func() float64 { return float64(nShards) })
+
+	reg.GaugeFunc("trial_uptime_seconds", "seconds since server start",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.CounterFunc("trial_slowlog_records_total",
+		"queries accepted into the slow-query log, lifetime",
+		func() uint64 { return slow.Total() })
+	return m
+}
+
+// observeQuery records one query's latency and outcome.
+func (m *serverMetrics) observeQuery(lang query.Lang, d time.Duration, err error) {
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	m.queriesTotal.With(string(lang), status).Inc()
+	m.queryDur.With(string(lang), m.route).Observe(d.Seconds())
+}
+
+// observeBatch records one applied ingest batch.
+func (m *serverMetrics) observeBatch(res triplestore.BatchResult) {
+	m.ingestBatches.Inc()
+	m.ingestBatchSize.Observe(float64(res.Added + res.Removed))
+	m.ingestTriples.With("added").Add(uint64(res.Added))
+	m.ingestTriples.With("removed").Add(uint64(res.Removed))
+}
+
+// statusRecorder captures the response status code for the status-class
+// counter, passing Flush through so streamed query results keep
+// flushing.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the HTTP-tier metrics: in-flight
+// gauge and per-route status-class counters. route is the registration
+// pattern, so the label set is exactly the server's route table —
+// user-controlled paths never become label values.
+func (m *serverMetrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.httpInFlight.Inc()
+		defer m.httpInFlight.Dec()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		m.httpRequests.With(route, statusClass(rec.code)).Inc()
+	}
+}
+
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"repro/internal/obs"
 	"repro/internal/trial"
 	"repro/internal/triplestore"
 )
@@ -14,7 +15,7 @@ func (n *universeNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 }
 
 func (n *filterNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
-	in, err := n.child.exec(ctx)
+	in, err := ctx.run(n.child)
 	if err != nil {
 		return nil, err
 	}
@@ -26,11 +27,11 @@ func (n *filterNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 }
 
 func (n *unionNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
-	l, err := n.l.exec(ctx)
+	l, err := ctx.run(n.l)
 	if err != nil {
 		return nil, err
 	}
-	r, err := n.r.exec(ctx)
+	r, err := ctx.run(n.r)
 	if err != nil {
 		return nil, err
 	}
@@ -38,11 +39,11 @@ func (n *unionNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 }
 
 func (n *diffNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
-	l, err := n.l.exec(ctx)
+	l, err := ctx.run(n.l)
 	if err != nil {
 		return nil, err
 	}
-	r, err := n.r.exec(ctx)
+	r, err := ctx.run(n.r)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +51,7 @@ func (n *diffNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 }
 
 func (n *projectNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
-	in, err := n.child.exec(ctx)
+	in, err := ctx.run(n.child)
 	if err != nil {
 		return nil, err
 	}
@@ -63,9 +64,10 @@ func (n *sharedNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 	// Plan execution recurses on the calling goroutine (parallelism lives
 	// inside operators), so the memo needs no lock.
 	if r := ctx.shared[n.slot]; r != nil {
+		ctx.trace.SetAttr("memo", "hit")
 		return r, nil
 	}
-	r, err := n.child.exec(ctx)
+	r, err := ctx.run(n.child)
 	if err != nil {
 		return nil, err
 	}
@@ -98,14 +100,16 @@ func filterRelation(r *triplestore.Relation, cc trial.CompiledCond) *triplestore
 }
 
 func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
-	l, err := n.l.exec(ctx)
+	l, err := ctx.run(n.l)
 	if err != nil {
 		return nil, err
 	}
-	r, err := n.r.exec(ctx)
+	r, err := ctx.run(n.r)
 	if err != nil {
 		return nil, err
 	}
+	ctx.trace.SetAttr("in_left", l.Len())
+	ctx.trace.SetAttr("in_right", r.Len())
 	// Side-only prefilters shrink the probe side (and for hash/loop the
 	// build side) with one check per triple. Indexed sides stay whole:
 	// their access path is the base relation's cached index, and the full
@@ -121,7 +125,7 @@ func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 	case joinIndexRight:
 		probe := n.objKeys[0]
 		if n.shardRels != nil {
-			return ctx.e.shardedIndexJoin(n.shardRels, probeLeft(),
+			return ctx.e.shardedIndexJoin(ctx.trace, n.shardRels, probeLeft(),
 				probe[0].Index(), probe[1].Index(), false, n.cc, n.out), nil
 		}
 		// Build the access path before fanning out: Index mutates the
@@ -142,7 +146,7 @@ func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 			rts = filterSlice(rts, n.rCC)
 		}
 		if n.shardRels != nil {
-			return ctx.e.shardedIndexJoin(n.shardRels, rts,
+			return ctx.e.shardedIndexJoin(ctx.trace, n.shardRels, rts,
 				probe[1].Index(), probe[0].Index(), true, n.cc, n.out), nil
 		}
 		ix := l.Index(triplestore.PermFor(probe[0].Index()))
@@ -194,10 +198,11 @@ func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 // round) with the loop-invariant base, until no new triples appear. The
 // access path over the base is built once, before the first round.
 func (n *starNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
-	base, err := n.child.exec(ctx)
+	base, err := ctx.run(n.child)
 	if err != nil {
 		return nil, err
 	}
+	ctx.trace.SetAttr("in", base.Len())
 	if n.reach != trial.ReachNone {
 		var seed func(triplestore.Triple) bool
 		if n.hasSeed {
@@ -223,7 +228,9 @@ func (n *starNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 	step := n.stepFunc(ctx, joinBase)
 	result := seeds.Clone()
 	delta := seeds
+	rec := newRoundRecorder(ctx.trace, seeds.Len())
 	for delta.Len() > 0 {
+		rec.round(delta.Len())
 		derived := step(delta)
 		next := triplestore.NewRelation()
 		derived.ForEach(func(t triplestore.Triple) {
@@ -233,7 +240,51 @@ func (n *starNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 		})
 		delta = next
 	}
+	rec.done()
 	return result, nil
+}
+
+// maxTracedDeltas bounds how many per-round delta sizes a star span
+// records: deep fixpoints (a 500-chain runs ~500 rounds) would otherwise
+// bloat every trace with an attribute nobody can read.
+const maxTracedDeltas = 32
+
+// roundRecorder accumulates semi-naive round statistics onto a span: the
+// round count and the first maxTracedDeltas per-round delta sizes. All
+// methods are no-ops for an untraced run (nil span), so the fixpoint
+// loops stay branch-cheap.
+type roundRecorder struct {
+	sp     *obs.Span
+	rounds int
+	deltas []int
+}
+
+func newRoundRecorder(sp *obs.Span, seeds int) *roundRecorder {
+	if sp != nil {
+		sp.SetAttr("seeds", seeds)
+	}
+	return &roundRecorder{sp: sp}
+}
+
+func (r *roundRecorder) round(deltaLen int) {
+	if r.sp == nil {
+		return
+	}
+	r.rounds++
+	if len(r.deltas) < maxTracedDeltas {
+		r.deltas = append(r.deltas, deltaLen)
+	}
+}
+
+func (r *roundRecorder) done() {
+	if r.sp == nil {
+		return
+	}
+	r.sp.SetAttr("rounds", r.rounds)
+	if r.rounds > maxTracedDeltas {
+		r.sp.SetAttr("deltas_truncated", true)
+	}
+	r.sp.SetAttr("deltas", r.deltas)
 }
 
 // stepFunc returns the per-round join of the semi-naive iteration. For the

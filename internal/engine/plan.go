@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/trial"
 	"repro/internal/triplestore"
@@ -11,10 +12,12 @@ import (
 
 // planNode is one physical operator. exec computes the operator's result
 // relation; est is the planner's (rough) output-cardinality estimate used
-// to rank join strategies; explain renders the subtree.
+// to rank join strategies; label names the operator kind for execution
+// traces; explain renders the subtree.
 type planNode interface {
 	exec(ctx *execCtx) (*triplestore.Relation, error)
 	est() float64
+	label() string
 	explain(b *strings.Builder, depth int)
 }
 
@@ -22,9 +25,39 @@ type planNode interface {
 // pool, store, universe cache) plus the memo slots for shared
 // subexpressions. A fresh context per Exec keeps plan nodes stateless,
 // which is what makes a Prepared safe for concurrent Exec calls.
+//
+// trace, when non-nil, is the span of the operator currently executing:
+// ctx.run pushes a child span around each node's exec, so operators set
+// attributes (cardinalities, star rounds, per-shard timings) on
+// ctx.trace without knowing their place in the tree. Plan execution
+// recurses on one goroutine, so the push/pop needs no lock; only span
+// methods themselves are called from worker goroutines.
 type execCtx struct {
 	e      *Engine
 	shared []*triplestore.Relation // indexed by sharedNode.slot; nil = not yet computed
+	trace  *obs.Span
+}
+
+// run executes one node, wrapped in a trace span when tracing is on.
+// Every operator records its output cardinality and the planner's
+// estimate, so a trace shows where estimates diverged from reality.
+func (ctx *execCtx) run(n planNode) (*triplestore.Relation, error) {
+	if ctx.trace == nil {
+		return n.exec(ctx)
+	}
+	parent := ctx.trace
+	sp := parent.StartChild(n.label())
+	ctx.trace = sp
+	r, err := n.exec(ctx)
+	ctx.trace = parent
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	} else if r != nil {
+		sp.SetAttr("out", r.Len())
+		sp.SetAttr("est", int(n.est()))
+	}
+	sp.End()
+	return r, err
 }
 
 // compiledPlan is the product of planning: the operator tree, the number
@@ -38,11 +71,18 @@ type compiledPlan struct {
 
 // exec runs the plan once with a fresh execution context.
 func (p *compiledPlan) exec(e *Engine) (*triplestore.Relation, error) {
-	ctx := &execCtx{e: e}
+	return p.execTrace(e, nil)
+}
+
+// execTrace runs the plan once, attaching one span per operator under
+// sp when it is non-nil. The untraced path costs one nil check per
+// operator.
+func (p *compiledPlan) execTrace(e *Engine, sp *obs.Span) (*triplestore.Relation, error) {
+	ctx := &execCtx{e: e, trace: sp}
 	if p.nShared > 0 {
 		ctx.shared = make([]*triplestore.Relation, p.nShared)
 	}
-	return p.root.exec(ctx)
+	return ctx.run(p.root)
 }
 
 // explainString renders the rewrite trace followed by the physical plan.
@@ -583,6 +623,37 @@ func (n *sharedNode) est() float64   { return n.child.est() }
 func (n *joinNode) est() float64     { return n.rows }
 func (n *starNode) est() float64     { return n.rows }
 
+// label names the operator kind for trace spans. The name is the stable
+// aggregation key of the per-operator breakdowns (obs.Span.SelfTimes),
+// so it carries the physical variant (join strategy, star access path)
+// but no per-query detail.
+func (n *scanNode) label() string     { return "scan" }
+func (n *universeNode) label() string { return "universe" }
+func (n *filterNode) label() string   { return "filter" }
+func (n *unionNode) label() string    { return "union" }
+func (n *diffNode) label() string     { return "diff" }
+func (n *projectNode) label() string  { return "project" }
+func (n *sharedNode) label() string   { return "shared" }
+func (n *joinNode) label() string     { return "join:" + n.strategy.String() }
+func (n *starNode) label() string     { return "star:" + n.access() }
+
+// access names the star's evaluation mode, shared by explain and trace
+// labels.
+func (n *starNode) access() string {
+	switch {
+	case n.reach == trial.ReachAny:
+		return "bfs-reach"
+	case n.reach == trial.ReachSameLabel:
+		return "bfs-reach-same-label"
+	case n.shardedN > 0:
+		return fmt.Sprintf("semi-naive delta-index sharded(%d)", n.shardedN)
+	case len(n.objKeys) > 0:
+		return "semi-naive delta-index"
+	default:
+		return "semi-naive delta-loop"
+	}
+}
+
 func indent(b *strings.Builder, depth int) {
 	for i := 0; i < depth; i++ {
 		b.WriteString("  ")
@@ -663,19 +734,7 @@ func (n *starNode) explain(b *strings.Builder, depth int) {
 	if n.left {
 		name = "lstar"
 	}
-	var access string
-	switch {
-	case n.reach == trial.ReachAny:
-		access = "bfs-reach"
-	case n.reach == trial.ReachSameLabel:
-		access = "bfs-reach-same-label"
-	case n.shardedN > 0:
-		access = fmt.Sprintf("semi-naive delta-index sharded(%d)", n.shardedN)
-	case len(n.objKeys) > 0:
-		access = "semi-naive delta-index"
-	default:
-		access = "semi-naive delta-loop"
-	}
+	access := n.access()
 	cond := n.cond.String()
 	if cond != "" {
 		cond = "; " + cond

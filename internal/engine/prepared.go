@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/trial"
 	"repro/internal/triplestore"
@@ -34,6 +35,16 @@ func (e *Engine) Prepare(x trial.Expr) (*Prepared, error) {
 // Exec computes the relation of the prepared expression.
 func (p *Prepared) Exec() (*triplestore.Relation, error) {
 	return p.plan.exec(p.e)
+}
+
+// ExecTrace computes the relation, recording one child span per
+// physical operator under sp: operator kind (join strategy, star access
+// path), planner estimate vs. actual output cardinality, join input
+// sizes, semi-naive round counts with per-round delta sizes, and
+// per-shard task timings on the partition-parallel paths. A nil sp runs
+// exactly like Exec.
+func (p *Prepared) ExecTrace(sp *obs.Span) (*triplestore.Relation, error) {
+	return p.plan.execTrace(p.e, sp)
 }
 
 // Expr returns the expression the plan was prepared from (as written,

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trial"
 	"repro/internal/triplestore"
 )
@@ -114,29 +116,88 @@ func probeIndex(probe []triplestore.Triple, ix *triplestore.Index, probePos int,
 	return local
 }
 
+// shardTimer captures per-shard wall times for a trace span: timed
+// wraps one shard task (each shard index is written by one goroutine at
+// a time, so the slice needs no lock), attach folds the timings into
+// the span. A nil-span timer is pass-through.
+type shardTimer struct {
+	sp   *obs.Span
+	durs []time.Duration
+}
+
+func newShardTimer(sp *obs.Span, n int) *shardTimer {
+	t := &shardTimer{sp: sp}
+	if sp != nil {
+		t.durs = make([]time.Duration, n)
+	}
+	return t
+}
+
+// timed wraps task so shard i's cumulative wall time lands in durs[i].
+func (t *shardTimer) timed(task func(int) *triplestore.Relation) func(int) *triplestore.Relation {
+	if t.sp == nil {
+		return task
+	}
+	return func(i int) *triplestore.Relation {
+		start := time.Now()
+		r := task(i)
+		t.durs[i] += time.Since(start)
+		return r
+	}
+}
+
+// timedVoid is timed for tasks with no result (forEachShard).
+func (t *shardTimer) timedVoid(task func(int)) func(int) {
+	if t.sp == nil {
+		return task
+	}
+	return func(i int) {
+		start := time.Now()
+		task(i)
+		t.durs[i] += time.Since(start)
+	}
+}
+
+// attach records the per-shard microsecond timings on the span.
+func (t *shardTimer) attach() {
+	if t.sp == nil {
+		return
+	}
+	us := make([]int64, len(t.durs))
+	for i, d := range t.durs {
+		us[i] = d.Microseconds()
+	}
+	t.sp.SetAttr("shard_us", us)
+}
+
 // shardedIndexJoin evaluates an index join against the partitioned base
 // relation: partition-probe when the indexed position is the shard key
 // (subject), broadcast-probe otherwise. parts are the store's shard
 // partitions of the indexed side; probePos/basePos index the key
-// component on the probe and indexed triples.
-func (e *Engine) shardedIndexJoin(parts []*triplestore.Relation, probe []triplestore.Triple,
+// component on the probe and indexed triples. When sp is non-nil the
+// join records its mode and per-shard task timings on it.
+func (e *Engine) shardedIndexJoin(sp *obs.Span, parts []*triplestore.Relation, probe []triplestore.Triple,
 	probePos, basePos int, indexedLeft bool, cc trial.CompiledCond, out [3]trial.Pos) *triplestore.Relation {
 	perm := triplestore.PermFor(basePos)
+	timer := newShardTimer(sp, len(parts))
+	defer timer.attach()
 	if basePos == 0 {
+		sp.SetAttr("shard_mode", "partition-probe")
 		buckets := bucketByPos(e.sharded, probe, probePos)
-		return e.collectShards(len(parts), func(i int) *triplestore.Relation {
+		return e.collectShards(len(parts), timer.timed(func(i int) *triplestore.Relation {
 			if len(buckets[i]) == 0 || parts[i].Len() == 0 {
 				return nil
 			}
 			return probeIndex(buckets[i], parts[i].Index(perm), probePos, indexedLeft, cc, out)
-		})
+		}))
 	}
-	return e.collectShards(len(parts), func(i int) *triplestore.Relation {
+	sp.SetAttr("shard_mode", "broadcast-probe")
+	return e.collectShards(len(parts), timer.timed(func(i int) *triplestore.Relation {
 		if parts[i].Len() == 0 {
 			return nil
 		}
 		return probeIndex(probe, parts[i].Index(perm), probePos, indexedLeft, cc, out)
-	})
+	}))
 }
 
 // execShardedStar runs the partition-parallel semi-naive fixpoint: the
@@ -160,23 +221,27 @@ func (n *starNode) execShardedStar(ctx *execCtx, base, seeds *triplestore.Relati
 	}
 	parts := bucketByPos(ss, base.Slice(), basePos)
 	perm := triplestore.PermFor(basePos)
+	timer := newShardTimer(ctx.trace, len(parts))
+	defer timer.attach()
 	ixs := make([]*triplestore.Index, len(parts))
-	e.forEachShard(len(parts), func(i int) {
+	e.forEachShard(len(parts), timer.timedVoid(func(i int) {
 		if len(parts[i]) > 0 {
 			ixs[i] = triplestore.IndexTriples(parts[i], perm)
 		}
-	})
+	}))
 	result := seeds.Clone()
 	delta := seeds
+	rec := newRoundRecorder(ctx.trace, seeds.Len())
 	for delta.Len() > 0 {
+		rec.round(delta.Len())
 		buckets := bucketByPos(ss, delta.Slice(), deltaPos)
 		locals := make([]*triplestore.Relation, len(parts))
-		e.forEachShard(len(parts), func(i int) {
+		e.forEachShard(len(parts), timer.timedVoid(func(i int) {
 			if len(buckets[i]) == 0 || ixs[i] == nil {
 				return
 			}
 			locals[i] = probeIndex(buckets[i], ixs[i], deltaPos, n.left, n.cc, n.out)
-		})
+		}))
 		next := triplestore.NewRelation()
 		for _, l := range locals {
 			if l == nil {
@@ -190,5 +255,6 @@ func (n *starNode) execShardedStar(ctx *execCtx, base, seeds *triplestore.Relati
 		}
 		delta = next
 	}
+	rec.done()
 	return result
 }

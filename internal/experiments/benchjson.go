@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/genstore"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/trial"
 	"repro/internal/triplestore"
@@ -52,6 +53,11 @@ type BenchResult struct {
 	Gated        bool    `json:"gated"`
 	Baseline     string  `json:"baseline,omitempty"`
 	Shards       int     `json:"shards,omitempty"`
+	// OperatorMs is the engine run's exclusive per-operator time
+	// breakdown (milliseconds, from one traced execution after the
+	// timed ones): where inside the plan the EngineNs actually goes.
+	// Keys are operator span names ("join:index-right", "scan", ...).
+	OperatorMs map[string]float64 `json:"operator_ms,omitempty"`
 }
 
 // BenchReport is the BENCH_engine.json document.
@@ -59,6 +65,40 @@ type BenchReport struct {
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Workloads  []BenchResult `json:"workloads"`
+
+	// traces holds the per-workload span tree from the traced run behind
+	// OperatorMs; trialbench -trace prints them for slow workloads. Not
+	// part of the JSON document (the breakdown is; full trees are bulky).
+	traces map[string]*obs.Span
+}
+
+// Trace returns the execution span tree recorded for a workload, or nil.
+func (r *BenchReport) Trace(name string) *obs.Span { return r.traces[name] }
+
+// record appends a measured workload and its trace to the report.
+func (r *BenchReport) record(res BenchResult, sp *obs.Span) {
+	if sp != nil {
+		res.OperatorMs = selfTimesMs(sp)
+		if r.traces == nil {
+			r.traces = make(map[string]*obs.Span)
+		}
+		r.traces[res.Name] = sp
+	}
+	r.Workloads = append(r.Workloads, res)
+}
+
+// selfTimesMs converts a span tree's exclusive per-operator times to a
+// name -> milliseconds map.
+func selfTimesMs(sp *obs.Span) map[string]float64 {
+	st := sp.SelfTimes()
+	if len(st) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(st))
+	for name, d := range st {
+		out[name] = float64(d.Microseconds()) / 1000
+	}
+	return out
 }
 
 // benchWorkload describes one paired measurement before it runs.
@@ -223,7 +263,13 @@ func RunBenchJSON(shards int) (*BenchReport, error) {
 		if dEng > 0 {
 			speedup = float64(dEval) / float64(dEng)
 		}
-		rep.Workloads = append(rep.Workloads, BenchResult{
+		// One traced run AFTER the timed ones: the breakdown shows where
+		// EngineNs goes without instrumentation polluting the timings.
+		_, sp, err := q.QueryTrace(w.lang, w.source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: traced run: %w", w.name, err)
+		}
+		rep.record(BenchResult{
 			Name:        w.name,
 			Family:      w.family,
 			Lang:        string(w.lang),
@@ -234,45 +280,46 @@ func RunBenchJSON(shards int) (*BenchReport, error) {
 			EngineNs:    dEng.Nanoseconds(),
 			Speedup:     speedup,
 			Gated:       w.gated,
-		})
+		}, sp)
 	}
 	if shards > 1 {
 		for _, w := range shardedWorkloads() {
-			res, err := runShardedWorkload(w, shards)
+			res, sp, err := runShardedWorkload(w, shards)
 			if err != nil {
 				return nil, err
 			}
-			rep.Workloads = append(rep.Workloads, res)
+			rep.record(res, sp)
 		}
 	}
 	return rep, nil
 }
 
 // runShardedWorkload measures one flat-vs-sharded pair, cross-checking
-// the two engines byte-identically first.
-func runShardedWorkload(w shardedWorkload, shards int) (BenchResult, error) {
+// the two engines byte-identically first. The returned span is a traced
+// run of the SHARDED side (the one EngineNs times).
+func runShardedWorkload(w shardedWorkload, shards int) (BenchResult, *obs.Span, error) {
 	x, err := trial.Parse(w.source)
 	if err != nil {
-		return BenchResult{}, fmt.Errorf("%s: parse: %w", w.name, err)
+		return BenchResult{}, nil, fmt.Errorf("%s: parse: %w", w.name, err)
 	}
 	flat, err := engine.New(w.store).Prepare(x)
 	if err != nil {
-		return BenchResult{}, fmt.Errorf("%s: flat prepare: %w", w.name, err)
+		return BenchResult{}, nil, fmt.Errorf("%s: flat prepare: %w", w.name, err)
 	}
 	sharded, err := engine.NewSharded(triplestore.Shard(w.store, shards)).Prepare(x)
 	if err != nil {
-		return BenchResult{}, fmt.Errorf("%s: sharded prepare: %w", w.name, err)
+		return BenchResult{}, nil, fmt.Errorf("%s: sharded prepare: %w", w.name, err)
 	}
 	want, err := flat.Exec()
 	if err != nil {
-		return BenchResult{}, fmt.Errorf("%s: flat: %w", w.name, err)
+		return BenchResult{}, nil, fmt.Errorf("%s: flat: %w", w.name, err)
 	}
 	got, err := sharded.Exec()
 	if err != nil {
-		return BenchResult{}, fmt.Errorf("%s: sharded: %w", w.name, err)
+		return BenchResult{}, nil, fmt.Errorf("%s: sharded: %w", w.name, err)
 	}
 	if !got.Equal(want) {
-		return BenchResult{}, fmt.Errorf("%s: sharded result (%d triples) differs from flat engine (%d)",
+		return BenchResult{}, nil, fmt.Errorf("%s: sharded result (%d triples) differs from flat engine (%d)",
 			w.name, got.Len(), want.Len())
 	}
 	dFlat := timeOp(func() {
@@ -289,6 +336,11 @@ func runShardedWorkload(w shardedWorkload, shards int) (BenchResult, error) {
 	if dSharded > 0 {
 		speedup = float64(dFlat) / float64(dSharded)
 	}
+	sp := obs.StartSpan("execute")
+	if _, err := sharded.ExecTrace(sp); err != nil {
+		return BenchResult{}, nil, fmt.Errorf("%s: traced run: %w", w.name, err)
+	}
+	sp.End()
 	return BenchResult{
 		Name:         w.name,
 		Family:       "sharded",
@@ -302,7 +354,7 @@ func runShardedWorkload(w shardedWorkload, shards int) (BenchResult, error) {
 		Gated:        w.gated,
 		Baseline:     "flat-engine",
 		Shards:       shards,
-	}, nil
+	}, sp, nil
 }
 
 // MinGatedSpeedup returns the smallest speedup among the gated

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text exposition stream and
+// returns every problem found: malformed metric or label names, sample
+// lines that do not parse, TYPE/HELP lines for families that never
+// produce a sample, samples without a preceding TYPE, histograms whose
+// +Inf bucket disagrees with _count, and families whose series count
+// exceeds the label budget (MaxCardinality+1, the cap plus the overflow
+// child). CI scrapes a test server through this, so a malformed or
+// unbounded metric fails the build rather than a dashboard.
+func LintExposition(r io.Reader) []error {
+	var errs []error
+	addErr := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type famState struct {
+		typ     string
+		series  int
+		infSeen map[string]uint64 // labels-sans-le -> +Inf bucket count (histograms)
+		count   map[string]uint64 // labels -> _count value
+	}
+	fams := make(map[string]*famState)
+	stateFor := func(name string) *famState {
+		f, ok := fams[name]
+		if !ok {
+			f = &famState{infSeen: make(map[string]uint64), count: make(map[string]uint64)}
+			fams[name] = f
+		}
+		return f
+	}
+	// base strips the histogram sample suffixes so _bucket/_sum/_count
+	// attribute to their family.
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if f, ok := fams[trimmed]; ok && f.typ == "histogram" {
+					return trimmed
+				}
+			}
+		}
+		return name
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				addErr(lineNo, "malformed comment %q (want # HELP or # TYPE)", line)
+				continue
+			}
+			name := fields[2]
+			if !metricNameRE.MatchString(name) {
+				addErr(lineNo, "invalid metric name %q", name)
+				continue
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					addErr(lineNo, "TYPE line without a type: %q", line)
+					continue
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addErr(lineNo, "unknown metric type %q", fields[3])
+					continue
+				}
+				stateFor(name).typ = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			addErr(lineNo, "malformed sample %q", line)
+			continue
+		}
+		if !metricNameRE.MatchString(name) {
+			addErr(lineNo, "invalid metric name %q", name)
+			continue
+		}
+		for _, l := range labels {
+			if !labelNameRE.MatchString(l.Key) {
+				addErr(lineNo, "invalid label name %q on %s", l.Key, name)
+			}
+		}
+		famName := base(name)
+		f, ok := fams[famName]
+		if !ok || f.typ == "" {
+			addErr(lineNo, "sample %s without a preceding # TYPE", name)
+			f = stateFor(famName)
+		}
+		f.series++
+		if f.typ == "histogram" {
+			key := labelsKeySans(labels, "le")
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le := labelValue(labels, "le"); le == "+Inf" {
+					f.infSeen[key] = uint64(value)
+				}
+			case strings.HasSuffix(name, "_count"):
+				f.count[key] = uint64(value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("read: %w", err))
+	}
+
+	for name, f := range fams {
+		if f.typ != "" && f.series == 0 {
+			errs = append(errs, fmt.Errorf("family %s: TYPE declared but no samples", name))
+		}
+		// Budget: series per family. Histogram children render
+		// len(buckets)+3 lines each, so compare child counts, not lines.
+		children := f.series
+		if f.typ == "histogram" {
+			children = len(f.count)
+		}
+		if children > MaxCardinality+1 {
+			errs = append(errs, fmt.Errorf("family %s: %d series exceeds the label budget of %d",
+				name, children, MaxCardinality+1))
+		}
+		for key, count := range f.count {
+			if inf, ok := f.infSeen[key]; !ok {
+				errs = append(errs, fmt.Errorf("family %s{%s}: histogram without a +Inf bucket", name, key))
+			} else if inf != count {
+				errs = append(errs, fmt.Errorf("family %s{%s}: +Inf bucket %d != _count %d", name, key, inf, count))
+			}
+		}
+	}
+	return errs
+}
+
+// parseSample splits one exposition sample line into name, labels and
+// value. Timestamps (an optional trailing integer) are accepted.
+func parseSample(line string) (name string, labels []Attr, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, false
+	} else if rest[i] == '{' {
+		name = rest[:i]
+		rest = rest[i+1:]
+		end := -1
+		inQuote := false
+		for j := 0; j < len(rest); j++ {
+			switch rest[j] {
+			case '\\':
+				if inQuote {
+					j++
+				}
+			case '"':
+				inQuote = !inQuote
+			case '}':
+				if !inQuote {
+					end = j
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, false
+		}
+		labelStr := rest[:end]
+		rest = strings.TrimSpace(rest[end+1:])
+		var perr bool
+		labels, perr = parseLabels(labelStr)
+		if !perr {
+			return "", nil, 0, false
+		}
+	} else {
+		name = rest[:i]
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, false
+		}
+	}
+	return name, labels, v, true
+}
+
+// parseLabels parses `k1="v1",k2="v2"` (quoted values, Go escaping).
+func parseLabels(s string) ([]Attr, bool) {
+	var out []Attr
+	s = strings.TrimSuffix(strings.TrimSpace(s), ",")
+	if s == "" {
+		return nil, true
+	}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, false
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return nil, false
+		}
+		end := -1
+		for j := 1; j < len(s); j++ {
+			if s[j] == '\\' {
+				j++
+				continue
+			}
+			if s[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return nil, false
+		}
+		val, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, Attr{Key: key, Val: val})
+		s = strings.TrimSpace(s[end+1:])
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, true
+}
+
+// labelsKeySans renders labels minus one key, the identity of a
+// histogram child across its _bucket/_sum/_count series.
+func labelsKeySans(labels []Attr, drop string) string {
+	parts := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l.Key == drop {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%v", l.Key, l.Val))
+	}
+	return strings.Join(parts, ",")
+}
+
+// labelValue returns the value of the named label, or "".
+func labelValue(labels []Attr, key string) string {
+	for _, l := range labels {
+		if l.Key == key {
+			if s, ok := l.Val.(string); ok {
+				return s
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxCardinality bounds the number of distinct label combinations one
+// metric family keeps. The combination created once the cap is reached
+// is the overflow child: every label value reads "other", so runaway
+// labeling degrades into one aggregate series instead of an unbounded
+// scrape (the kube-ovn "reduce metrics labels" failure mode).
+const MaxCardinality = 64
+
+// OverflowLabel is the label value of the overflow child.
+const OverflowLabel = "other"
+
+// Counter is a monotonically increasing integer counter, safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that may go up and down, safe for concurrent
+// use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative) with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+// Buckets are cumulative at render time only; Observe touches exactly
+// one bucket counter plus the sum and count, so concurrent observations
+// never contend on a lock.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    Gauge
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Buckets returns the upper bounds and the cumulative count at each
+// (the +Inf bucket is the final entry with bound +Inf).
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	bounds := make([]float64, len(h.bounds)+1)
+	copy(bounds, h.bounds)
+	bounds[len(h.bounds)] = math.Inf(1)
+	cum := make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return bounds, cum
+}
+
+// ExpBuckets returns n log-spaced bucket upper bounds: start, start*factor,
+// start*factor², … — the log-bucketed shape every duration and size
+// histogram in the repo uses.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: bad ExpBuckets(%g, %g, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets are the default latency buckets in seconds: 100µs to
+// ~26s in factor-4 steps.
+func DurationBuckets() []float64 { return ExpBuckets(100e-6, 4, 10) }
+
+// SizeBuckets are the default size buckets (triples per batch, result
+// cardinalities): 1 to ~262k in factor-4 steps.
+func SizeBuckets() []float64 { return ExpBuckets(1, 4, 10) }
+
+// metric is anything a family can hold as one labeled child.
+type metric interface{}
+
+// child is one label combination of a family.
+type child struct {
+	labelValues []string
+	m           metric
+}
+
+// family is one named metric with a fixed label-key set. Children are
+// keyed by their joined label values and capped at MaxCardinality.
+type family struct {
+	name      string
+	help      string
+	typ       string // "counter", "gauge", "histogram"
+	labelKeys []string
+	buckets   []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]*child
+	newChild func() metric
+}
+
+// childFor returns (creating if needed) the child for the given label
+// values, folding combinations beyond the cardinality cap into the
+// overflow child.
+func (f *family) childFor(labelValues []string) *child {
+	if len(labelValues) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d",
+			f.name, len(f.labelKeys), len(labelValues)))
+	}
+	key := labelKey(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	if len(f.children) >= MaxCardinality {
+		over := make([]string, len(f.labelKeys))
+		for i := range over {
+			over[i] = OverflowLabel
+		}
+		okey := labelKey(over)
+		if c, ok := f.children[okey]; ok {
+			return c
+		}
+		c := &child{labelValues: over, m: f.newChild()}
+		f.children[okey] = c
+		return c
+	}
+	c := &child{labelValues: append([]string(nil), labelValues...), m: f.newChild()}
+	f.children[key] = c
+	return c
+}
+
+// sortedChildren returns the children ordered by label values, the
+// deterministic order WritePrometheus renders.
+func (f *family) sortedChildren() []*child {
+	f.mu.Lock()
+	out := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		out = append(out, c)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return labelKey(out[i].labelValues) < labelKey(out[j].labelValues)
+	})
+	return out
+}
+
+// labelKey joins label values with an unprintable separator so distinct
+// tuples cannot collide.
+func labelKey(values []string) string {
+	s := ""
+	for i, v := range values {
+		if i > 0 {
+			s += "\x00"
+		}
+		s += v
+	}
+	return s
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (one per label
+// key, in declaration order).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.childFor(labelValues).m.(*Counter)
+}
+
+// Sum returns the total over children whose labels match every given
+// key=value constraint (alternating key, value arguments; none sums the
+// whole family). Unknown keys match nothing. This is what lets /stats
+// read the same counters /metrics exports instead of keeping parallel
+// bookkeeping.
+func (v *CounterVec) Sum(constraints ...string) uint64 {
+	if len(constraints)%2 != 0 {
+		panic("obs: CounterVec.Sum wants alternating key, value arguments")
+	}
+	var total uint64
+	for _, c := range v.f.sortedChildren() {
+		if matchLabels(v.f.labelKeys, c.labelValues, constraints) {
+			total += c.m.(*Counter).Value()
+		}
+	}
+	return total
+}
+
+func matchLabels(keys, values, constraints []string) bool {
+	for i := 0; i+1 < len(constraints); i += 2 {
+		ok := false
+		for j, k := range keys {
+			if k == constraints[i] {
+				ok = values[j] == constraints[i+1]
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.childFor(labelValues).m.(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels; every child shares
+// the family's bucket bounds.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.childFor(labelValues).m.(*Histogram)
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	v := r.CounterVec("test_labeled_total", "a labeled counter", "lang")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lang := strconv.Itoa(w % 3)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				v.With(lang).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("Counter.Value = %d, want %d", got, workers*perWorker)
+	}
+	if got := v.Sum(); got != workers*perWorker {
+		t.Errorf("CounterVec.Sum() = %d, want %d", got, workers*perWorker)
+	}
+	if got := v.Sum("lang", "0"); got == 0 || got%perWorker != 0 {
+		t.Errorf("CounterVec.Sum(lang=0) = %d, want a positive multiple of %d", got, perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Dec()
+	if got := g.Value(); got != 3 {
+		t.Errorf("Gauge.Value = %g, want 3", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the boundary convention: a value
+// equal to an upper bound lands in that bucket (le is inclusive), one
+// above it lands in the next, and values beyond every bound land in
+// +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "a histogram", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.0001, 10, 99, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Buckets()
+	wantBounds := []float64{1, 10, 100, math.Inf(1)}
+	if len(bounds) != len(wantBounds) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	for i := range wantBounds {
+		if bounds[i] != wantBounds[i] {
+			t.Errorf("bounds[%d] = %g, want %g", i, bounds[i], wantBounds[i])
+		}
+	}
+	// cumulative: le=1 -> {0.5, 1} = 2; le=10 -> +{1.0001, 10} = 4;
+	// le=100 -> +{99, 100} = 6; +Inf -> all 8.
+	wantCum := []uint64{2, 4, 6, 8}
+	for i := range wantCum {
+		if cum[i] != wantCum[i] {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], wantCum[i])
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("Count = %d, want 8", h.Count())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 4, 4)
+	want := []float64{1, 4, 16, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	if n := len(DurationBuckets()); n != 10 {
+		t.Errorf("DurationBuckets: %d buckets", n)
+	}
+}
+
+// TestCardinalityCap drives a vec past MaxCardinality distinct label
+// values and checks the excess folds into the single overflow child
+// instead of growing the family.
+func TestCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_capped_total", "cap test", "id")
+	for i := 0; i < MaxCardinality+50; i++ {
+		v.With(strconv.Itoa(i)).Inc()
+	}
+	if got := v.f.sortedChildren(); len(got) != MaxCardinality+1 {
+		t.Fatalf("children = %d, want %d (cap + overflow)", len(got), MaxCardinality+1)
+	}
+	if got := v.Sum("id", OverflowLabel); got != 50 {
+		t.Errorf("overflow child = %d, want 50", got)
+	}
+	if got := v.Sum(); got != MaxCardinality+50 {
+		t.Errorf("total = %d, want %d", got, MaxCardinality+50)
+	}
+	// The overflow child must be stable: more new labels keep landing on it.
+	v.With("one-more").Inc()
+	if got := v.Sum("id", OverflowLabel); got != 51 {
+		t.Errorf("overflow child after one more = %d, want 51", got)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition rendering byte-for-byte
+// on a registry with one of everything.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "requests served")
+	c.Add(3)
+	v := r.CounterVec("app_by_lang_total", "per-language requests", "lang")
+	v.With("trial").Add(2)
+	v.With("rpq").Inc()
+	g := r.Gauge("app_temperature", "a gauge")
+	g.Set(36.5)
+	r.GaugeFunc(`app_shard_triples`, "per-shard triples", func() float64 { return 7 }, "shard", "0")
+	h := r.Histogram("app_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_by_lang_total per-language requests
+# TYPE app_by_lang_total counter
+app_by_lang_total{lang="rpq"} 1
+app_by_lang_total{lang="trial"} 2
+# HELP app_latency_seconds latency
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 5.55
+app_latency_seconds_count 3
+# HELP app_requests_total requests served
+# TYPE app_requests_total counter
+app_requests_total 3
+# HELP app_shard_triples per-shard triples
+# TYPE app_shard_triples gauge
+app_shard_triples{shard="0"} 7
+# HELP app_temperature a gauge
+# TYPE app_temperature gauge
+app_temperature 36.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("WritePrometheus mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if errs := LintExposition(strings.NewReader(b.String())); len(errs) != 0 {
+		t.Errorf("golden output fails its own lint: %v", errs)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "x")
+	b := r.Counter("same_total", "x")
+	if a != b {
+		t.Error("re-registering the same counter returned a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different type did not panic")
+		}
+	}()
+	r.Gauge("same_total", "x")
+}
+
+func TestLintCatchesMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":         "# TYPE 9bad counter\n9bad 1\n",
+		"no TYPE":          "orphan_total 4\n",
+		"bad value":        "# TYPE a_total counter\na_total xyz\n",
+		"bad label":        "# TYPE a_total counter\na_total{9l=\"x\"} 1\n",
+		"inf vs count":     "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"unclosed label":   "# TYPE a_total counter\na_total{l=\"x\" 1\n",
+		"declared, unused": "# TYPE ghost_total counter\n",
+	}
+	for name, input := range cases {
+		if errs := LintExposition(strings.NewReader(input)); len(errs) == 0 {
+			t.Errorf("%s: lint found no errors in %q", name, input)
+		}
+	}
+	ok := "# HELP good_total fine\n# TYPE good_total counter\ngood_total{l=\"x\"} 1 1700000000\n"
+	if errs := LintExposition(strings.NewReader(ok)); len(errs) != 0 {
+		t.Errorf("lint rejected valid input: %v", errs)
+	}
+}
+
+func TestLintLabelBudget(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("# TYPE wide_total counter\n")
+	for i := 0; i <= MaxCardinality+1; i++ {
+		b.WriteString("wide_total{id=\"" + strconv.Itoa(i) + "\"} 1\n")
+	}
+	errs := LintExposition(strings.NewReader(b.String()))
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "label budget") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lint did not flag a family with %d series: %v", MaxCardinality+2, errs)
+	}
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// gaugeFunc and counterFunc are callback children: their value is
+// sampled at scrape time, so values owned elsewhere (store version,
+// plan-cache counters) export without double bookkeeping.
+type gaugeFunc func() float64
+type counterFunc func() uint64
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration is get-or-create: asking twice
+// for the same name returns the same family (and panics if the second
+// ask disagrees on type or label keys), so package-level wiring and
+// per-instance wiring compose.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the package-level registry for callers that do not need
+// injection. The server builds its own so tests scrape in isolation.
+var Default = NewRegistry()
+
+// familyFor returns (creating if needed) the family, enforcing one
+// consistent (type, label keys) definition per name.
+func (r *Registry) familyFor(name, help, typ string, labelKeys []string, newChild func() metric, buckets []float64) *family {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, k := range labelKeys {
+		if !labelNameRE.MatchString(k) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %s", k, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labelKeys, labelKeys) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s%v, was %s%v",
+				name, typ, labelKeys, f.typ, f.labelKeys))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labelKeys: append([]string(nil), labelKeys...),
+		buckets:   buckets,
+		children:  make(map[string]*child),
+		newChild:  newChild,
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.familyFor(name, help, "counter", nil, func() metric { return new(Counter) }, nil)
+	return f.childFor(nil).m.(*Counter)
+}
+
+// CounterVec registers (or finds) a counter family with label keys.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	f := r.familyFor(name, help, "counter", labelKeys, func() metric { return new(Counter) }, nil)
+	return &CounterVec{f: f}
+}
+
+// CounterFunc registers a callback counter child, optionally labeled
+// with alternating key, value arguments (the keys must be the same for
+// every child of the family).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labelPairs ...string) {
+	keys, values := splitPairs(name, labelPairs)
+	f := r.familyFor(name, help, "counter", keys, func() metric { return counterFunc(fn) }, nil)
+	f.childFor(values)
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.familyFor(name, help, "gauge", nil, func() metric { return new(Gauge) }, nil)
+	return f.childFor(nil).m.(*Gauge)
+}
+
+// GaugeVec registers (or finds) a gauge family with label keys.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	f := r.familyFor(name, help, "gauge", labelKeys, func() metric { return new(Gauge) }, nil)
+	return &GaugeVec{f: f}
+}
+
+// GaugeFunc registers a callback gauge child, optionally labeled with
+// alternating key, value arguments.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	keys, values := splitPairs(name, labelPairs)
+	f := r.familyFor(name, help, "gauge", keys, func() metric { return gaugeFunc(fn) }, nil)
+	f.childFor(values)
+}
+
+// Histogram registers (or finds) an unlabeled histogram with the given
+// bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.familyFor(name, help, "histogram", nil, func() metric { return newHistogram(buckets) }, buckets)
+	return f.childFor(nil).m.(*Histogram)
+}
+
+// HistogramVec registers (or finds) a histogram family with label keys;
+// every child shares the bucket bounds.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	f := r.familyFor(name, help, "histogram", labelKeys, func() metric { return newHistogram(buckets) }, buckets)
+	return &HistogramVec{f: f}
+}
+
+// splitPairs turns alternating key, value arguments into parallel
+// slices.
+func splitPairs(name string, pairs []string) (keys, values []string) {
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %s wants alternating label key, value arguments", name))
+	}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		keys = append(keys, pairs[i])
+		values = append(values, pairs[i+1])
+	}
+	return keys, values
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format: families sorted by name, children sorted by label
+// values, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		fams[name] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, c := range children {
+			writeChild(&b, f, c)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeChild(b *strings.Builder, f *family, c *child) {
+	labels := renderLabels(f.labelKeys, c.labelValues)
+	switch m := c.m.(type) {
+	case *Counter:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, labels, m.Value())
+	case counterFunc:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, labels, m())
+	case *Gauge:
+		fmt.Fprintf(b, "%s%s %s\n", f.name, labels, formatFloat(m.Value()))
+	case gaugeFunc:
+		fmt.Fprintf(b, "%s%s %s\n", f.name, labels, formatFloat(m()))
+	case *Histogram:
+		bounds, cum := m.Buckets()
+		for i, bound := range bounds {
+			le := "+Inf"
+			if i < len(bounds)-1 {
+				le = formatFloat(bound)
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+				renderLabels(append(f.labelKeys, "le"), append(c.labelValues, le)), cum[i])
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labels, formatFloat(m.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, labels, m.Count())
+	}
+}
+
+func renderLabels(keys, values []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	parts := make([]string, len(keys))
+	for i := range keys {
+		// %q escapes exactly the characters the exposition format wants
+		// escaped in label values: backslash, quote, and newline.
+		parts[i] = fmt.Sprintf("%s=%q", keys[i], values[i])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, "\\", `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// QueryRecord is one logged query: what ran, how long it took, what it
+// returned (or the error), and — when the query was traced — its span
+// tree.
+type QueryRecord struct {
+	Time       time.Time     `json:"time"`
+	Lang       string        `json:"lang"`
+	Source     string        `json:"source"`
+	Duration   time.Duration `json:"-"`
+	DurationMs float64       `json:"duration_ms"`
+	ResultSize int           `json:"result_size"`
+	Err        string        `json:"error,omitempty"`
+	Trace      *Span         `json:"trace,omitempty"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of the most recent queries at
+// or above a latency threshold. It is safe for concurrent use; Record
+// holds the lock only to copy one record, so logging never serializes
+// query execution for long.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu    sync.Mutex
+	buf   []QueryRecord
+	next  int
+	n     int    // valid records in buf
+	total uint64 // lifetime records accepted
+}
+
+// NewSlowLog returns a log keeping the last capacity records with
+// Duration >= threshold. A threshold of 0 records every query.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{threshold: threshold, buf: make([]QueryRecord, capacity)}
+}
+
+// Threshold returns the recording threshold.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Record logs r if it clears the threshold, reporting whether it did.
+func (l *SlowLog) Record(r QueryRecord) bool {
+	if r.Duration < l.threshold {
+		return false
+	}
+	r.DurationMs = float64(r.Duration.Microseconds()) / 1000
+	l.mu.Lock()
+	l.buf[l.next] = r
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.total++
+	l.mu.Unlock()
+	return true
+}
+
+// Total returns the lifetime count of accepted records (including those
+// the ring has since overwritten).
+func (l *SlowLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained records, newest first.
+func (l *SlowLog) Snapshot() []QueryRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QueryRecord, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	c := s.StartChild("x")
+	if c != nil {
+		t.Fatal("StartChild on nil span returned a span")
+	}
+	s.End()
+	s.SetAttr("k", 1)
+	if s.Name() != "" || s.Duration() != 0 || s.Attr("k") != nil || s.Children() != nil {
+		t.Error("nil span accessors are not zero")
+	}
+	if b, err := json.Marshal(s); err != nil || string(b) != "null" {
+		t.Errorf("nil span marshals to %q, %v", b, err)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("query")
+	root.SetAttr("lang", "trial")
+	child := root.StartChild("execute")
+	op := child.StartChild("join:hash")
+	op.SetAttr("out", 42)
+	time.Sleep(time.Millisecond)
+	op.End()
+	child.End()
+	root.End()
+
+	if root.Duration() <= 0 || child.Duration() <= 0 || op.Duration() <= 0 {
+		t.Fatal("durations not recorded")
+	}
+	if root.Duration() < child.Duration() {
+		t.Error("parent shorter than child")
+	}
+	if f := root.Find("join:hash"); f != op {
+		t.Error("Find did not locate the operator span")
+	}
+	if got := op.Attr("out"); got != 42 {
+		t.Errorf("Attr(out) = %v", got)
+	}
+	op.SetAttr("out", 43)
+	if got := op.Attr("out"); got != 43 {
+		t.Errorf("SetAttr did not replace: %v", got)
+	}
+
+	tree := root.Tree()
+	for _, want := range []string{"query ", "lang=trial", "  execute ", "    join:hash "} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("Tree() missing %q:\n%s", want, tree)
+		}
+	}
+
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Name     string         `json:"name"`
+		DurUs    int64          `json:"dur_us"`
+		Attrs    map[string]any `json:"attrs"`
+		Children []json.RawMessage
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Name != "query" || decoded.DurUs <= 0 || decoded.Attrs["lang"] != "trial" || len(decoded.Children) != 1 {
+		t.Errorf("span JSON = %s", b)
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := StartSpan("sharded")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.StartChild("task")
+			root.SetAttr("k", 1)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 16 {
+		t.Errorf("children = %d, want 16", got)
+	}
+}
+
+func TestSelfTimes(t *testing.T) {
+	root := StartSpan("a")
+	c1 := root.StartChild("b")
+	c2 := c1.StartChild("b")
+	c2.mu.Lock()
+	c2.dur = 10 * time.Millisecond
+	c2.mu.Unlock()
+	c1.mu.Lock()
+	c1.dur = 30 * time.Millisecond
+	c1.mu.Unlock()
+	root.mu.Lock()
+	root.dur = 100 * time.Millisecond
+	root.mu.Unlock()
+
+	st := root.SelfTimes()
+	if got := st["a"]; got != 70*time.Millisecond {
+		t.Errorf("self(a) = %v, want 70ms", got)
+	}
+	// b occurs twice: (30-10) + 10 = 30ms aggregate.
+	if got := st["b"]; got != 30*time.Millisecond {
+		t.Errorf("self(b) = %v, want 30ms", got)
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	l := NewSlowLog(3, 10*time.Millisecond)
+	if l.Record(QueryRecord{Source: "fast", Duration: time.Millisecond}) {
+		t.Error("record below threshold accepted")
+	}
+	for i, src := range []string{"a", "b", "c", "d"} {
+		if !l.Record(QueryRecord{Source: src, Duration: time.Duration(11+i) * time.Millisecond}) {
+			t.Fatalf("record %s rejected", src)
+		}
+	}
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3 (ring capacity)", len(got))
+	}
+	// Newest first; "a" fell off the ring.
+	for i, want := range []string{"d", "c", "b"} {
+		if got[i].Source != want {
+			t.Errorf("Snapshot[%d].Source = %q, want %q", i, got[i].Source, want)
+		}
+	}
+	if got[0].DurationMs < 13 {
+		t.Errorf("DurationMs = %g", got[0].DurationMs)
+	}
+	if l.Total() != 4 {
+		t.Errorf("Total = %d, want 4", l.Total())
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(8, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Record(QueryRecord{Source: "q", Duration: time.Millisecond})
+				l.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 800 {
+		t.Errorf("Total = %d, want 800", l.Total())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gxpath"
 	"repro/internal/nre"
 	"repro/internal/nsparql"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/rpq"
 	"repro/internal/translate"
@@ -238,6 +239,43 @@ func (q *Querier) Query(lang Lang, source string) (*triplestore.Relation, error)
 	return p.Exec()
 }
 
+// maxTracedSource bounds the source text echoed into a trace span so a
+// pathological query cannot bloat the slow-query log it lands in.
+const maxTracedSource = 512
+
+// QueryTrace is Query with a per-query execution trace: the returned
+// span tree covers the whole lifecycle — compile (parse + translate),
+// optimize and plan (with the logical rewrite trace attached) or a
+// plan-cache hit, then execute with one span per physical operator. The
+// root span is returned even when the query fails, with the error
+// recorded on it, so callers can log what the failed query did get
+// through. Tracing only adds span bookkeeping around the phases; the
+// compiled plan is cached and shared with untraced Query calls.
+func (q *Querier) QueryTrace(lang Lang, source string) (*triplestore.Relation, *obs.Span, error) {
+	root := obs.StartSpan("query")
+	defer root.End()
+	root.SetAttr("lang", string(lang))
+	src := source
+	if len(src) > maxTracedSource {
+		src = src[:maxTracedSource] + "…"
+	}
+	root.SetAttr("source", src)
+	p, err := q.prepareSpan(lang, source, root)
+	if err != nil {
+		root.SetAttr("error", err.Error())
+		return nil, root, err
+	}
+	ex := root.StartChild("execute")
+	r, err := p.ExecTrace(ex)
+	ex.End()
+	if err != nil {
+		root.SetAttr("error", err.Error())
+		return nil, root, err
+	}
+	root.SetAttr("result_size", r.Len())
+	return r, root, nil
+}
+
 // Pairs projects a canonical graph-language result to its answer pairs
 // (named), sorted by name. It errors on a non-canonical relation, which
 // can only come from a LangTriAL expression that does not follow the
@@ -369,6 +407,14 @@ type planKey struct {
 // pinned to one consistent snapshot for its whole compile-and-execute
 // lifetime, even if the live store moves on underneath it.
 func (q *Querier) prepare(lang Lang, source string) (*engine.Prepared, error) {
+	return q.prepareSpan(lang, source, nil)
+}
+
+// prepareSpan is prepare with lifecycle spans attached under sp (nil
+// traces nothing): the plan-cache outcome on sp itself, and compile /
+// plan child spans on a miss, the plan span carrying the logical
+// optimizer's rewrite trace.
+func (q *Querier) prepareSpan(lang Lang, source string, sp *obs.Span) (*engine.Prepared, error) {
 	q.mu.Lock()
 	eng := q.engineLocked()
 	key := planKey{
@@ -376,25 +422,33 @@ func (q *Querier) prepare(lang Lang, source string) (*engine.Prepared, error) {
 		version:    eng.Store().Version(),
 		optVersion: optimizer.Version,
 	}
+	sp.SetAttr("store_version", key.version)
 	if p, ok := q.cache.get(key); ok {
 		q.stats.Hits++
 		q.mu.Unlock()
+		sp.SetAttr("plan_cache", "hit")
 		return p, nil
 	}
 	q.stats.Misses++
 	q.mu.Unlock()
+	sp.SetAttr("plan_cache", "miss")
 
+	csp := sp.StartChild("compile")
 	x, err := q.Compile(lang, source)
+	csp.End()
 	if err != nil {
 		return nil, &CompileError{Err: err}
 	}
 	// Planning errors (unknown relations, malformed conditions) are not
 	// CompileErrors: the reference Evaluator rejects them at evaluation
 	// time, and the HTTP server's status split follows that parity.
+	psp := sp.StartChild("plan")
 	p, err := eng.Prepare(x)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	psp.SetAttr("rewrites", p.Trace().String())
 	q.recordTrace(p.Trace())
 
 	q.mu.Lock()

@@ -1,0 +1,113 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fixtures"
+)
+
+// TestQueryTraceLifecycle: the first traced query records a plan-cache
+// miss with compile and plan spans (rewrite trace attached); a repeat
+// records a hit with no compile; both return the same relation as the
+// untraced path.
+func TestQueryTraceLifecycle(t *testing.T) {
+	q := New(fixtures.Transport(), WithRelation(fixtures.RelE))
+	const src = `join[1,3',3; 2=1'](E, E)`
+
+	want, err := q.Query(LangTriAL, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, sp, err := q.QueryTrace(LangTriAL, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("traced result (%d) differs from untraced (%d)", got.Len(), want.Len())
+	}
+	if sp.Name() != "query" || sp.Duration() <= 0 {
+		t.Errorf("root span %q dur %v", sp.Name(), sp.Duration())
+	}
+	if lang := sp.Attr("lang"); lang != "trial" {
+		t.Errorf("lang attr = %v", lang)
+	}
+	if hit := sp.Attr("plan_cache"); hit != "hit" {
+		t.Errorf("plan_cache attr = %v, want hit (plan was cached by the untraced query)", hit)
+	}
+	if sp.Find("execute") == nil {
+		t.Fatalf("no execute span:\n%s", sp.Tree())
+	}
+	if n, ok := sp.Attr("result_size").(int); !ok || n != want.Len() {
+		t.Errorf("result_size = %v, want %d", sp.Attr("result_size"), want.Len())
+	}
+
+	// A fresh Querier misses the cache and records the full lifecycle.
+	q2 := New(fixtures.Transport(), WithRelation(fixtures.RelE))
+	_, sp2, err := q2.QueryTrace(LangTriAL, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit := sp2.Attr("plan_cache"); hit != "miss" {
+		t.Errorf("plan_cache attr = %v, want miss", hit)
+	}
+	if sp2.Find("compile") == nil || sp2.Find("plan") == nil {
+		t.Fatalf("compile/plan spans missing on a miss:\n%s", sp2.Tree())
+	}
+	rew, _ := sp2.Find("plan").Attr("rewrites").(string)
+	if !strings.HasPrefix(rew, "rewrites[v") {
+		t.Errorf("plan span rewrites attr = %q", rew)
+	}
+	// The execute span holds the operator tree.
+	ex := sp2.Find("execute")
+	if len(ex.Children()) == 0 {
+		t.Errorf("execute span has no operator children:\n%s", sp2.Tree())
+	}
+
+	// The exclusive per-span times must account for the root's wall time
+	// (within 20%): nothing substantial happens outside a span.
+	var sum time.Duration
+	for _, d := range sp2.SelfTimes() {
+		sum += d
+	}
+	if wall := sp2.Duration(); sum < wall*4/5 || sum > wall*6/5 {
+		t.Errorf("self times sum to %v, root wall time %v (want within 20%%)", sum, wall)
+	}
+}
+
+// TestQueryTraceError: failures return the root span with the error
+// recorded, so the slow-query log can keep failed queries too.
+func TestQueryTraceError(t *testing.T) {
+	q := New(fixtures.Transport(), WithRelation(fixtures.RelE))
+	_, sp, err := q.QueryTrace(LangTriAL, "join[(")
+	if err == nil {
+		t.Fatal("malformed query succeeded")
+	}
+	if sp == nil || sp.Attr("error") == nil {
+		t.Errorf("error not recorded on root span: %v", sp)
+	}
+
+	_, sp, err = q.QueryTrace(LangTriAL, "NoSuchRel")
+	if err == nil {
+		t.Fatal("unknown relation succeeded")
+	}
+	if sp.Attr("error") == nil {
+		t.Error("planning error not recorded on root span")
+	}
+}
+
+// TestQueryTraceTruncatesSource: a pathological source is truncated in
+// the span (the slow-query log stores these).
+func TestQueryTraceTruncatesSource(t *testing.T) {
+	q := New(fixtures.Transport(), WithRelation(fixtures.RelE))
+	long := "join[1,2,3; 1=1](E, E)" + strings.Repeat(" ", 2000)
+	_, sp, err := q.QueryTrace(LangTriAL, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := sp.Attr("source").(string)
+	if len(src) > maxTracedSource+4 {
+		t.Errorf("source attr is %d bytes, want <= %d", len(src), maxTracedSource+4)
+	}
+}
