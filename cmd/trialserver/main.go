@@ -2,88 +2,47 @@
 // unified query layer (TriAL*, nSPARQL, RPQ, NRE, GXPath), compiling
 // them through internal/query and evaluating them with the
 // internal/engine execution engine (indexed joins, parallel probes,
-// semi-naive stars). The store is loaded at startup and mutable at
-// runtime: /triples ingests (and deletes) triples in batches, each batch
-// advancing the store version once, while in-flight queries keep reading
-// their own immutable snapshot. Compiled physical plans are cached per
-// (language, source, store version) in an LRU; plans for dead versions
-// are swept as ingest advances the version.
+// semi-naive stars). The serving tier itself — the versioned /v1 API,
+// bearer-token auth, per-client rate limiting, per-request deadlines,
+// result pagination and the JSON error envelope — lives in
+// internal/serve; this command only parses flags, builds the store and
+// mounts a serve.Server behind http.Server.
 //
-// With -shards=N the store is hash-partitioned by subject into N shards
-// (triplestore.ShardedStore): ingest fans each batch out to the
-// partitions under one atomic version, queries run on the
-// partition-parallel engine (partition-probe joins on the shard key,
-// broadcast-probe otherwise, per-shard semi-naive star rounds), and
-// /stats reports per-shard triple counts.
+// The store is loaded at startup and mutable at runtime: /v1/triples
+// ingests (and deletes) triples in batches, each batch advancing the
+// store version once, while in-flight queries keep reading their own
+// immutable snapshot. With -shards=N the store is hash-partitioned by
+// subject into N shards and queries run on the partition-parallel
+// engine.
 //
 // Usage:
 //
 //	trialserver -data triples.txt -addr :8080
-//	trialserver -fixture transport
-//	trialserver -fixture grid -n 50 -shards 8
+//	trialserver -fixture transport -tokens "s3cret:admin,scraper:read"
+//	trialserver -fixture grid -n 50 -shards 8 -rate-qps 100 -query-timeout 30s
 //
-// Endpoints:
-//
-//	GET /query?q=EXPR          evaluate, stream one triple per line
-//	    &lang=L                query language: trial (default), nsparql,
-//	                           rpq, nre, gxpath
-//	    &format=json           stream NDJSON objects {"s":..,"p":..,"o":..}
-//	    &limit=N               stop after N triples (the header still
-//	                           reports the full result size)
-//	    &explain=1             prepend the physical plan as comments
-//	                           (text format only)
-//	    &trace=1               record a per-operator execution trace;
-//	                           text format appends it as comments, json
-//	                           appends a final {"trace": ...} line
-//	POST /query                body is the expression (same parameters)
-//	POST /triples              ingest triples: a single JSON object
-//	                           {"s":..,"p":..,"o":..[,"rel":..]} or an
-//	                           NDJSON stream of them (one per line; an
-//	                           optional "op":"delete" deletes instead);
-//	                           applied as one atomic batch
-//	DELETE /triples            same body formats; every line deletes
-//	GET /explain?q=EXPR&lang=L the physical plan only; &trace=1 also
-//	                           executes and appends the measured operator
-//	                           tree
-//	GET /stats                 store, runtime, ingest and plan-cache counters
-//	GET /metrics               Prometheus text exposition (internal/obs)
-//	GET /debug/queries         recent queries from the slow-query ring
-//	                           buffer (see -slow-ms, -slowlog)
-//	GET /healthz               liveness probe
-//
-// With -pprof the net/http/pprof profiling handlers are mounted under
-// /debug/pprof/.
-//
-// The full result size is reported in the X-Trial-Result-Size response
-// header and, for format=text, a trailing "# N triples" comment.
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes and
-// in-flight requests drain for up to -drain before the process exits.
+// See docs/API.md for the full endpoint contract (and the legacy
+// pre-v1 aliases). SIGINT/SIGTERM trigger a graceful shutdown: the
+// listener closes and in-flight requests drain for up to -drain before
+// the process exits.
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/engine"
 	"repro/internal/fixtures"
 	"repro/internal/genstore"
-	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/serve"
 	"repro/internal/triplestore"
 )
 
@@ -98,8 +57,14 @@ func main() {
 		cache   = flag.Int("cache", query.DefaultCacheSize, "plan-cache capacity (compiled plans kept; 0 disables)")
 		shards  = flag.Int("shards", 1, "hash-partition the store by subject into this many shards and execute partition-parallel (1 = flat store)")
 
+		tokens     = flag.String("tokens", "", "bearer tokens as comma-separated token:role pairs (roles: read, admin); empty disables auth")
+		rateQPS    = flag.Float64("rate-qps", 0, "per-client rate limit in requests/second (0 disables)")
+		rateBurst  = flag.Int("rate-burst", 20, "per-client token-bucket burst capacity")
+		qTimeout   = flag.Duration("query-timeout", 0, "server-wide query execution deadline (0 = none; requests can tighten it with timeout_ms)")
+		maxResults = flag.Int("max-results", serve.DefaultMaxResults, "hard cap on triples per /v1/query page (clients page past it with cursors)")
+
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		slowCap = flag.Int("slowlog", 128, "slow-query ring-buffer capacity (/debug/queries)")
+		slowCap = flag.Int("slowlog", 128, "slow-query ring-buffer capacity (/v1/debug/queries)")
 		slowMs  = flag.Int("slow-ms", 0, "only log queries at or above this latency in milliseconds (0 = log every query)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	)
@@ -109,11 +74,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trialserver:", err)
 		os.Exit(1)
 	}
-	srv := newServer(store, *workers, *rel, *cache, *shards,
-		withSlowLog(*slowCap, time.Duration(*slowMs)*time.Millisecond),
-		withPprof(*pprofOn))
-	if srv.sharded != nil {
-		desc = fmt.Sprintf("%s, %d shards", desc, srv.sharded.NumShards())
+	auth, err := serve.ParseTokens(*tokens)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trialserver: -tokens:", err)
+		os.Exit(1)
+	}
+	srv := serve.New(store,
+		serve.WithWorkers(*workers),
+		serve.WithRelation(*rel),
+		serve.WithCacheSize(*cache),
+		serve.WithShards(*shards),
+		serve.WithSlowLog(*slowCap, time.Duration(*slowMs)*time.Millisecond),
+		serve.WithPprof(*pprofOn),
+		serve.WithAuthTokens(auth),
+		serve.WithRateLimit(*rateQPS, *rateBurst),
+		serve.WithQueryTimeout(*qTimeout),
+		serve.WithMaxResults(*maxResults))
+	if ss := srv.Sharded(); ss != nil {
+		desc = fmt.Sprintf("%s, %d shards", desc, ss.NumShards())
 	}
 	log.Printf("trialserver: serving %s (%d objects, %d triples) on %s",
 		desc, store.NumObjects(), store.Size(), *addr)
@@ -174,459 +152,4 @@ func buildStore(data, rel, fixture string, n int) (*triplestore.Store, string, e
 		return genstore.Grid(n, n), fmt.Sprintf("grid(%dx%d)", n, n), nil
 	}
 	return nil, "", fmt.Errorf("unknown -fixture %q", fixture)
-}
-
-// maxIngestBody bounds a /triples request body (NDJSON batch): 32 MiB,
-// enough for ~hundred-thousand-triple batches while keeping a single
-// request from exhausting memory.
-const maxIngestBody = 32 << 20
-
-// server holds the live store and the query layer shared by all
-// requests. Queries snapshot the store per version; ingest mutates it
-// through batched store methods, so the two sides never block each other
-// beyond the store's internal writer lock.
-type server struct {
-	store *triplestore.Store
-	// sharded is non-nil when the store is hash-partitioned (-shards > 1):
-	// ingest must then go through it so the partitions stay in lockstep
-	// with the union, and queries run partition-parallel.
-	sharded *triplestore.ShardedStore
-	q       *query.Querier
-	workers int
-	mux     *http.ServeMux
-	start   time.Time
-	m       *serverMetrics
-	slow    *obs.SlowLog
-}
-
-// serverOption configures optional server behavior; the positional
-// newServer parameters stay as the tests use them.
-type serverOption func(*serverConfig)
-
-type serverConfig struct {
-	slowCap   int
-	threshold time.Duration
-	pprofOn   bool
-}
-
-// withSlowLog sizes the slow-query ring buffer and sets the latency
-// threshold below which queries are not logged (0 logs every query).
-func withSlowLog(capacity int, threshold time.Duration) serverOption {
-	return func(c *serverConfig) { c.slowCap, c.threshold = capacity, threshold }
-}
-
-// withPprof mounts net/http/pprof under /debug/pprof/.
-func withPprof(on bool) serverOption {
-	return func(c *serverConfig) { c.pprofOn = on }
-}
-
-func newServer(store *triplestore.Store, workers int, rel string, cacheSize, shards int, opts ...serverOption) *server {
-	if workers < 1 {
-		workers = 1
-	}
-	cfg := serverConfig{slowCap: 128}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	qopts := []query.Option{
-		query.WithRelation(rel),
-		query.WithCacheSize(cacheSize),
-		query.WithEngineOptions(engine.WithWorkers(workers)),
-	}
-	s := &server{
-		store:   store,
-		workers: workers,
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		slow:    obs.NewSlowLog(cfg.slowCap, cfg.threshold),
-	}
-	if shards > 1 {
-		s.sharded = triplestore.Shard(store, shards)
-		s.q = query.NewSharded(s.sharded, qopts...)
-	} else {
-		s.q = query.New(store, qopts...)
-	}
-	s.m = newServerMetrics(s.q, store, s.sharded, s.slow, s.start)
-
-	handle := func(route string, h http.HandlerFunc, allowed ...string) {
-		s.mux.HandleFunc(route, s.m.instrument(route, methods(h, allowed...)))
-	}
-	s.mux.HandleFunc("/", s.m.instrument("/", s.handleIndex))
-	handle("/query", s.handleQuery, http.MethodGet, http.MethodPost)
-	handle("/triples", s.handleTriples, http.MethodPost, http.MethodDelete)
-	handle("/explain", s.handleExplain, http.MethodGet)
-	handle("/stats", s.handleStats, http.MethodGet)
-	handle("/metrics", s.handleMetrics, http.MethodGet)
-	handle("/debug/queries", s.handleDebugQueries, http.MethodGet)
-	handle("/healthz", s.handleHealthz, http.MethodGet)
-	if cfg.pprofOn {
-		// Registered on this mux explicitly; the pprof import's
-		// DefaultServeMux side effect is never served.
-		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	return s
-}
-
-// methods wraps a handler with an allowed-method check, answering 405
-// (with an Allow header) otherwise. HEAD rides along wherever GET is
-// allowed (net/http discards the body), so health probes keep working.
-func methods(h http.HandlerFunc, allowed ...string) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		for _, m := range allowed {
-			if r.Method == m || (r.Method == http.MethodHead && m == http.MethodGet) {
-				h(w, r)
-				return
-			}
-		}
-		w.Header().Set("Allow", strings.Join(allowed, ", "))
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-	}
-}
-
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
-		http.NotFound(w, r)
-		return
-	}
-	fmt.Fprintf(w, `trialserver — unified query engine over HTTP
-
-GET    /query?q=EXPR[&lang=trial|nsparql|rpq|nre|gxpath][&limit=N][&format=text|json][&explain=1]
-POST   /query            (expression in the body)
-POST   /triples          ingest: {"s":..,"p":..,"o":..[,"rel":..][,"op":"delete"]} or NDJSON stream (one batch)
-DELETE /triples          same formats, every line deletes
-GET    /explain?q=EXPR[&lang=L]
-GET    /stats
-GET    /healthz
-
-Every language compiles to TriAL* and runs on the parallel engine.
-Queries read immutable snapshots; ingest batches advance the store version once each.
-Examples: /query?q=join[1,3',3; 2=1'](E, E)
-          /query?lang=rpq&q=a*
-          /query?lang=gxpath&q=[<a>].b
-Store: %d objects, %d triples, relations %v
-`, s.store.NumObjects(), s.store.Size(), s.store.RelationNames())
-}
-
-// readQuery extracts the expression text from ?q= or the request body.
-func readQuery(r *http.Request) (string, error) {
-	if q := r.URL.Query().Get("q"); q != "" {
-		return q, nil
-	}
-	if r.Method == http.MethodPost {
-		b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-		if err != nil {
-			return "", err
-		}
-		if len(b) > 0 {
-			return string(b), nil
-		}
-	}
-	return "", fmt.Errorf("missing query: pass ?q= or a POST body")
-}
-
-// readLang extracts and validates the ?lang= parameter (default TriAL*).
-func readLang(r *http.Request) (query.Lang, error) {
-	return query.ParseLang(r.URL.Query().Get("lang"))
-}
-
-// queryError writes a compile error as 400 and a planning or execution
-// error as 422, preserving the status split clients of the TriAL*-only
-// server relied on.
-func (s *server) queryError(w http.ResponseWriter, err error) {
-	status := http.StatusUnprocessableEntity
-	var ce *query.CompileError
-	if errors.As(err, &ce) {
-		status = http.StatusBadRequest
-	}
-	http.Error(w, err.Error(), status)
-}
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q, err := readQuery(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	lang, err := readLang(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	limit := 0
-	if l := r.URL.Query().Get("limit"); l != "" {
-		limit, err = strconv.Atoi(l)
-		if err != nil || limit < 0 {
-			http.Error(w, "bad limit", http.StatusBadRequest)
-			return
-		}
-	}
-	format := r.URL.Query().Get("format")
-	if format == "" {
-		format = "text"
-	}
-	if format != "text" && format != "json" {
-		http.Error(w, "bad format (want text or json)", http.StatusBadRequest)
-		return
-	}
-
-	var plan string
-	if format == "text" && r.URL.Query().Get("explain") == "1" {
-		plan, err = s.q.Explain(lang, q)
-		if err != nil {
-			s.queryError(w, err)
-			return
-		}
-	}
-
-	traced := r.URL.Query().Get("trace") == "1"
-	start := time.Now()
-	var result *triplestore.Relation
-	var sp *obs.Span
-	if traced {
-		result, sp, err = s.q.QueryTrace(lang, q)
-	} else {
-		result, err = s.q.Query(lang, q)
-	}
-	dur := time.Since(start)
-	s.m.observeQuery(lang, dur, err)
-	rec := obs.QueryRecord{
-		Time:     start,
-		Lang:     string(lang),
-		Source:   q,
-		Duration: dur,
-		Trace:    sp,
-	}
-	if err != nil {
-		rec.Err = err.Error()
-		s.slow.Record(rec)
-		s.queryError(w, err)
-		return
-	}
-	rec.ResultSize = result.Len()
-	s.slow.Record(rec)
-
-	w.Header().Set("X-Trial-Result-Size", strconv.Itoa(result.Len()))
-	if format == "json" {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-	} else {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	}
-	bw := bufio.NewWriter(w)
-	defer bw.Flush()
-
-	for _, line := range strings.Split(strings.TrimSuffix(plan, "\n"), "\n") {
-		if line != "" {
-			fmt.Fprintf(bw, "# %s\n", line)
-		}
-	}
-
-	flusher, _ := w.(http.Flusher)
-	written := 0
-	enc := json.NewEncoder(bw)
-	for _, t := range result.Triples() {
-		if limit > 0 && written >= limit {
-			break
-		}
-		if format == "json" {
-			enc.Encode(map[string]string{
-				"s": s.store.Name(t[0]),
-				"p": s.store.Name(t[1]),
-				"o": s.store.Name(t[2]),
-			})
-		} else {
-			fmt.Fprintf(bw, "%s\t%s\t%s\n", s.store.Name(t[0]), s.store.Name(t[1]), s.store.Name(t[2]))
-		}
-		written++
-		if flusher != nil && written%4096 == 0 {
-			bw.Flush()
-			flusher.Flush()
-		}
-	}
-	if format == "text" {
-		fmt.Fprintf(bw, "# %d triples\n", result.Len())
-	}
-	if sp != nil {
-		if format == "json" {
-			enc.Encode(map[string]any{"trace": sp})
-		} else {
-			fmt.Fprintf(bw, "# trace:\n")
-			for _, line := range strings.Split(strings.TrimSuffix(sp.Tree(), "\n"), "\n") {
-				fmt.Fprintf(bw, "#   %s\n", line)
-			}
-		}
-	}
-}
-
-// capTrackReader remembers whether the underlying http.MaxBytesReader
-// tripped its limit: the NDJSON scanner reports the truncated final line
-// as a parse error first, so the handler needs the flag (not the
-// returned error) to answer 413 rather than 400.
-type capTrackReader struct {
-	r   io.Reader
-	hit bool
-}
-
-func (c *capTrackReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	var tooLarge *http.MaxBytesError
-	if errors.As(err, &tooLarge) {
-		c.hit = true
-	}
-	return n, err
-}
-
-// handleTriples ingests mutations: POST applies the body's ops (adds by
-// default, per-line "op":"delete" honored), DELETE forces every line to
-// be a deletion. The body is a single JSON object or an NDJSON stream,
-// applied as ONE batch: the store version advances at most once, queries
-// racing the ingest see either the whole batch or none of it.
-func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
-	body := &capTrackReader{r: http.MaxBytesReader(w, r.Body, maxIngestBody)}
-	ops, err := triplestore.ReadOps(body, s.q.Relation())
-	if err != nil {
-		status := http.StatusBadRequest
-		if body.hit {
-			status = http.StatusRequestEntityTooLarge
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	if len(ops) == 0 {
-		http.Error(w, "empty batch: body must hold at least one JSON triple", http.StatusBadRequest)
-		return
-	}
-	if r.Method == http.MethodDelete {
-		for i := range ops {
-			ops[i].Delete = true
-		}
-	}
-	var res triplestore.BatchResult
-	if s.sharded != nil {
-		res, err = s.sharded.ApplyBatch(ops)
-	} else {
-		res, err = s.store.ApplyBatch(ops)
-	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.m.observeBatch(res)
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"added":   res.Added,
-		"removed": res.Removed,
-		"version": res.Version,
-		"objects": s.store.NumObjects(),
-		"triples": s.store.Size(),
-	})
-}
-
-func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	q, err := readQuery(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	lang, err := readLang(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	plan, err := s.q.Explain(lang, q)
-	if err != nil {
-		s.queryError(w, err)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, plan)
-	if r.URL.Query().Get("trace") != "1" {
-		return
-	}
-	// &trace=1: run the query once and append the measured operator tree
-	// (actual cardinalities and timings) under the predicted plan.
-	start := time.Now()
-	_, sp, err := s.q.QueryTrace(lang, q)
-	s.m.observeQuery(lang, time.Since(start), err)
-	if err != nil {
-		fmt.Fprintf(w, "\nexecution failed: %s\n", err)
-		return
-	}
-	fmt.Fprintf(w, "\nexecution trace:\n%s", sp.Tree())
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	// Sharding observability: shard count and per-shard triple counts
-	// (the skew bounds the partition-parallel speedup). count = 1 with no
-	// per-shard list means the store is flat.
-	shardInfo := map[string]any{"count": 1}
-	if s.sharded != nil {
-		shardInfo["count"] = s.sharded.NumShards()
-		shardInfo["per_shard"] = s.sharded.ShardStats()
-	}
-	json.NewEncoder(w).Encode(map[string]any{
-		"shards":    shardInfo,
-		"objects":   s.store.NumObjects(),
-		"triples":   s.store.Size(),
-		"relations": s.store.RelationNames(),
-		// Served-query count from the obs registry: the sum of
-		// trial_queries_total over every language, counting only
-		// successes (the pre-obs server never counted failed queries).
-		"queries":    s.m.queriesTotal.Sum("status", "ok"),
-		"uptime_s":   int(time.Since(s.start).Seconds()),
-		"workers":    s.workers,
-		"languages":  query.Langs(),
-		"plan_cache": s.q.Stats(),
-		// Logical-optimizer counters: per-rule rewrite hits across all
-		// plan-cache misses (see internal/optimizer).
-		"optimizer": s.q.RewriteStats(),
-		// Statistics snapshot bookkeeping: how often the store-level
-		// per-relation statistics were rebuilt, and the store version the
-		// current snapshot reflects.
-		"store_stats": map[string]any{
-			"refreshes": s.store.StatsRefreshes(),
-			"version":   s.store.Version(),
-		},
-		// Ingest counters: what arrived through /triples (batches and
-		// the triples they actually changed), read from the same obs
-		// instruments /metrics exports so the two endpoints agree ...
-		"ingest": map[string]any{
-			"batches": s.m.ingestBatches.Value(),
-			"added":   s.m.ingestTriples.With("added").Value(),
-			"removed": s.m.ingestTriples.With("removed").Value(),
-		},
-		// ... and the store's own lifetime mutation counters, which also
-		// cover writes not made through HTTP (initial load, snapshots).
-		"store_mutations": s.store.MutationStats(),
-	})
-}
-
-// handleMetrics serves the server's obs registry in Prometheus text
-// exposition format.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.m.reg.WritePrometheus(w); err != nil {
-		log.Printf("trialserver: /metrics: %v", err)
-	}
-}
-
-// handleDebugQueries serves the slow-query ring buffer, newest first.
-// Records carry the execution trace when the query ran with &trace=1.
-func (s *server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"threshold_ms": float64(s.slow.Threshold().Microseconds()) / 1000,
-		"total":        s.slow.Total(),
-		"queries":      s.slow.Snapshot(),
-	})
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	io.WriteString(w, "ok\n")
 }

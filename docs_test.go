@@ -12,7 +12,7 @@ import (
 )
 
 // docFiles are the user-facing documents whose links are checked.
-var docFiles = []string{"README.md", "ARCHITECTURE.md", "docs/LANGUAGES.md"}
+var docFiles = []string{"README.md", "ARCHITECTURE.md", "docs/LANGUAGES.md", "docs/API.md"}
 
 var (
 	mdLink     = regexp.MustCompile(`\]\(([^)]+)\)`)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -90,11 +91,21 @@ func (e *Engine) Sharded() *triplestore.ShardedStore { return e.sharded }
 
 // Eval computes the relation x(T).
 func (e *Engine) Eval(x trial.Expr) (*triplestore.Relation, error) {
+	return e.EvalContext(context.Background(), x)
+}
+
+// EvalContext is Eval under a caller-supplied context: the engine polls
+// it at operator boundaries, inside worker chunk loops, at semi-naive
+// star round boundaries and at shard-task pickup, so cancelling the
+// context (client disconnect, deadline) actually frees the worker pool
+// instead of letting the plan run to completion. The error is then
+// ctx.Err() — context.Canceled or context.DeadlineExceeded.
+func (e *Engine) EvalContext(ctx context.Context, x trial.Expr) (*triplestore.Relation, error) {
 	p, err := e.plan(x)
 	if err != nil {
 		return nil, err
 	}
-	return p.exec(e)
+	return p.execContext(e, ctx, nil)
 }
 
 // Optimizer returns a logical optimizer over the engine's store (and its

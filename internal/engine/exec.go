@@ -19,11 +19,11 @@ func (n *filterNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ctx.e.parallelCollect(in.Slice(), func(t triplestore.Triple, emit func(triplestore.Triple)) {
+	return ctx.collect(in.Slice(), func(t triplestore.Triple, emit func(triplestore.Triple)) {
 		if n.cc.Holds(t, t) {
 			emit(t)
 		}
-	}), nil
+	})
 }
 
 func (n *unionNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
@@ -55,9 +55,9 @@ func (n *projectNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ctx.e.parallelCollect(in.Slice(), func(t triplestore.Triple, emit func(triplestore.Triple)) {
+	return ctx.collect(in.Slice(), func(t triplestore.Triple, emit func(triplestore.Triple)) {
 		emit(triplestore.Triple{t[n.out[0]], t[n.out[1]], t[n.out[2]]})
-	}), nil
+	})
 }
 
 func (n *sharedNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
@@ -125,20 +125,20 @@ func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 	case joinIndexRight:
 		probe := n.objKeys[0]
 		if n.shardRels != nil {
-			return ctx.e.shardedIndexJoin(ctx.trace, n.shardRels, probeLeft(),
-				probe[0].Index(), probe[1].Index(), false, n.cc, n.out), nil
+			return ctx.e.shardedIndexJoin(ctx.ctx, ctx.trace, n.shardRels, probeLeft(),
+				probe[0].Index(), probe[1].Index(), false, n.cc, n.out)
 		}
 		// Build the access path before fanning out: Index mutates the
 		// relation's cache under its own lock, but building once up front
 		// keeps workers contention-free.
 		ix := r.Index(triplestore.PermFor(probe[1].Index()))
-		return ctx.e.parallelCollect(probeLeft(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+		return ctx.collect(probeLeft(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
 			for _, rt := range ix.Match(lt[probe[0].Index()]) {
 				if n.cc.Holds(lt, rt) {
 					emit(trial.Project(n.out, lt, rt))
 				}
 			}
-		}), nil
+		})
 	case joinIndexLeft:
 		probe := n.objKeys[0]
 		rts := r.Slice()
@@ -146,17 +146,17 @@ func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 			rts = filterSlice(rts, n.rCC)
 		}
 		if n.shardRels != nil {
-			return ctx.e.shardedIndexJoin(ctx.trace, n.shardRels, rts,
-				probe[1].Index(), probe[0].Index(), true, n.cc, n.out), nil
+			return ctx.e.shardedIndexJoin(ctx.ctx, ctx.trace, n.shardRels, rts,
+				probe[1].Index(), probe[0].Index(), true, n.cc, n.out)
 		}
 		ix := l.Index(triplestore.PermFor(probe[0].Index()))
-		return ctx.e.parallelCollect(rts, func(rt triplestore.Triple, emit func(triplestore.Triple)) {
+		return ctx.collect(rts, func(rt triplestore.Triple, emit func(triplestore.Triple)) {
 			for _, lt := range ix.Match(rt[probe[1].Index()]) {
 				if n.cc.Holds(lt, rt) {
 					emit(trial.Project(n.out, lt, rt))
 				}
 			}
-		}), nil
+		})
 	case joinHash:
 		lKey, rKey := trial.CrossEqualityKeyFuncs(ctx.e.store, n.cond)
 		table := make(map[string][]triplestore.Triple, r.Len())
@@ -167,25 +167,25 @@ func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 			k := rKey(rt)
 			table[k] = append(table[k], rt)
 		})
-		return ctx.e.parallelCollect(probeLeft(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+		return ctx.collect(probeLeft(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
 			for _, rt := range table[lKey(lt)] {
 				if n.cc.Holds(lt, rt) {
 					emit(trial.Project(n.out, lt, rt))
 				}
 			}
-		}), nil
+		})
 	default: // joinLoop
 		rts := r.Slice()
 		if n.hasRCond {
 			rts = filterSlice(rts, n.rCC)
 		}
-		return ctx.e.parallelCollect(probeLeft(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+		return ctx.collect(probeLeft(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
 			for _, rt := range rts {
 				if n.cc.Holds(lt, rt) {
 					emit(trial.Project(n.out, lt, rt))
 				}
 			}
-		}), nil
+		})
 	}
 }
 
@@ -197,6 +197,12 @@ func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 // only the delta (the triples derived for the first time in the previous
 // round) with the loop-invariant base, until no new triples appear. The
 // access path over the base is built once, before the first round.
+//
+// Both paths poll the execution context: the BFS between source triples
+// (trial.ReachClosureCtx), the semi-naive loop at every round boundary
+// (plus the chunk-level polls inside each round's parallel join). A star
+// over a dense graph therefore stops within one round of its caller
+// disconnecting or timing out.
 func (n *starNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 	base, err := ctx.run(n.child)
 	if err != nil {
@@ -208,7 +214,7 @@ func (n *starNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 		if n.hasSeed {
 			seed = func(t triplestore.Triple) bool { return n.seedCC.Holds(t, t) }
 		}
-		return trial.ReachClosure(base, n.reach, seed), nil
+		return trial.ReachClosureCtx(ctx.ctx, base, n.reach, seed)
 	}
 	// The join side of the iteration may be prefiltered by side-only
 	// condition atoms; the seed set may be filtered by a hoisted
@@ -223,13 +229,16 @@ func (n *starNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 		seeds = filterRelation(base, n.seedCC)
 	}
 	if n.shardedN > 0 {
-		return n.execShardedStar(ctx, joinBase, seeds), nil
+		return n.execShardedStar(ctx, joinBase, seeds)
 	}
 	step := n.stepFunc(ctx, joinBase)
 	result := seeds.Clone()
 	delta := seeds
 	rec := newRoundRecorder(ctx.trace, seeds.Len())
 	for delta.Len() > 0 {
+		if err := ctx.ctx.Err(); err != nil {
+			return nil, err
+		}
 		rec.round(delta.Len())
 		derived := step(delta)
 		next := triplestore.NewRelation()
@@ -239,6 +248,9 @@ func (n *starNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 			}
 		})
 		delta = next
+	}
+	if err := ctx.ctx.Err(); err != nil {
+		return nil, err
 	}
 	rec.done()
 	return result, nil
@@ -291,14 +303,16 @@ func (r *roundRecorder) done() {
 // right closure (e ✶)* the round computes delta ✶ base; for the left
 // closure, base ✶ delta. When the condition has a cross-side object
 // equality the base side is served by a permutation index; otherwise the
-// round degrades to a (parallel) scan of base per delta triple.
+// round degrades to a (parallel) scan of base per delta triple. A round
+// interrupted by cancellation may return a partial derivation; the star
+// loop checks the context before trusting any round's output.
 func (n *starNode) stepFunc(ctx *execCtx, base *triplestore.Relation) func(*triplestore.Relation) *triplestore.Relation {
 	if len(n.objKeys) > 0 {
 		probe := n.objKeys[0]
 		if !n.left {
 			ix := base.Index(triplestore.PermFor(probe[1].Index()))
 			return func(delta *triplestore.Relation) *triplestore.Relation {
-				return ctx.e.parallelCollect(delta.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+				return ctx.e.parallelCollect(ctx.ctx, delta.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
 					for _, rt := range ix.Match(lt[probe[0].Index()]) {
 						if n.cc.Holds(lt, rt) {
 							emit(trial.Project(n.out, lt, rt))
@@ -309,7 +323,7 @@ func (n *starNode) stepFunc(ctx *execCtx, base *triplestore.Relation) func(*trip
 		}
 		ix := base.Index(triplestore.PermFor(probe[0].Index()))
 		return func(delta *triplestore.Relation) *triplestore.Relation {
-			return ctx.e.parallelCollect(delta.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
+			return ctx.e.parallelCollect(ctx.ctx, delta.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
 				for _, lt := range ix.Match(rt[probe[1].Index()]) {
 					if n.cc.Holds(lt, rt) {
 						emit(trial.Project(n.out, lt, rt))
@@ -321,7 +335,7 @@ func (n *starNode) stepFunc(ctx *execCtx, base *triplestore.Relation) func(*trip
 	baseTs := base.Slice()
 	if !n.left {
 		return func(delta *triplestore.Relation) *triplestore.Relation {
-			return ctx.e.parallelCollect(delta.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
+			return ctx.e.parallelCollect(ctx.ctx, delta.Slice(), func(lt triplestore.Triple, emit func(triplestore.Triple)) {
 				for _, rt := range baseTs {
 					if n.cc.Holds(lt, rt) {
 						emit(trial.Project(n.out, lt, rt))
@@ -331,7 +345,7 @@ func (n *starNode) stepFunc(ctx *execCtx, base *triplestore.Relation) func(*trip
 		}
 	}
 	return func(delta *triplestore.Relation) *triplestore.Relation {
-		return ctx.e.parallelCollect(delta.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
+		return ctx.e.parallelCollect(ctx.ctx, delta.Slice(), func(rt triplestore.Triple, emit func(triplestore.Triple)) {
 			for _, lt := range baseTs {
 				if n.cc.Holds(lt, rt) {
 					emit(trial.Project(n.out, lt, rt))

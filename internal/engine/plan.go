@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,9 +23,10 @@ type planNode interface {
 }
 
 // execCtx is the per-execution state of one plan run: the engine (worker
-// pool, store, universe cache) plus the memo slots for shared
-// subexpressions. A fresh context per Exec keeps plan nodes stateless,
-// which is what makes a Prepared safe for concurrent Exec calls.
+// pool, store, universe cache), the request context carrying the caller's
+// deadline/cancellation, plus the memo slots for shared subexpressions. A
+// fresh context per Exec keeps plan nodes stateless, which is what makes
+// a Prepared safe for concurrent Exec calls.
 //
 // trace, when non-nil, is the span of the operator currently executing:
 // ctx.run pushes a child span around each node's exec, so operators set
@@ -34,14 +36,33 @@ type planNode interface {
 // methods themselves are called from worker goroutines.
 type execCtx struct {
 	e      *Engine
+	ctx    context.Context
 	shared []*triplestore.Relation // indexed by sharedNode.slot; nil = not yet computed
 	trace  *obs.Span
 }
 
+// collect is parallelCollect under this execution's context: a
+// cancellation that tripped mid-operator surfaces as the context's error
+// rather than as a silently partial relation.
+func (ctx *execCtx) collect(ts []triplestore.Triple, f func(t triplestore.Triple, emit func(triplestore.Triple))) (*triplestore.Relation, error) {
+	r := ctx.e.parallelCollect(ctx.ctx, ts, f)
+	if err := ctx.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
 // run executes one node, wrapped in a trace span when tracing is on.
 // Every operator records its output cardinality and the planner's
-// estimate, so a trace shows where estimates diverged from reality.
+// estimate, so a trace shows where estimates diverged from reality. The
+// operator boundary is also a cancellation point: once the request
+// context is done no further operator starts, so a disconnected or
+// timed-out client stops the whole plan, not just the operator that
+// noticed first.
 func (ctx *execCtx) run(n planNode) (*triplestore.Relation, error) {
+	if err := ctx.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if ctx.trace == nil {
 		return n.exec(ctx)
 	}
@@ -71,14 +92,25 @@ type compiledPlan struct {
 
 // exec runs the plan once with a fresh execution context.
 func (p *compiledPlan) exec(e *Engine) (*triplestore.Relation, error) {
-	return p.execTrace(e, nil)
+	return p.execContext(e, context.Background(), nil)
 }
 
 // execTrace runs the plan once, attaching one span per operator under
 // sp when it is non-nil. The untraced path costs one nil check per
 // operator.
 func (p *compiledPlan) execTrace(e *Engine, sp *obs.Span) (*triplestore.Relation, error) {
-	ctx := &execCtx{e: e, trace: sp}
+	return p.execContext(e, context.Background(), sp)
+}
+
+// execContext runs the plan once under the caller's context: operator
+// boundaries, worker chunk loops, semi-naive star rounds and per-shard
+// tasks all poll it, so cancelling reqCtx actually frees the engine's
+// workers mid-plan. A nil reqCtx runs uncancellable.
+func (p *compiledPlan) execContext(e *Engine, reqCtx context.Context, sp *obs.Span) (*triplestore.Relation, error) {
+	if reqCtx == nil {
+		reqCtx = context.Background()
+	}
+	ctx := &execCtx{e: e, ctx: reqCtx, trace: sp}
 	if p.nShared > 0 {
 		ctx.shared = make([]*triplestore.Relation, p.nShared)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/triplestore"
@@ -11,6 +12,13 @@ import (
 // small inputs.
 const seqThreshold = 2048
 
+// cancelStride is how many probe triples a worker processes between
+// context polls. ctx.Err() takes a lock, so polling per triple would put
+// contention on the hot loop; a stride this size bounds the wasted work
+// after cancellation to well under a millisecond per worker while keeping
+// the uncancelled path at one cheap mask-and-branch per triple.
+const cancelStride = 4096
+
 // parallelCollect runs f over every triple of ts, collecting the triples f
 // emits into a relation. When ts is large enough it is partitioned into
 // chunks executed by a bounded pool of e.workers goroutines, each
@@ -18,11 +26,20 @@ const seqThreshold = 2048
 // at the end. f must be safe for concurrent calls and must only read
 // shared state; the emit function it receives is not goroutine-safe and
 // must only be called from within that invocation of f.
-func (e *Engine) parallelCollect(ts []triplestore.Triple, f func(t triplestore.Triple, emit func(triplestore.Triple))) *triplestore.Relation {
+//
+// ctx carries the query's deadline/cancellation: workers poll it at chunk
+// pickup and every cancelStride triples within a chunk, abandoning the
+// remaining probes once it is done. The result is then partial — callers
+// must check ctx.Err() afterwards (execCtx.collect does) and discard it,
+// so a cancelled query frees its workers instead of finishing the operator.
+func (e *Engine) parallelCollect(ctx context.Context, ts []triplestore.Triple, f func(t triplestore.Triple, emit func(triplestore.Triple))) *triplestore.Relation {
 	if e.workers <= 1 || len(ts) < seqThreshold {
 		out := triplestore.NewRelation()
 		emit := func(t triplestore.Triple) { out.Add(t) }
-		for _, t := range ts {
+		for i, t := range ts {
+			if i&(cancelStride-1) == cancelStride-1 && ctx.Err() != nil {
+				break
+			}
 			f(t, emit)
 		}
 		return out
@@ -52,9 +69,15 @@ func (e *Engine) parallelCollect(ts []triplestore.Triple, f func(t triplestore.T
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			local := triplestore.NewRelation()
 			emit := func(t triplestore.Triple) { local.Add(t) }
-			for _, t := range part {
+			for j, t := range part {
+				if j&(cancelStride-1) == cancelStride-1 && ctx.Err() != nil {
+					break
+				}
 				f(t, emit)
 			}
 			locals[i] = local

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/trial"
@@ -37,6 +39,15 @@ func (p *Prepared) Exec() (*triplestore.Relation, error) {
 	return p.plan.exec(p.e)
 }
 
+// ExecContext is Exec under a caller-supplied context: cancellation and
+// deadlines propagate into the operator loops, worker chunks, star
+// rounds and shard tasks (see Engine.EvalContext), so a timed-out or
+// disconnected caller stops burning cores. On cancellation the error is
+// ctx.Err() and no partial relation is returned.
+func (p *Prepared) ExecContext(ctx context.Context) (*triplestore.Relation, error) {
+	return p.plan.execContext(p.e, ctx, nil)
+}
+
 // ExecTrace computes the relation, recording one child span per
 // physical operator under sp: operator kind (join strategy, star access
 // path), planner estimate vs. actual output cardinality, join input
@@ -45,6 +56,14 @@ func (p *Prepared) Exec() (*triplestore.Relation, error) {
 // exactly like Exec.
 func (p *Prepared) ExecTrace(sp *obs.Span) (*triplestore.Relation, error) {
 	return p.plan.execTrace(p.e, sp)
+}
+
+// ExecTraceContext is ExecTrace under a caller-supplied context (see
+// ExecContext). A cancelled run still leaves the spans recorded so far
+// on sp, which is how traced slow-query records show where an aborted
+// query spent its time.
+func (p *Prepared) ExecTraceContext(ctx context.Context, sp *obs.Span) (*triplestore.Relation, error) {
+	return p.plan.execContext(p.e, ctx, sp)
 }
 
 // Expr returns the expression the plan was prepared from (as written,

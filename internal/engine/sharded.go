@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -35,10 +36,17 @@ import (
 // goroutine: same results, no goroutine overhead.
 
 // forEachShard runs task(i) for every shard, in parallel across the
-// engine's worker pool when it has more than one worker.
-func (e *Engine) forEachShard(n int, task func(shard int)) {
+// engine's worker pool when it has more than one worker. The shard-task
+// boundary is a cancellation point: a task whose context is already done
+// at pickup never starts, so a cancelled query releases the pool within
+// one task's runtime (the chunk-level polls of parallelCollect bound
+// that runtime for the probe loops themselves).
+func (e *Engine) forEachShard(ctx context.Context, n int, task func(shard int)) {
 	if e.workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			task(i)
 		}
 		return
@@ -51,6 +59,9 @@ func (e *Engine) forEachShard(n int, task func(shard int)) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			task(i)
 		}(i)
 	}
@@ -59,9 +70,9 @@ func (e *Engine) forEachShard(n int, task func(shard int)) {
 
 // collectShards runs task per shard and merges the per-shard result
 // relations (nil results are skipped) into one.
-func (e *Engine) collectShards(n int, task func(shard int) *triplestore.Relation) *triplestore.Relation {
+func (e *Engine) collectShards(ctx context.Context, n int, task func(shard int) *triplestore.Relation) *triplestore.Relation {
 	locals := make([]*triplestore.Relation, n)
-	e.forEachShard(n, func(i int) { locals[i] = task(i) })
+	e.forEachShard(ctx, n, func(i int) { locals[i] = task(i) })
 	total := 0
 	for _, l := range locals {
 		if l != nil {
@@ -175,29 +186,37 @@ func (t *shardTimer) attach() {
 // (subject), broadcast-probe otherwise. parts are the store's shard
 // partitions of the indexed side; probePos/basePos index the key
 // component on the probe and indexed triples. When sp is non-nil the
-// join records its mode and per-shard task timings on it.
-func (e *Engine) shardedIndexJoin(sp *obs.Span, parts []*triplestore.Relation, probe []triplestore.Triple,
-	probePos, basePos int, indexedLeft bool, cc trial.CompiledCond, out [3]trial.Pos) *triplestore.Relation {
+// join records its mode and per-shard task timings on it. A context
+// cancelled mid-join skips the remaining shard tasks and returns the
+// context's error instead of a partial merge.
+func (e *Engine) shardedIndexJoin(ctx context.Context, sp *obs.Span, parts []*triplestore.Relation, probe []triplestore.Triple,
+	probePos, basePos int, indexedLeft bool, cc trial.CompiledCond, out [3]trial.Pos) (*triplestore.Relation, error) {
 	perm := triplestore.PermFor(basePos)
 	timer := newShardTimer(sp, len(parts))
 	defer timer.attach()
+	var r *triplestore.Relation
 	if basePos == 0 {
 		sp.SetAttr("shard_mode", "partition-probe")
 		buckets := bucketByPos(e.sharded, probe, probePos)
-		return e.collectShards(len(parts), timer.timed(func(i int) *triplestore.Relation {
+		r = e.collectShards(ctx, len(parts), timer.timed(func(i int) *triplestore.Relation {
 			if len(buckets[i]) == 0 || parts[i].Len() == 0 {
 				return nil
 			}
 			return probeIndex(buckets[i], parts[i].Index(perm), probePos, indexedLeft, cc, out)
 		}))
+	} else {
+		sp.SetAttr("shard_mode", "broadcast-probe")
+		r = e.collectShards(ctx, len(parts), timer.timed(func(i int) *triplestore.Relation {
+			if parts[i].Len() == 0 {
+				return nil
+			}
+			return probeIndex(probe, parts[i].Index(perm), probePos, indexedLeft, cc, out)
+		}))
 	}
-	sp.SetAttr("shard_mode", "broadcast-probe")
-	return e.collectShards(len(parts), timer.timed(func(i int) *triplestore.Relation {
-		if parts[i].Len() == 0 {
-			return nil
-		}
-		return probeIndex(probe, parts[i].Index(perm), probePos, indexedLeft, cc, out)
-	}))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // execShardedStar runs the partition-parallel semi-naive fixpoint: the
@@ -208,8 +227,11 @@ func (e *Engine) shardedIndexJoin(sp *obs.Span, parts []*triplestore.Relation, p
 // round routes the delta to its shards and runs one probe task per
 // shard. The per-shard locals fold straight into the result set —
 // result.Add deduplicates, exactly like the flat loop — so no
-// intermediate merged relation is built per round.
-func (n *starNode) execShardedStar(ctx *execCtx, base, seeds *triplestore.Relation) *triplestore.Relation {
+// intermediate merged relation is built per round. Cancellation is
+// polled at every round boundary and at every shard-task pickup, so a
+// timed-out star stops deriving within one round and returns the
+// context's error rather than a partial fixpoint.
+func (n *starNode) execShardedStar(ctx *execCtx, base, seeds *triplestore.Relation) (*triplestore.Relation, error) {
 	e := ctx.e
 	ss := e.sharded
 	probe := n.objKeys[0]
@@ -224,7 +246,7 @@ func (n *starNode) execShardedStar(ctx *execCtx, base, seeds *triplestore.Relati
 	timer := newShardTimer(ctx.trace, len(parts))
 	defer timer.attach()
 	ixs := make([]*triplestore.Index, len(parts))
-	e.forEachShard(len(parts), timer.timedVoid(func(i int) {
+	e.forEachShard(ctx.ctx, len(parts), timer.timedVoid(func(i int) {
 		if len(parts[i]) > 0 {
 			ixs[i] = triplestore.IndexTriples(parts[i], perm)
 		}
@@ -233,10 +255,13 @@ func (n *starNode) execShardedStar(ctx *execCtx, base, seeds *triplestore.Relati
 	delta := seeds
 	rec := newRoundRecorder(ctx.trace, seeds.Len())
 	for delta.Len() > 0 {
+		if err := ctx.ctx.Err(); err != nil {
+			return nil, err
+		}
 		rec.round(delta.Len())
 		buckets := bucketByPos(ss, delta.Slice(), deltaPos)
 		locals := make([]*triplestore.Relation, len(parts))
-		e.forEachShard(len(parts), timer.timedVoid(func(i int) {
+		e.forEachShard(ctx.ctx, len(parts), timer.timedVoid(func(i int) {
 			if len(buckets[i]) == 0 || ixs[i] == nil {
 				return
 			}
@@ -255,6 +280,9 @@ func (n *starNode) execShardedStar(ctx *execCtx, base, seeds *triplestore.Relati
 		}
 		delta = next
 	}
+	if err := ctx.ctx.Err(); err != nil {
+		return nil, err
+	}
 	rec.done()
-	return result
+	return result, nil
 }

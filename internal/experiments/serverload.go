@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the serving-tier load harness behind `trialload`: N
+// concurrent clients drive a mixed query/ingest workload against a
+// serve.Server handler (in-process, over real HTTP via httptest),
+// measuring per-class latency percentiles and aggregate QPS, then run a
+// cancellation probe — a deadline far below the query's runtime — and
+// verify through trial_query_cancelled_total and the process goroutine
+// count that the engine's workers actually stopped. The result is
+// BENCH_server.json, gated in CI like BENCH_engine.json.
+
+// LoadConfig parameterizes one load run.
+type LoadConfig struct {
+	// Clients is the number of concurrent clients (default 8).
+	Clients int
+	// RequestsPerClient is how many requests each client issues
+	// (default 50).
+	RequestsPerClient int
+	// Queries is the read workload, one picked per request (uniform);
+	// defaults to a scan and two joins over relation E. Full star
+	// closures are deliberately not in the default mix — on the default
+	// grid(48) store one closure is ~1.5s of engine time, which is the
+	// cancellation probe's job, not the throughput workload's.
+	Queries []string
+	// QueryLimit bounds each query response page (default 100).
+	QueryLimit int
+	// IngestEvery makes every k-th request of a client an ingest batch
+	// instead of a query (0 disables ingest; default 5).
+	IngestEvery int
+	// BatchSize is the triples per ingest batch (default 8).
+	BatchSize int
+	// CancelQuery, when non-empty, is the cancellation probe: a query
+	// expected to run far longer than CancelTimeoutMs, issued once
+	// after the load phase with timeout_ms set. The probe records the
+	// trial_query_cancelled_total delta and checks the goroutine count
+	// drains back to its pre-probe baseline.
+	CancelQuery string
+	// CancelTimeoutMs is the probe deadline (default 100).
+	CancelTimeoutMs int
+}
+
+// LatencySummary is one request class's latency distribution.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// CancelProbe is the cancellation check's outcome: the probe query must
+// answer 504, bump the cancelled counter, and leave no engine workers
+// running (goroutines back to the pre-probe baseline).
+type CancelProbe struct {
+	Ran             bool    `json:"ran"`
+	Query           string  `json:"query"`
+	TimeoutMs       int     `json:"timeout_ms"`
+	Status          int     `json:"status"`
+	CancelledDelta  float64 `json:"cancelled_delta"`
+	GoroutineBase   int     `json:"goroutine_base"`
+	GoroutineAfter  int     `json:"goroutine_after"`
+	DrainedWithinMs float64 `json:"drained_within_ms"`
+}
+
+// LoadReport is the BENCH_server.json document.
+type LoadReport struct {
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Clients    int            `json:"clients"`
+	Requests   int            `json:"requests"`
+	Errors     int            `json:"errors"`
+	DurationMs float64        `json:"duration_ms"`
+	QPS        float64        `json:"qps"`
+	Query      LatencySummary `json:"query"`
+	Ingest     LatencySummary `json:"ingest"`
+	Cancel     CancelProbe    `json:"cancel"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *LoadReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func (c *LoadConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.RequestsPerClient <= 0 {
+		c.RequestsPerClient = 50
+	}
+	if len(c.Queries) == 0 {
+		c.Queries = []string{
+			"E",
+			"join[1,3',3; 2=1'](E, E)",
+			"join[1,2,3'; 3=1', 2=2'](E, E)",
+		}
+	}
+	if c.QueryLimit <= 0 {
+		c.QueryLimit = 100
+	}
+	if c.IngestEvery < 0 {
+		c.IngestEvery = 0
+	} else if c.IngestEvery == 0 {
+		c.IngestEvery = 5
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.CancelTimeoutMs <= 0 {
+		c.CancelTimeoutMs = 100
+	}
+}
+
+// RunServerLoad drives the load phase and the cancellation probe
+// against h (a serve.Server, but any handler with the /v1 contract
+// works) and returns the report. Request errors (non-2xx statuses,
+// transport failures) are counted, not fatal — the gates decide.
+func RunServerLoad(h http.Handler, cfg LoadConfig) (*LoadReport, error) {
+	cfg.defaults()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	client := ts.Client()
+	client.Timeout = 2 * time.Minute
+
+	var (
+		mu         sync.Mutex
+		queryLat   []time.Duration
+		ingestLat  []time.Duration
+		errCount   int
+		totalCount int
+	)
+	record := func(class string, d time.Duration, ok bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		totalCount++
+		if !ok {
+			errCount++
+			return
+		}
+		if class == "ingest" {
+			ingestLat = append(ingestLat, d)
+		} else {
+			queryLat = append(queryLat, d)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			for i := 0; i < cfg.RequestsPerClient; i++ {
+				if cfg.IngestEvery > 0 && (i+1)%cfg.IngestEvery == 0 {
+					var sb strings.Builder
+					for j := 0; j < cfg.BatchSize; j++ {
+						fmt.Fprintf(&sb, "{\"s\":\"load-c%d-r%d-%d\",\"p\":\"load\",\"o\":\"load-c%d-r%d-%d\"}\n",
+							c, i, j, c, i, j+1)
+					}
+					t0 := time.Now()
+					resp, err := client.Post(ts.URL+"/v1/triples", "application/x-ndjson",
+						strings.NewReader(sb.String()))
+					ok := err == nil && resp.StatusCode == http.StatusOK
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					record("ingest", time.Since(t0), ok)
+					continue
+				}
+				q := cfg.Queries[rng.Intn(len(cfg.Queries))]
+				u := fmt.Sprintf("%s/v1/query?limit=%d&q=%s", ts.URL, cfg.QueryLimit, url.QueryEscape(q))
+				t0 := time.Now()
+				resp, err := client.Get(u)
+				ok := err == nil && resp.StatusCode == http.StatusOK
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				record("query", time.Since(t0), ok)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &LoadReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Clients:    cfg.Clients,
+		Requests:   totalCount,
+		Errors:     errCount,
+		DurationMs: float64(wall.Microseconds()) / 1000,
+		QPS:        float64(totalCount) / wall.Seconds(),
+		Query:      summarize(queryLat),
+		Ingest:     summarize(ingestLat),
+	}
+	if cfg.CancelQuery != "" {
+		probe, err := runCancelProbe(ts, client, cfg)
+		if err != nil {
+			return rep, err
+		}
+		rep.Cancel = probe
+	}
+	return rep, nil
+}
+
+// runCancelProbe issues one deadline-doomed query and verifies the
+// serving tier's cancellation contract: 504, a cancelled-counter bump,
+// and engine workers drained back to the pre-probe goroutine baseline.
+func runCancelProbe(ts *httptest.Server, client *http.Client, cfg LoadConfig) (CancelProbe, error) {
+	probe := CancelProbe{Ran: true, Query: cfg.CancelQuery, TimeoutMs: cfg.CancelTimeoutMs}
+	before, err := scrapeCounter(ts, client, "trial_query_cancelled_total")
+	if err != nil {
+		return probe, err
+	}
+	// Let load-phase goroutines (closed keep-alive conns, finished
+	// workers) wind down before taking the baseline.
+	time.Sleep(50 * time.Millisecond)
+	probe.GoroutineBase = runtime.NumGoroutine()
+
+	u := fmt.Sprintf("%s/v1/query?timeout_ms=%d&q=%s", ts.URL, cfg.CancelTimeoutMs, url.QueryEscape(cfg.CancelQuery))
+	resp, err := client.Get(u)
+	if err != nil {
+		return probe, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	probe.Status = resp.StatusCode
+
+	after, err := scrapeCounter(ts, client, "trial_query_cancelled_total")
+	if err != nil {
+		return probe, err
+	}
+	probe.CancelledDelta = after - before
+
+	drainStart := time.Now()
+	deadline := drainStart.Add(5 * time.Second)
+	for {
+		probe.GoroutineAfter = runtime.NumGoroutine()
+		if probe.GoroutineAfter <= probe.GoroutineBase+2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	probe.DrainedWithinMs = float64(time.Since(drainStart).Microseconds()) / 1000
+	return probe, nil
+}
+
+// scrapeCounter sums every series of one counter family from the
+// /v1/metrics exposition.
+func scrapeCounter(ts *httptest.Server, client *http.Client, family string) (float64, error) {
+	resp, err := client.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	total := 0.0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue // a longer family sharing the prefix
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return 0, fmt.Errorf("scrape %s: bad sample %q", family, line)
+		}
+		total += v
+	}
+	return total, sc.Err()
+}
+
+// summarize computes the latency distribution of one request class.
+func summarize(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	pct := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(lat)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return ms(lat[i])
+	}
+	return LatencySummary{
+		Count: len(lat),
+		P50Ms: pct(0.50),
+		P95Ms: pct(0.95),
+		P99Ms: pct(0.99),
+		MaxMs: ms(lat[len(lat)-1]),
+	}
+}

@@ -1,0 +1,52 @@
+package query_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/query"
+)
+
+// TestQueryContext pins the context-aware entry points: a live context
+// matches Query exactly (same plan cache, same result), a cancelled one
+// surfaces ctx.Err() from execution, and a cancelled traced query still
+// returns its root span with the error recorded.
+func TestQueryContext(t *testing.T) {
+	q := query.New(fixtures.Transport(), query.WithRelation(fixtures.RelE))
+	const src = `join[1,3',3; 2=1'](E, E)`
+	want, err := q.Query(query.LangTriAL, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.QueryContext(context.Background(), query.LangTriAL, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("QueryContext = %d triples, want %d", got.Len(), want.Len())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.QueryContext(ctx, query.LangTriAL, src); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryContext(cancelled) err = %v, want context.Canceled", err)
+	}
+	// Compile errors still beat the context check: the query never
+	// reaches execution.
+	if _, err := q.QueryContext(ctx, query.LangTriAL, "join[("); err == nil {
+		t.Fatal("QueryContext accepted a malformed query")
+	}
+
+	r, sp, err := q.QueryTraceContext(ctx, query.LangTriAL, src)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryTraceContext(cancelled) err = %v, want context.Canceled", err)
+	}
+	if r != nil {
+		t.Fatal("QueryTraceContext(cancelled) returned a partial relation")
+	}
+	if sp == nil {
+		t.Fatal("QueryTraceContext(cancelled) returned a nil root span")
+	}
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -232,11 +233,20 @@ func (q *Querier) Compile(lang Lang, source string) (trial.Expr, error) {
 // Graph-language results are canonical: each answer pair (x, y) appears
 // as the triple (x, x, y).
 func (q *Querier) Query(lang Lang, source string) (*triplestore.Relation, error) {
+	return q.QueryContext(context.Background(), lang, source)
+}
+
+// QueryContext is Query under a caller-supplied context. Compilation
+// and planning are not interruptible (they are cheap and cache-bound),
+// but execution polls ctx at operator, worker-chunk, star-round and
+// shard-task boundaries, so cancelling a slow query actually frees the
+// engine's worker pool. The error is then ctx.Err().
+func (q *Querier) QueryContext(ctx context.Context, lang Lang, source string) (*triplestore.Relation, error) {
 	p, err := q.prepare(lang, source)
 	if err != nil {
 		return nil, err
 	}
-	return p.Exec()
+	return p.ExecContext(ctx)
 }
 
 // maxTracedSource bounds the source text echoed into a trace span so a
@@ -252,6 +262,13 @@ const maxTracedSource = 512
 // through. Tracing only adds span bookkeeping around the phases; the
 // compiled plan is cached and shared with untraced Query calls.
 func (q *Querier) QueryTrace(lang Lang, source string) (*triplestore.Relation, *obs.Span, error) {
+	return q.QueryTraceContext(context.Background(), lang, source)
+}
+
+// QueryTraceContext is QueryTrace under a caller-supplied context (see
+// QueryContext). A cancelled query still returns its root span with the
+// error and the operator spans completed so far recorded on it.
+func (q *Querier) QueryTraceContext(ctx context.Context, lang Lang, source string) (*triplestore.Relation, *obs.Span, error) {
 	root := obs.StartSpan("query")
 	defer root.End()
 	root.SetAttr("lang", string(lang))
@@ -266,7 +283,7 @@ func (q *Querier) QueryTrace(lang Lang, source string) (*triplestore.Relation, *
 		return nil, root, err
 	}
 	ex := root.StartChild("execute")
-	r, err := p.ExecTrace(ex)
+	r, err := p.ExecTraceContext(ctx, ex)
 	ex.End()
 	if err != nil {
 		root.SetAttr("error", err.Error())

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+)
+
+// envelope decodes the JSON error envelope from a response body.
+func envelope(t *testing.T, body string) errorDetail {
+	t.Helper()
+	var e errorBody
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("body is not the error envelope: %v\n%s", err, body)
+	}
+	if e.Error.Code == "" {
+		t.Fatalf("envelope has no error code: %s", body)
+	}
+	return e.Error
+}
+
+func authedReq(t *testing.T, method, url, token, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(raw)
+}
+
+func TestParseTokens(t *testing.T) {
+	tokens, err := ParseTokens("alpha:admin, beta:read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokens["alpha"] != RoleAdmin || tokens["beta"] != RoleRead {
+		t.Errorf("tokens = %v", tokens)
+	}
+	if got, _ := ParseTokens(""); got != nil {
+		t.Errorf("empty spec = %v, want nil", got)
+	}
+	for _, bad := range []string{"noRole", ":admin", "tok:root"} {
+		if _, err := ParseTokens(bad); err == nil {
+			t.Errorf("ParseTokens(%q) accepted", bad)
+		}
+	}
+}
+
+// TestAuthRoleMatrix pins the role matrix across every kind of route:
+// no token and unknown tokens answer 401 with a WWW-Authenticate
+// challenge, read tokens reach every read route but not writes, admin
+// tokens reach everything, and /v1/healthz stays open for probes.
+func TestAuthRoleMatrix(t *testing.T) {
+	srv := New(fixtures.Transport(), WithWorkers(2), WithRelation(fixtures.RelE),
+		WithAuthTokens(map[string]Role{"alpha": RoleAdmin, "beta": RoleRead}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ingest := `{"s":"x","p":"auth","o":"y"}`
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		token  string
+		status int
+		code   string // expected envelope code on failure; "" = success
+	}{
+		{"query no token", http.MethodGet, "/v1/query?q=E", "", "", http.StatusUnauthorized, CodeUnauthorized},
+		{"query bad token", http.MethodGet, "/v1/query?q=E", "", "wrong", http.StatusUnauthorized, CodeUnauthorized},
+		{"query read", http.MethodGet, "/v1/query?q=E", "", "beta", http.StatusOK, ""},
+		{"query admin", http.MethodGet, "/v1/query?q=E", "", "alpha", http.StatusOK, ""},
+		{"stats read", http.MethodGet, "/v1/stats", "", "beta", http.StatusOK, ""},
+		{"metrics read", http.MethodGet, "/v1/metrics", "", "beta", http.StatusOK, ""},
+		{"explain read", http.MethodGet, "/v1/explain?q=E", "", "beta", http.StatusOK, ""},
+		{"debug read", http.MethodGet, "/v1/debug/queries", "", "beta", http.StatusOK, ""},
+		{"write no token", http.MethodPost, "/v1/triples", ingest, "", http.StatusUnauthorized, CodeUnauthorized},
+		{"write read token", http.MethodPost, "/v1/triples", ingest, "beta", http.StatusForbidden, CodeForbidden},
+		{"delete read token", http.MethodDelete, "/v1/triples", ingest, "beta", http.StatusForbidden, CodeForbidden},
+		{"write admin", http.MethodPost, "/v1/triples", ingest, "alpha", http.StatusOK, ""},
+		{"legacy write read token", http.MethodPost, "/triples", ingest, "beta", http.StatusForbidden, CodeForbidden},
+		{"legacy query read", http.MethodGet, "/query?q=E", "", "beta", http.StatusOK, ""},
+		{"healthz open", http.MethodGet, "/v1/healthz", "", "", http.StatusOK, ""},
+	}
+	for _, tc := range cases {
+		resp, body := authedReq(t, tc.method, ts.URL+tc.path, tc.token, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+			continue
+		}
+		if tc.code != "" {
+			if got := envelope(t, body).Code; got != tc.code {
+				t.Errorf("%s: envelope code %q, want %q", tc.name, got, tc.code)
+			}
+			if tc.status == http.StatusUnauthorized && resp.Header.Get("WWW-Authenticate") == "" {
+				t.Errorf("%s: 401 without WWW-Authenticate challenge", tc.name)
+			}
+		}
+	}
+
+	// Rejections land on the rejected counter by reason.
+	_, metrics := authedReq(t, http.MethodGet, ts.URL+"/v1/metrics", "beta", "")
+	for _, want := range []string{
+		`trial_http_requests_rejected_total{reason="unauthorized"} 3`,
+		`trial_http_requests_rejected_total{reason="forbidden"} 3`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestAuthDisabledByDefault: without WithAuthTokens the server is open,
+// including writes — the pre-v1 contract tests rely on.
+func TestAuthDisabledByDefault(t *testing.T) {
+	_, ts := testServer(t)
+	resp, _ := authedReq(t, http.MethodPost, ts.URL+"/v1/triples", "", `{"s":"a","p":"b","o":"c"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("open-server write: status %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// cursor is the decoded pagination token for /v1/query: the offset into
+// the result's canonical (lexicographically sorted) triple order, the
+// store version the page was cut at, and a hash binding the cursor to
+// the (lang, source, relation) it was issued for. Cursors are opaque to
+// clients — base64url-encoded JSON — and deliberately survive store
+// version changes: the result set is recomputed at the current version
+// and the offset re-applied to the new sorted order, so a paginating
+// client racing ingest sees a consistent-per-page, best-effort-overall
+// scan instead of an error. The version field is diagnostic (echoed in
+// error details), not a validity check.
+type cursor struct {
+	Offset  int    `json:"o"`
+	Version uint64 `json:"v"`
+	Hash    uint64 `json:"h"`
+}
+
+// queryHash binds a cursor to its query: FNV-64a over language, source
+// and relation. Collisions only risk serving a weird offset, never
+// corrupting data, so a 64-bit non-cryptographic hash is enough.
+func queryHash(lang, source, rel string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(lang))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	h.Write([]byte{0})
+	h.Write([]byte(rel))
+	return h.Sum64()
+}
+
+func encodeCursor(c cursor) string {
+	b, _ := json.Marshal(c)
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+func decodeCursor(s string, wantHash uint64) (cursor, error) {
+	b, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return cursor{}, fmt.Errorf("undecodable cursor")
+	}
+	var c cursor
+	if err := json.Unmarshal(b, &c); err != nil {
+		return cursor{}, fmt.Errorf("undecodable cursor")
+	}
+	if c.Offset < 0 {
+		return cursor{}, fmt.Errorf("negative cursor offset")
+	}
+	if c.Hash != wantHash {
+		return cursor{}, fmt.Errorf("cursor was issued for a different query")
+	}
+	return c, nil
+}

@@ -1,0 +1,16 @@
+// Package serve is the production HTTP serving tier over the unified
+// query layer: the versioned /v1 API (query, ingest, explain, stats,
+// metrics, debug), bearer-token authentication with read-only vs admin
+// roles, per-client token-bucket rate limiting, per-request deadlines
+// wired through internal/query into the engine's cancellation points,
+// and result pagination with opaque cursors. Every failure path answers
+// a stable JSON error envelope {"error": {"code", "message"}}.
+//
+// The pre-v1 routes (/query, /triples, /explain, /stats, /metrics,
+// /debug/queries, /healthz) remain mounted as deprecated aliases of
+// their /v1 twins: same handlers, same metrics route labels, plus a
+// Deprecation header and a Link to the successor. cmd/trialserver is a
+// thin flag-parsing front end over New; cmd/trialload drives a Server
+// handler directly for load testing. See docs/API.md for the full
+// endpoint contract.
+package serve

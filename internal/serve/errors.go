@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Stable machine-readable error codes: clients switch on these, the
+// human-readable message may change freely. Every non-2xx response from
+// a /v1 route (and its legacy alias) carries exactly one of them.
+const (
+	// CodeParseError: the query failed to compile (HTTP 400).
+	CodeParseError = "parse_error"
+	// CodeInvalidParam: a malformed parameter, cursor or body (HTTP 400).
+	CodeInvalidParam = "invalid_param"
+	// CodeUnauthorized: missing or unknown bearer token (HTTP 401).
+	CodeUnauthorized = "unauthorized"
+	// CodeForbidden: authenticated but lacking the required role (HTTP 403).
+	CodeForbidden = "forbidden"
+	// CodeNotFound: no such route (HTTP 404).
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the route exists, the method is wrong; the
+	// Allow header lists what works (HTTP 405).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodePayloadTooLarge: the ingest body exceeded the server cap (HTTP 413).
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeRateLimited: the client's token bucket is empty; Retry-After
+	// says when it refills (HTTP 429).
+	CodeRateLimited = "rate_limited"
+	// CodeEvalError: the query compiled but planning or execution failed
+	// (HTTP 422).
+	CodeEvalError = "eval_error"
+	// CodeTimeout: the query's deadline expired mid-execution (HTTP 504).
+	CodeTimeout = "timeout"
+)
+
+// errorBody is the JSON error envelope: {"error": {"code", "message",
+// "details"}}. Details is optional free-form context (e.g. the Allow
+// list on a 405).
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Details any    `json:"details,omitempty"`
+}
+
+// writeError answers one failure with the JSON envelope. It must be the
+// only error writer on every handler path — http.Error would leak a
+// text/plain body past the API contract.
+func writeError(w http.ResponseWriter, status int, code, message string, details any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: errorDetail{Code: code, Message: message, Details: details}})
+}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -94,7 +94,7 @@ func TestMetricsLint(t *testing.T) {
 // TestMetricsSharded: the sharded server reports per-shard triple
 // gauges and routes query latency under route="sharded".
 func TestMetricsSharded(t *testing.T) {
-	srv := newServer(fixtures.Transport(), 2, fixtures.RelE, 64, 4)
+	srv := New(fixtures.Transport(), WithWorkers(2), WithRelation(fixtures.RelE), WithCacheSize(64), WithShards(4))
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	resp, _ := get(t, ts.URL+"/query?q="+url.QueryEscape("join[1,3',3; 2=1'](E, E)"))
@@ -264,7 +264,7 @@ func TestPprofGate(t *testing.T) {
 		t.Errorf("ungated pprof: status %d, want 404", resp.StatusCode)
 	}
 
-	srv := newServer(fixtures.Transport(), 2, fixtures.RelE, 64, 1, withPprof(true))
+	srv := New(fixtures.Transport(), WithWorkers(2), WithRelation(fixtures.RelE), WithCacheSize(64), WithPprof(true))
 	ts2 := httptest.NewServer(srv)
 	defer ts2.Close()
 	resp, body := get(t, ts2.URL+"/debug/pprof/")
@@ -276,8 +276,8 @@ func TestPprofGate(t *testing.T) {
 // TestSlowLogThreshold: with a high threshold fast queries stay out of
 // the log.
 func TestSlowLogThreshold(t *testing.T) {
-	srv := newServer(fixtures.Transport(), 2, fixtures.RelE, 64, 1,
-		withSlowLog(8, 10e9))
+	srv := New(fixtures.Transport(), WithWorkers(2), WithRelation(fixtures.RelE), WithCacheSize(64),
+		WithSlowLog(8, 10e9))
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	get(t, ts.URL+"/query?q="+url.QueryEscape("join[1,3',3; 2=1'](E, E)"))

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"net/http"
@@ -26,14 +26,22 @@ type serverMetrics struct {
 	queryDur     *obs.HistogramVec // trial_query_duration_seconds{lang,route}
 	queriesTotal *obs.CounterVec   // trial_queries_total{lang,status}
 
+	// Cancellation: queries stopped by their context, by reason —
+	// "deadline" for an expired timeout_ms/server deadline, "disconnect"
+	// for a client that went away mid-execution.
+	queryCancelled *obs.CounterVec // trial_query_cancelled_total{reason}
+
 	// Ingest path.
 	ingestBatchSize *obs.Histogram  // trial_ingest_batch_triples
 	ingestBatches   *obs.Counter    // trial_ingest_batches_total
 	ingestTriples   *obs.CounterVec // trial_ingest_triples_total{op}
 
-	// HTTP tier.
+	// HTTP tier. Rejections are requests the serving tier refused before
+	// (or instead of) running the handler, by reason: unauthorized,
+	// forbidden, rate_limited, method_not_allowed, payload_too_large.
 	httpInFlight *obs.Gauge      // trial_http_in_flight
 	httpRequests *obs.CounterVec // trial_http_requests_total{route,class}
+	httpRejected *obs.CounterVec // trial_http_requests_rejected_total{reason}
 
 	route string // "flat" or "sharded", the executor this server runs
 }
@@ -49,6 +57,8 @@ func newServerMetrics(q *query.Querier, store *triplestore.Store,
 			"query latency by language and executor route", obs.DurationBuckets(), "lang", "route"),
 		queriesTotal: reg.CounterVec("trial_queries_total",
 			"queries served by language and status", "lang", "status"),
+		queryCancelled: reg.CounterVec("trial_query_cancelled_total",
+			"queries stopped by context cancellation, by reason", "reason"),
 		ingestBatchSize: reg.Histogram("trial_ingest_batch_triples",
 			"triples changed per ingest batch", obs.SizeBuckets()),
 		ingestBatches: reg.Counter("trial_ingest_batches_total",
@@ -59,6 +69,8 @@ func newServerMetrics(q *query.Querier, store *triplestore.Store,
 			"HTTP requests currently being served"),
 		httpRequests: reg.CounterVec("trial_http_requests_total",
 			"HTTP requests by route and status class", "route", "class"),
+		httpRejected: reg.CounterVec("trial_http_requests_rejected_total",
+			"HTTP requests refused by the serving tier, by reason", "reason"),
 		route: "flat",
 	}
 	if sharded != nil {
@@ -157,8 +169,9 @@ func (r *statusRecorder) Flush() {
 }
 
 // instrument wraps a handler with the HTTP-tier metrics: in-flight
-// gauge and per-route status-class counters. route is the registration
-// pattern, so the label set is exactly the server's route table —
+// gauge and per-route status-class counters. route is the metrics label
+// for the registration pattern (legacy aliases keep their original
+// label), so the label set is exactly the server's route table —
 // user-controlled paths never become label values.
 func (m *serverMetrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {

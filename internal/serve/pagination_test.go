@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+)
+
+// pageLines returns the non-comment lines of a text-format query body.
+func pageLines(body string) []string {
+	var out []string
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// TestPaginationWalk pages through a full result with limit+cursor and
+// must reassemble exactly the unpaginated body, in order, with the
+// cursor header disappearing on the last page.
+func TestPaginationWalk(t *testing.T) {
+	_, ts := testServer(t)
+	resp, full := get(t, ts.URL+"/v1/query?q=E")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want := pageLines(full)
+
+	var got []string
+	cursor := ""
+	for page := 0; ; page++ {
+		if page > len(want) {
+			t.Fatal("pagination did not terminate")
+		}
+		u := ts.URL + "/v1/query?q=E&limit=3"
+		if cursor != "" {
+			u += "&cursor=" + url.QueryEscape(cursor)
+		}
+		resp, body := get(t, u)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page %d: status %d: %s", page, resp.StatusCode, body)
+		}
+		if resp.Header.Get("X-Trial-Result-Size") != "7" {
+			t.Errorf("page %d: result-size header = %q, want the full 7", page,
+				resp.Header.Get("X-Trial-Result-Size"))
+		}
+		lines := pageLines(body)
+		if len(lines) > 3 {
+			t.Fatalf("page %d: %d triples, limit is 3", page, len(lines))
+		}
+		got = append(got, lines...)
+		cursor = resp.Header.Get("X-Trial-Next-Cursor")
+		if cursor == "" {
+			break
+		}
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("paged walk reassembled:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestPaginationCursorErrors: garbage, tampered and cross-query cursors
+// answer 400 invalid_param.
+func TestPaginationCursorErrors(t *testing.T) {
+	_, ts := testServer(t)
+	resp, _ := get(t, ts.URL+"/v1/query?q=E&limit=2")
+	otherQuery := resp.Header.Get("X-Trial-Next-Cursor")
+	if otherQuery == "" {
+		t.Fatal("no cursor to misuse")
+	}
+	for name, c := range map[string]string{
+		"garbage":     "not-base64!!",
+		"wrong query": otherQuery, // issued for q=E, replayed below against another query
+	} {
+		resp, body := get(t, ts.URL+"/v1/query?limit=2&cursor="+url.QueryEscape(c)+
+			"&q="+url.QueryEscape("join[1,3',3; 2=1'](E, E)"))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s cursor: status %d, want 400", name, resp.StatusCode)
+			continue
+		}
+		if got := envelope(t, body).Code; got != CodeInvalidParam {
+			t.Errorf("%s cursor: code %q, want %q", name, got, CodeInvalidParam)
+		}
+	}
+}
+
+// TestPaginationSurvivesVersionChange: a cursor issued before an ingest
+// batch keeps working after the store version advances — the page is
+// recomputed against the current version's sorted order (best-effort
+// scan, documented in docs/API.md) rather than erroring.
+func TestPaginationSurvivesVersionChange(t *testing.T) {
+	srv, ts := testServer(t)
+	resp, _ := get(t, ts.URL+"/v1/query?q=E&limit=2")
+	cursor := resp.Header.Get("X-Trial-Next-Cursor")
+	if cursor == "" {
+		t.Fatal("no cursor issued")
+	}
+	v0 := srv.store.Version()
+
+	// Advance the store version mid-pagination.
+	post, err := http.Post(ts.URL+"/v1/triples", "application/x-ndjson",
+		strings.NewReader(`{"s":"zzz-page","p":"zzz","o":"zzz-t"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d", post.StatusCode)
+	}
+	if srv.store.Version() == v0 {
+		t.Fatal("ingest did not advance the store version")
+	}
+
+	var got []string
+	for cursor != "" {
+		resp, body := get(t, ts.URL+"/v1/query?q=E&limit=2&cursor="+url.QueryEscape(cursor))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stale-version cursor: status %d: %s", resp.StatusCode, body)
+		}
+		got = append(got, pageLines(body)...)
+		cursor = resp.Header.Get("X-Trial-Next-Cursor")
+	}
+	// 8 triples total now; offset 2 already consumed → 6 remaining, and
+	// the new triple sorts last so it must appear.
+	if len(got) != 6 {
+		t.Errorf("resumed walk returned %d triples, want 6", len(got))
+	}
+	if !strings.Contains(strings.Join(got, "\n"), "zzz-page") {
+		t.Errorf("resumed walk missed the newly ingested triple:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+// TestMaxResultsCap: the server cap bounds a page even with no client
+// limit, and hands out a cursor to continue.
+func TestMaxResultsCap(t *testing.T) {
+	srv := New(fixtures.Transport(), WithWorkers(2), WithRelation(fixtures.RelE), WithMaxResults(4))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, body := get(t, ts.URL+"/v1/query?q=E")
+	if n := len(pageLines(body)); n != 4 {
+		t.Errorf("uncapped request returned %d triples, want the cap 4", n)
+	}
+	if resp.Header.Get("X-Trial-Next-Cursor") == "" {
+		t.Error("capped page without a continuation cursor")
+	}
+	if resp.Header.Get("X-Trial-Result-Size") != "7" {
+		t.Errorf("result-size header = %q, want 7", resp.Header.Get("X-Trial-Result-Size"))
+	}
+	// A limit above the cap is clamped too.
+	_, body = get(t, ts.URL+"/v1/query?q=E&limit=100")
+	if n := len(pageLines(body)); n != 4 {
+		t.Errorf("limit=100 returned %d triples, want the cap 4", n)
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter: each key gets a
+// bucket of capacity burst refilled at qps tokens per second, and one
+// request costs one token. Keys are bearer tokens when the request
+// authenticated, the remote address host otherwise, so a noisy client
+// throttles itself without starving the rest.
+type rateLimiter struct {
+	qps   float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-key map: past it, fully-refilled (idle)
+// buckets are dropped — they are indistinguishable from fresh ones, so
+// eviction never grants extra tokens.
+const maxBuckets = 16384
+
+func newRateLimiter(qps float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		qps:     qps,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow reports whether key may proceed, and if not, how long until its
+// bucket holds a full token again.
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.evictIdleLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.qps)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.qps * float64(time.Second))
+	return false, wait
+}
+
+// evictIdleLocked drops buckets that have refilled to capacity.
+func (l *rateLimiter) evictIdleLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.qps) >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// clientKey identifies the bucket a request draws from: the bearer
+// token when one is present, else the remote host.
+func clientKey(r *http.Request) string {
+	if tok := bearerToken(r); tok != "" {
+		return "tok:" + tok
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// rateLimit gates h on the server's limiter, answering 429 with a
+// Retry-After header (whole seconds, rounded up) and the rate_limited
+// envelope when the client's bucket is empty. A server without
+// WithRateLimit passes through untouched.
+func (s *Server) rateLimit(h http.HandlerFunc) http.HandlerFunc {
+	if s.limiter == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ok, wait := s.limiter.allow(clientKey(r))
+		if !ok {
+			s.m.httpRejected.With("rate_limited").Inc()
+			secs := int(math.Ceil(wait.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, CodeRateLimited,
+				"rate limit exceeded", map[string]any{"retry_after_s": secs})
+			return
+		}
+		h(w, r)
+	}
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fixtures"
+)
+
+// TestRateLimiterBucket drives the token bucket with a fake clock:
+// burst requests pass, the next is denied with a sensible wait, and
+// refill restores capacity at qps.
+func TestRateLimiterBucket(t *testing.T) {
+	l := newRateLimiter(2, 3) // 2 tokens/s, burst 3
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.allow("k"); !ok {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	ok, wait := l.allow("k")
+	if ok {
+		t.Fatal("request past burst allowed")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Errorf("wait = %v, want (0, 500ms] at 2 qps", wait)
+	}
+	now = now.Add(time.Second) // refills 2 tokens
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("k"); !ok {
+			t.Fatalf("post-refill request %d denied", i)
+		}
+	}
+	if ok, _ := l.allow("k"); ok {
+		t.Error("third post-refill request allowed (only 2 tokens refilled)")
+	}
+	// Other keys have their own buckets.
+	if ok, _ := l.allow("other"); !ok {
+		t.Error("fresh key denied")
+	}
+}
+
+// TestRateLimit429 pins the HTTP surface: past the burst the server
+// answers 429 with a Retry-After header and the rate_limited envelope,
+// and the rejection lands on the rejected counter. /v1/healthz and
+// /v1/metrics stay exempt so probes and scrapes never starve.
+func TestRateLimit429(t *testing.T) {
+	srv := New(fixtures.Transport(), WithWorkers(2), WithRelation(fixtures.RelE),
+		WithRateLimit(0.001, 2)) // negligible refill: 2 requests, then dry
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, body := get(t, ts.URL+"/v1/query?q=E")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := get(t, ts.URL+"/v1/query?q=E")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if got := envelope(t, body).Code; got != CodeRateLimited {
+		t.Errorf("envelope code %q, want %q", got, CodeRateLimited)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+
+	// Exempt routes keep answering after the bucket is dry.
+	for _, path := range []string{"/v1/healthz", "/v1/metrics"} {
+		if resp, _ := get(t, ts.URL+path); resp.StatusCode != http.StatusOK {
+			t.Errorf("exempt %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	_, metrics := get(t, ts.URL+"/v1/metrics")
+	if !strings.Contains(metrics, `trial_http_requests_rejected_total{reason="rate_limited"} 1`) {
+		t.Error("exposition missing the rate_limited rejection")
+	}
+}
+
+// TestRateLimitPerToken: authenticated clients draw from per-token
+// buckets, so one client hitting its limit does not throttle another.
+func TestRateLimitPerToken(t *testing.T) {
+	srv := New(fixtures.Transport(), WithWorkers(2), WithRelation(fixtures.RelE),
+		WithAuthTokens(map[string]Role{"a": RoleRead, "b": RoleRead}),
+		WithRateLimit(0.001, 1))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if resp, _ := authedReq(t, http.MethodGet, ts.URL+"/v1/query?q=E", "a", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first a request: %d", resp.StatusCode)
+	}
+	if resp, _ := authedReq(t, http.MethodGet, ts.URL+"/v1/query?q=E", "a", ""); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("second a request: %d, want 429", resp.StatusCode)
+	}
+	if resp, _ := authedReq(t, http.MethodGet, ts.URL+"/v1/query?q=E", "b", ""); resp.StatusCode != http.StatusOK {
+		t.Errorf("b request throttled by a's bucket: %d", resp.StatusCode)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -13,9 +13,10 @@ import (
 	"repro/internal/fixtures"
 )
 
-func testShardedServer(t *testing.T, shards int) (*server, *httptest.Server) {
+func testShardedServer(t *testing.T, shards int) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(fixtures.Transport(), 2, fixtures.RelE, 64, shards)
+	srv := New(fixtures.Transport(), WithWorkers(2), WithRelation(fixtures.RelE),
+		WithCacheSize(64), WithShards(shards))
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return srv, ts

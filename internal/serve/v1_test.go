@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+)
+
+// TestV1Routes: every endpoint answers under /v1 with the same body as
+// its legacy alias, and the alias carries Deprecation and Link headers
+// while the /v1 route does not.
+func TestV1Routes(t *testing.T) {
+	_, ts := testServer(t)
+	q := "?q=" + url.QueryEscape("join[1,3',3; 2=1'](E, E)")
+	pairs := []struct{ v1, legacy string }{
+		{"/v1/query" + q, "/query" + q},
+		{"/v1/explain" + q, "/explain" + q},
+		{"/v1/stats", "/stats"},
+		{"/v1/metrics", "/metrics"},
+		{"/v1/debug/queries", "/debug/queries"},
+		{"/v1/healthz", "/healthz"},
+	}
+	for _, p := range pairs {
+		resp, v1Body := get(t, ts.URL+p.v1)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", p.v1, resp.StatusCode)
+			continue
+		}
+		if resp.Header.Get("Deprecation") != "" {
+			t.Errorf("%s: /v1 route marked deprecated", p.v1)
+		}
+		lresp, legacyBody := get(t, ts.URL+p.legacy)
+		if lresp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", p.legacy, lresp.StatusCode)
+			continue
+		}
+		if lresp.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s: missing Deprecation header", p.legacy)
+		}
+		if link := lresp.Header.Get("Link"); !strings.Contains(link, "successor-version") ||
+			!strings.Contains(link, strings.SplitN(p.v1, "?", 2)[0]) {
+			t.Errorf("%s: Link = %q, want a successor-version pointer", p.legacy, link)
+		}
+		// Metrics-free endpoints must serve identical bodies on both
+		// routes; /stats, /metrics and /debug/queries drift by uptime or
+		// the requests themselves, so compare only the query-shaped ones.
+		if strings.Contains(p.v1, "query?") || strings.Contains(p.v1, "explain") || strings.Contains(p.v1, "healthz") {
+			if v1Body != legacyBody {
+				t.Errorf("%s and %s bodies diverge:\n%s\nvs\n%s", p.v1, p.legacy, v1Body, legacyBody)
+			}
+		}
+	}
+}
+
+// TestEnvelopeOnEveryFailurePath sweeps the /v1 failure paths: each one
+// must answer the JSON envelope with its documented code.
+func TestEnvelopeOnEveryFailurePath(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+		code   string
+	}{
+		{"missing query", http.MethodGet, "/v1/query", "", http.StatusBadRequest, CodeInvalidParam},
+		{"parse error", http.MethodGet, "/v1/query?q=" + url.QueryEscape("join[("), "", http.StatusBadRequest, CodeParseError},
+		{"eval error", http.MethodGet, "/v1/query?q=NoSuchRel", "", http.StatusUnprocessableEntity, CodeEvalError},
+		{"bad limit", http.MethodGet, "/v1/query?q=E&limit=x", "", http.StatusBadRequest, CodeInvalidParam},
+		{"bad format", http.MethodGet, "/v1/query?q=E&format=xml", "", http.StatusBadRequest, CodeInvalidParam},
+		{"bad lang", http.MethodGet, "/v1/query?q=E&lang=sql", "", http.StatusBadRequest, CodeInvalidParam},
+		{"bad timeout", http.MethodGet, "/v1/query?q=E&timeout_ms=-5", "", http.StatusBadRequest, CodeInvalidParam},
+		{"bad cursor", http.MethodGet, "/v1/query?q=E&cursor=%21%21", "", http.StatusBadRequest, CodeInvalidParam},
+		{"explain parse error", http.MethodGet, "/v1/explain?q=" + url.QueryEscape("join[("), "", http.StatusBadRequest, CodeParseError},
+		{"ingest empty", http.MethodPost, "/v1/triples", "", http.StatusBadRequest, CodeInvalidParam},
+		{"ingest malformed", http.MethodPost, "/v1/triples", `{"s":`, http.StatusBadRequest, CodeInvalidParam},
+		{"bad method query", http.MethodDelete, "/v1/query?q=E", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"bad method stats", http.MethodPost, "/v1/stats", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"unknown route", http.MethodGet, "/v1/nope", "", http.StatusNotFound, CodeNotFound},
+		{"legacy parse error", http.MethodGet, "/query?q=" + url.QueryEscape("join[("), "", http.StatusBadRequest, CodeParseError},
+		{"legacy bad method", http.MethodDelete, "/query?q=E", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		resp, body := authedReq(t, tc.method, ts.URL+tc.path, "", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+			continue
+		}
+		if got := envelope(t, body).Code; got != tc.code {
+			t.Errorf("%s: envelope code %q, want %q", tc.name, got, tc.code)
+		}
+		if tc.status == http.StatusMethodNotAllowed && resp.Header.Get("Allow") == "" {
+			t.Errorf("%s: 405 without an Allow header", tc.name)
+		}
+	}
+}
+
+// TestRootMethodCheck: the index and unknown-path handler runs the same
+// method gate as every other route — POST / is 405 with Allow and the
+// envelope, which the pre-v1 server got wrong (it served the index).
+func TestRootMethodCheck(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := authedReq(t, http.MethodPost, ts.URL+"/", "", "")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /: status %d, want 405", resp.StatusCode)
+	}
+	if resp.Header.Get("Allow") != "GET" {
+		t.Errorf("Allow = %q, want GET", resp.Header.Get("Allow"))
+	}
+	if got := envelope(t, body).Code; got != CodeMethodNotAllowed {
+		t.Errorf("envelope code %q", got)
+	}
+	// Unknown paths get the envelope too.
+	resp, body = get(t, ts.URL+"/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope: status %d, want 404", resp.StatusCode)
+	}
+	if got := envelope(t, body).Code; got != CodeNotFound {
+		t.Errorf("envelope code %q", got)
+	}
+}
+
+// TestPprofMethodCheck: with pprof mounted, its routes pass through the
+// same method gate (the pre-v1 server left them ungated).
+func TestPprofMethodCheck(t *testing.T) {
+	srv := New(fixtures.Transport(), WithWorkers(2), WithPprof(true))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, body := authedReq(t, http.MethodDelete, ts.URL+"/debug/pprof/", "", "")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /debug/pprof/: status %d, want 405", resp.StatusCode)
+	}
+	if got := envelope(t, body).Code; got != CodeMethodNotAllowed {
+		t.Errorf("envelope code %q", got)
+	}
+	if resp, _ := get(t, ts.URL+"/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/: status %d", resp.StatusCode)
+	}
+}

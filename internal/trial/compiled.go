@@ -1,6 +1,10 @@
 package trial
 
-import "repro/internal/triplestore"
+import (
+	"context"
+
+	"repro/internal/triplestore"
+)
 
 // CompiledCond is a condition compiled against a store for repeated
 // evaluation over candidate triple pairs. It is the exported face of the
@@ -142,5 +146,19 @@ func StarReachShape(st Star) ReachShape { return ReachShape(reachStarKind(st)) }
 // σ_seed(star(base)) for seed conditions over the star's invariant
 // positions 1 and 2 — the device behind the engine's selection hoisting.
 func ReachClosure(base *triplestore.Relation, shape ReachShape, seed func(triplestore.Triple) bool) *triplestore.Relation {
-	return reachClosure(base, reachKind(shape), seed)
+	return reachClosure(context.Background(), base, reachKind(shape), seed)
+}
+
+// ReachClosureCtx is ReachClosure with cooperative cancellation: the
+// per-source BFS sweep polls ctx between seed triples and, once the
+// context is done, stops expanding sources and returns ctx.Err() instead
+// of a partial closure. The reference Evaluator keeps the uncancellable
+// ReachClosure; this entry point exists for serving engines whose
+// callers may disconnect or time out mid-star (internal/engine).
+func ReachClosureCtx(ctx context.Context, base *triplestore.Relation, shape ReachShape, seed func(triplestore.Triple) bool) (*triplestore.Relation, error) {
+	r := reachClosure(ctx, base, reachKind(shape), seed)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }

@@ -1,6 +1,7 @@
 package trial
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -110,7 +111,7 @@ func (ev *Evaluator) Eval(e Expr) (*triplestore.Relation, error) {
 		}
 		if !ev.DisableReachStar {
 			if kind := reachStarKind(x); kind != reachNone {
-				return reachClosure(base, kind, nil), nil
+				return reachClosure(context.Background(), base, kind, nil), nil
 			}
 		}
 		return ev.fixpointStar(base, x), nil
@@ -348,7 +349,23 @@ func reachStarKind(st Star) reachKind {
 // result is σ_seed(star(base)) for conditions over the star's invariant
 // positions (1 and 2, which every derived triple inherits from its seed).
 // The engine uses this to hoist such selections out of the fixpoint.
-func reachClosure(base *triplestore.Relation, kind reachKind, seed func(triplestore.Triple) bool) *triplestore.Relation {
+//
+// ctx is polled every 256 seed triples: once it is done the remaining
+// sources are skipped, so a cancelled closure stops burning CPU quickly
+// without putting a branch on every BFS edge. Callers that observe
+// ctx.Err() afterwards must discard the (partial) result; the evaluator
+// passes context.Background() and keeps the exact reference semantics.
+func reachClosure(ctx context.Context, base *triplestore.Relation, kind reachKind, seed func(triplestore.Triple) bool) *triplestore.Relation {
+	polled, cancelled := 0, false
+	done := func() bool {
+		if cancelled {
+			return true
+		}
+		if polled++; polled&255 == 0 && ctx.Err() != nil {
+			cancelled = true
+		}
+		return cancelled
+	}
 	var result *triplestore.Relation
 	if seed == nil {
 		// BFS from t's endpoint includes the endpoint itself (a length-0
@@ -367,7 +384,7 @@ func reachClosure(base *triplestore.Relation, kind reachKind, seed func(triplest
 		})
 		reach := newReachCache(adj)
 		base.ForEach(func(t triplestore.Triple) {
-			if !seed(t) {
+			if done() || !seed(t) {
 				return
 			}
 			for _, l := range reach.from(t[2]) {
@@ -386,7 +403,7 @@ func reachClosure(base *triplestore.Relation, kind reachKind, seed func(triplest
 		})
 		caches := make(map[triplestore.ID]*reachCache, len(byLabel))
 		base.ForEach(func(t triplestore.Triple) {
-			if !seed(t) {
+			if done() || !seed(t) {
 				return
 			}
 			rc := caches[t[1]]
