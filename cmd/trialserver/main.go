@@ -63,7 +63,7 @@ func main() {
 		qTimeout   = flag.Duration("query-timeout", 0, "server-wide query execution deadline (0 = none; requests can tighten it with timeout_ms)")
 		maxResults = flag.Int("max-results", serve.DefaultMaxResults, "hard cap on triples per /v1/query page (clients page past it with cursors)")
 
-		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (rate limited; admin-only when -tokens is set)")
 		slowCap = flag.Int("slowlog", 128, "slow-query ring-buffer capacity (/v1/debug/queries)")
 		slowMs  = flag.Int("slow-ms", 0, "only log queries at or above this latency in milliseconds (0 = log every query)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"fmt"
 	"net/http"
 	"strings"
@@ -70,20 +71,36 @@ func bearerToken(r *http.Request) string {
 	return ""
 }
 
+// lookupToken resolves a presented bearer token against the configured
+// set, comparing every candidate with crypto/subtle so the scan takes
+// the same time whether the token matches, mismatches early, or is
+// absent — a brute-forcing client learns nothing from response timing
+// (beyond token length, which ConstantTimeCompare rejects up front).
+func (s *Server) lookupToken(tok string) (Role, bool) {
+	var role Role
+	found := false
+	for t, r := range s.tokens {
+		if subtle.ConstantTimeCompare([]byte(t), []byte(tok)) == 1 {
+			role, found = r, true
+		}
+	}
+	return role, found
+}
+
 // requireRole gates h on authentication when the server has tokens
 // configured: a missing or unknown token answers 401 (with a
 // WWW-Authenticate challenge), a known token below min answers 403.
 // With no tokens configured the server is open and h runs as-is. The
-// authenticated token is stashed in the request header the rate limiter
-// keys on (see rateLimit), so per-client buckets follow identity, not
-// address.
+// rate limiter validates the same token set when picking a bucket key
+// (see clientKey), so per-client buckets follow proven identity, not
+// whatever Authorization header the client invented.
 func (s *Server) requireRole(min Role, h http.HandlerFunc) http.HandlerFunc {
 	if len(s.tokens) == 0 {
 		return h
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		tok := bearerToken(r)
-		role, ok := s.tokens[tok]
+		role, ok := s.lookupToken(tok)
 		if tok == "" || !ok {
 			s.m.httpRejected.With("unauthorized").Inc()
 			w.Header().Set("WWW-Authenticate", `Bearer realm="trialserver"`)

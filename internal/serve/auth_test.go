@@ -127,6 +127,43 @@ func TestAuthRoleMatrix(t *testing.T) {
 	}
 }
 
+// TestPprofAdminGate: with auth enabled the pprof routes require an
+// admin token — /debug/pprof/cmdline echoes the process command line,
+// which under -tokens contains every bearer token, so an open or
+// read-level mount would leak the whole credential set.
+func TestPprofAdminGate(t *testing.T) {
+	srv := New(fixtures.Transport(), WithWorkers(2), WithRelation(fixtures.RelE),
+		WithPprof(true),
+		WithAuthTokens(map[string]Role{"alpha": RoleAdmin, "beta": RoleRead}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		cases := []struct {
+			token  string
+			status int
+			code   string
+		}{
+			{"", http.StatusUnauthorized, CodeUnauthorized},
+			{"wrong", http.StatusUnauthorized, CodeUnauthorized},
+			{"beta", http.StatusForbidden, CodeForbidden},
+			{"alpha", http.StatusOK, ""},
+		}
+		for _, tc := range cases {
+			resp, body := authedReq(t, http.MethodGet, ts.URL+path, tc.token, "")
+			if resp.StatusCode != tc.status {
+				t.Errorf("%s token %q: status %d, want %d", path, tc.token, resp.StatusCode, tc.status)
+				continue
+			}
+			if tc.code != "" {
+				if got := envelope(t, body).Code; got != tc.code {
+					t.Errorf("%s token %q: envelope code %q, want %q", path, tc.token, got, tc.code)
+				}
+			}
+		}
+	}
+}
+
 // TestAuthDisabledByDefault: without WithAuthTokens the server is open,
 // including writes — the pre-v1 contract tests rely on.
 func TestAuthDisabledByDefault(t *testing.T) {

@@ -92,6 +92,38 @@ func TestServerQueryTimeoutOption(t *testing.T) {
 	}
 }
 
+// TestExplainTraceHonorsTimeout: the &trace=1 execution path of
+// /v1/explain runs under the same derived context as /v1/query — the
+// server-wide WithQueryTimeout bound applies, so explain cannot be
+// used to run an unbounded query. The plan has already streamed with
+// 200 by then; the appended trace reports the failure, the
+// cancellation lands on the deadline counter, and a bad timeout_ms is
+// a clean 400 envelope instead of a half-written plan.
+func TestExplainTraceHonorsTimeout(t *testing.T) {
+	srv := New(genstore.Grid(72, 72), WithWorkers(4), WithQueryTimeout(time.Millisecond))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := get(t, ts.URL+"/v1/explain?trace=1&q="+url.QueryEscape(slowQuery))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "execution failed") || !strings.Contains(body, "deadline") {
+		t.Errorf("traced explain ran past the server deadline:\n%s", body)
+	}
+	if got := srv.m.queryCancelled.With("deadline").Value(); got != 1 {
+		t.Errorf("trial_query_cancelled_total{reason=\"deadline\"} = %d, want 1", got)
+	}
+
+	resp, body = get(t, ts.URL+"/v1/explain?trace=1&timeout_ms=-5&q=E")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad timeout_ms: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if got := envelope(t, body).Code; got != CodeInvalidParam {
+		t.Errorf("envelope code %q, want %q", got, CodeInvalidParam)
+	}
+}
+
 // TestCancelDuringShardedStarHTTP races client-side cancellation
 // against in-flight partition-parallel star queries over HTTP (run
 // with -race): requests are aborted at staggered points mid-execution,

@@ -79,10 +79,16 @@ func (l *rateLimiter) evictIdleLocked(now time.Time) {
 }
 
 // clientKey identifies the bucket a request draws from: the bearer
-// token when one is present, else the remote host.
-func clientKey(r *http.Request) string {
+// token when it is one the server actually knows, else the remote
+// host. Unvalidated tokens must not pick the key — otherwise a client
+// could mint a fresh full bucket per request by randomizing its
+// Authorization header, bypassing the per-host limit entirely (and
+// churning the bucket map toward maxBuckets).
+func (s *Server) clientKey(r *http.Request) string {
 	if tok := bearerToken(r); tok != "" {
-		return "tok:" + tok
+		if _, ok := s.lookupToken(tok); ok {
+			return "tok:" + tok
+		}
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
@@ -100,7 +106,7 @@ func (s *Server) rateLimit(h http.HandlerFunc) http.HandlerFunc {
 		return h
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		ok, wait := s.limiter.allow(clientKey(r))
+		ok, wait := s.limiter.allow(s.clientKey(r))
 		if !ok {
 			s.m.httpRejected.With("rate_limited").Inc()
 			secs := int(math.Ceil(wait.Seconds()))

@@ -85,6 +85,62 @@ func TestRateLimit429(t *testing.T) {
 	}
 }
 
+// TestRateLimitIgnoresUnvalidatedTokens: with rate limiting on but auth
+// off, a client rotating made-up Authorization headers must NOT mint a
+// fresh bucket per request — every unvalidated token falls back to the
+// host bucket, so the third request past a burst of 2 is throttled.
+func TestRateLimitIgnoresUnvalidatedTokens(t *testing.T) {
+	srv := New(fixtures.Transport(), WithWorkers(2), WithRelation(fixtures.RelE),
+		WithRateLimit(0.001, 2))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, body := authedReq(t, http.MethodGet, ts.URL+"/v1/query?q=E", "made-up-"+strconv.Itoa(i), "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := authedReq(t, http.MethodGet, ts.URL+"/v1/query?q=E", "made-up-2", "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rotated-token request: status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if got := envelope(t, body).Code; got != CodeRateLimited {
+		t.Errorf("envelope code %q, want %q", got, CodeRateLimited)
+	}
+}
+
+// TestAuthFailuresRateLimited pins the middleware order: the limiter
+// sits outside auth, so bearer-token brute-forcing drains the host
+// bucket and turns into 429s past the burst instead of unthrottled
+// 401s — while a valid client keeps its own per-token bucket.
+func TestAuthFailuresRateLimited(t *testing.T) {
+	srv := New(fixtures.Transport(), WithWorkers(2), WithRelation(fixtures.RelE),
+		WithAuthTokens(map[string]Role{"alpha": RoleRead}),
+		WithRateLimit(0.001, 2))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, _ := authedReq(t, http.MethodGet, ts.URL+"/v1/query?q=E", "guess-"+strconv.Itoa(i), "")
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("guess %d: status %d, want 401", i, resp.StatusCode)
+		}
+	}
+	resp, body := authedReq(t, http.MethodGet, ts.URL+"/v1/query?q=E", "guess-2", "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("guess past burst: status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if got := envelope(t, body).Code; got != CodeRateLimited {
+		t.Errorf("envelope code %q, want %q", got, CodeRateLimited)
+	}
+	// The legitimate client is unaffected: its bucket is keyed by its
+	// validated token, not the (now dry) host bucket.
+	if resp, body := authedReq(t, http.MethodGet, ts.URL+"/v1/query?q=E", "alpha", ""); resp.StatusCode != http.StatusOK {
+		t.Errorf("valid client throttled by brute-force traffic: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
 // TestRateLimitPerToken: authenticated clients draw from per-token
 // buckets, so one client hitting its limit does not throttle another.
 func TestRateLimitPerToken(t *testing.T) {

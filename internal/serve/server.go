@@ -104,7 +104,12 @@ func WithSlowLog(capacity int, threshold time.Duration) Option {
 	return func(c *config) { c.slowCap, c.threshold = capacity, threshold }
 }
 
-// WithPprof mounts net/http/pprof under /debug/pprof/.
+// WithPprof mounts net/http/pprof under /debug/pprof/. The profiling
+// routes run the full middleware chain: with WithAuthTokens they
+// require an admin token (pprof.Cmdline would otherwise leak the
+// -tokens flag to anyone), and with WithRateLimit they draw from the
+// same buckets as the API, so profile collection cannot be used as an
+// unthrottled DoS vector.
 func WithPprof(on bool) Option {
 	return func(c *config) { c.pprofOn = on }
 }
@@ -189,12 +194,15 @@ func New(store *triplestore.Store, opts ...Option) *Server {
 }
 
 // routes mounts the /v1 API and its deprecated legacy aliases. Each
-// route runs the full middleware chain — instrument (metrics), auth,
-// rate limit, method check — in that order, so a rejected request is
-// still counted under its route and status class. Aliases share the
-// v1 handlers but are instrumented under their original route labels
-// (dashboards watching trial_http_requests_total{route="/query"} keep
-// working) and answer with Deprecation and Link headers.
+// route runs the full middleware chain — instrument (metrics), rate
+// limit, auth, method check — in that order: a rejected request is
+// still counted under its route and status class, and the limiter sits
+// outside auth so 401/403 rejections drain a bucket too (bearer-token
+// brute-forcing is throttled like any other traffic, keyed by remote
+// host since an invalid token never picks the bucket). Aliases share
+// the v1 handlers but are instrumented under their original route
+// labels (dashboards watching trial_http_requests_total{route="/query"}
+// keep working) and answer with Deprecation and Link headers.
 func (s *Server) routes(pprofOn bool) {
 	type endpoint struct {
 		v1      string // versioned path (also the metrics label for it)
@@ -223,11 +231,11 @@ func (s *Server) routes(pprofOn bool) {
 	}
 	for _, ep := range endpoints {
 		h := s.methods(ep.h, ep.allowed...)
-		if !ep.exempt {
-			h = s.rateLimit(h)
-		}
 		if !ep.open {
 			h = s.requireRole(ep.role, h)
+		}
+		if !ep.exempt {
+			h = s.rateLimit(h)
 		}
 		s.mux.HandleFunc(ep.v1, s.m.instrument(ep.v1, h))
 		if ep.legacy != "" {
@@ -240,13 +248,20 @@ func (s *Server) routes(pprofOn bool) {
 	s.mux.HandleFunc("/", s.m.instrument("/", s.methods(s.handleIndex, http.MethodGet)))
 	if pprofOn {
 		// Registered on this mux explicitly; the pprof import's
-		// DefaultServeMux side effect is never served. Method-gated like
-		// every other route (pprof.Symbol accepts GET and POST).
-		s.mux.HandleFunc("/debug/pprof/", s.methods(pprof.Index, http.MethodGet))
-		s.mux.HandleFunc("/debug/pprof/cmdline", s.methods(pprof.Cmdline, http.MethodGet))
-		s.mux.HandleFunc("/debug/pprof/profile", s.methods(pprof.Profile, http.MethodGet))
-		s.mux.HandleFunc("/debug/pprof/symbol", s.methods(pprof.Symbol, http.MethodGet, http.MethodPost))
-		s.mux.HandleFunc("/debug/pprof/trace", s.methods(pprof.Trace, http.MethodGet))
+		// DefaultServeMux side effect is never served. These handlers
+		// expose the process command line (which, under -tokens, carries
+		// every bearer token) and unmetered CPU/heap profiling, so they
+		// run the full middleware chain at admin level: instrumented,
+		// rate limited, and — when auth is enabled — admin-only.
+		mount := func(route string, h http.HandlerFunc, allowed ...string) {
+			s.mux.HandleFunc(route, s.m.instrument(route,
+				s.rateLimit(s.requireRole(RoleAdmin, s.methods(h, allowed...)))))
+		}
+		mount("/debug/pprof/", pprof.Index, http.MethodGet)
+		mount("/debug/pprof/cmdline", pprof.Cmdline, http.MethodGet)
+		mount("/debug/pprof/profile", pprof.Profile, http.MethodGet)
+		mount("/debug/pprof/symbol", pprof.Symbol, http.MethodGet, http.MethodPost)
+		mount("/debug/pprof/trace", pprof.Trace, http.MethodGet)
 	}
 }
 
@@ -318,13 +333,21 @@ Full contract: docs/API.md. Store: %d objects, %d triples, relations %v
 `, s.store.NumObjects(), s.store.Size(), s.store.RelationNames())
 }
 
+// maxQueryBody bounds a POSTed query expression: 1 MiB, generous for
+// any hand- or machine-written query while keeping the body in memory.
+const maxQueryBody = 1 << 20
+
 // readQuery extracts the expression text from ?q= or the request body.
-func readQuery(r *http.Request) (string, error) {
+// A body over maxQueryBody fails with *http.MaxBytesError — it must be
+// rejected whole (413, see queryParamError), never truncated: a
+// mid-expression cut usually yields a baffling parse error but could
+// also parse as a different, still-valid query and silently execute it.
+func readQuery(w http.ResponseWriter, r *http.Request) (string, error) {
 	if q := r.URL.Query().Get("q"); q != "" {
 		return q, nil
 	}
 	if r.Method == http.MethodPost {
-		b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBody))
 		if err != nil {
 			return "", err
 		}
@@ -333,6 +356,19 @@ func readQuery(r *http.Request) (string, error) {
 		}
 	}
 	return "", fmt.Errorf("missing query: pass ?q= or a POST body")
+}
+
+// queryParamError answers a readQuery failure: 413 payload_too_large
+// when the body cap tripped, 400 invalid_param otherwise.
+func (s *Server) queryParamError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		s.m.httpRejected.With("payload_too_large").Inc()
+		writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+			fmt.Sprintf("query body exceeds %d bytes", maxQueryBody), nil)
+		return
+	}
+	writeError(w, http.StatusBadRequest, CodeInvalidParam, err.Error(), nil)
 }
 
 // readLang extracts and validates the ?lang= parameter (default TriAL*).
@@ -399,9 +435,9 @@ func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelF
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q, err := readQuery(r)
+	q, err := readQuery(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidParam, err.Error(), nil)
+		s.queryParamError(w, err)
 		return
 	}
 	lang, err := readLang(r)
@@ -622,15 +658,31 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	q, err := readQuery(r)
+	q, err := readQuery(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidParam, err.Error(), nil)
+		s.queryParamError(w, err)
 		return
 	}
 	lang, err := readLang(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidParam, err.Error(), nil)
 		return
+	}
+	// &trace=1 executes the query, so it runs under the same derived
+	// context as /v1/query — server-wide WithQueryTimeout bound,
+	// tightened by timeout_ms, cancelled on disconnect. Validated before
+	// the plan is written: a bad timeout_ms must still answer a clean
+	// 400 envelope, not a half-written plan.
+	traced := r.URL.Query().Get("trace") == "1"
+	var ctx context.Context
+	if traced {
+		var cancel context.CancelFunc
+		ctx, cancel, err = s.queryContext(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidParam, err.Error(), nil)
+			return
+		}
+		defer cancel()
 	}
 	plan, err := s.q.Explain(lang, q)
 	if err != nil {
@@ -639,13 +691,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, plan)
-	if r.URL.Query().Get("trace") != "1" {
+	if !traced {
 		return
 	}
-	// &trace=1: run the query once and append the measured operator tree
-	// (actual cardinalities and timings) under the predicted plan.
+	// Run the query once and append the measured operator tree (actual
+	// cardinalities and timings) under the predicted plan.
 	start := time.Now()
-	_, sp, err := s.q.QueryTraceContext(r.Context(), lang, q)
+	_, sp, err := s.q.QueryTraceContext(ctx, lang, q)
 	s.m.observeQuery(lang, time.Since(start), err)
 	if err != nil {
 		s.observeCancel(err)

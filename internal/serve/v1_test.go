@@ -125,6 +125,26 @@ func TestRootMethodCheck(t *testing.T) {
 	}
 }
 
+// TestQueryBodyTooLarge: a POSTed query past the 1 MiB body cap is
+// rejected whole with 413 and the payload_too_large envelope — never
+// truncated and parsed, which could silently run a different query.
+func TestQueryBodyTooLarge(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := authedReq(t, http.MethodPost, ts.URL+"/v1/query", "", strings.Repeat("a", 1<<20+1))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (%s)", resp.StatusCode, body)
+	}
+	if got := envelope(t, body).Code; got != CodePayloadTooLarge {
+		t.Errorf("envelope code %q, want %q", got, CodePayloadTooLarge)
+	}
+	// A body at the cap still reaches the parser (a parse error here,
+	// never a 413).
+	resp, body = authedReq(t, http.MethodPost, ts.URL+"/v1/query", "", strings.Repeat("a", 1<<20))
+	if resp.StatusCode != http.StatusUnprocessableEntity && resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("at-cap body: status %d, want a parse/eval rejection (%s)", resp.StatusCode, body)
+	}
+}
+
 // TestPprofMethodCheck: with pprof mounted, its routes pass through the
 // same method gate (the pre-v1 server left them ungated).
 func TestPprofMethodCheck(t *testing.T) {
