@@ -17,11 +17,22 @@
 //	trialbench -json -shards 8 -min-sharded-speedup 1.2
 //	                            # also fail if the partition-parallel
 //	                            # engine's gain over the flat engine on
-//	                            # the gated star workloads is below 1.2x
-//	                            # (enforced on multi-core hosts only:
-//	                            # with GOMAXPROCS=1 there are no cores
-//	                            # for the shards to use, so the gate is
-//	                            # reported but not enforced)
+//	                            # the gated star workloads is below 1.2x.
+//	                            # At GOMAXPROCS=1 the sharded rows are
+//	                            # cross-checked but skip-and-annotated
+//	                            # (no cores for the shards to use), so
+//	                            # they never feed a gate there; rows
+//	                            # that declare gate_min_procs only gate
+//	                            # on legs with at least that many cores.
+//	trialbench -json -scale     # include the scale-tier workloads:
+//	                            # triangle-count (leapfrog triejoin vs
+//	                            # the binary hash-join cascade, gated at
+//	                            # >= 1.0x on every leg) and the
+//	                            # million-triple social-join-1M (vs the
+//	                            # reference Evaluator, gated at >= 1.5x
+//	                            # on legs with >= 4 cores)
+//	trialbench -json -procs 4   # pin GOMAXPROCS for this run — the CI
+//	                            # bench matrix sweeps 1/4/all-cores legs
 //	trialbench -json -trace     # additionally dump the execution span
 //	                            # tree of every workload below 1.0x
 //	                            # speedup — per-operator timings show
@@ -52,13 +63,18 @@ func main() {
 		out        = flag.String("out", "BENCH_engine.json", "with -json: output path ('-' for stdout)")
 		minSpeedup = flag.Float64("min-speedup", 0, "with -json: fail unless every gated (reachability) workload reaches this engine speedup")
 		shards     = flag.Int("shards", triplestore.DefaultShards, "with -json: shard count for the flat-vs-sharded workloads (<= 1 skips them)")
-		minSharded = flag.Float64("min-sharded-speedup", 0, "with -json: fail unless every gated sharded star workload reaches this speedup over the flat engine (multi-core hosts only)")
+		minSharded = flag.Float64("min-sharded-speedup", 0, "with -json: fail unless every gated sharded star workload reaches this speedup over the flat engine (skipped rows and gate_min_procs rows exempt per leg)")
+		scale      = flag.Bool("scale", false, "with -json: include the scale-tier workloads (triangle-count, social-join-1M) — minutes, not seconds")
+		procs      = flag.Int("procs", 0, "if > 0, set GOMAXPROCS to this before measuring (the CI bench matrix's 1/4/all legs)")
 		trace      = flag.Bool("trace", false, "with -json: dump the execution span tree of every workload below 1.0x speedup (where the time went)")
 	)
 	flag.Parse()
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 	var err error
 	if *jsonBench {
-		err = runJSON(*out, *minSpeedup, *shards, *minSharded, *trace)
+		err = runJSON(*out, *minSpeedup, *shards, *minSharded, *scale, *trace)
 	} else {
 		err = run(*exp, *all, *format)
 	}
@@ -69,9 +85,9 @@ func main() {
 }
 
 // runJSON measures the benchmark workloads, writes the report, and
-// enforces the regression gates.
-func runJSON(out string, minSpeedup float64, shards int, minSharded float64, trace bool) error {
-	rep, err := experiments.RunBenchJSON(shards)
+// enforces the regression gates via BenchReport.GateFailures.
+func runJSON(out string, minSpeedup float64, shards int, minSharded float64, scale, trace bool) error {
+	rep, err := experiments.RunBench(experiments.BenchOptions{Shards: shards, Scale: scale})
 	if err != nil {
 		return err
 	}
@@ -91,10 +107,21 @@ func runJSON(out string, minSpeedup float64, shards int, minSharded float64, tra
 		gate := ""
 		if b.Gated {
 			gate = " [gated]"
+			if b.GateMinProcs > 0 {
+				gate = fmt.Sprintf(" [gated >=%d cores]", b.GateMinProcs)
+			}
 		}
 		vs := ""
 		if b.Baseline != "" {
-			vs = fmt.Sprintf(" vs %s @%d shards", b.Baseline, b.Shards)
+			vs = " vs " + b.Baseline
+			if b.Shards > 0 {
+				vs = fmt.Sprintf("%s @%d shards", vs, b.Shards)
+			}
+		}
+		if b.Skipped != "" {
+			fmt.Fprintf(os.Stderr, "%-20s %-10s lang=%-8s %8d triples -> %8d  SKIPPED (%s)%s%s\n",
+				b.Name, b.Family, b.Lang, b.Triples, b.ResultSize, b.Skipped, gate, vs)
+			continue
 		}
 		fmt.Fprintf(os.Stderr, "%-20s %-10s lang=%-8s %8d triples -> %8d  speedup %.2fx%s%s\n",
 			b.Name, b.Family, b.Lang, b.Triples, b.ResultSize, b.Speedup, gate, vs)
@@ -109,21 +136,11 @@ func runJSON(out string, minSpeedup float64, shards int, minSharded float64, tra
 			}
 		}
 	}
-	if minSpeedup > 0 {
-		if got := rep.MinGatedSpeedup(); got < minSpeedup {
-			return fmt.Errorf("engine speedup regression: min gated speedup %.2fx below threshold %.2fx", got, minSpeedup)
+	if fails := rep.GateFailures(minSpeedup, minSharded); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "gate failure:", f)
 		}
-	}
-	if minSharded > 0 && shards > 1 {
-		got := rep.MinShardedSpeedup()
-		if runtime.GOMAXPROCS(0) <= 1 {
-			// Partition-parallelism needs cores; on a single-core host the
-			// sharded engine can at best tie the flat one. Report, don't gate.
-			fmt.Fprintf(os.Stderr, "sharded gate skipped: GOMAXPROCS=1 (min sharded speedup %.2fx, threshold %.2fx)\n",
-				got, minSharded)
-		} else if got < minSharded {
-			return fmt.Errorf("sharded speedup regression: min gated sharded speedup %.2fx below threshold %.2fx", got, minSharded)
-		}
+		return fmt.Errorf("speedup regression: %d gate(s) failed at GOMAXPROCS=%d", len(fails), rep.GOMAXPROCS)
 	}
 	return nil
 }

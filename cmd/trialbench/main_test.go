@@ -28,7 +28,7 @@ func TestRunBadFormat(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
-	if err := runJSON(path, 0, 4, 0, true); err != nil {
+	if err := runJSON(path, 0, 4, 0, false, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -42,6 +42,7 @@ func TestRunJSON(t *testing.T) {
 			Family     string             `json:"family"`
 			Speedup    float64            `json:"speedup"`
 			Shards     int                `json:"shards"`
+			Skipped    string             `json:"skipped"`
 			OperatorMs map[string]float64 `json:"operator_ms"`
 		} `json:"workloads"`
 	}
@@ -58,8 +59,13 @@ func TestRunJSON(t *testing.T) {
 			if w.Shards != 4 {
 				t.Errorf("%s: shards = %d, want 4", w.Name, w.Shards)
 			}
+			if runtime.GOMAXPROCS(0) <= 1 && w.Skipped == "" {
+				t.Errorf("%s: sharded row not annotated as skipped at GOMAXPROCS=1", w.Name)
+			}
 		}
-		if len(w.OperatorMs) == 0 {
+		// Skipped rows are cross-checked, not executed with tracing, so
+		// only timed rows must carry the per-operator breakdown.
+		if w.Skipped == "" && len(w.OperatorMs) == 0 {
 			t.Errorf("%s: no operator_ms breakdown", w.Name)
 		}
 	}
@@ -70,16 +76,16 @@ func TestRunJSON(t *testing.T) {
 
 func TestRunJSONGate(t *testing.T) {
 	// An absurd threshold must trip the regression gate.
-	if err := runJSON(filepath.Join(t.TempDir(), "b.json"), 1e9, 1, 0, false); err == nil {
+	if err := runJSON(filepath.Join(t.TempDir(), "b.json"), 1e9, 1, 0, false, false); err == nil {
 		t.Error("min-speedup 1e9 should fail the gate")
 	}
 }
 
 func TestRunJSONShardedGate(t *testing.T) {
 	// An impossible sharded threshold must trip the gate on multi-core
-	// hosts; a single-core host has no cores for the shards to use, so
-	// the gate reports and skips there instead of failing.
-	err := runJSON(filepath.Join(t.TempDir(), "c.json"), 0, 2, 1e9, false)
+	// hosts; a single-core host skip-and-annotates the sharded rows (no
+	// cores for the shards to use), so no sharded gate can fire there.
+	err := runJSON(filepath.Join(t.TempDir(), "c.json"), 0, 2, 1e9, false, false)
 	if runtime.GOMAXPROCS(0) <= 1 {
 		if err != nil {
 			t.Fatalf("single-core host must skip the sharded gate, got: %v", err)

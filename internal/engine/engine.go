@@ -22,9 +22,10 @@ import (
 // relation is cached per store version, and store-mediated writes keep
 // or invalidate the per-relation access paths themselves.
 type Engine struct {
-	store    *triplestore.Store
-	workers  int
-	optimize bool
+	store      *triplestore.Store
+	workers    int
+	optimize   bool
+	joinPolicy JoinPolicy
 
 	// sharded enables the partition-parallel executor (sharded.go): nil
 	// for a flat engine, otherwise the ShardedStore whose union view is
@@ -56,6 +57,35 @@ func WithWorkers(n int) Option {
 // useful for tests isolating the physical layer.
 func WithoutOptimize() Option {
 	return func(e *Engine) { e.optimize = false }
+}
+
+// JoinPolicy constrains which physical join strategies the planner may
+// pick. The default JoinAuto lets the cost model choose freely; the
+// restricted policies pin a route deterministically, which is what the
+// differential test tier and the bench harness use to compare the
+// worst-case-optimal operators against the classic binary plans on the
+// same store and expression.
+type JoinPolicy int
+
+const (
+	// JoinAuto is the default: cost-based choice among all strategies.
+	JoinAuto JoinPolicy = iota
+	// JoinNoWCO restricts the planner to the binary strategies
+	// (hash/index/loop), disabling both the leapfrog triejoin and the
+	// sort-merge join — the planner as it was before the WCO tier.
+	JoinNoWCO
+	// JoinForceLeapfrog compiles every flattenable join cascade as a
+	// leapfrog triejoin regardless of cost or shape (cyclic or not).
+	JoinForceLeapfrog
+	// JoinForceMerge picks the sort-merge join whenever the join is
+	// merge-eligible (both sides base-relation scans with a cross-side
+	// object equality), regardless of cost.
+	JoinForceMerge
+)
+
+// WithJoinPolicy constrains the planner's join-strategy choice.
+func WithJoinPolicy(p JoinPolicy) Option {
+	return func(e *Engine) { e.joinPolicy = p }
 }
 
 // New returns an engine over the given store. By default it optimizes

@@ -157,6 +157,40 @@ func (n *joinNode) exec(ctx *execCtx) (*triplestore.Relation, error) {
 				}
 			}
 		})
+	case joinMerge:
+		// Both sides are base-relation scans: walk their permutation
+		// indexes in key order, pairing equal-key groups. The common keys
+		// come from intersecting the two indexes' cached lead runs; each
+		// key's group pair is independent, so the pairing fans out over
+		// the worker pool.
+		probe := n.objKeys[0]
+		lIx := l.Index(triplestore.PermFor(probe[0].Index()))
+		rIx := r.Index(triplestore.PermFor(probe[1].Index()))
+		common := intersectSortedIDs(lIx.Leads(), rIx.Leads())
+		ctx.trace.SetAttr("merge_keys", len(common))
+		res := ctx.e.parallelIDCollect(ctx.ctx, common, func(id triplestore.ID, emit func(triplestore.Triple)) {
+			rts := rIx.Match(id)
+			if n.hasRCond {
+				rts = filterSlice(rts, n.rCC)
+				if len(rts) == 0 {
+					return
+				}
+			}
+			for _, lt := range lIx.Match(id) {
+				if n.hasLCond && !n.lCC.Holds(lt, lt) {
+					continue
+				}
+				for _, rt := range rts {
+					if n.cc.Holds(lt, rt) {
+						emit(trial.Project(n.out, lt, rt))
+					}
+				}
+			}
+		})
+		if err := ctx.ctx.Err(); err != nil {
+			return nil, err
+		}
+		return res, nil
 	case joinHash:
 		lKey, rKey := trial.CrossEqualityKeyFuncs(ctx.e.store, n.cond)
 		table := make(map[string][]triplestore.Triple, r.Len())

@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/genstore"
+	"repro/internal/trial"
+	"repro/internal/triplestore"
+)
+
+// triangleQuery is the canonical cyclic shape:
+// join[1,2,3; 3=1',1=3'](join[1,3,3'; 3=1'](E, E), E) — E(a,_,b) ∧
+// E(b,_,c) ∧ E(c,_,a) projected to (a, b, c).
+func triangleQuery(rel string) trial.Join {
+	inner := trial.MustJoin(trial.R(rel), [3]trial.Pos{trial.L1, trial.L3, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.R(rel))
+	return trial.MustJoin(inner, [3]trial.Pos{trial.L1, trial.L2, trial.L3},
+		trial.Cond{Obj: []trial.ObjAtom{
+			trial.Eq(trial.P(trial.L3), trial.P(trial.R1)),
+			trial.Eq(trial.P(trial.L1), trial.P(trial.R3)),
+		}},
+		trial.R(rel))
+}
+
+// diamondQuery closes a 4-cycle from two 2-hop paths.
+func diamondQuery(rel string) trial.Join {
+	path := func() trial.Join {
+		return trial.MustJoin(trial.R(rel), [3]trial.Pos{trial.L1, trial.L3, trial.R3},
+			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+			trial.R(rel))
+	}
+	return trial.MustJoin(path(), [3]trial.Pos{trial.L1, trial.L2, trial.L3},
+		trial.Cond{Obj: []trial.ObjAtom{
+			trial.Eq(trial.P(trial.L3), trial.P(trial.R1)),
+			trial.Eq(trial.P(trial.L1), trial.P(trial.R3)),
+		}},
+		path())
+}
+
+// TestLeapfrogEquivalence pins the forced leapfrog route byte-identical
+// to the reference evaluator on cyclic shapes over every differential
+// store, with residual conditions (inequality) mixed in.
+func TestLeapfrogEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	stores := map[string]*triplestore.Store{
+		"cycle":   genstore.Cycle(12),
+		"grid":    genstore.Grid(5, 5),
+		"random":  genstore.Random(rng, 30, 150, 4),
+		"social":  fixtures.SocialNetwork(),
+		"chain":   genstore.Chain(24, 2),
+		"socialG": genstore.Social(rng, 40, 300, 4, 8),
+	}
+	tri := triangleQuery(genstore.RelE)
+	dia := diamondQuery(genstore.RelE)
+	// A triangle with an extra residual inequality 1≠2': not expressible
+	// as a pure variable binding, must survive through the residual check.
+	triNeq := tri
+	triNeq.Cond = tri.Cond.And(trial.Neq(trial.P(trial.L1), trial.P(trial.R2)))
+	for name, s := range stores {
+		if s.Relation(genstore.RelE) == nil {
+			continue
+		}
+		for _, x := range []trial.Expr{tri, dia, triNeq} {
+			want, err := trial.NewEvaluator(s).Eval(x)
+			if err != nil {
+				t.Fatalf("%s: evaluator: %v", name, err)
+			}
+			for _, e := range []*Engine{
+				New(s, WithJoinPolicy(JoinForceLeapfrog)),
+				New(s, WithJoinPolicy(JoinForceLeapfrog), WithWorkers(1)),
+				New(s, WithJoinPolicy(JoinForceLeapfrog), WithoutOptimize()),
+			} {
+				plan, err := e.Explain(x)
+				if err != nil {
+					t.Fatalf("%s: explain: %v", name, err)
+				}
+				if !strings.Contains(plan, "leapfrog") {
+					t.Fatalf("%s: forced policy did not plan leapfrog for %s:\n%s", name, x, plan)
+				}
+				got, err := e.Eval(x)
+				if err != nil {
+					t.Fatalf("%s: leapfrog eval: %v", name, err)
+				}
+				if !got.Equal(want) {
+					t.Errorf("%s: leapfrog = %d triples, evaluator = %d for %s\nplan:\n%s",
+						name, got.Len(), want.Len(), x, plan)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeJoinEquivalence pins the forced sort-merge route against the
+// evaluator on dense scan-scan joins, including side-only prefilters and
+// residual inequalities.
+func TestMergeJoinEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	stores := map[string]*triplestore.Store{
+		"social": genstore.Social(rng, 50, 400, 4, 8),
+		"random": genstore.Random(rng, 30, 200, 4),
+		"grid":   genstore.Grid(6, 6),
+	}
+	base := trial.MustJoin(trial.R(genstore.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.R(genstore.RelE))
+	withNeq := base
+	withNeq.Cond = base.Cond.And(trial.Neq(trial.P(trial.L1), trial.P(trial.R3)))
+	for name, s := range stores {
+		for _, x := range []trial.Expr{base, withNeq} {
+			want, err := trial.NewEvaluator(s).Eval(x)
+			if err != nil {
+				t.Fatalf("%s: evaluator: %v", name, err)
+			}
+			for _, e := range []*Engine{
+				New(s, WithJoinPolicy(JoinForceMerge)),
+				New(s, WithJoinPolicy(JoinForceMerge), WithWorkers(1)),
+			} {
+				plan, err := e.Explain(x)
+				if err != nil {
+					t.Fatalf("%s: explain: %v", name, err)
+				}
+				if !strings.Contains(plan, "merge") {
+					t.Fatalf("%s: forced policy did not plan merge for %s:\n%s", name, x, plan)
+				}
+				got, err := e.Eval(x)
+				if err != nil {
+					t.Fatalf("%s: merge eval: %v", name, err)
+				}
+				if !got.Equal(want) {
+					t.Errorf("%s: merge = %d triples, evaluator = %d for %s\nplan:\n%s",
+						name, got.Len(), want.Len(), x, plan)
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerMergeForDenseScanJoin: on a dense join of two base scans
+// (per-subject fanout well above 1) the linear merge walk beats both the
+// index probe (|L|·fanout) and the hash build (string keys), so the cost
+// model should pick it unforced.
+func TestPlannerMergeForDenseScanJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := genstore.Social(rng, 50, 500, 4, 8)
+	e := New(s)
+	x := trial.MustJoin(trial.R(genstore.RelE), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.R(genstore.RelE))
+	plan, err := e.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "merge") {
+		t.Errorf("expected merge join for dense scan-scan join, got:\n%s", plan)
+	}
+}
+
+// TestPlannerLeapfrogOnSkew: the auto policy should route a triangle
+// query through the leapfrog triejoin on a hub-heavy (skewed) graph —
+// where the binary plan's worst-case intermediate explodes past the AGM
+// bound — and keep the binary plan on a uniform chain, where worst case
+// ≈ average and pairwise joins are already optimal.
+func TestPlannerLeapfrogOnSkew(t *testing.T) {
+	// A hub: one node with edges to/from everyone, plus a sparse rest.
+	s := triplestore.NewStore()
+	for i := 0; i < 60; i++ {
+		s.Add(genstore.RelE, "hub", "p", node(i))
+		s.Add(genstore.RelE, node(i), "p", "hub")
+	}
+	for i := 0; i < 59; i++ {
+		s.Add(genstore.RelE, node(i), "p", node(i+1))
+	}
+	tri := triangleQuery(genstore.RelE)
+	plan, err := New(s).Explain(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "leapfrog") {
+		t.Errorf("expected leapfrog on skewed store, got:\n%s", plan)
+	}
+	// The result must still match the evaluator.
+	want, err := trial.NewEvaluator(s).Eval(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(s).Eval(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("auto leapfrog = %d triples, evaluator = %d", got.Len(), want.Len())
+	}
+
+	uniform := genstore.Chain(100, 2)
+	plan, err = New(uniform).Explain(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "leapfrog") {
+		t.Errorf("uniform chain should keep the binary plan, got:\n%s", plan)
+	}
+
+	// JoinNoWCO pins the pre-WCO planner even on the skewed store.
+	plan, err = New(s, WithJoinPolicy(JoinNoWCO)).Explain(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "leapfrog") || strings.Contains(plan, "merge") {
+		t.Errorf("JoinNoWCO must not plan WCO operators, got:\n%s", plan)
+	}
+}
+
+func node(i int) string { return "n" + string(rune('A'+i/26)) + string(rune('a'+i%26)) }
+
+// TestLeapfrogIntersect checks the k-way intersection against a brute
+// force oracle on overlapping runs.
+func TestLeapfrogIntersect(t *testing.T) {
+	lists := [][]triplestore.ID{
+		{1, 3, 5, 7, 9, 11, 40},
+		{2, 3, 4, 7, 10, 11, 40, 41},
+		{3, 7, 8, 11, 12, 40},
+	}
+	its := make([]*leapfrogIter, len(lists))
+	for i, l := range lists {
+		its[i] = newLeapfrogIter(l)
+	}
+	var got []triplestore.ID
+	leapfrogIntersect(its, func(v triplestore.ID) bool { got = append(got, v); return true })
+	want := []triplestore.ID{3, 7, 11, 40}
+	if len(got) != len(want) {
+		t.Fatalf("intersect = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("intersect = %v, want %v", got, want)
+		}
+	}
+	// Empty input list: empty intersection.
+	its = []*leapfrogIter{newLeapfrogIter(nil), newLeapfrogIter([]triplestore.ID{1})}
+	leapfrogIntersect(its, func(v triplestore.ID) bool { t.Fatalf("yielded %d from empty", v); return false })
+}
+
+// FuzzLeapfrogIterator drives random next/seek sequences through the
+// trie iterator and checks every observation against a linear scan of
+// the same sorted run — the open/next/seek contract of the triejoin.
+func FuzzLeapfrogIterator(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{0, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 255}, []byte{7, 0, 255})
+	f.Add([]byte{}, []byte{1})
+	f.Fuzz(func(t *testing.T, idBytes, ops []byte) {
+		// Build an ascending, deduplicated run from byte deltas.
+		ids := make([]triplestore.ID, 0, len(idBytes))
+		var cur triplestore.ID
+		for _, b := range idBytes {
+			cur += triplestore.ID(b % 17)
+			if len(ids) == 0 || ids[len(ids)-1] != cur {
+				ids = append(ids, cur)
+			}
+		}
+		it := newLeapfrogIter(ids)
+		oracle := 0 // index of the oracle's current element
+		for _, op := range ops {
+			if it.atEnd() != (oracle >= len(ids)) {
+				t.Fatalf("atEnd = %v, oracle at %d/%d", it.atEnd(), oracle, len(ids))
+			}
+			if it.atEnd() {
+				break
+			}
+			if it.key() != ids[oracle] {
+				t.Fatalf("key = %d, oracle has %d", it.key(), ids[oracle])
+			}
+			if op%2 == 0 {
+				it.next()
+				oracle++
+			} else {
+				// Monotone seek: target ≥ current key by contract.
+				target := it.key() + triplestore.ID(op/2)
+				it.seek(target)
+				for oracle < len(ids) && ids[oracle] < target {
+					oracle++
+				}
+			}
+		}
+		if it.atEnd() != (oracle >= len(ids)) {
+			t.Fatalf("final atEnd = %v, oracle at %d/%d", it.atEnd(), oracle, len(ids))
+		}
+		if !it.atEnd() && it.key() != ids[oracle] {
+			t.Fatalf("final key = %d, oracle has %d", it.key(), ids[oracle])
+		}
+	})
+}

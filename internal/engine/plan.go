@@ -143,6 +143,12 @@ const (
 	// joinLoop is the parallel nested-loop fallback for conditions with no
 	// cross-side equality atoms (including the pure cartesian join).
 	joinLoop
+	// joinMerge walks two permutation indexes in key order, pairing
+	// equal-key groups — a sort-merge join whose sort is free because
+	// base relations already materialize sorted access paths. Eligible
+	// only when both sides are base-relation scans with a cross-side
+	// object equality.
+	joinMerge
 )
 
 func (s joinStrategy) String() string {
@@ -153,6 +159,8 @@ func (s joinStrategy) String() string {
 		return "index-right"
 	case joinIndexLeft:
 		return "index-left"
+	case joinMerge:
+		return "merge"
 	default:
 		return "loop"
 	}
@@ -417,6 +425,11 @@ func (c *compiler) compileNode(x trial.Expr) (planNode, error) {
 			}
 			return &projectNode{child: child, out: out, rows: child.est()}, nil
 		}
+		// Multiway cascades over base relations may compile to one
+		// worst-case-optimal leapfrog triejoin instead of a binary tree.
+		if lf := c.tryLeapfrog(n); lf != nil {
+			return lf, nil
+		}
 		l, err := c.compile(n.L)
 		if err != nil {
 			return nil, err
@@ -552,6 +565,7 @@ func sideOnlyCond(c trial.Cond, right bool) (trial.Cond, bool) {
 //	hash:        |L| + |R|             (build right, probe left)
 //	index-right: |L| · fanout_R(probe) (probe right's index per left triple)
 //	index-left:  |R| · fanout_L(probe)
+//	merge:       ½ · (|L| + |R|)       (walk both permutation indexes in order)
 //	loop:        |L| · |R|             (only option without cross equalities)
 //
 // fanout is the indexed relation's statistics-based bucket size for the
@@ -609,6 +623,20 @@ func (c *compiler) chooseJoin(l, r planNode, out [3]trial.Pos, cond trial.Cond) 
 		keys := append([][2]trial.Pos{}, objKeys...)
 		keys[0], keys[bestKey] = keys[bestKey], keys[0]
 		jn.objKeys = keys
+	}
+	// Sort-merge: when both sides are base-relation scans their
+	// permutation indexes are already materialized in key order, so the
+	// join is one linear walk — no hash table, no per-tuple key strings.
+	// Chosen only when strictly cheaper, so an index probe at fanout 1
+	// (the chain-join sweet spot) keeps its plan.
+	if c.e.joinPolicy != JoinNoWCO && len(objKeys) > 0 {
+		_, lScan := l.(*scanNode)
+		_, rScan := r.(*scanNode)
+		if lScan && rScan {
+			if cst := optimizer.MergeCostFactor * (lRows + rRows); cst < cost || c.e.joinPolicy == JoinForceMerge {
+				jn.strategy = joinMerge
+			}
+		}
 	}
 	// Sharded engines resolve the indexed side's shard partitions now, so
 	// exec can run partition-probe (probe key = shard key) or broadcast-

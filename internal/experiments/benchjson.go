@@ -53,6 +53,19 @@ type BenchResult struct {
 	Gated        bool    `json:"gated"`
 	Baseline     string  `json:"baseline,omitempty"`
 	Shards       int     `json:"shards,omitempty"`
+	// Skipped, when non-empty, annotates a workload that was
+	// cross-checked but not timed on this host (e.g. sharded rows at
+	// GOMAXPROCS=1, where partition parallelism has no cores to use).
+	// Skipped rows carry zero timings and are exempt from every gate.
+	Skipped string `json:"skipped,omitempty"`
+	// GateMinProcs restricts the row's gate to report legs with at least
+	// this many GOMAXPROCS: speedups that come from parallel headroom
+	// (sharded stars, the big social join) are only promises on
+	// multi-core hosts, so single-core legs record them without judging.
+	GateMinProcs int `json:"gate_min_procs,omitempty"`
+	// GateMinSpeedup is a per-row gate threshold. 0 means the row uses
+	// the family default passed to GateFailures.
+	GateMinSpeedup float64 `json:"gate_min_speedup,omitempty"`
 	// OperatorMs is the engine run's exclusive per-operator time
 	// breakdown (milliseconds, from one traced execution after the
 	// timed ones): where inside the plan the EngineNs actually goes.
@@ -172,12 +185,18 @@ type shardedWorkload struct {
 	store  *triplestore.Store
 	desc   string
 	// gated marks the workloads the sharded regression gate
-	// (MinShardedSpeedup) watches: semi-naive stars whose per-round
-	// deltas are too small for the flat engine's chunked parallelism, so
-	// partition-parallel rounds are the only way to use the cores. Only
-	// workloads that hold their own even at GOMAXPROCS=1 are gated —
-	// the gate must never hinge on parallel headroom alone.
+	// (MinShardedSpeedup, GateFailures) watches: semi-naive stars whose
+	// per-round deltas are too small for the flat engine's chunked
+	// parallelism, so partition-parallel rounds are the only way to use
+	// the cores. At GOMAXPROCS=1 sharded rows are skip-and-annotated
+	// rather than timed, so no sharded gate can hinge on a single-core
+	// leg.
 	gated bool
+	// gateMinProcs / gateMinSpeedup: per-row gate overrides (see
+	// BenchResult). A row whose win needs a minimum core count declares
+	// it here and single-core legs record it without judging.
+	gateMinProcs   int
+	gateMinSpeedup float64
 }
 
 // shardedWorkloads are sharded variants of the chain/grid/social
@@ -209,20 +228,82 @@ func shardedWorkloads() []shardedWorkload {
 			store:  genstore.Grid(26, 26), desc: "grid(26x26)",
 		},
 		{
+			// Gated on legs with at least 4 cores: the join's probe fan-out
+			// parallelizes across shards, but the win is parallel headroom,
+			// so a 1-or-2-core leg records the row without judging it.
 			name:   "sharded-social-join",
 			source: "join[1,2,3'; 3=1'](E, E)",
 			store:  genstore.Social(rng, 800, 12000, 4, 8), desc: "social(800,12000)",
+			gated: true, gateMinProcs: 4, gateMinSpeedup: 1.0,
 		},
 	}
 }
 
-// RunBenchJSON measures every workload and returns the report: the
-// evaluator-vs-engine families always, plus — when shards > 1 — the
-// flat-vs-sharded family at that shard count. Timings
-// are best-of-three (timeOp), trading statistical rigor for a bounded CI
-// budget; the regression gate compares ratios, which best-of-N keeps
-// stable.
+// scaleWorkload is one scale-tier measurement: a store in the
+// hundreds-of-thousands-to-millions range built through the NDJSON bulk
+// ingest path, with the engine timed against either the reference
+// Evaluator or its own binary-only (hash/index cascade) planner.
+type scaleWorkload struct {
+	name   string
+	source string
+	gen    genstore.ScaleGen
+	// baseline selects the opponent: "evaluator" (EvaluatorNs) or
+	// "hash-join" (the JoinNoWCO engine, timed in FlatEngineNs).
+	baseline       string
+	gateMinProcs   int
+	gateMinSpeedup float64
+}
+
+// scaleWorkloads are the scale-tier rows behind `trialbench -scale`: the
+// worst-case-optimal contest (leapfrog triejoin vs the binary hash-join
+// cascade on a triangle query over a hub-heavy power-law graph, gated at
+// any core count — the advantage is algorithmic, not parallel) and the
+// million-triple social join against the reference Evaluator (gated at
+// >= 4 cores, where the engine's chunked parallel probing has room).
+func scaleWorkloads() []scaleWorkload {
+	return []scaleWorkload{
+		{
+			name:           "triangle-count",
+			source:         "join[1,2,3; 3=1',1=3'](join[1,3,3'; 3=1'](E, E), E)",
+			gen:            genstore.PowerLawGraph(11, 5_000, 20_000),
+			baseline:       "hash-join",
+			gateMinSpeedup: 1.0,
+		},
+		{
+			name:           "social-join-1M",
+			source:         "join[1,2,3'; 3=1'](E, E)",
+			gen:            genstore.PowerLawSocial(12, 500_000, 1_000_000),
+			baseline:       "evaluator",
+			gateMinProcs:   4,
+			gateMinSpeedup: 1.5,
+		},
+	}
+}
+
+// BenchOptions configures RunBench.
+type BenchOptions struct {
+	// Shards > 1 adds the flat-vs-sharded family at that shard count.
+	Shards int
+	// Scale adds the scale-tier workloads (triangle-count, social-join-1M):
+	// stores up to a million triples, so minutes rather than seconds.
+	Scale bool
+}
+
+// RunBenchJSON measures the classic workloads — the evaluator-vs-engine
+// families plus, when shards > 1, the flat-vs-sharded family — without
+// the scale tier. It is RunBench(BenchOptions{Shards: shards}).
 func RunBenchJSON(shards int) (*BenchReport, error) {
+	return RunBench(BenchOptions{Shards: shards})
+}
+
+// RunBench measures every requested workload and returns the report.
+// Timings are best-of-three (timeOp), trading statistical rigor for a
+// bounded CI budget; the regression gates compare ratios, which
+// best-of-N keeps stable. On a single-core host the sharded rows are
+// cross-checked but skip-and-annotated instead of timed: partition
+// parallelism has no cores to use there, so a timing would only record
+// scheduler noise.
+func RunBench(opt BenchOptions) (*BenchReport, error) {
 	rep := &BenchReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -282,9 +363,22 @@ func RunBenchJSON(shards int) (*BenchReport, error) {
 			Gated:       w.gated,
 		}, sp)
 	}
-	if shards > 1 {
+	if opt.Shards > 1 {
+		skip := ""
+		if rep.GOMAXPROCS <= 1 {
+			skip = "GOMAXPROCS=1: partition parallelism has no cores; cross-checked, not timed"
+		}
 		for _, w := range shardedWorkloads() {
-			res, sp, err := runShardedWorkload(w, shards)
+			res, sp, err := runShardedWorkload(w, opt.Shards, skip)
+			if err != nil {
+				return nil, err
+			}
+			rep.record(res, sp)
+		}
+	}
+	if opt.Scale {
+		for _, w := range scaleWorkloads() {
+			res, sp, err := runScaleWorkload(w)
 			if err != nil {
 				return nil, err
 			}
@@ -296,8 +390,9 @@ func RunBenchJSON(shards int) (*BenchReport, error) {
 
 // runShardedWorkload measures one flat-vs-sharded pair, cross-checking
 // the two engines byte-identically first. The returned span is a traced
-// run of the SHARDED side (the one EngineNs times).
-func runShardedWorkload(w shardedWorkload, shards int) (BenchResult, *obs.Span, error) {
+// run of the SHARDED side (the one EngineNs times). A non-empty skip
+// keeps the cross-check but annotates the row instead of timing it.
+func runShardedWorkload(w shardedWorkload, shards int, skip string) (BenchResult, *obs.Span, error) {
 	x, err := trial.Parse(w.source)
 	if err != nil {
 		return BenchResult{}, nil, fmt.Errorf("%s: parse: %w", w.name, err)
@@ -322,6 +417,22 @@ func runShardedWorkload(w shardedWorkload, shards int) (BenchResult, *obs.Span, 
 		return BenchResult{}, nil, fmt.Errorf("%s: sharded result (%d triples) differs from flat engine (%d)",
 			w.name, got.Len(), want.Len())
 	}
+	if skip != "" {
+		return BenchResult{
+			Name:           w.name,
+			Family:         "sharded",
+			Lang:           string(query.LangTriAL),
+			Store:          w.desc,
+			Triples:        w.store.Size(),
+			ResultSize:     want.Len(),
+			Gated:          w.gated,
+			Baseline:       "flat-engine",
+			Shards:         shards,
+			Skipped:        skip,
+			GateMinProcs:   w.gateMinProcs,
+			GateMinSpeedup: w.gateMinSpeedup,
+		}, nil, nil
+	}
 	dFlat := timeOp(func() {
 		if _, err := flat.Exec(); err != nil {
 			panic(err)
@@ -342,19 +453,108 @@ func runShardedWorkload(w shardedWorkload, shards int) (BenchResult, *obs.Span, 
 	}
 	sp.End()
 	return BenchResult{
-		Name:         w.name,
-		Family:       "sharded",
-		Lang:         string(query.LangTriAL),
-		Store:        w.desc,
-		Triples:      w.store.Size(),
-		ResultSize:   want.Len(),
-		FlatEngineNs: dFlat.Nanoseconds(),
-		EngineNs:     dSharded.Nanoseconds(),
-		Speedup:      speedup,
-		Gated:        w.gated,
-		Baseline:     "flat-engine",
-		Shards:       shards,
+		Name:           w.name,
+		Family:         "sharded",
+		Lang:           string(query.LangTriAL),
+		Store:          w.desc,
+		Triples:        w.store.Size(),
+		ResultSize:     want.Len(),
+		FlatEngineNs:   dFlat.Nanoseconds(),
+		EngineNs:       dSharded.Nanoseconds(),
+		Speedup:        speedup,
+		Gated:          w.gated,
+		Baseline:       "flat-engine",
+		Shards:         shards,
+		GateMinProcs:   w.gateMinProcs,
+		GateMinSpeedup: w.gateMinSpeedup,
 	}, sp, nil
+}
+
+// runScaleWorkload measures one scale-tier pair. The engine side is the
+// forced-leapfrog planner for the "hash-join" contest (the operators
+// must differ for the row to measure anything) and the auto planner
+// otherwise; results are cross-checked byte-identically before timing.
+func runScaleWorkload(w scaleWorkload) (BenchResult, *obs.Span, error) {
+	s, err := w.gen.Build()
+	if err != nil {
+		return BenchResult{}, nil, fmt.Errorf("%s: %w", w.name, err)
+	}
+	x, err := trial.Parse(w.source)
+	if err != nil {
+		return BenchResult{}, nil, fmt.Errorf("%s: parse: %w", w.name, err)
+	}
+
+	var base func() (*triplestore.Relation, error)
+	res := BenchResult{
+		Name:           w.name,
+		Family:         "scale",
+		Lang:           string(query.LangTriAL),
+		Store:          w.gen.Desc,
+		Triples:        s.Size(),
+		Gated:          w.gateMinSpeedup > 0,
+		Baseline:       w.baseline,
+		GateMinProcs:   w.gateMinProcs,
+		GateMinSpeedup: w.gateMinSpeedup,
+	}
+	policy := engine.JoinAuto
+	switch w.baseline {
+	case "hash-join":
+		policy = engine.JoinForceLeapfrog
+		b, err := engine.New(s, engine.WithJoinPolicy(engine.JoinNoWCO)).Prepare(x)
+		if err != nil {
+			return BenchResult{}, nil, fmt.Errorf("%s: baseline prepare: %w", w.name, err)
+		}
+		base = b.Exec
+	case "evaluator":
+		ev := trial.NewEvaluator(s)
+		base = func() (*triplestore.Relation, error) { return ev.Eval(x) }
+	default:
+		return BenchResult{}, nil, fmt.Errorf("%s: unknown baseline %q", w.name, w.baseline)
+	}
+	eng, err := engine.New(s, engine.WithJoinPolicy(policy)).Prepare(x)
+	if err != nil {
+		return BenchResult{}, nil, fmt.Errorf("%s: prepare: %w", w.name, err)
+	}
+
+	want, err := base()
+	if err != nil {
+		return BenchResult{}, nil, fmt.Errorf("%s: baseline: %w", w.name, err)
+	}
+	got, err := eng.Exec()
+	if err != nil {
+		return BenchResult{}, nil, fmt.Errorf("%s: engine: %w", w.name, err)
+	}
+	if !got.Equal(want) {
+		return BenchResult{}, nil, fmt.Errorf("%s: engine result (%d triples) differs from %s (%d)",
+			w.name, got.Len(), w.baseline, want.Len())
+	}
+	res.ResultSize = want.Len()
+
+	dBase := timeOp(func() {
+		if _, err := base(); err != nil {
+			panic(err)
+		}
+	})
+	dEng := timeOp(func() {
+		if _, err := eng.Exec(); err != nil {
+			panic(err)
+		}
+	})
+	if w.baseline == "evaluator" {
+		res.EvaluatorNs = dBase.Nanoseconds()
+	} else {
+		res.FlatEngineNs = dBase.Nanoseconds()
+	}
+	res.EngineNs = dEng.Nanoseconds()
+	if dEng > 0 {
+		res.Speedup = float64(dBase) / float64(dEng)
+	}
+	sp := obs.StartSpan("execute")
+	if _, err := eng.ExecTrace(sp); err != nil {
+		return BenchResult{}, nil, fmt.Errorf("%s: traced run: %w", w.name, err)
+	}
+	sp.End()
+	return res, sp, nil
 }
 
 // MinGatedSpeedup returns the smallest speedup among the gated
@@ -383,7 +583,7 @@ func (r *BenchReport) MinGatedSpeedup() float64 {
 func (r *BenchReport) MinShardedSpeedup() float64 {
 	min := 0.0
 	for _, w := range r.Workloads {
-		if !w.Gated || w.Baseline == "" {
+		if !w.Gated || w.Family != "sharded" || w.Skipped != "" {
 			continue
 		}
 		if min == 0 || w.Speedup < min {
@@ -391,6 +591,43 @@ func (r *BenchReport) MinShardedSpeedup() float64 {
 		}
 	}
 	return min
+}
+
+// GateFailures applies every regression gate to the report and returns
+// one message per violated gate (nil when all pass). minSpeedup is the
+// default threshold for gated evaluator-baseline rows and minSharded for
+// the gated sharded family; a row's GateMinSpeedup overrides its family
+// default. Rows are exempt when Skipped annotates them (not timed on
+// this host) or when their GateMinProcs exceeds the report's GOMAXPROCS —
+// a single-core leg records parallel-headroom rows without judging them.
+func (r *BenchReport) GateFailures(minSpeedup, minSharded float64) []string {
+	var fails []string
+	for _, w := range r.Workloads {
+		if !w.Gated || w.Skipped != "" {
+			continue
+		}
+		if w.GateMinProcs > r.GOMAXPROCS {
+			continue
+		}
+		thr := w.GateMinSpeedup
+		if thr == 0 {
+			switch {
+			case w.Family == "sharded":
+				thr = minSharded
+			case w.Baseline == "":
+				thr = minSpeedup
+			}
+		}
+		if thr > 0 && w.Speedup < thr {
+			base := w.Baseline
+			if base == "" {
+				base = "evaluator"
+			}
+			fails = append(fails, fmt.Sprintf("%s: speedup %.2fx vs %s below threshold %.2fx",
+				w.Name, w.Speedup, base, thr))
+		}
+	}
+	return fails
 }
 
 // WriteJSON writes the report, indented for artifact readability.

@@ -3,7 +3,10 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
+
+	"repro/internal/genstore"
 )
 
 // TestRunBenchJSON runs the full harness once: every workload must
@@ -34,10 +37,25 @@ func TestRunBenchJSON(t *testing.T) {
 			if w.Baseline != "flat-engine" || w.Shards != 4 {
 				t.Errorf("%s: sharded workload metadata %q/%d, want flat-engine/4", w.Name, w.Baseline, w.Shards)
 			}
-			// Single-meaning fields: sharded rows time the flat engine in
-			// FlatEngineNs and never touch EvaluatorNs.
-			if w.FlatEngineNs <= 0 || w.EvaluatorNs != 0 {
-				t.Errorf("%s: sharded baseline timings flat=%d evaluator=%d", w.Name, w.FlatEngineNs, w.EvaluatorNs)
+			if rep.GOMAXPROCS <= 1 {
+				// Single-core host: the row is cross-checked, annotated, and
+				// carries no timings — it must never feed a gate.
+				if w.Skipped == "" {
+					t.Errorf("%s: sharded row not annotated as skipped at GOMAXPROCS=1", w.Name)
+				}
+				if w.FlatEngineNs != 0 || w.EngineNs != 0 || w.Speedup != 0 {
+					t.Errorf("%s: skipped row carries timings flat=%d engine=%d speedup=%f",
+						w.Name, w.FlatEngineNs, w.EngineNs, w.Speedup)
+				}
+			} else {
+				// Single-meaning fields: sharded rows time the flat engine in
+				// FlatEngineNs and never touch EvaluatorNs.
+				if w.Skipped != "" {
+					t.Errorf("%s: skipped on a multi-core host: %s", w.Name, w.Skipped)
+				}
+				if w.FlatEngineNs <= 0 || w.EvaluatorNs != 0 {
+					t.Errorf("%s: sharded baseline timings flat=%d evaluator=%d", w.Name, w.FlatEngineNs, w.EvaluatorNs)
+				}
 			}
 		} else {
 			if w.Baseline != "" || w.Shards != 0 {
@@ -47,11 +65,13 @@ func TestRunBenchJSON(t *testing.T) {
 				t.Errorf("%s: baseline timings evaluator=%d flat=%d", w.Name, w.EvaluatorNs, w.FlatEngineNs)
 			}
 		}
-		if w.EngineNs <= 0 {
-			t.Errorf("%s: non-positive engine timing %d", w.Name, w.EngineNs)
-		}
-		if w.Speedup <= 0 {
-			t.Errorf("%s: speedup %f", w.Name, w.Speedup)
+		if w.Skipped == "" {
+			if w.EngineNs <= 0 {
+				t.Errorf("%s: non-positive engine timing %d", w.Name, w.EngineNs)
+			}
+			if w.Speedup <= 0 {
+				t.Errorf("%s: speedup %f", w.Name, w.Speedup)
+			}
 		}
 		if w.ResultSize <= 0 {
 			t.Errorf("%s: empty result — the workload measures nothing", w.Name)
@@ -75,8 +95,13 @@ func TestRunBenchJSON(t *testing.T) {
 	if min := rep.MinGatedSpeedup(); min <= 0 {
 		t.Errorf("MinGatedSpeedup = %f", min)
 	}
-	if min := rep.MinShardedSpeedup(); min <= 0 {
-		t.Errorf("MinShardedSpeedup = %f", min)
+	if rep.GOMAXPROCS > 1 {
+		if min := rep.MinShardedSpeedup(); min <= 0 {
+			t.Errorf("MinShardedSpeedup = %f", min)
+		}
+	} else if min := rep.MinShardedSpeedup(); min != 0 {
+		// All sharded rows are skipped at GOMAXPROCS=1.
+		t.Errorf("MinShardedSpeedup = %f on a single-core host, want 0", min)
 	}
 
 	// shards <= 1 skips the sharded family entirely.
@@ -108,14 +133,18 @@ func TestMinGatedSpeedup(t *testing.T) {
 	rep := &BenchReport{Workloads: []BenchResult{
 		{Name: "a", Speedup: 2.0, Gated: true},
 		{Name: "b", Speedup: 1.5, Gated: true},
-		{Name: "c", Speedup: 0.5},                                       // ungated: ignored
-		{Name: "d", Speedup: 1.1, Gated: true, Baseline: "flat-engine"}, // sharded gate only
-		{Name: "e", Speedup: 0.9, Baseline: "flat-engine", Shards: 4},   // ungated sharded
-		{Name: "f", Speedup: 1.4, Gated: true, Baseline: "flat-engine"}, // sharded gate
+		{Name: "c", Speedup: 0.5},                                                          // ungated: ignored
+		{Name: "d", Speedup: 1.1, Gated: true, Family: "sharded", Baseline: "flat-engine"}, // sharded gate only
+		{Name: "e", Speedup: 0.9, Family: "sharded", Baseline: "flat-engine", Shards: 4},   // ungated sharded
+		{Name: "f", Speedup: 1.4, Gated: true, Family: "sharded", Baseline: "flat-engine"}, // sharded gate
+		{Name: "g", Gated: true, Family: "sharded", Baseline: "flat-engine", Skipped: "GOMAXPROCS=1"},
+		{Name: "h", Speedup: 0.8, Gated: true, Family: "scale", Baseline: "hash-join", GateMinSpeedup: 1.0},
 	}}
 	if got := rep.MinGatedSpeedup(); got != 1.5 {
 		t.Errorf("MinGatedSpeedup = %f, want 1.5", got)
 	}
+	// Skipped rows and non-sharded families must not drag the sharded
+	// minimum down (g would make it 0, h would make it 0.8).
 	if got := rep.MinShardedSpeedup(); got != 1.1 {
 		t.Errorf("MinShardedSpeedup = %f, want 1.1", got)
 	}
@@ -124,5 +153,112 @@ func TestMinGatedSpeedup(t *testing.T) {
 	}
 	if got := (&BenchReport{}).MinShardedSpeedup(); got != 0 {
 		t.Errorf("empty report MinShardedSpeedup = %f, want 0", got)
+	}
+}
+
+// TestGateFailures pins the whole gating matrix on a synthetic report:
+// family defaults, per-row threshold overrides, the Skipped exemption,
+// and the GateMinProcs cutoff at both 1 and 4 GOMAXPROCS.
+func TestGateFailures(t *testing.T) {
+	workloads := []BenchResult{
+		{Name: "reach-ok", Speedup: 2.0, Gated: true},
+		{Name: "reach-bad", Speedup: 1.1, Gated: true},
+		{Name: "ungated", Speedup: 0.1},
+		{Name: "sharded-bad", Speedup: 0.7, Gated: true, Family: "sharded", Baseline: "flat-engine"},
+		{Name: "sharded-skipped", Gated: true, Family: "sharded", Baseline: "flat-engine",
+			Skipped: "GOMAXPROCS=1: not timed"},
+		{Name: "sharded-4core", Speedup: 0.9, Gated: true, Family: "sharded", Baseline: "flat-engine",
+			GateMinProcs: 4, GateMinSpeedup: 1.0},
+		{Name: "triangle-count", Speedup: 0.8, Gated: true, Family: "scale", Baseline: "hash-join",
+			GateMinSpeedup: 1.0},
+		{Name: "social-join-1M", Speedup: 1.2, Gated: true, Family: "scale", Baseline: "evaluator",
+			GateMinProcs: 4, GateMinSpeedup: 1.5},
+	}
+
+	single := &BenchReport{GOMAXPROCS: 1, Workloads: workloads}
+	got := single.GateFailures(1.2, 1.0)
+	// At 1 core: reach-bad (below the 1.2 default), sharded-bad (below
+	// the 1.0 sharded default) and triangle-count (below its own 1.0 —
+	// the leapfrog advantage is algorithmic, so it gates on any host).
+	// The skipped row and both GateMinProcs=4 rows are exempt.
+	want := []string{"reach-bad", "sharded-bad", "triangle-count"}
+	if len(got) != len(want) {
+		t.Fatalf("GateFailures at 1 proc = %v, want failures for %v", got, want)
+	}
+	for i, name := range want {
+		if !strings.Contains(got[i], name) {
+			t.Errorf("failure %d = %q, want it to name %s", i, got[i], name)
+		}
+	}
+
+	multi := &BenchReport{GOMAXPROCS: 4, Workloads: workloads}
+	got = multi.GateFailures(1.2, 1.0)
+	// At 4 cores the GateMinProcs=4 rows join in: sharded-4core is below
+	// its 1.0 override and social-join-1M below its 1.5.
+	want = []string{"reach-bad", "sharded-bad", "sharded-4core", "triangle-count", "social-join-1M"}
+	if len(got) != len(want) {
+		t.Fatalf("GateFailures at 4 procs = %v, want failures for %v", got, want)
+	}
+	for i, name := range want {
+		if !strings.Contains(got[i], name) {
+			t.Errorf("failure %d = %q, want it to name %s", i, got[i], name)
+		}
+	}
+
+	// All gates off (zero thresholds): only the per-row overrides bind.
+	got = multi.GateFailures(0, 0)
+	want = []string{"sharded-4core", "triangle-count", "social-join-1M"}
+	if len(got) != len(want) {
+		t.Fatalf("GateFailures with zero defaults = %v, want failures for %v", got, want)
+	}
+
+	if fails := (&BenchReport{GOMAXPROCS: 4}).GateFailures(1.2, 1.0); fails != nil {
+		t.Errorf("empty report GateFailures = %v, want nil", fails)
+	}
+}
+
+// TestRunScaleWorkload exercises the scale runner mechanics on a
+// fixture-sized recipe of each baseline kind (the real scaleWorkloads
+// rows build million-triple stores and only run under `trialbench
+// -scale`).
+func TestRunScaleWorkload(t *testing.T) {
+	for _, w := range []scaleWorkload{
+		{
+			name:           "triangle-count-small",
+			source:         "join[1,2,3; 3=1',1=3'](join[1,3,3'; 3=1'](E, E), E)",
+			gen:            genstore.PowerLawGraph(11, 200, 1500),
+			baseline:       "hash-join",
+			gateMinSpeedup: 1.0,
+		},
+		{
+			name:         "social-join-small",
+			source:       "join[1,2,3'; 3=1'](E, E)",
+			gen:          genstore.PowerLawSocial(12, 500, 3000),
+			baseline:     "evaluator",
+			gateMinProcs: 4,
+		},
+	} {
+		res, sp, err := runScaleWorkload(w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		if res.Family != "scale" || res.Baseline != w.baseline {
+			t.Errorf("%s: family/baseline = %s/%s", w.name, res.Family, res.Baseline)
+		}
+		if res.ResultSize <= 0 || res.EngineNs <= 0 || res.Speedup <= 0 {
+			t.Errorf("%s: result=%d engine=%dns speedup=%f", w.name, res.ResultSize, res.EngineNs, res.Speedup)
+		}
+		if w.baseline == "hash-join" && (res.FlatEngineNs <= 0 || res.EvaluatorNs != 0) {
+			t.Errorf("%s: hash-join baseline timings flat=%d evaluator=%d", w.name, res.FlatEngineNs, res.EvaluatorNs)
+		}
+		if w.baseline == "evaluator" && (res.EvaluatorNs <= 0 || res.FlatEngineNs != 0) {
+			t.Errorf("%s: evaluator baseline timings evaluator=%d flat=%d", w.name, res.EvaluatorNs, res.FlatEngineNs)
+		}
+		if res.Gated != (w.gateMinSpeedup > 0) || res.GateMinProcs != w.gateMinProcs {
+			t.Errorf("%s: gate metadata gated=%v minprocs=%d", w.name, res.Gated, res.GateMinProcs)
+		}
+		if sp == nil {
+			t.Errorf("%s: no trace span", w.name)
+		}
 	}
 }

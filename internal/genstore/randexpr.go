@@ -68,6 +68,34 @@ func randExpr(rng *rand.Rand, opt ExprOptions, depth int) trial.Expr {
 	}
 }
 
+// RandomCyclicJoin generates a triangle- or diamond-shaped join cascade
+// over the given relations: a 2-hop path join (out (a,b,c), condition
+// 3=1′) closed back on itself with 3=1′ ∧ 1=3′ against either a single
+// relation (triangle) or a second path (diamond). The root's output
+// positions are randomized, and a residual inequality atom occasionally
+// rides along, so the differential suites exercise the leapfrog
+// triejoin's residual-condition path, not just pure variable bindings.
+func RandomCyclicJoin(rng *rand.Rand, rels []string) trial.Join {
+	rel := func() trial.Expr { return trial.R(rels[rng.Intn(len(rels))]) }
+	eq := func(a, b trial.Pos) trial.ObjAtom { return trial.Eq(trial.P(a), trial.P(b)) }
+	path := func() trial.Join {
+		return trial.MustJoin(rel(), [3]trial.Pos{trial.L1, trial.L3, trial.R3},
+			trial.Cond{Obj: []trial.ObjAtom{eq(trial.L3, trial.R1)}}, rel())
+	}
+	closing := trial.Cond{Obj: []trial.ObjAtom{eq(trial.L3, trial.R1), eq(trial.L1, trial.R3)}}
+	if rng.Intn(3) == 0 {
+		closing.Obj = append(closing.Obj, trial.ObjAtom{
+			L:   trial.P(allPos[rng.Intn(6)]),
+			R:   trial.P(allPos[rng.Intn(6)]),
+			Neq: true,
+		})
+	}
+	if rng.Intn(2) == 0 {
+		return trial.MustJoin(path(), randOut(rng), closing, rel())
+	}
+	return trial.MustJoin(path(), randOut(rng), closing, path())
+}
+
 var allPos = []trial.Pos{trial.L1, trial.L2, trial.L3, trial.R1, trial.R2, trial.R3}
 
 func randOut(rng *rand.Rand) [3]trial.Pos {

@@ -1,0 +1,155 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trial"
+)
+
+// triangleExpr is the paper-style triangle query over E:
+// join[1,2,3; 3=1',1=3'](join[1,3,3'; 3=1'](E, E), E).
+func triangleExpr() trial.Join {
+	inner := trial.MustJoin(trial.R("E"), [3]trial.Pos{trial.L1, trial.L3, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.R("E"))
+	return trial.MustJoin(inner, [3]trial.Pos{trial.L1, trial.L2, trial.L3},
+		trial.Cond{Obj: []trial.ObjAtom{
+			trial.Eq(trial.P(trial.L3), trial.P(trial.R1)),
+			trial.Eq(trial.P(trial.L1), trial.P(trial.R3)),
+		}},
+		trial.R("E"))
+}
+
+// diamondExpr closes a 4-cycle: two 2-hop paths glued at both endpoints.
+func diamondExpr() trial.Join {
+	path := func() trial.Join {
+		return trial.MustJoin(trial.R("E"), [3]trial.Pos{trial.L1, trial.L3, trial.R3},
+			trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+			trial.R("E"))
+	}
+	return trial.MustJoin(path(), [3]trial.Pos{trial.L1, trial.L2, trial.L3},
+		trial.Cond{Obj: []trial.ObjAtom{
+			trial.Eq(trial.P(trial.L3), trial.P(trial.R1)),
+			trial.Eq(trial.P(trial.L1), trial.P(trial.R3)),
+		}},
+		path())
+}
+
+// chainExpr is the acyclic 3-hop path join: connected but not cyclic.
+func chainExpr() trial.Join {
+	inner := trial.MustJoin(trial.R("E"), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.R("E"))
+	return trial.MustJoin(inner, [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.R("E"))
+}
+
+func TestFlattenJoinTriangle(t *testing.T) {
+	mj, ok := FlattenJoin(triangleExpr())
+	if !ok {
+		t.Fatal("FlattenJoin rejected the triangle query")
+	}
+	if len(mj.Atoms) != 3 {
+		t.Fatalf("atoms = %v, want 3 occurrences of E", mj.Atoms)
+	}
+	for _, a := range mj.Atoms {
+		if a != "E" {
+			t.Fatalf("atoms = %v, want all E", mj.Atoms)
+		}
+	}
+	if len(mj.Levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(mj.Levels))
+	}
+	// Root output is (a, b, c): subject of atom 0, its object (= subject
+	// of atom 1), and atom 1's object (= subject of atom 2).
+	wantOut := [3]Slot{{0, 0}, {0, 2}, {1, 2}}
+	if mj.Out != wantOut {
+		t.Fatalf("Out = %v, want %v", mj.Out, wantOut)
+	}
+	// The three cycle variables, each spanning two atoms.
+	wantClasses := [][]Slot{
+		{{0, 0}, {2, 2}},
+		{{0, 2}, {1, 0}},
+		{{1, 2}, {2, 0}},
+	}
+	if len(mj.Classes) != len(wantClasses) {
+		t.Fatalf("classes = %v, want %v", mj.Classes, wantClasses)
+	}
+	for i, cls := range mj.Classes {
+		if len(cls) != 2 || cls[0] != wantClasses[i][0] || cls[1] != wantClasses[i][1] {
+			t.Fatalf("classes = %v, want %v", mj.Classes, wantClasses)
+		}
+	}
+	if !mj.CyclicConnected() {
+		t.Fatal("triangle not recognized as cyclic and connected")
+	}
+}
+
+func TestFlattenJoinDiamond(t *testing.T) {
+	mj, ok := FlattenJoin(diamondExpr())
+	if !ok {
+		t.Fatal("FlattenJoin rejected the diamond query")
+	}
+	if len(mj.Atoms) != 4 || len(mj.Levels) != 3 {
+		t.Fatalf("atoms = %v, levels = %d, want 4 atoms and 3 levels", mj.Atoms, len(mj.Levels))
+	}
+	if len(mj.Classes) != 4 {
+		t.Fatalf("classes = %v, want the 4 cycle variables", mj.Classes)
+	}
+	if !mj.CyclicConnected() {
+		t.Fatal("diamond not recognized as cyclic and connected")
+	}
+}
+
+func TestFlattenJoinChainIsAcyclic(t *testing.T) {
+	mj, ok := FlattenJoin(chainExpr())
+	if !ok {
+		t.Fatal("FlattenJoin rejected the chain query")
+	}
+	if mj.CyclicConnected() {
+		t.Fatal("acyclic chain misclassified as cyclic")
+	}
+}
+
+func TestFlattenJoinRejections(t *testing.T) {
+	// Two atoms: below the flattening floor.
+	two := trial.MustJoin(trial.R("E"), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.R("E"))
+	if _, ok := FlattenJoin(two); ok {
+		t.Fatal("FlattenJoin accepted a two-atom join")
+	}
+	// A non-relation leaf (Universe).
+	u := trial.MustJoin(chainExpr(), [3]trial.Pos{trial.L1, trial.L2, trial.L3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.U())
+	if _, ok := FlattenJoin(u); ok {
+		t.Fatal("FlattenJoin accepted a Universe leaf")
+	}
+	// Five atoms: above the ceiling.
+	five := trial.MustJoin(chainExpr(), [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		chainExpr())
+	if _, ok := FlattenJoin(five); ok {
+		t.Fatal("FlattenJoin accepted a six-atom join")
+	}
+	// A projection-shaped self-join belongs to the projection operator.
+	proj := projection(trial.R("E"), [3]int{2, 1, 0})
+	outer := trial.MustJoin(proj, [3]trial.Pos{trial.L1, trial.L2, trial.R3},
+		trial.Cond{Obj: []trial.ObjAtom{trial.Eq(trial.P(trial.L3), trial.P(trial.R1))}},
+		trial.R("E"))
+	if _, ok := FlattenJoin(outer); ok {
+		t.Fatal("FlattenJoin accepted a projection-shaped inner join")
+	}
+}
+
+func TestAGMCycleBound(t *testing.T) {
+	if got := AGMCycleBound([]float64{100, 100, 100}); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("AGMCycleBound(100,100,100) = %v, want 1000 (N^{3/2})", got)
+	}
+	if got := AGMCycleBound(nil); got != 1 {
+		t.Fatalf("AGMCycleBound() = %v, want 1", got)
+	}
+}

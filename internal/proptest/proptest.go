@@ -19,10 +19,11 @@ type Route struct {
 
 // Routes returns every evaluation route for s: the reference Evaluator
 // (the oracle, always first), the flat engine (parallel and sequential,
-// optimized and not), and one partition-parallel engine per requested
-// shard count, each over its own ShardedStore view of s. Shard count 1
-// is allowed and degenerates to the flat engine — useful for pinning the
-// degradation path in a shard-count sweep.
+// optimized and not), the forced physical-join policies (binary-only,
+// leapfrog triejoin, sort-merge), and one partition-parallel engine per
+// requested shard count, each over its own ShardedStore view of s. Shard
+// count 1 is allowed and degenerates to the flat engine — useful for
+// pinning the degradation path in a shard-count sweep.
 func Routes(s *triplestore.Store, shardCounts ...int) []Route {
 	ev := trial.NewEvaluator(s)
 	routes := []Route{
@@ -30,12 +31,17 @@ func Routes(s *triplestore.Store, shardCounts ...int) []Route {
 		{Label: "engine", Eval: engine.New(s).Eval},
 		{Label: "engine-seq", Eval: engine.New(s, engine.WithWorkers(1)).Eval},
 		{Label: "engine-noopt", Eval: engine.New(s, engine.WithoutOptimize()).Eval},
+		{Label: "engine-nowco", Eval: engine.New(s, engine.WithJoinPolicy(engine.JoinNoWCO)).Eval},
+		{Label: "engine-leapfrog", Eval: engine.New(s, engine.WithJoinPolicy(engine.JoinForceLeapfrog)).Eval},
+		{Label: "engine-merge", Eval: engine.New(s, engine.WithJoinPolicy(engine.JoinForceMerge)).Eval},
 	}
 	for _, n := range shardCounts {
 		e := engine.NewSharded(triplestore.Shard(s, n))
 		routes = append(routes, Route{Label: fmt.Sprintf("sharded-%d", n), Eval: e.Eval})
 		eseq := engine.NewSharded(triplestore.Shard(s, n).Snapshot(), engine.WithWorkers(1))
 		routes = append(routes, Route{Label: fmt.Sprintf("sharded-%d-snap-seq", n), Eval: eseq.Eval})
+		elf := engine.NewSharded(triplestore.Shard(s, n), engine.WithJoinPolicy(engine.JoinForceLeapfrog))
+		routes = append(routes, Route{Label: fmt.Sprintf("sharded-%d-leapfrog", n), Eval: elf.Eval})
 	}
 	return routes
 }

@@ -1,6 +1,9 @@
 package triplestore
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Perm identifies one of the three permutation orders in which a relation
 // can be materialized as a sorted triple slice. Each order serves point
@@ -87,6 +90,12 @@ type Index struct {
 	perm    Perm
 	triples []Triple // base run, sorted by perm.key order
 	tail    []Triple // recent additions, also sorted by perm.key order
+
+	// leads caches the distinct leading-position values (Leads). The
+	// index is immutable, so the lazy build runs once per Index value;
+	// the sync.Once makes that safe under concurrent readers.
+	leadsOnce sync.Once
+	leads     []ID
 }
 
 // BuildIndex materializes the access path for r in the given permutation.
@@ -193,6 +202,26 @@ func (ix *Index) Match(id ID) []Triple {
 	out = append(out, base...)
 	out = append(out, extra...)
 	return out
+}
+
+// Leads returns the distinct values of the permutation's leading
+// position, in ascending ID order — the trie's first level, which the
+// engine's leapfrog triejoin intersects across relations and the merge
+// join uses to drive group-wise probing. The slice is computed on first
+// use, cached on the (immutable) index, and must not be modified.
+func (ix *Index) Leads() []ID {
+	ix.leadsOnce.Do(func() {
+		ts := ix.Triples()
+		lead := ix.perm.Lead()
+		out := make([]ID, 0, len(ts)/2+1)
+		for i, t := range ts {
+			if i == 0 || t[lead] != ts[i-1][lead] {
+				out = append(out, t[lead])
+			}
+		}
+		ix.leads = out
+	})
+	return ix.leads
 }
 
 // MatchCount returns len(Match(id)) without concatenating overlay matches.

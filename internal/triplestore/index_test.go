@@ -63,6 +63,47 @@ func TestIndexAgainstScan(t *testing.T) {
 	}
 }
 
+func TestIndexLeads(t *testing.T) {
+	r := RelationOf(
+		Triple{3, 2, 3},
+		Triple{1, 2, 3},
+		Triple{1, 5, 3},
+		Triple{2, 2, 1},
+	)
+	for _, tc := range []struct {
+		perm Perm
+		want []ID
+	}{
+		{SPO, []ID{1, 2, 3}},
+		{POS, []ID{2, 5}},
+		{OSP, []ID{1, 3}},
+	} {
+		got := r.Index(tc.perm).Leads()
+		if len(got) != len(tc.want) {
+			t.Fatalf("%v.Leads() = %v, want %v", tc.perm, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%v.Leads() = %v, want %v", tc.perm, got, tc.want)
+			}
+		}
+	}
+	// Incremental adds land in the tail overlay; Leads must still merge,
+	// dedupe and sort across both runs.
+	r.Add(Triple{0, 9, 9}) // new lead, sorts first
+	r.Add(Triple{2, 9, 9}) // duplicate lead
+	got := r.Index(SPO).Leads()
+	want := []ID{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("after Add, SPO.Leads() = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("after Add, SPO.Leads() = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestIndexInvalidation(t *testing.T) {
 	r := RelationOf(Triple{1, 1, 1})
 	ix := r.Index(SPO)

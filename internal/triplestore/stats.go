@@ -15,6 +15,13 @@ type RelStats struct {
 	// Distinct counts the distinct objects per position: subjects,
 	// predicates, objects in RDF terms.
 	Distinct [3]int `json:"distinct"`
+	// MaxMatch is the largest number of triples sharing one value at
+	// each position — the worst-case bucket of a point probe there.
+	// Fanout is the average bucket; the spread between the two is the
+	// skew signal the planner's worst-case join costing keys off: on a
+	// power-law graph MaxMatch dwarfs Fanout, and a binary join plan
+	// that probes through the heavy value pays MaxMatch, not Fanout.
+	MaxMatch [3]int `json:"max_match"`
 }
 
 // Fanout estimates how many triples of the relation match a point probe
@@ -37,6 +44,22 @@ func (st RelStats) Fanout(pos int) float64 {
 	return f
 }
 
+// WorstFanout is the worst-case analogue of Fanout: the largest bucket a
+// point probe on the position can hit (MaxMatch), at least 1 for
+// nonempty relations. The planner uses it to bound a binary join plan's
+// intermediate size from above when weighing it against the AGM bound
+// of a worst-case-optimal plan.
+func (st RelStats) WorstFanout(pos int) float64 {
+	if st.Triples == 0 {
+		return 0
+	}
+	m := st.MaxMatch[pos]
+	if m < 1 {
+		m = 1
+	}
+	return float64(m)
+}
+
 // Stats computes (and caches) the relation's statistics. Like the sorted
 // view and the permutation indexes, the cached statistics are dropped on
 // mutation, so they are always consistent with the current contents; the
@@ -47,18 +70,25 @@ func (r *Relation) Stats() RelStats {
 	if r.stats != nil {
 		return *r.stats
 	}
-	var seen [3]map[ID]struct{}
-	for i := range seen {
-		seen[i] = make(map[ID]struct{}, len(r.set))
+	var counts [3]map[ID]int
+	for i := range counts {
+		counts[i] = make(map[ID]int, len(r.set))
 	}
 	for t := range r.set {
-		seen[0][t[0]] = struct{}{}
-		seen[1][t[1]] = struct{}{}
-		seen[2][t[2]] = struct{}{}
+		counts[0][t[0]]++
+		counts[1][t[1]]++
+		counts[2][t[2]]++
 	}
 	st := RelStats{
 		Triples:  len(r.set),
-		Distinct: [3]int{len(seen[0]), len(seen[1]), len(seen[2])},
+		Distinct: [3]int{len(counts[0]), len(counts[1]), len(counts[2])},
+	}
+	for i, c := range counts {
+		for _, n := range c {
+			if n > st.MaxMatch[i] {
+				st.MaxMatch[i] = n
+			}
+		}
 	}
 	r.stats = &st
 	return st

@@ -5,18 +5,26 @@ import "testing"
 // recount computes a relation's statistics by brute force, as the oracle
 // for the cached Stats.
 func recount(r *Relation) RelStats {
-	var seen [3]map[ID]struct{}
-	for i := range seen {
-		seen[i] = make(map[ID]struct{})
+	var counts [3]map[ID]int
+	for i := range counts {
+		counts[i] = make(map[ID]int)
 	}
 	n := 0
 	r.ForEach(func(t Triple) {
 		n++
 		for i := 0; i < 3; i++ {
-			seen[i][t[i]] = struct{}{}
+			counts[i][t[i]]++
 		}
 	})
-	return RelStats{Triples: n, Distinct: [3]int{len(seen[0]), len(seen[1]), len(seen[2])}}
+	st := RelStats{Triples: n, Distinct: [3]int{len(counts[0]), len(counts[1]), len(counts[2])}}
+	for i, c := range counts {
+		for _, k := range c {
+			if k > st.MaxMatch[i] {
+				st.MaxMatch[i] = k
+			}
+		}
+	}
+	return st
 }
 
 func TestRelationStats(t *testing.T) {
@@ -26,7 +34,7 @@ func TestRelationStats(t *testing.T) {
 		Triple{2, 11, 3},
 	)
 	st := r.Stats()
-	want := RelStats{Triples: 3, Distinct: [3]int{2, 2, 2}}
+	want := RelStats{Triples: 3, Distinct: [3]int{2, 2, 2}, MaxMatch: [3]int{2, 2, 2}}
 	if st != want {
 		t.Fatalf("Stats = %+v, want %+v", st, want)
 	}
@@ -63,6 +71,34 @@ func TestRelStatsFanout(t *testing.T) {
 	// via Stats, but Fanout must not divide by zero).
 	if got := (RelStats{Triples: 5}).Fanout(1); got != 5 {
 		t.Errorf("zero-distinct Fanout = %v, want 5", got)
+	}
+}
+
+func TestRelStatsWorstFanout(t *testing.T) {
+	// A skewed relation: one hub subject with 3 edges, two singletons.
+	r := RelationOf(
+		Triple{1, 10, 2},
+		Triple{1, 10, 3},
+		Triple{1, 11, 4},
+		Triple{5, 11, 6},
+		Triple{7, 12, 8},
+	)
+	st := r.Stats()
+	if got := st.WorstFanout(0); got != 3 {
+		t.Errorf("WorstFanout(0) = %v, want 3 (the hub subject)", got)
+	}
+	if got := st.Fanout(0); got >= 3 {
+		t.Errorf("Fanout(0) = %v, want < 3: the average must not see the hub", got)
+	}
+	if got := st.WorstFanout(2); got != 1 {
+		t.Errorf("WorstFanout(2) = %v, want 1 (objects are unique)", got)
+	}
+	if got := (RelStats{}).WorstFanout(0); got != 0 {
+		t.Errorf("empty WorstFanout = %v, want 0", got)
+	}
+	// Degenerate MaxMatch of 0 with triples present is clamped to 1.
+	if got := (RelStats{Triples: 5}).WorstFanout(1); got != 1 {
+		t.Errorf("zero-MaxMatch WorstFanout = %v, want 1", got)
 	}
 }
 
