@@ -15,16 +15,26 @@
 // subject into N shards and queries run on the partition-parallel
 // engine.
 //
+// With -data-dir the store is durable: mutations are written to a
+// write-ahead log before they are acknowledged, the memtable is flushed
+// to immutable sorted segment files, and a restart recovers exactly the
+// acknowledged state (docs/STORAGE.md has the formats and the recovery
+// protocol). A fresh directory can be seeded once from -data or
+// -fixture; afterwards the directory alone carries the state.
+//
 // Usage:
 //
 //	trialserver -data triples.txt -addr :8080
 //	trialserver -fixture transport -tokens "s3cret:admin,scraper:read"
 //	trialserver -fixture grid -n 50 -shards 8 -rate-qps 100 -query-timeout 30s
+//	trialserver -data-dir /var/lib/trial -fixture social   # seed once
+//	trialserver -data-dir /var/lib/trial                   # reopen
 //
 // See docs/API.md for the full endpoint contract (and the legacy
 // pre-v1 aliases). SIGINT/SIGTERM trigger a graceful shutdown: the
-// listener closes and in-flight requests drain for up to -drain before
-// the process exits.
+// listener closes, in-flight requests drain for up to -drain, and with
+// -data-dir the storage engine flushes its memtable tail and closes
+// before the process exits.
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"repro/internal/genstore"
 	"repro/internal/query"
 	"repro/internal/serve"
+	"repro/internal/storage"
 	"repro/internal/triplestore"
 )
 
@@ -57,6 +68,9 @@ func main() {
 		cache   = flag.Int("cache", query.DefaultCacheSize, "plan-cache capacity (compiled plans kept; 0 disables)")
 		shards  = flag.Int("shards", 1, "hash-partition the store by subject into this many shards and execute partition-parallel (1 = flat store)")
 
+		dataDir = flag.String("data-dir", "", "durable storage directory (WAL + segments); a fresh dir may be seeded from -data or -fixture, an existing one must be opened alone")
+		walSync = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per batch) or none (page cache only)")
+
 		tokens     = flag.String("tokens", "", "bearer tokens as comma-separated token:role pairs (roles: read, admin); empty disables auth")
 		rateQPS    = flag.Float64("rate-qps", 0, "per-client rate limit in requests/second (0 disables)")
 		rateBurst  = flag.Int("rate-burst", 20, "per-client token-bucket burst capacity")
@@ -69,7 +83,24 @@ func main() {
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	)
 	flag.Parse()
-	store, desc, err := buildStore(*data, *rel, *fixture, *n)
+	var (
+		store *triplestore.Store
+		eng   storage.Engine
+		desc  string
+		err   error
+	)
+	if *dataDir != "" {
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "trialserver: -data-dir is incompatible with -shards > 1 (the partition copies would bypass the WAL)")
+			os.Exit(1)
+		}
+		eng, desc, err = openDataDir(*dataDir, *walSync, *data, *rel, *fixture, *n)
+		if err == nil {
+			store = eng.Store()
+		}
+	} else {
+		store, desc, err = buildStore(*data, *rel, *fixture, *n)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trialserver:", err)
 		os.Exit(1)
@@ -79,7 +110,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trialserver: -tokens:", err)
 		os.Exit(1)
 	}
-	srv := serve.New(store,
+	srvOpts := []serve.Option{
 		serve.WithWorkers(*workers),
 		serve.WithRelation(*rel),
 		serve.WithCacheSize(*cache),
@@ -89,7 +120,12 @@ func main() {
 		serve.WithAuthTokens(auth),
 		serve.WithRateLimit(*rateQPS, *rateBurst),
 		serve.WithQueryTimeout(*qTimeout),
-		serve.WithMaxResults(*maxResults))
+		serve.WithMaxResults(*maxResults),
+	}
+	if eng != nil {
+		srvOpts = append(srvOpts, serve.WithStorageEngine(eng))
+	}
+	srv := serve.New(store, srvOpts...)
 	if ss := srv.Sharded(); ss != nil {
 		desc = fmt.Sprintf("%s, %d shards", desc, ss.NumShards())
 	}
@@ -106,6 +142,7 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errc:
+		srv.Close()
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop() // a second signal kills the process immediately
@@ -115,7 +152,53 @@ func main() {
 		if err := httpSrv.Shutdown(sctx); err != nil {
 			log.Printf("trialserver: shutdown: %v", err)
 		}
+		// After the listener has drained, flush the memtable tail and
+		// close the storage engine so the final batches are in a segment
+		// (and the data directory reopens without WAL replay).
+		if err := srv.Close(); err != nil {
+			log.Printf("trialserver: close: %v", err)
+		}
 	}
+}
+
+// openDataDir opens (or seeds) a durable data directory. An existing
+// store must be opened alone: silently ignoring -data/-fixture would
+// look like the flags worked, and silently re-seeding would shadow the
+// durable state.
+func openDataDir(dir, walSync, data, rel, fixture string, n int) (storage.Engine, string, error) {
+	policy, err := storage.ParseSyncPolicy(walSync)
+	if err != nil {
+		return nil, "", fmt.Errorf("-wal-sync: %w", err)
+	}
+	opts := []storage.Option{storage.WithSyncPolicy(policy)}
+	if storage.Exists(dir) {
+		if data != "" || fixture != "" {
+			return nil, "", fmt.Errorf("%s already holds a store; drop -data/-fixture to open it (or point -data-dir at a fresh directory to seed)", dir)
+		}
+		eng, err := storage.Open(dir, opts...)
+		if err != nil {
+			return nil, "", err
+		}
+		st := eng.Stats()
+		return eng, fmt.Sprintf("data-dir %s (recovered in %.1fms, %d segments, %d WAL records replayed)",
+			dir, st.RecoveryMillis, st.Segments, st.WALReplayed), nil
+	}
+	if data == "" && fixture == "" {
+		eng, err := storage.Open(dir, opts...)
+		if err != nil {
+			return nil, "", err
+		}
+		return eng, fmt.Sprintf("data-dir %s (fresh, empty)", dir), nil
+	}
+	seed, desc, err := buildStore(data, rel, fixture, n)
+	if err != nil {
+		return nil, "", err
+	}
+	eng, err := storage.CreateFrom(dir, seed, opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	return eng, fmt.Sprintf("data-dir %s (seeded from %s)", dir, desc), nil
 }
 
 func buildStore(data, rel, fixture string, n int) (*triplestore.Store, string, error) {

@@ -41,7 +41,7 @@ func TestCyclicJoinEquivalence(t *testing.T) {
 	pairs, leapfrogPlans := 0, 0
 	for si := 0; si < nStores; si++ {
 		s, label := cyclicStore(t, rng)
-		routes := Routes(s, shardCounts()...)
+		routes := RoutesWithDisk(t, s, shardCounts()...)
 		lf := engine.New(s, engine.WithJoinPolicy(engine.JoinForceLeapfrog))
 		for i := 0; i < perStore; i++ {
 			x := genstore.RandomCyclicJoin(rng, rels)

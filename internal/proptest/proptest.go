@@ -3,10 +3,12 @@ package proptest
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/engine"
 	"repro/internal/genstore"
+	"repro/internal/storage"
 	"repro/internal/trial"
 	"repro/internal/triplestore"
 )
@@ -44,6 +46,110 @@ func Routes(s *triplestore.Store, shardCounts ...int) []Route {
 		routes = append(routes, Route{Label: fmt.Sprintf("sharded-%d-leapfrog", n), Eval: elf.Eval})
 	}
 	return routes
+}
+
+// RoutesWithDisk is Routes plus the disk-backed evaluation routes, so
+// the differential and metamorphic properties also pin the storage
+// engine against the in-memory semantics:
+//
+//   - "disk" evaluates over a store loaded from a segment checkpoint of
+//     s (storage.CreateFrom preserves the dictionary, so results render
+//     identically with no translation);
+//   - "disk-recovered" replays s's content as WAL batches into a fresh
+//     directory, abandons the engine without flushing (the crash path)
+//     and reopens it, so evaluation runs over a crash-recovered store.
+//     Recovery re-interns names in replay order, which need not match
+//     s's dictionary; result triples are remapped by name before the
+//     byte-identical comparison — expression constants are names, so
+//     the expressions themselves are portable.
+//
+// The disk engines live in tb's temp dir and close on test cleanup.
+func RoutesWithDisk(tb testing.TB, s *triplestore.Store, shardCounts ...int) []Route {
+	tb.Helper()
+	routes := Routes(s, shardCounts...)
+
+	ckpt, err := storage.CreateFrom(filepath.Join(tb.TempDir(), "ckpt"),
+		s, storage.WithSyncPolicy(storage.SyncNone))
+	if err != nil {
+		tb.Fatalf("proptest: checkpoint store: %v", err)
+	}
+	tb.Cleanup(func() { ckpt.Close() })
+	routes = append(routes, Route{Label: "disk", Eval: engine.New(ckpt.Store()).Eval})
+
+	rec := recoveredEngine(tb, s)
+	tb.Cleanup(func() { rec.Close() })
+	d := rec.Store()
+	de := engine.New(d)
+	routes = append(routes, Route{Label: "disk-recovered", Eval: func(x trial.Expr) (*triplestore.Relation, error) {
+		r, err := de.Eval(x)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]triplestore.Triple, 0, r.Len())
+		for _, t := range r.Triples() {
+			var m triplestore.Triple
+			for i, id := range t {
+				if m[i] = s.Lookup(d.Name(id)); m[i] == triplestore.NoID {
+					return nil, fmt.Errorf("disk-recovered produced %q, unknown to the source store", d.Name(id))
+				}
+			}
+			out = append(out, m)
+		}
+		return triplestore.RelationOf(out...), nil
+	}})
+	return routes
+}
+
+// recoveredEngine rebuilds s through the crash path: its triples and
+// values stream into a disk engine as ordinary WAL batches (one batch
+// per relation; empty relations materialize via an add-then-delete
+// pair), the engine is abandoned unflushed, and the directory reopened
+// so the state comes entirely from WAL replay.
+func recoveredEngine(tb testing.TB, s *triplestore.Store) *storage.Disk {
+	tb.Helper()
+	dir := filepath.Join(tb.TempDir(), "replay")
+	// A huge flush threshold keeps everything in the WAL, so the reopen
+	// below exercises replay rather than segment load.
+	opts := []storage.Option{storage.WithSyncPolicy(storage.SyncNone), storage.WithFlushBytes(1 << 30)}
+	eng, err := storage.Open(dir, opts...)
+	if err != nil {
+		tb.Fatalf("proptest: replay engine: %v", err)
+	}
+	for _, name := range s.RelationNames() {
+		rel := s.Relation(name)
+		ops := make([]triplestore.Op, 0, rel.Len()+2)
+		for _, t := range rel.Triples() {
+			ops = append(ops, triplestore.Op{Rel: name,
+				S: s.Name(t[0]), P: s.Name(t[1]), O: s.Name(t[2])})
+		}
+		if len(ops) == 0 {
+			// An add-then-delete pair creates the relation and leaves it
+			// empty, preserving error parity for references to it.
+			dummy := triplestore.Op{Rel: name, S: "·", P: "·", O: "·"}
+			del := dummy
+			del.Delete = true
+			ops = append(ops, dummy, del)
+		}
+		if _, err := eng.ApplyBatch(ops); err != nil {
+			tb.Fatalf("proptest: replay batch for %s: %v", name, err)
+		}
+	}
+	for i := 0; i < s.NumObjects(); i++ {
+		id := triplestore.ID(i)
+		if v := s.Value(id); v != nil {
+			if err := eng.SetValue(s.Name(id), v); err != nil {
+				tb.Fatalf("proptest: replay value: %v", err)
+			}
+		}
+	}
+	if err := eng.Abandon(); err != nil {
+		tb.Fatalf("proptest: abandon: %v", err)
+	}
+	rec, err := storage.Open(dir, opts...)
+	if err != nil {
+		tb.Fatalf("proptest: recover: %v", err)
+	}
+	return rec
 }
 
 // CheckExpr evaluates x through every route and requires byte-identical

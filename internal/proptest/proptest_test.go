@@ -49,7 +49,7 @@ func TestPropertyEquivalence(t *testing.T) {
 	pairs, failures := 0, 0
 	for si := 0; si < nStores; si++ {
 		s, label := RandomStore(rng)
-		routes := Routes(s, shardCounts()...)
+		routes := RoutesWithDisk(t, s, shardCounts()...)
 		opt := optimizer.New(s)
 		domain := len(s.ActiveDomain())
 		for i := 0; i < perStore; i++ {
@@ -80,7 +80,7 @@ func TestPropertyEquivalence(t *testing.T) {
 		t.Errorf("only %d successfully evaluated pairs, want >= 1000", pairs)
 	}
 	t.Logf("checked %d (store, expression) pairs across %d routes each",
-		pairs, len(Routes(genstore.Chain(2, 1), shardCounts()...)))
+		pairs, len(RoutesWithDisk(t, genstore.Chain(2, 1), shardCounts()...)))
 }
 
 // TestShardMatrix is the CI shard-matrix entry point: the named paper
@@ -97,7 +97,7 @@ func TestShardMatrix(t *testing.T) {
 	}
 	for label, s := range stores {
 		t.Run(label, func(t *testing.T) {
-			routes := Routes(s, shardCounts()...)
+			routes := RoutesWithDisk(t, s, shardCounts()...)
 			for _, q := range []trial.Expr{
 				trial.Example2(genstore.RelE),
 				trial.Example2Extended(genstore.RelE),
@@ -155,7 +155,7 @@ func TestMetamorphicJoinCommutation(t *testing.T) {
 	checked := 0
 	for si := 0; si < 8; si++ {
 		s, _ := RandomStore(rng)
-		routes := Routes(s, shardCounts()...)
+		routes := RoutesWithDisk(t, s, shardCounts()...)
 		for i := 0; i < 25; i++ {
 			j := trial.MustJoin(
 				genstore.RandomExpr(rng, sub),
@@ -181,7 +181,7 @@ func TestMetamorphicStarIdempotence(t *testing.T) {
 	checked := 0
 	for si := 0; si < 8; si++ {
 		s, _ := RandomStore(rng)
-		routes := Routes(s, shardCounts()...)
+		routes := RoutesWithDisk(t, s, shardCounts()...)
 		for i := 0; i < 12; i++ {
 			inner := ReachStar(genstore.RandomExpr(rng, sub), rng.Intn(2) == 0, rng.Intn(2) == 0)
 			outer := trial.MustStar(inner, inner.Out, inner.Cond, rng.Intn(2) == 0)
@@ -202,7 +202,7 @@ func TestMetamorphicUnionLaws(t *testing.T) {
 	sub := genstore.ExprOptions{Relations: []string{genstore.RelE}, MaxDepth: 2, AllowStar: true}
 	for si := 0; si < 6; si++ {
 		s, _ := RandomStore(rng)
-		routes := Routes(s, shardCounts()...)
+		routes := RoutesWithDisk(t, s, shardCounts()...)
 		for i := 0; i < 15; i++ {
 			a := genstore.RandomExpr(rng, sub)
 			b := genstore.RandomExpr(rng, sub)
@@ -224,7 +224,7 @@ func TestMetamorphicOptimizerRewrites(t *testing.T) {
 	cfg := genstore.ExprOptions{Relations: []string{genstore.RelE}, MaxDepth: 4, AllowStar: true, AllowValueConds: true}
 	for si := 0; si < 6; si++ {
 		s, _ := RandomStore(rng)
-		routes := Routes(s, shardCounts()...)
+		routes := RoutesWithDisk(t, s, shardCounts()...)
 		opt := optimizer.New(s)
 		for i := 0; i < 25; i++ {
 			x := genstore.RandomExpr(rng, cfg)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/rpq"
+	"repro/internal/storage"
 	"repro/internal/translate"
 	"repro/internal/trial"
 	"repro/internal/triplestore"
@@ -71,12 +72,15 @@ func ParseLang(s string) (Lang, error) {
 type Querier struct {
 	store   *triplestore.Store
 	sharded *triplestore.ShardedStore // non-nil when built by NewSharded
+	backend storage.Engine            // non-nil when built by NewStorage
 	rel     string
 	engOpts []engine.Option
 
 	mu       sync.Mutex
 	eng      *engine.Engine // engine over the snapshot at engVer; nil until first use
 	engVer   uint64
+	pin      *storage.Pin // pins engVer's segment manifest; nil without a backend
+	pinGen   uint64       // manifest generation the current pin holds
 	cache    *lruCache
 	stats    CacheStats
 	rewrites RewriteStats
@@ -143,6 +147,35 @@ func NewSharded(ss *triplestore.ShardedStore, opts ...Option) *Querier {
 	return q
 }
 
+// NewStorage returns a Querier over a storage engine: queries run over
+// pinned snapshots, so a disk-backed engine cannot garbage-collect the
+// segment files a long query (or a cached plan's snapshot) still reads
+// from under it. Everything else — languages, plan cache, stale sweeps —
+// works exactly as with New; an in-memory engine degrades to New's
+// behavior because its pins are free. Call Close when done so the last
+// pin is released and the backend may compact freely.
+func NewStorage(eng storage.Engine, opts ...Option) *Querier {
+	q := New(eng.Store(), opts...)
+	q.backend = eng
+	return q
+}
+
+// Close releases the Querier's pin on the storage backend (if any): the
+// backend may then delete segment files the last snapshot was reading.
+// Cached plans stay usable for the lifetime of their snapshot's memory,
+// but no new queries should be issued after Close. Close is a no-op for
+// Queriers built by New or NewSharded.
+func (q *Querier) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.pin != nil {
+		q.pin.Release()
+		q.pin = nil
+	}
+	q.eng = nil
+	return nil
+}
+
 // Engine returns the execution engine for the store's current version.
 // The engine is bound to an immutable Snapshot of the store; once the
 // store is mutated, a later Engine (or Query) call returns a fresh
@@ -158,11 +191,26 @@ func (q *Querier) Engine() *engine.Engine {
 // live store has moved on. Callers hold q.mu.
 func (q *Querier) engineLocked() *engine.Engine {
 	if v := q.store.Version(); q.eng == nil || q.engVer != v {
-		if q.sharded != nil {
+		switch {
+		case q.sharded != nil:
 			snap := q.sharded.Snapshot()
 			q.eng = engine.NewSharded(snap, q.engOpts...)
 			q.engVer = snap.Version()
-		} else {
+		case q.backend != nil:
+			// Pin (version, segment manifest) as a unit: the snapshot's
+			// data may live in segment files, and the pin keeps the backend
+			// from deleting them after a compaction until this Querier has
+			// moved on. The previous pin is released only after the new one
+			// is taken so there is no window where nothing is pinned.
+			pin := q.backend.Pin()
+			if q.pin != nil {
+				q.pin.Release()
+			}
+			q.pin = pin
+			q.pinGen = pin.Generation
+			q.eng = engine.New(pin.Store, q.engOpts...)
+			q.engVer = pin.Store.Version()
+		default:
 			snap := q.store.Snapshot()
 			q.eng = engine.New(snap, q.engOpts...)
 			q.engVer = snap.Version()
@@ -415,6 +463,7 @@ type planKey struct {
 	source     string
 	rel        string
 	version    uint64
+	gen        uint64 // storage-manifest generation pinned with version
 	optVersion int
 }
 
@@ -437,6 +486,7 @@ func (q *Querier) prepareSpan(lang Lang, source string, sp *obs.Span) (*engine.P
 	key := planKey{
 		lang: lang, source: source, rel: q.rel,
 		version:    eng.Store().Version(),
+		gen:        q.pinGen,
 		optVersion: optimizer.Version,
 	}
 	sp.SetAttr("store_version", key.version)

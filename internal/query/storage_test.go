@@ -1,0 +1,83 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/triplestore"
+)
+
+// TestQuerierStoragePinning: a Querier over a disk engine must answer
+// identically to one over a plain store built from the same ops, keep
+// exactly one generation pinned as the store advances (old pins are
+// released when it re-snapshots), and release its last pin on Close.
+func TestQuerierStoragePinning(t *testing.T) {
+	eng, err := storage.Open(t.TempDir(),
+		storage.WithSyncPolicy(storage.SyncNone), storage.WithFlushBytes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	mem := triplestore.NewStore()
+	q := NewStorage(eng)
+	qMem := New(mem)
+
+	for round := 0; round < 8; round++ {
+		var ops []triplestore.Op
+		for i := 0; i < 40; i++ {
+			ops = append(ops, triplestore.Op{
+				Rel: "E",
+				S:   fmt.Sprintf("n%d", (round*17+i)%30),
+				P:   "p",
+				O:   fmt.Sprintf("n%d", (round*11+i*3)%30),
+			})
+		}
+		if _, err := eng.ApplyBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mem.ApplyBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.Query(LangRPQ, "p+")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := qMem.Query(LangRPQ, "p+")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp, _ := q.Pairs(got)
+		wp, _ := qMem.Pairs(want)
+		if fmt.Sprint(gp) != fmt.Sprint(wp) {
+			t.Fatalf("round %d: disk answered %d pairs, mem %d", round, len(gp), len(wp))
+		}
+		// One live generation plus at most the querier's single pin: old
+		// pins must not accumulate as the version advances.
+		if n := eng.Stats().PinnedGenerations; n > 2 {
+			t.Fatalf("round %d: %d generations pinned", round, n)
+		}
+	}
+
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := eng.Stats().PinnedGenerations; n > 1 {
+		t.Fatalf("%d generations still pinned after Close", n)
+	}
+}
+
+// TestQuerierCloseIsNoOpWithoutBackend pins that Close on a plain
+// Querier is safe and idempotent.
+func TestQuerierCloseIsNoOpWithoutBackend(t *testing.T) {
+	q := New(triplestore.NewStore())
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/storage"
 	"repro/internal/triplestore"
 )
 
@@ -49,7 +50,8 @@ type serverMetrics struct {
 // newServerMetrics builds the registry for one server instance (tests
 // scrape in isolation) and registers the callback-backed families.
 func newServerMetrics(q *query.Querier, store *triplestore.Store,
-	sharded *triplestore.ShardedStore, slow *obs.SlowLog, start time.Time) *serverMetrics {
+	sharded *triplestore.ShardedStore, eng storage.Engine,
+	slow *obs.SlowLog, start time.Time) *serverMetrics {
 	reg := obs.NewRegistry()
 	m := &serverMetrics{
 		reg: reg,
@@ -122,6 +124,29 @@ func newServerMetrics(q *query.Querier, store *triplestore.Store,
 	}
 	reg.GaugeFunc("trial_shards", "shard count (1 = flat store)",
 		func() float64 { return float64(nShards) })
+
+	// Storage engine: WAL, segment, flush/compaction and recovery
+	// counters sampled from the engine at scrape time. Only registered
+	// when the server fronts a disk engine; a plain in-memory server
+	// keeps its scrape free of always-zero series.
+	if eng != nil {
+		reg.GaugeFunc("trial_storage_wal_bytes", "bytes in the live write-ahead log",
+			func() float64 { return float64(eng.Stats().WALBytes) })
+		reg.CounterFunc("trial_storage_wal_records_total", "records appended to the live WAL",
+			func() uint64 { return eng.Stats().WALRecords })
+		reg.GaugeFunc("trial_storage_segments", "immutable segment files in the current manifest",
+			func() float64 { return float64(eng.Stats().Segments) })
+		reg.GaugeFunc("trial_storage_segment_bytes", "total bytes across manifest segments",
+			func() float64 { return float64(eng.Stats().SegmentBytes) })
+		reg.CounterFunc("trial_storage_flushes_total", "memtable flushes to segment files",
+			func() uint64 { return eng.Stats().Flushes })
+		reg.CounterFunc("trial_storage_compactions_total", "segment-stack compactions",
+			func() uint64 { return eng.Stats().Compactions })
+		reg.GaugeFunc("trial_storage_recovery_ms", "milliseconds the last Open spent recovering",
+			func() float64 { return eng.Stats().RecoveryMillis })
+		reg.GaugeFunc("trial_storage_pinned_generations", "manifest generations pinned by snapshots",
+			func() float64 { return float64(eng.Stats().PinnedGenerations) })
+	}
 
 	reg.GaugeFunc("trial_uptime_seconds", "seconds since server start",
 		func() float64 { return time.Since(start).Seconds() })

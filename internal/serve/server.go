@@ -18,6 +18,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/storage"
 	"repro/internal/triplestore"
 )
 
@@ -45,6 +46,11 @@ type Server struct {
 	// > 1): ingest must then go through it so the partitions stay in
 	// lockstep with the union, and queries run partition-parallel.
 	sharded *triplestore.ShardedStore
+	// eng is non-nil when the server fronts a storage engine
+	// (WithStorageEngine): ingest then goes through the engine so every
+	// batch is WAL-durable before it is acknowledged, and Close flushes
+	// and closes the engine after in-flight requests drain.
+	eng     storage.Engine
 	q       *query.Querier
 	workers int
 	mux     *http.ServeMux
@@ -74,6 +80,7 @@ type config struct {
 	rateBurst    int
 	maxResults   int
 	queryTimeout time.Duration
+	storeEng     storage.Engine
 }
 
 // WithWorkers bounds the engine worker pool (minimum 1).
@@ -145,6 +152,23 @@ func WithQueryTimeout(d time.Duration) Option {
 	return func(c *config) { c.queryTimeout = d }
 }
 
+// WithStorageEngine fronts the server with a storage engine (typically
+// a WAL-backed disk engine): /v1/triples batches go through the engine
+// so they are durable before the response is written, queries pin
+// (version, segment manifest) snapshots, /v1/stats and /v1/metrics gain
+// the storage section, and Close flushes and closes the engine after
+// draining. The engine must be the one the store was opened from;
+// incompatible with WithShards > 1.
+func WithStorageEngine(eng storage.Engine) Option {
+	return func(c *config) { c.storeEng = eng }
+}
+
+// NewStorage builds a Server over a storage engine's store — shorthand
+// for New(eng.Store(), WithStorageEngine(eng), opts...).
+func NewStorage(eng storage.Engine, opts ...Option) *Server {
+	return New(eng.Store(), append([]Option{WithStorageEngine(eng)}, opts...)...)
+}
+
 // New builds a Server over the given store.
 func New(store *triplestore.Store, opts ...Option) *Server {
 	cfg := config{
@@ -171,6 +195,7 @@ func New(store *triplestore.Store, opts ...Option) *Server {
 	}
 	s := &Server{
 		store:        store,
+		eng:          cfg.storeEng,
 		workers:      cfg.workers,
 		mux:          http.NewServeMux(),
 		start:        time.Now(),
@@ -179,13 +204,21 @@ func New(store *triplestore.Store, opts ...Option) *Server {
 		maxResults:   cfg.maxResults,
 		queryTimeout: cfg.queryTimeout,
 	}
-	if cfg.shards > 1 {
+	if s.eng != nil && cfg.shards > 1 {
+		// A sharded store maintains partition copies the engine's WAL knows
+		// nothing about; refusing here beats silently losing durability.
+		panic("serve: WithStorageEngine is incompatible with WithShards > 1")
+	}
+	switch {
+	case cfg.shards > 1:
 		s.sharded = triplestore.Shard(store, cfg.shards)
 		s.q = query.NewSharded(s.sharded, qopts...)
-	} else {
+	case s.eng != nil:
+		s.q = query.NewStorage(s.eng, qopts...)
+	default:
 		s.q = query.New(store, qopts...)
 	}
-	s.m = newServerMetrics(s.q, store, s.sharded, s.slow, s.start)
+	s.m = newServerMetrics(s.q, store, s.sharded, s.eng, s.slow, s.start)
 	if cfg.rateQPS > 0 {
 		s.limiter = newRateLimiter(cfg.rateQPS, cfg.rateBurst)
 	}
@@ -303,6 +336,35 @@ func (s *Server) Querier() *query.Querier { return s.q }
 
 // Sharded returns the sharded store, or nil for a flat server.
 func (s *Server) Sharded() *triplestore.ShardedStore { return s.sharded }
+
+// Storage returns the storage engine the server fronts, or nil.
+func (s *Server) Storage() storage.Engine { return s.eng }
+
+// closeDrainTimeout bounds how long Close waits for in-flight requests
+// before closing the storage engine anyway. Callers normally call Close
+// after http.Server.Shutdown has already drained the listener, so the
+// wait is a backstop for requests driven directly against ServeHTTP.
+const closeDrainTimeout = 10 * time.Second
+
+// Close shuts the serving tier down: it waits (bounded) for in-flight
+// requests to finish, releases the query layer's snapshot pin, then
+// flushes and closes the storage engine so the memtable tail lands in a
+// segment and the final WAL records are synced. Without a storage
+// engine it only releases the query layer. Safe to call once after the
+// HTTP listener has stopped accepting work.
+func (s *Server) Close() error {
+	deadline := time.Now().Add(closeDrainTimeout)
+	for s.m.httpInFlight.Value() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	err := s.q.Close()
+	if s.eng != nil {
+		if cerr := s.eng.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
@@ -637,9 +699,15 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var res triplestore.BatchResult
-	if s.sharded != nil {
+	switch {
+	case s.sharded != nil:
 		res, err = s.sharded.ApplyBatch(ops)
-	} else {
+	case s.eng != nil:
+		// Through the storage engine: the batch is WAL-appended (and, per
+		// the engine's sync policy, fsynced) before the store mutates, so
+		// a 200 means the write survives a crash.
+		res, err = s.eng.ApplyBatch(ops)
+	default:
 		res, err = s.store.ApplyBatch(ops)
 	}
 	if err != nil {
@@ -717,8 +785,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		shardInfo["count"] = s.sharded.NumShards()
 		shardInfo["per_shard"] = s.sharded.ShardStats()
 	}
+	// Storage observability: the backend ("mem" when the server runs on
+	// the plain in-memory store) and, for a disk engine, WAL/segment/
+	// compaction/recovery counters (see storage.Stats).
+	storageInfo := storage.Stats{Backend: "mem"}
+	if s.eng != nil {
+		storageInfo = s.eng.Stats()
+	}
 	json.NewEncoder(w).Encode(map[string]any{
 		"shards":    shardInfo,
+		"storage":   storageInfo,
 		"objects":   s.store.NumObjects(),
 		"triples":   s.store.Size(),
 		"relations": s.store.RelationNames(),

@@ -1,0 +1,42 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/triplestore"
+)
+
+// BenchmarkColdOpen measures opening a checkpointed data directory —
+// the cold-start path the trialbench storage row gates.
+func BenchmarkColdOpen(b *testing.B) {
+	s := triplestore.NewStore()
+	var ops []triplestore.Op
+	for i := 0; i < 1_000_000; i++ {
+		ops = append(ops, triplestore.Op{
+			Rel: "E",
+			S:   fmt.Sprintf("u%d", i%500_000),
+			P:   fmt.Sprintf("c%d", i),
+			O:   fmt.Sprintf("u%d", (i*7)%500_000),
+		})
+		if len(ops) == 65536 {
+			s.ApplyBatch(ops)
+			ops = ops[:0]
+		}
+	}
+	s.ApplyBatch(ops)
+	dir := b.TempDir()
+	ck, err := CreateFrom(dir, s, WithSyncPolicy(SyncNone))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ck.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := Open(dir, WithSyncPolicy(SyncNone))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Close()
+	}
+}

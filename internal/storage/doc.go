@@ -1,0 +1,28 @@
+// Package storage is the storage-engine seam of the triplestore stack:
+// the write path (ApplyBatch, ApplyNDJSON, SetValue) and the snapshot
+// lifecycle behind a single Engine interface, with two implementations.
+//
+// Mem wraps the purely in-memory triplestore.Store — exactly the behavior
+// every query route had before the seam existed.
+//
+// Disk layers durability onto the same MVCC contract without changing
+// it: every batch is appended to a length-prefixed, checksummed
+// write-ahead log before it mutates the in-memory store (the memtable),
+// so recovery replays to the last committed batch boundary exactly as
+// the atomic-version contract promises; the accumulated overlay of
+// mutations is flushed into immutable sorted segment files (one
+// delta-encoded run per SPO/POS/OSP permutation, with a sparse block
+// index) when it crosses a size threshold; a background compactor folds
+// the segment stack into a single checkpoint; and a manifest, replaced
+// atomically, names the live segment set and the WAL tail. Snapshots pin
+// the manifest generation — Store.Snapshot's copy-on-write semantics map
+// onto "retain these files" — so compaction never deletes a segment out
+// from under a running query.
+//
+// The read contract the execution engine consumes — Index.Leads, Match,
+// relation scans, Stats, snapshot pinning — is documented by AccessPath
+// and satisfied by *triplestore.Store. Both backends hand out ordinary
+// store snapshots, which is why the flat, sharded, merge-join and
+// leapfrog routes run unmodified on either. File formats, the recovery
+// protocol and fsync tradeoffs are documented in docs/STORAGE.md.
+package storage

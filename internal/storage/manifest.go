@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+const manifestName = "MANIFEST"
+
+// Exists reports whether dir already holds a storage engine (that is,
+// a manifest file). Callers use it to decide between opening an
+// existing store and seeding a fresh one with CreateFrom.
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// manifest names the live file set of a data directory: the segment
+// stack (oldest first), the active WAL file, and the WAL sequence floor
+// already folded into segments. It is replaced atomically (write to a
+// temp file, fsync, rename, fsync the directory), so a crash during any
+// flush or compaction leaves either the old generation or the new one —
+// never a mix. Files on disk but not in the manifest are orphans from a
+// crashed flush; recovery removes them.
+type manifest struct {
+	Format int `json:"format"`
+	// Gen increases by one per manifest swap; snapshots pin generations.
+	Gen uint64 `json:"generation"`
+	// DictLen is the dictionary prefix covered by the segments.
+	DictLen int `json:"dict_len"`
+	// WALFile is the active log; records with seq > WALSeqFloor are not
+	// yet folded into a segment and replay on open.
+	WALFile     string `json:"wal_file"`
+	WALSeqFloor uint64 `json:"wal_seq_floor"`
+	// NextSeg numbers the next segment file.
+	NextSeg  uint64        `json:"next_seg"`
+	Segments []manifestSeg `json:"segments"`
+}
+
+type manifestSeg struct {
+	File    string `json:"file"`
+	Seq     uint64 `json:"seq"`
+	Bytes   int64  `json:"bytes"`
+	Triples int    `json:"triples"`
+}
+
+// files returns the file names (relative to the data dir) the
+// generation depends on, segment files only — WAL retention is governed
+// by the manifest swap itself, not by snapshot pins.
+func (m *manifest) segmentFiles() []string {
+	out := make([]string, 0, len(m.Segments))
+	for _, s := range m.Segments {
+		out = append(out, s.File)
+	}
+	return out
+}
+
+// writeManifest atomically replaces dir's manifest with m.
+func writeManifest(dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: encode manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, manifestName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("storage: manifest temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: write manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: sync manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: close manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: install manifest: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// readManifest loads dir's manifest; ok is false when none exists (a
+// fresh directory).
+func readManifest(dir string) (*manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("storage: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, false, fmt.Errorf("storage: parse manifest: %w", err)
+	}
+	if m.Format != 1 {
+		return nil, false, fmt.Errorf("storage: unsupported manifest format %d", m.Format)
+	}
+	return &m, true, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,635 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"repro/internal/triplestore"
+)
+
+// Segment file format (little-endian, uvarints are encoding/binary's):
+//
+//	magic "TRISEG1\n" (8 bytes)
+//	u32 format version (1)
+//	u64 segment sequence number
+//	u64 WAL sequence floor (records ≤ this are folded into the segment)
+//	uvarint dictBase — IDs below it come from older segments
+//	uvarint name count, then that many strings: the dictionary delta,
+//	    assigning IDs dictBase, dictBase+1, ...
+//	uvarint value count, then per entry: uvarint ID, presence byte, and
+//	    (if present) uvarint field count of (null byte, string) fields.
+//	    Values are deltas — the newest segment mentioning an ID wins.
+//	uvarint relation count, then per relation:
+//	    string name
+//	    three triple runs (SPO, POS, OSP orders) of the triples this
+//	    segment adds, each run:
+//	        uvarint triple count
+//	        uvarint block count, then per block: the block's first key
+//	        (3 uvarints) and its byte offset into the run data — the
+//	        sparse index, one entry per segBlockSize triples, enabling
+//	        point reads without decoding the whole run
+//	        uvarint run data length, then the delta-encoded run
+//	    one tombstone run (SPO order, no block index): uvarint count,
+//	    uvarint data length, data — the triples this segment deletes
+//	    from older segments
+//	u32 CRC-32C over everything before it
+//
+// Run data is delta-encoded in the permutation's key space. Each block
+// opens with its full key (3 uvarints); within a block each triple
+// stores the difference from its predecessor: uvarint d0, then (d0 > 0)
+// full k1 and k2; else uvarint d1, then (d1 > 0) full k2; else uvarint
+// d2. Runs are strictly sorted, so the encoding is self-checking: a
+// non-positive final delta fails decode.
+const (
+	segMagic      = "TRISEG1\n"
+	segFormat     = 1
+	segBlockSize  = 1024
+	maxSegEntries = 1 << 31 // sanity bound on any decoded count
+)
+
+// segRelation is one relation's contribution to a segment.
+type segRelation struct {
+	name string
+	// runs holds the added triples in SPO, POS and OSP key order.
+	runs [3][]triplestore.Triple
+	// dels holds tombstoned triples in SPO order.
+	dels []triplestore.Triple
+}
+
+// segValue is one dirty data-value entry.
+type segValue struct {
+	id  triplestore.ID
+	val triplestore.Value // nil means "explicitly cleared"
+}
+
+// segmentData is the in-memory form of a segment file.
+type segmentData struct {
+	seq      uint64
+	walSeq   uint64
+	dictBase int
+	names    []string
+	values   []segValue
+	rels     []segRelation
+}
+
+// triples returns the number of added triples (per the SPO runs).
+func (sd *segmentData) triples() int {
+	n := 0
+	for _, r := range sd.rels {
+		n += len(r.runs[triplestore.SPO])
+	}
+	return n
+}
+
+// permKey reorders t into perm's key space; permUnkey inverts it.
+func permKey(p triplestore.Perm, t triplestore.Triple) triplestore.Triple {
+	switch p {
+	case triplestore.SPO:
+		return t
+	case triplestore.POS:
+		return triplestore.Triple{t[1], t[2], t[0]}
+	default: // OSP
+		return triplestore.Triple{t[2], t[0], t[1]}
+	}
+}
+
+func permUnkey(p triplestore.Perm, k triplestore.Triple) triplestore.Triple {
+	switch p {
+	case triplestore.SPO:
+		return k
+	case triplestore.POS:
+		return triplestore.Triple{k[2], k[0], k[1]}
+	default: // OSP
+		return triplestore.Triple{k[1], k[2], k[0]}
+	}
+}
+
+// encodeRun delta-encodes ts (already in perm key order) and returns the
+// run data plus the sparse block index.
+func encodeRun(perm triplestore.Perm, ts []triplestore.Triple) (data []byte, blocks []segBlock) {
+	var prev triplestore.Triple
+	for i, t := range ts {
+		k := permKey(perm, t)
+		if i%segBlockSize == 0 {
+			blocks = append(blocks, segBlock{key: k, off: len(data)})
+			data = binary.AppendUvarint(data, uint64(k[0]))
+			data = binary.AppendUvarint(data, uint64(k[1]))
+			data = binary.AppendUvarint(data, uint64(k[2]))
+			prev = k
+			continue
+		}
+		d0 := uint64(k[0] - prev[0])
+		data = binary.AppendUvarint(data, d0)
+		if d0 > 0 {
+			data = binary.AppendUvarint(data, uint64(k[1]))
+			data = binary.AppendUvarint(data, uint64(k[2]))
+		} else {
+			d1 := uint64(k[1] - prev[1])
+			data = binary.AppendUvarint(data, d1)
+			if d1 > 0 {
+				data = binary.AppendUvarint(data, uint64(k[2]))
+			} else {
+				data = binary.AppendUvarint(data, uint64(k[2]-prev[2]))
+			}
+		}
+		prev = k
+	}
+	return data, blocks
+}
+
+// segBlock is one sparse-index entry: the first key of the block and the
+// block's byte offset into the run data.
+type segBlock struct {
+	key triplestore.Triple
+	off int
+}
+
+// runDecoder decodes a delta-encoded run.
+type runDecoder struct {
+	data  []byte
+	count int
+}
+
+// uv reads one uvarint.
+func (rd *runDecoder) uv(b []byte) (uint64, []byte, error) {
+	v, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("storage: corrupt run varint")
+	}
+	return v, b[sz:], nil
+}
+
+// decodeAll decodes the entire run into triples (in perm key order,
+// converted back to subject-predicate-object form).
+func (rd *runDecoder) decodeAll(perm triplestore.Perm, out []triplestore.Triple) ([]triplestore.Triple, error) {
+	b := rd.data
+	var prev triplestore.Triple
+	for i := 0; i < rd.count; i++ {
+		k, rest, err := rd.next(i, prev, b)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && !prev.Less(k) {
+			return nil, fmt.Errorf("storage: run not strictly sorted at %d", i)
+		}
+		out = append(out, permUnkey(perm, k))
+		prev, b = k, rest
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("storage: %d trailing bytes in run", len(b))
+	}
+	return out, nil
+}
+
+// next decodes the i-th triple's key given the previous key.
+func (rd *runDecoder) next(i int, prev triplestore.Triple, b []byte) (triplestore.Triple, []byte, error) {
+	const maxID = uint64(^triplestore.ID(0)) - 1 // NoID is reserved
+	var k triplestore.Triple
+	if i%segBlockSize == 0 {
+		var v uint64
+		var err error
+		for j := 0; j < 3; j++ {
+			if v, b, err = rd.uv(b); err != nil {
+				return k, nil, err
+			}
+			if v > maxID {
+				return k, nil, fmt.Errorf("storage: run ID %d out of range", v)
+			}
+			k[j] = triplestore.ID(v)
+		}
+		return k, b, nil
+	}
+	d0, b, err := rd.uv(b)
+	if err != nil {
+		return k, nil, err
+	}
+	if d0 > maxID-uint64(prev[0]) {
+		return k, nil, fmt.Errorf("storage: run delta overflow")
+	}
+	k[0] = prev[0] + triplestore.ID(d0)
+	if d0 > 0 {
+		var v1, v2 uint64
+		if v1, b, err = rd.uv(b); err != nil {
+			return k, nil, err
+		}
+		if v2, b, err = rd.uv(b); err != nil {
+			return k, nil, err
+		}
+		if v1 > maxID || v2 > maxID {
+			return k, nil, fmt.Errorf("storage: run ID out of range")
+		}
+		k[1], k[2] = triplestore.ID(v1), triplestore.ID(v2)
+		return k, b, nil
+	}
+	k[1] = prev[1]
+	d1, b, err := rd.uv(b)
+	if err != nil {
+		return k, nil, err
+	}
+	if d1 > maxID-uint64(prev[1]) {
+		return k, nil, fmt.Errorf("storage: run delta overflow")
+	}
+	k[1] = prev[1] + triplestore.ID(d1)
+	if d1 > 0 {
+		var v2 uint64
+		if v2, b, err = rd.uv(b); err != nil {
+			return k, nil, err
+		}
+		if v2 > maxID {
+			return k, nil, fmt.Errorf("storage: run ID out of range")
+		}
+		k[2] = triplestore.ID(v2)
+		return k, b, nil
+	}
+	d2, b, err := rd.uv(b)
+	if err != nil {
+		return k, nil, err
+	}
+	if d2 > maxID-uint64(prev[2]) {
+		return k, nil, fmt.Errorf("storage: run delta overflow")
+	}
+	k[2] = prev[2] + triplestore.ID(d2)
+	return k, b, nil
+}
+
+// segRun is a decoded run header: its sparse index plus raw data, kept
+// for point reads (matchLead) independent of the full decode.
+type segRun struct {
+	perm   triplestore.Perm
+	count  int
+	blocks []segBlock
+	data   []byte
+}
+
+// triples fully decodes the run.
+func (r *segRun) triples() ([]triplestore.Triple, error) {
+	rd := runDecoder{data: r.data, count: r.count}
+	return rd.decodeAll(r.perm, make([]triplestore.Triple, 0, r.count))
+}
+
+// matchLead returns the run's triples whose leading component equals id,
+// using the sparse block index to decode only the covering blocks. This
+// is the segment-level point read the block index exists for.
+func (r *segRun) matchLead(id triplestore.ID) ([]triplestore.Triple, error) {
+	if len(r.blocks) == 0 {
+		return nil, nil
+	}
+	// Matches may begin in the last block whose first key is strictly
+	// below id (the run of id can start mid-block) and span every
+	// following block whose first key is at most id.
+	start := sort.Search(len(r.blocks), func(i int) bool { return r.blocks[i].key[0] >= id })
+	if start > 0 {
+		start--
+	}
+	var out []triplestore.Triple
+	for bi := start; bi < len(r.blocks); bi++ {
+		if r.blocks[bi].key[0] > id {
+			break
+		}
+		blockStart := bi * segBlockSize
+		n := segBlockSize
+		if blockStart+n > r.count {
+			n = r.count - blockStart
+		}
+		rd := runDecoder{data: r.data[r.blocks[bi].off:], count: n}
+		b := rd.data
+		var prev triplestore.Triple
+		for i := 0; i < n; i++ {
+			k, rest, err := rd.next(i, prev, b)
+			if err != nil {
+				return nil, err
+			}
+			prev, b = k, rest
+			if k[0] == id {
+				out = append(out, permUnkey(r.perm, k))
+			} else if k[0] > id {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// segment is a fully parsed segment file.
+type segment struct {
+	segmentData
+	file  string
+	bytes int64
+	// raw runs (with block indexes) per relation, same order as rels.
+	rawRuns [][3]segRun
+}
+
+// writeSegment renders sd into path (created fresh) and fsyncs it.
+func writeSegment(path string, sd *segmentData) (int64, error) {
+	b := make([]byte, 0, 1<<16)
+	b = append(b, segMagic...)
+	b = binary.LittleEndian.AppendUint32(b, segFormat)
+	b = binary.LittleEndian.AppendUint64(b, sd.seq)
+	b = binary.LittleEndian.AppendUint64(b, sd.walSeq)
+	b = binary.AppendUvarint(b, uint64(sd.dictBase))
+	b = binary.AppendUvarint(b, uint64(len(sd.names)))
+	for _, n := range sd.names {
+		b = appendString(b, n)
+	}
+	b = binary.AppendUvarint(b, uint64(len(sd.values)))
+	for _, v := range sd.values {
+		b = binary.AppendUvarint(b, uint64(v.id))
+		if v.val == nil {
+			b = append(b, 0)
+			continue
+		}
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(len(v.val)))
+		for _, f := range v.val {
+			if f.Null {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+				b = appendString(b, f.Str)
+			}
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(sd.rels)))
+	for _, rel := range sd.rels {
+		b = appendString(b, rel.name)
+		for perm := triplestore.Perm(0); perm < 3; perm++ {
+			run := rel.runs[perm]
+			data, blocks := encodeRun(perm, run)
+			b = binary.AppendUvarint(b, uint64(len(run)))
+			b = binary.AppendUvarint(b, uint64(len(blocks)))
+			for _, blk := range blocks {
+				b = binary.AppendUvarint(b, uint64(blk.key[0]))
+				b = binary.AppendUvarint(b, uint64(blk.key[1]))
+				b = binary.AppendUvarint(b, uint64(blk.key[2]))
+				b = binary.AppendUvarint(b, uint64(blk.off))
+			}
+			b = binary.AppendUvarint(b, uint64(len(data)))
+			b = append(b, data...)
+		}
+		delData, _ := encodeRun(triplestore.SPO, rel.dels)
+		b = binary.AppendUvarint(b, uint64(len(rel.dels)))
+		b = binary.AppendUvarint(b, uint64(len(delData)))
+		b = append(b, delData...)
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, walCRC))
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("storage: create segment: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(path)
+		return 0, fmt.Errorf("storage: write segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return 0, fmt.Errorf("storage: sync segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return 0, fmt.Errorf("storage: close segment: %w", err)
+	}
+	return int64(len(b)), nil
+}
+
+type segCursor struct{ b []byte }
+
+func (c *segCursor) uv() (uint64, error) {
+	v, sz := binary.Uvarint(c.b)
+	if sz <= 0 {
+		return 0, fmt.Errorf("storage: corrupt segment varint")
+	}
+	c.b = c.b[sz:]
+	return v, nil
+}
+
+func (c *segCursor) count() (int, error) {
+	v, err := c.uv()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxSegEntries || v > uint64(len(c.b))+1 {
+		return 0, fmt.Errorf("storage: segment count %d exceeds file", v)
+	}
+	return int(v), nil
+}
+
+func (c *segCursor) str() (string, error) {
+	s, rest, err := readString(c.b)
+	if err != nil {
+		return "", err
+	}
+	c.b = rest
+	return s, nil
+}
+
+func (c *segCursor) byteVal() (byte, error) {
+	if len(c.b) < 1 {
+		return 0, fmt.Errorf("storage: truncated segment")
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v, nil
+}
+
+func (c *segCursor) take(n int) ([]byte, error) {
+	if n < 0 || n > len(c.b) {
+		return nil, fmt.Errorf("storage: truncated segment data")
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out, nil
+}
+
+// readSegment loads and verifies the segment file at path.
+func readSegment(path string) (*segment, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read segment: %w", err)
+	}
+	if len(raw) < len(segMagic)+4+8+8+4 || string(raw[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("storage: %s: not a segment file", path)
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, walCRC) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("storage: %s: segment checksum mismatch", path)
+	}
+	seg := &segment{file: path, bytes: int64(len(raw))}
+	if v := binary.LittleEndian.Uint32(body[8:12]); v != segFormat {
+		return nil, fmt.Errorf("storage: %s: unsupported segment format %d", path, v)
+	}
+	seg.seq = binary.LittleEndian.Uint64(body[12:20])
+	seg.walSeq = binary.LittleEndian.Uint64(body[20:28])
+	c := &segCursor{b: body[28:]}
+
+	dictBase, err := c.uv()
+	if err != nil {
+		return nil, err
+	}
+	seg.dictBase = int(dictBase)
+	nNames, err := c.count()
+	if err != nil {
+		return nil, err
+	}
+	// Decode the dictionary delta in two passes: scan the length prefixes
+	// to find the section's extent, convert the whole section to a single
+	// string, then slice each name out of the shared backing. One
+	// allocation for the entire dictionary instead of one per name — at a
+	// million-plus names the per-string allocations (and the GC scan work
+	// they induce) otherwise dominate cold-start recovery.
+	scan := segCursor{b: c.b}
+	for i := 0; i < nNames; i++ {
+		n, err := scan.uv()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(scan.b)) {
+			return nil, fmt.Errorf("storage: corrupt string length")
+		}
+		scan.b = scan.b[n:]
+	}
+	all := string(c.b[:len(c.b)-len(scan.b)])
+	seg.names = make([]string, 0, nNames)
+	pos := 0
+	for i := 0; i < nNames; i++ {
+		before := len(c.b)
+		n, err := c.uv()
+		if err != nil {
+			return nil, err
+		}
+		pos += before - len(c.b)
+		seg.names = append(seg.names, all[pos:pos+int(n)])
+		pos += int(n)
+		c.b = c.b[n:]
+	}
+	nVals, err := c.count()
+	if err != nil {
+		return nil, err
+	}
+	seg.values = make([]segValue, 0, nVals)
+	for i := 0; i < nVals; i++ {
+		idv, err := c.uv()
+		if err != nil {
+			return nil, err
+		}
+		present, err := c.byteVal()
+		if err != nil {
+			return nil, err
+		}
+		sv := segValue{id: triplestore.ID(idv)}
+		if present != 0 {
+			nf, err := c.count()
+			if err != nil {
+				return nil, err
+			}
+			val := make(triplestore.Value, 0, nf)
+			for j := 0; j < nf; j++ {
+				isNull, err := c.byteVal()
+				if err != nil {
+					return nil, err
+				}
+				if isNull != 0 {
+					val = append(val, triplestore.Null())
+					continue
+				}
+				s, err := c.str()
+				if err != nil {
+					return nil, err
+				}
+				val = append(val, triplestore.F(s))
+			}
+			sv.val = val
+		}
+		seg.values = append(seg.values, sv)
+	}
+	nRels, err := c.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nRels; i++ {
+		name, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		var rel segRelation
+		rel.name = name
+		var raws [3]segRun
+		for perm := triplestore.Perm(0); perm < 3; perm++ {
+			count, err := c.count()
+			if err != nil {
+				return nil, err
+			}
+			nBlocks, err := c.count()
+			if err != nil {
+				return nil, err
+			}
+			if want := (count + segBlockSize - 1) / segBlockSize; nBlocks != want {
+				return nil, fmt.Errorf("storage: %s: %d blocks for %d triples (want %d)", path, nBlocks, count, want)
+			}
+			blocks := make([]segBlock, 0, nBlocks)
+			for j := 0; j < nBlocks; j++ {
+				var k triplestore.Triple
+				for x := 0; x < 3; x++ {
+					v, err := c.uv()
+					if err != nil {
+						return nil, err
+					}
+					k[x] = triplestore.ID(v)
+				}
+				off, err := c.uv()
+				if err != nil {
+					return nil, err
+				}
+				blocks = append(blocks, segBlock{key: k, off: int(off)})
+			}
+			dataLen, err := c.count()
+			if err != nil {
+				return nil, err
+			}
+			data, err := c.take(dataLen)
+			if err != nil {
+				return nil, err
+			}
+			raws[perm] = segRun{perm: perm, count: count, blocks: blocks, data: data}
+			ts, err := raws[perm].triples()
+			if err != nil {
+				return nil, fmt.Errorf("storage: %s: relation %q %v run: %w", path, name, perm, err)
+			}
+			rel.runs[perm] = ts
+		}
+		nDels, err := c.count()
+		if err != nil {
+			return nil, err
+		}
+		delLen, err := c.count()
+		if err != nil {
+			return nil, err
+		}
+		delData, err := c.take(delLen)
+		if err != nil {
+			return nil, err
+		}
+		rd := runDecoder{data: delData, count: nDels}
+		dels, err := rd.decodeAll(triplestore.SPO, make([]triplestore.Triple, 0, nDels))
+		if err != nil {
+			return nil, fmt.Errorf("storage: %s: relation %q tombstones: %w", path, name, err)
+		}
+		rel.dels = dels
+		for p := range rel.runs {
+			if len(rel.runs[p]) != len(rel.runs[0]) {
+				return nil, fmt.Errorf("storage: %s: relation %q run lengths disagree", path, name)
+			}
+		}
+		seg.rels = append(seg.rels, rel)
+		seg.rawRuns = append(seg.rawRuns, raws)
+	}
+	if len(c.b) != 0 {
+		return nil, fmt.Errorf("storage: %s: %d trailing bytes", path, len(c.b))
+	}
+	return seg, nil
+}

@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/triplestore"
+)
+
+// randomRuns builds n distinct random triples and returns them sorted in
+// all three permutation key orders.
+func randomRuns(rng *rand.Rand, n int, idSpace uint32) [3][]triplestore.Triple {
+	set := make(map[triplestore.Triple]struct{})
+	for len(set) < n {
+		t := triplestore.Triple{
+			triplestore.ID(rng.Uint32() % idSpace),
+			triplestore.ID(rng.Uint32() % idSpace),
+			triplestore.ID(rng.Uint32() % idSpace),
+		}
+		set[t] = struct{}{}
+	}
+	var runs [3][]triplestore.Triple
+	for perm := triplestore.Perm(0); perm < 3; perm++ {
+		run := make([]triplestore.Triple, 0, n)
+		for t := range set {
+			run = append(run, t)
+		}
+		p := perm
+		sort.Slice(run, func(i, j int) bool { return permKey(p, run[i]).Less(permKey(p, run[j])) })
+		runs[perm] = run
+	}
+	return runs
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	runs := randomRuns(rng, 5000, 900)
+	dels := []triplestore.Triple{{1, 2, 3}, {4, 5, 6}}
+	sort.Slice(dels, func(i, j int) bool { return dels[i].Less(dels[j]) })
+	sd := &segmentData{
+		seq:      9,
+		walSeq:   123,
+		dictBase: 10,
+		names:    []string{"x", "y", "", "weird name\n"},
+		values: []segValue{
+			{id: 3, val: triplestore.Value{triplestore.F("a"), triplestore.Null()}},
+			{id: 11, val: nil}, // explicit clear
+		},
+		rels: []segRelation{
+			{name: "E", runs: runs, dels: dels},
+			{name: "empty"},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "seg.seg")
+	if _, err := writeSegment(path, sd); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := readSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.seq != 9 || seg.walSeq != 123 || seg.dictBase != 10 {
+		t.Fatalf("header = %d/%d/%d", seg.seq, seg.walSeq, seg.dictBase)
+	}
+	if !reflect.DeepEqual(seg.names, sd.names) {
+		t.Fatalf("names = %q", seg.names)
+	}
+	if len(seg.values) != 2 || seg.values[0].id != 3 || !seg.values[0].val.Equal(sd.values[0].val) ||
+		seg.values[1].id != 11 || seg.values[1].val != nil {
+		t.Fatalf("values = %+v", seg.values)
+	}
+	if len(seg.rels) != 2 || seg.rels[0].name != "E" || seg.rels[1].name != "empty" {
+		t.Fatalf("rels = %+v", seg.rels)
+	}
+	for perm := 0; perm < 3; perm++ {
+		if !reflect.DeepEqual(seg.rels[0].runs[perm], runs[perm]) {
+			t.Fatalf("perm %d run did not round-trip", perm)
+		}
+		if len(seg.rels[1].runs[perm]) != 0 {
+			t.Fatalf("empty relation decoded %d triples", len(seg.rels[1].runs[perm]))
+		}
+	}
+	if !reflect.DeepEqual(seg.rels[0].dels, dels) {
+		t.Fatalf("dels = %v", seg.rels[0].dels)
+	}
+}
+
+// TestSegmentSparseIndexMatch pins the point-read path: matchLead over
+// the sparse block index must agree with filtering the fully decoded run,
+// for every permutation, over a run long enough to span many blocks.
+func TestSegmentSparseIndexMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	runs := randomRuns(rng, 4*segBlockSize+777, 300) // clustered leads across many blocks
+	sd := &segmentData{seq: 1, rels: []segRelation{{name: "E", runs: runs}}}
+	path := filepath.Join(t.TempDir(), "seg.seg")
+	if _, err := writeSegment(path, sd); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := readSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for perm := triplestore.Perm(0); perm < 3; perm++ {
+		run := seg.rawRuns[0][perm]
+		lead := perm.Lead()
+		for id := triplestore.ID(0); id < 300; id += 7 {
+			got, merr := run.matchLead(id)
+			if merr != nil {
+				t.Fatal(merr)
+			}
+			var want []triplestore.Triple
+			for _, tr := range seg.rels[0].runs[perm] {
+				if tr[lead] == id {
+					want = append(want, tr)
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v matchLead(%d): got %d, want %d triples", perm, id, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestSegmentCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sd := &segmentData{seq: 1, rels: []segRelation{{name: "E", runs: randomRuns(rng, 500, 100)}}}
+	path := filepath.Join(t.TempDir(), "seg.seg")
+	if _, err := writeSegment(path, sd); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	for _, off := range []int{0, 12, len(raw) / 2, len(raw) - 2} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0xff
+		badPath := filepath.Join(t.TempDir(), "bad.seg")
+		os.WriteFile(badPath, bad, 0o644)
+		if _, err := readSegment(badPath); err == nil {
+			t.Fatalf("flip at %d: corruption not detected", off)
+		}
+	}
+	// Truncations must also fail loudly.
+	for _, n := range []int{0, 7, len(raw) / 3, len(raw) - 1} {
+		badPath := filepath.Join(t.TempDir(), "trunc.seg")
+		os.WriteFile(badPath, raw[:n], 0o644)
+		if _, err := readSegment(badPath); err == nil {
+			t.Fatalf("truncate to %d: corruption not detected", n)
+		}
+	}
+}

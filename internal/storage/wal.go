@@ -1,0 +1,368 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/triplestore"
+)
+
+// SyncPolicy controls when the WAL is fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every appended record: a batch is on disk
+	// before ApplyBatch returns. The durable default.
+	SyncAlways SyncPolicy = iota
+	// SyncNone leaves syncing to the OS page cache (plus explicit Flush
+	// and Close). An OS crash can lose recent batches; a process crash
+	// cannot, since the bytes are already in the kernel.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	if p == SyncNone {
+		return "none"
+	}
+	return "always"
+}
+
+// ParseSyncPolicy parses the -wal-sync flag values "always" and "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("storage: unknown WAL sync policy %q (want always or none)", s)
+}
+
+// WAL record framing: every record is
+//
+//	[u32 payload length][u32 CRC-32C of seq+payload][u64 seq][payload]
+//
+// little-endian, CRC over bytes 8..16+len. Replay reads records in order
+// and stops cleanly at the first short or checksum-failing record — a
+// torn tail from a crash mid-append — which is exactly the last committed
+// batch boundary, because ApplyBatch does not touch the memtable until
+// its record is fully appended.
+const (
+	walHeaderSize = 16
+	// maxWALRecord bounds a single record (and so a single batch's
+	// encoded size); the 32 MiB server ingest cap fits comfortably.
+	maxWALRecord = 256 << 20
+)
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// wal is an append-only log file. Not safe for concurrent use; the Disk
+// engine serializes access under its mutation lock.
+type wal struct {
+	f       *os.File
+	w       io.Writer // normally f; fault-injection tests swap in an erroring writer
+	path    string
+	policy  SyncPolicy
+	bytes   int64  // current valid size
+	records uint64 // records appended since open/rotation
+	lastSeq uint64 // last sequence number appended or replayed
+	broken  bool   // a failed append could not be rolled back
+	buf     []byte
+}
+
+// createWAL creates a fresh, empty log at path (failing if it exists).
+func createWAL(path string, policy SyncPolicy, lastSeq uint64) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create WAL: %w", err)
+	}
+	return &wal{f: f, w: f, path: path, policy: policy, lastSeq: lastSeq}, nil
+}
+
+// openWALForAppend opens an existing log whose valid prefix is validSize
+// bytes (as reported by replayWAL), truncating any torn tail so new
+// records append at a clean boundary.
+func openWALForAppend(path string, policy SyncPolicy, validSize int64, lastSeq uint64) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open WAL: %w", err)
+	}
+	if err := f.Truncate(validSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: truncate WAL tail: %w", err)
+	}
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: seek WAL: %w", err)
+	}
+	return &wal{f: f, w: f, path: path, policy: policy, bytes: validSize, lastSeq: lastSeq}, nil
+}
+
+// append writes one record and returns its sequence number. On a write
+// error the file is rolled back to the previous record boundary so later
+// appends stay readable; if rollback itself fails the log is marked
+// broken and refuses further appends.
+func (w *wal) append(payload []byte) (uint64, error) {
+	if w.broken {
+		return 0, fmt.Errorf("storage: WAL is broken (an earlier append failed and could not be rolled back)")
+	}
+	if len(payload) > maxWALRecord {
+		return 0, fmt.Errorf("storage: WAL record of %d bytes exceeds the %d limit", len(payload), maxWALRecord)
+	}
+	seq := w.lastSeq + 1
+	n := walHeaderSize + len(payload)
+	if cap(w.buf) < n {
+		w.buf = make([]byte, n)
+	}
+	rec := w.buf[:n]
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(rec[8:16], seq)
+	copy(rec[walHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(rec[8:], walCRC))
+	if _, err := w.w.Write(rec); err != nil {
+		if terr := w.f.Truncate(w.bytes); terr != nil {
+			w.broken = true
+		} else if _, serr := w.f.Seek(w.bytes, io.SeekStart); serr != nil {
+			w.broken = true
+		}
+		return 0, fmt.Errorf("storage: WAL append: %w", err)
+	}
+	w.bytes += int64(n)
+	w.records++
+	w.lastSeq = seq
+	if w.policy == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return 0, fmt.Errorf("storage: WAL sync: %w", err)
+		}
+	}
+	return seq, nil
+}
+
+// sync forces buffered records to disk regardless of policy.
+func (w *wal) sync() error {
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// close syncs and closes the file.
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	serr := w.f.Sync()
+	cerr := w.f.Close()
+	w.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// replayWAL reads records from the log at path in order, invoking fn for
+// each, and returns the size of the valid prefix and the last sequence
+// number seen. A short or checksum-failing tail ends replay cleanly (it
+// is the crash artifact the format is designed to tolerate); an error
+// from fn aborts replay. A missing file replays as empty.
+func replayWAL(path string, fn func(seq uint64, payload []byte) error) (validSize int64, lastSeq uint64, n uint64, err error) {
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return 0, 0, 0, nil
+		}
+		return 0, 0, 0, fmt.Errorf("storage: read WAL: %w", rerr)
+	}
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < walHeaderSize {
+			return off, lastSeq, n, nil // clean end or torn header
+		}
+		plen := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		if plen > maxWALRecord || walHeaderSize+plen > int64(len(rest)) {
+			return off, lastSeq, n, nil // torn payload
+		}
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		body := rest[8 : walHeaderSize+plen]
+		if crc32.Checksum(body, walCRC) != crc {
+			return off, lastSeq, n, nil // torn or bit-rotted record
+		}
+		seq := binary.LittleEndian.Uint64(rest[8:16])
+		if ferr := fn(seq, rest[walHeaderSize:walHeaderSize+plen]); ferr != nil {
+			return off, lastSeq, n, ferr
+		}
+		lastSeq = seq
+		n++
+		off += walHeaderSize + plen
+	}
+}
+
+// WAL payload encoding. The first byte is the record kind; strings are
+// uvarint length + bytes; uvarints are encoding/binary's.
+const (
+	walKindBatch byte = 1 // a full ApplyBatch: uvarint op count, then per op a flag byte (bit0 = delete) and the rel, s, p, o strings
+	walKindValue byte = 2 // a SetValue: the object name, then a presence byte and (if present) uvarint field count of (null byte, string) fields
+)
+
+// walEntry is a decoded WAL payload.
+type walEntry struct {
+	kind byte
+	ops  []triplestore.Op // walKindBatch
+	name string           // walKindValue
+	val  triplestore.Value
+	nilV bool // walKindValue: the value is explicitly nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return "", nil, fmt.Errorf("storage: corrupt string length")
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+// encodeBatch renders an ApplyBatch record payload.
+func encodeBatch(ops []triplestore.Op) []byte {
+	sz := 2 + 4*len(ops)
+	for _, op := range ops {
+		sz += len(op.Rel) + len(op.S) + len(op.P) + len(op.O) + 4*5
+	}
+	b := make([]byte, 0, sz)
+	b = append(b, walKindBatch)
+	b = binary.AppendUvarint(b, uint64(len(ops)))
+	for _, op := range ops {
+		var flags byte
+		if op.Delete {
+			flags |= 1
+		}
+		b = append(b, flags)
+		b = appendString(b, op.Rel)
+		b = appendString(b, op.S)
+		b = appendString(b, op.P)
+		b = appendString(b, op.O)
+	}
+	return b
+}
+
+// encodeValue renders a SetValue record payload.
+func encodeValue(name string, v triplestore.Value) []byte {
+	b := make([]byte, 0, len(name)+16)
+	b = append(b, walKindValue)
+	b = appendString(b, name)
+	if v == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	for _, f := range v {
+		if f.Null {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+			b = appendString(b, f.Str)
+		}
+	}
+	return b
+}
+
+// decodeWALEntry parses a record payload. It never panics on arbitrary
+// input (the fuzz target FuzzWALDecode pins that) and rejects trailing
+// garbage, so a checksum-valid but semantically corrupt record fails
+// recovery loudly instead of loading wrong data.
+func decodeWALEntry(p []byte) (walEntry, error) {
+	if len(p) == 0 {
+		return walEntry{}, fmt.Errorf("storage: empty WAL payload")
+	}
+	switch p[0] {
+	case walKindBatch:
+		b := p[1:]
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return walEntry{}, fmt.Errorf("storage: corrupt batch op count")
+		}
+		b = b[sz:]
+		if n > uint64(len(b)) { // each op takes ≥ 5 bytes; cheap pre-bound
+			return walEntry{}, fmt.Errorf("storage: batch op count %d exceeds payload", n)
+		}
+		ops := make([]triplestore.Op, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if len(b) < 1 {
+				return walEntry{}, fmt.Errorf("storage: truncated batch op %d", i)
+			}
+			var op triplestore.Op
+			op.Delete = b[0]&1 != 0
+			b = b[1:]
+			var err error
+			if op.Rel, b, err = readString(b); err != nil {
+				return walEntry{}, err
+			}
+			if op.S, b, err = readString(b); err != nil {
+				return walEntry{}, err
+			}
+			if op.P, b, err = readString(b); err != nil {
+				return walEntry{}, err
+			}
+			if op.O, b, err = readString(b); err != nil {
+				return walEntry{}, err
+			}
+			ops = append(ops, op)
+		}
+		if len(b) != 0 {
+			return walEntry{}, fmt.Errorf("storage: %d trailing bytes after batch", len(b))
+		}
+		return walEntry{kind: walKindBatch, ops: ops}, nil
+
+	case walKindValue:
+		name, b, err := readString(p[1:])
+		if err != nil {
+			return walEntry{}, err
+		}
+		if len(b) < 1 {
+			return walEntry{}, fmt.Errorf("storage: truncated value record")
+		}
+		present := b[0]
+		b = b[1:]
+		if present == 0 {
+			if len(b) != 0 {
+				return walEntry{}, fmt.Errorf("storage: trailing bytes after nil value")
+			}
+			return walEntry{kind: walKindValue, name: name, nilV: true}, nil
+		}
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || n > uint64(len(b)) {
+			return walEntry{}, fmt.Errorf("storage: corrupt value field count")
+		}
+		b = b[sz:]
+		val := make(triplestore.Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if len(b) < 1 {
+				return walEntry{}, fmt.Errorf("storage: truncated value field %d", i)
+			}
+			isNull := b[0]
+			b = b[1:]
+			if isNull != 0 {
+				val = append(val, triplestore.Null())
+				continue
+			}
+			var s string
+			if s, b, err = readString(b); err != nil {
+				return walEntry{}, err
+			}
+			val = append(val, triplestore.F(s))
+		}
+		if len(b) != 0 {
+			return walEntry{}, fmt.Errorf("storage: %d trailing bytes after value", len(b))
+		}
+		return walEntry{kind: walKindValue, name: name, val: val}, nil
+	}
+	return walEntry{}, fmt.Errorf("storage: unknown WAL record kind %d", p[0])
+}

@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/triplestore"
+)
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := createWAL(path, SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]triplestore.Op{
+		{{Rel: "E", S: "a", P: "p", O: "b"}},
+		{{Rel: "E", S: "b", P: "p", O: "c"}, {Delete: true, Rel: "E", S: "a", P: "p", O: "b"}},
+	}
+	for _, ops := range batches {
+		if _, err := w.append(encodeBatch(ops)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.append(encodeValue("a", triplestore.Value{triplestore.F("v"), triplestore.Null()})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(encodeValue("b", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var entries []walEntry
+	var seqs []uint64
+	validSize, lastSeq, n, err := replayWAL(path, func(seq uint64, payload []byte) error {
+		ent, derr := decodeWALEntry(payload)
+		if derr != nil {
+			return derr
+		}
+		entries = append(entries, ent)
+		seqs = append(seqs, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n != 4 || lastSeq != 4 {
+		t.Fatalf("replayed %d records, lastSeq %d; want 4, 4", n, lastSeq)
+	}
+	fi, _ := os.Stat(path)
+	if validSize != fi.Size() {
+		t.Fatalf("validSize %d, file size %d", validSize, fi.Size())
+	}
+	if !reflect.DeepEqual(seqs, []uint64{1, 2, 3, 4}) {
+		t.Fatalf("seqs = %v", seqs)
+	}
+	if !reflect.DeepEqual(entries[0].ops, batches[0]) || !reflect.DeepEqual(entries[1].ops, batches[1]) {
+		t.Fatalf("batch payloads did not round-trip: %+v", entries[:2])
+	}
+	if entries[2].name != "a" || !entries[2].val.Equal(triplestore.Value{triplestore.F("v"), triplestore.Null()}) {
+		t.Fatalf("value payload did not round-trip: %+v", entries[2])
+	}
+	if entries[3].name != "b" || !entries[3].nilV {
+		t.Fatalf("nil-value payload did not round-trip: %+v", entries[3])
+	}
+}
+
+func TestWALTornTailStopsAtBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := createWAL(path, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.append(encodeBatch([]triplestore.Op{{Rel: "E", S: "s", P: "p", O: "o"}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boundary := w.bytes
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage past the last record.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.Write([]byte{0x10, 0, 0, 0, 0xde, 0xad})
+	f.Close()
+
+	validSize, lastSeq, n, err := replayWAL(path, func(uint64, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || lastSeq != 3 || validSize != boundary {
+		t.Fatalf("n=%d lastSeq=%d validSize=%d; want 3, 3, %d", n, lastSeq, validSize, boundary)
+	}
+	// Reopen for append: the torn tail is truncated, a new record lands
+	// on a clean boundary and replays.
+	w2, err := openWALForAppend(path, SyncNone, validSize, lastSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.append(encodeBatch([]triplestore.Op{{Rel: "E", S: "x", P: "p", O: "y"}})); err != nil {
+		t.Fatal(err)
+	}
+	w2.close()
+	_, lastSeq, n, err = replayWAL(path, func(uint64, []byte) error { return nil })
+	if err != nil || n != 4 || lastSeq != 4 {
+		t.Fatalf("after reopen: n=%d lastSeq=%d err=%v; want 4, 4, nil", n, lastSeq, err)
+	}
+}
+
+// flakyWriter fails the nth Write call after writing a partial prefix.
+type flakyWriter struct {
+	f       *os.File
+	calls   int
+	failOn  int
+	partial int
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (fw *flakyWriter) Write(p []byte) (int, error) {
+	fw.calls++
+	if fw.calls == fw.failOn {
+		n := fw.partial
+		if n > len(p) {
+			n = len(p)
+		}
+		fw.f.Write(p[:n])
+		return n, errInjected
+	}
+	return fw.f.Write(p)
+}
+
+func TestWALAppendErrorRollsBackPartialRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := createWAL(path, SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(encodeBatch([]triplestore.Op{{Rel: "E", S: "a", P: "p", O: "b"}})); err != nil {
+		t.Fatal(err)
+	}
+	fw := &flakyWriter{f: w.f, failOn: 1, partial: 7}
+	w.w = fw
+	if _, err := w.append(encodeBatch([]triplestore.Op{{Rel: "E", S: "c", P: "p", O: "d"}})); !errors.Is(err, errInjected) {
+		t.Fatalf("append error = %v, want injected", err)
+	}
+	if w.broken {
+		t.Fatal("rollback should have succeeded")
+	}
+	w.w = w.f
+	if _, err := w.append(encodeBatch([]triplestore.Op{{Rel: "E", S: "e", P: "p", O: "f"}})); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+
+	var got [][]triplestore.Op
+	_, _, n, err := replayWAL(path, func(_ uint64, payload []byte) error {
+		ent, derr := decodeWALEntry(payload)
+		if derr != nil {
+			return derr
+		}
+		got = append(got, ent.ops)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || got[0][0].S != "a" || got[1][0].S != "e" {
+		t.Fatalf("replayed %d records %v; want the two committed ones", n, got)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	if p, err := ParseSyncPolicy("always"); err != nil || p != SyncAlways {
+		t.Fatalf("always: %v %v", p, err)
+	}
+	if p, err := ParseSyncPolicy("none"); err != nil || p != SyncNone {
+		t.Fatalf("none: %v %v", p, err)
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("want error for unknown policy")
+	}
+}

@@ -38,6 +38,19 @@ type BatchResult struct {
 // with an empty relation name are rejected. A batch that changes nothing
 // (all duplicates and absent deletes) leaves the version untouched.
 func (s *Store) ApplyBatch(ops []Op) (BatchResult, error) {
+	return s.ApplyBatchFunc(ops, nil)
+}
+
+// ApplyBatchFunc is ApplyBatch with a per-op effect callback: for every op
+// that actually changed relation membership (an insert that was not a
+// duplicate, a delete that found its triple), effect is invoked with the
+// op and the resolved triple, in batch order, before the batch's version
+// bump. No-op inserts and absent deletes do not fire it. The callback runs
+// under the store's write lock, so it observes exactly the state the batch
+// produces and must not call back into the store; the durable storage
+// engine uses it to maintain its flush overlay (which triples the next
+// segment must contain) without diffing snapshots.
+func (s *Store) ApplyBatchFunc(ops []Op, effect func(op Op, t Triple)) (BatchResult, error) {
 	s.ensureMutable()
 	for i, op := range ops {
 		if op.Rel == "" {
@@ -62,6 +75,9 @@ func (s *Store) ApplyBatch(ops []Op) (BatchResult, error) {
 			s.mutableRelLocked(op.Rel).Remove(t)
 			res.Removed++
 			changed = true
+			if effect != nil {
+				effect(op, t)
+			}
 			continue
 		}
 		si, new1 := s.internLocked(op.S)
@@ -75,6 +91,9 @@ func (s *Store) ApplyBatch(ops []Op) (BatchResult, error) {
 		if s.mutableRelLocked(op.Rel).Add(t) {
 			res.Added++
 			changed = true
+			if effect != nil {
+				effect(op, t)
+			}
 		}
 	}
 	if changed {
@@ -96,26 +115,64 @@ type batchLine struct {
 	O   string `json:"o"`
 }
 
-// ReadOps parses a batch of mutations from NDJSON: one JSON object per
-// line, {"s":..,"p":..,"o":..} plus optional "rel" (defaulting to
-// defaultRel) and optional "op" ("add", the default, or "delete"). Blank
-// lines are skipped. A single JSON object without a trailing newline is
-// a valid one-op batch, so callers can feed single-triple request bodies
-// through the same path as bulk loads.
-func ReadOps(r io.Reader, defaultRel string) ([]Op, error) {
+// OpReader incrementally parses a stream of mutations in the NDJSON batch
+// format: one JSON object per line, {"s":..,"p":..,"o":..} plus optional
+// "rel" (defaulting to the reader's default relation) and optional "op"
+// ("add", the default, or "delete"). Blank lines are skipped. A single
+// JSON object without a trailing newline is a valid one-op stream, so
+// single-triple request bodies parse through the same path as bulk loads.
+//
+// Unlike ReadOps, an OpReader never materializes the whole stream: Next
+// hands out ops in bounded chunks, so a million-line ingest holds one
+// chunk of parsed ops (plus one line of raw bytes) in memory at a time.
+type OpReader struct {
+	sc         *bufio.Scanner
+	defaultRel string
+	line       int
+	buf        []Op
+	err        error // sticky: parse or transport error, or io.EOF
+}
+
+// NewOpReader returns an OpReader over r. Lines that omit "rel" resolve to
+// defaultRel; an empty defaultRel makes such lines an error.
+func NewOpReader(r io.Reader, defaultRel string) *OpReader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	var ops []Op
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+	return &OpReader{sc: sc, defaultRel: defaultRel}
+}
+
+// Next parses and returns up to max ops (at least one, unless the stream
+// is exhausted or errors). At the end of the stream it returns io.EOF,
+// possibly alongside a final short chunk. The returned slice is reused by
+// the next call — callers must consume or copy it first. Errors are
+// sticky; transport-level causes (e.g. an http.MaxBytesError from a capped
+// request body) are wrapped with %w for classification.
+func (or *OpReader) Next(max int) ([]Op, error) {
+	if or.err != nil {
+		return nil, or.err
+	}
+	if cap(or.buf) < max {
+		or.buf = make([]Op, 0, max)
+	}
+	or.buf = or.buf[:0]
+	for len(or.buf) < max {
+		if !or.sc.Scan() {
+			if err := or.sc.Err(); err != nil {
+				or.err = fmt.Errorf("triplestore: reading batch: %w", err)
+			} else {
+				or.err = io.EOF
+			}
+			return or.buf, or.err
+		}
+		or.line++
+		text := strings.TrimSpace(or.sc.Text())
 		if text == "" {
 			continue
 		}
 		var bl batchLine
 		if err := json.Unmarshal([]byte(text), &bl); err != nil {
-			return nil, fmt.Errorf("triplestore: batch line %d: %v", line, err)
+			or.err = fmt.Errorf("triplestore: batch line %d: %v", or.line, err)
+			return or.buf, or.err
 		}
 		op := Op{Rel: bl.Rel, S: bl.S, P: bl.P, O: bl.O}
 		switch bl.Op {
@@ -123,33 +180,84 @@ func ReadOps(r io.Reader, defaultRel string) ([]Op, error) {
 		case "delete":
 			op.Delete = true
 		default:
-			return nil, fmt.Errorf("triplestore: batch line %d: unknown op %q (want add or delete)", line, bl.Op)
+			or.err = fmt.Errorf("triplestore: batch line %d: unknown op %q (want add or delete)", or.line, bl.Op)
+			return or.buf, or.err
 		}
 		if op.S == "" || op.P == "" || op.O == "" {
-			return nil, fmt.Errorf("triplestore: batch line %d: s, p and o must all be non-empty", line)
+			or.err = fmt.Errorf("triplestore: batch line %d: s, p and o must all be non-empty", or.line)
+			return or.buf, or.err
 		}
 		if op.Rel == "" {
-			op.Rel = defaultRel
+			op.Rel = or.defaultRel
 		}
 		if op.Rel == "" {
-			return nil, fmt.Errorf("triplestore: batch line %d: no relation (no rel field and no default)", line)
+			or.err = fmt.Errorf("triplestore: batch line %d: no relation (no rel field and no default)", or.line)
+			return or.buf, or.err
 		}
-		ops = append(ops, op)
+		or.buf = append(or.buf, op)
 	}
-	if err := sc.Err(); err != nil {
-		// %w so callers can classify transport-level causes (e.g. an
-		// http.MaxBytesError from a capped request body).
-		return nil, fmt.Errorf("triplestore: reading batch: %w", err)
-	}
-	return ops, nil
+	return or.buf, nil
 }
 
-// ApplyNDJSON reads a batch from r (ReadOps format) and applies it as one
-// ApplyBatch call.
-func (s *Store) ApplyNDJSON(r io.Reader, defaultRel string) (BatchResult, error) {
-	ops, err := ReadOps(r, defaultRel)
-	if err != nil {
-		return BatchResult{}, err
+// ReadOps parses a complete batch of mutations from NDJSON (see OpReader
+// for the format) and returns it materialized. Callers that need
+// all-or-nothing semantics over a bounded body (the server's /v1/triples
+// handler, capped at 32 MiB) use this; bulk loaders stream through
+// OpReader or ApplyNDJSON instead.
+func ReadOps(r io.Reader, defaultRel string) ([]Op, error) {
+	or := NewOpReader(r, defaultRel)
+	var ops []Op
+	for {
+		chunk, err := or.Next(ndjsonChunkOps)
+		ops = append(ops, chunk...)
+		if err == io.EOF {
+			return ops, nil
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
-	return s.ApplyBatch(ops)
+}
+
+// ndjsonChunkOps bounds the number of parsed ops ApplyNDJSON buffers
+// between ApplyBatch calls: the memory high-water mark of an arbitrarily
+// large ingest is one chunk of ops plus one line of raw input, not the
+// whole stream.
+const ndjsonChunkOps = 4096
+
+// ndjsonChunkHook, when non-nil, observes the size of every chunk
+// ApplyNDJSON applies. Tests use it to assert the buffering bound.
+var ndjsonChunkHook func(n int)
+
+// ApplyNDJSON streams a batch from r (OpReader format) into the store. Ops
+// are applied in bounded chunks — each chunk one atomic ApplyBatch — so
+// ingest memory stays flat however large the stream. Atomicity is
+// therefore per chunk, not per stream: a parse error mid-stream returns
+// the error with all prior chunks applied (and counted in the result).
+// Callers needing all-or-nothing over an entire body should ReadOps +
+// ApplyBatch instead.
+func (s *Store) ApplyNDJSON(r io.Reader, defaultRel string) (BatchResult, error) {
+	or := NewOpReader(r, defaultRel)
+	var total BatchResult
+	for {
+		ops, err := or.Next(ndjsonChunkOps)
+		if len(ops) > 0 {
+			if ndjsonChunkHook != nil {
+				ndjsonChunkHook(len(ops))
+			}
+			res, aerr := s.ApplyBatch(ops)
+			total.Added += res.Added
+			total.Removed += res.Removed
+			total.Version = res.Version
+			if aerr != nil {
+				return total, aerr
+			}
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
 }

@@ -1,0 +1,252 @@
+package triplestore_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	ts "repro/internal/triplestore"
+)
+
+// TestApplyNDJSONStreamsBounded asserts the satellite contract: however
+// large the NDJSON stream, ApplyNDJSON buffers at most one chunk of
+// parsed ops between ApplyBatch calls.
+func TestApplyNDJSONStreamsBounded(t *testing.T) {
+	const lines = 3*ts.NDJSONChunkOps + 37
+	var b strings.Builder
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&b, `{"s":"s%d","p":"knows","o":"o%d"}`+"\n", i, i)
+	}
+	maxChunk, chunks := 0, 0
+	restore := ts.SetNDJSONChunkHook(func(n int) {
+		chunks++
+		if n > maxChunk {
+			maxChunk = n
+		}
+	})
+	defer restore()
+
+	s := ts.NewStore()
+	res, err := s.ApplyNDJSON(strings.NewReader(b.String()), "E")
+	if err != nil {
+		t.Fatalf("ApplyNDJSON: %v", err)
+	}
+	if res.Added != lines {
+		t.Fatalf("Added = %d, want %d", res.Added, lines)
+	}
+	if maxChunk > ts.NDJSONChunkOps {
+		t.Fatalf("chunk of %d ops exceeds the %d bound", maxChunk, ts.NDJSONChunkOps)
+	}
+	if want := (lines + ts.NDJSONChunkOps - 1) / ts.NDJSONChunkOps; chunks != want {
+		t.Fatalf("applied %d chunks, want %d", chunks, want)
+	}
+	if s.Relation("E").Len() != lines {
+		t.Fatalf("relation has %d triples, want %d", s.Relation("E").Len(), lines)
+	}
+}
+
+// TestApplyNDJSONPartialOnParseError pins the documented chunked-atomicity
+// contract: a parse error mid-stream leaves prior chunks applied and
+// reports them in the result.
+func TestApplyNDJSONPartialOnParseError(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < ts.NDJSONChunkOps+5; i++ {
+		fmt.Fprintf(&b, `{"s":"s%d","p":"p","o":"o"}`+"\n", i)
+	}
+	b.WriteString("not json\n")
+	s := ts.NewStore()
+	res, err := s.ApplyNDJSON(strings.NewReader(b.String()), "E")
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	if res.Added != ts.NDJSONChunkOps+5 {
+		t.Fatalf("Added = %d, want %d (chunks before the error)", res.Added, ts.NDJSONChunkOps+5)
+	}
+	if got := s.Relation("E").Len(); got != ts.NDJSONChunkOps+5 {
+		t.Fatalf("relation has %d triples, want %d", got, ts.NDJSONChunkOps+5)
+	}
+}
+
+// TestOpReaderChunks exercises the incremental parser directly: chunk
+// sizing, buffer reuse, final short chunk with io.EOF, sticky errors.
+func TestOpReaderChunks(t *testing.T) {
+	const n = 10
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `{"s":"a%d","p":"p","o":"b%d"}`+"\n", i, i)
+	}
+	or := ts.NewOpReader(strings.NewReader(b.String()), "R")
+	var got []ts.Op
+	for {
+		chunk, err := or.Next(4)
+		got = append(got, chunk...)
+		if err != nil {
+			if err.Error() != "EOF" {
+				t.Fatalf("Next: %v", err)
+			}
+			break
+		}
+		if len(chunk) != 4 {
+			t.Fatalf("full chunk has %d ops, want 4", len(chunk))
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("parsed %d ops, want %d", len(got), n)
+	}
+	for i, op := range got {
+		want := ts.Op{Rel: "R", S: fmt.Sprintf("a%d", i), P: "p", O: fmt.Sprintf("b%d", i)}
+		if op != want {
+			t.Fatalf("op %d = %+v, want %+v", i, op, want)
+		}
+	}
+	if _, err := or.Next(4); err == nil {
+		t.Fatal("Next after EOF: want sticky error")
+	}
+}
+
+// TestApplyBatchFuncEffects asserts the effect callback fires exactly for
+// state-changing ops, with the resolved triples, in batch order.
+func TestApplyBatchFuncEffects(t *testing.T) {
+	s := ts.NewStore()
+	ops := []ts.Op{
+		{Rel: "E", S: "a", P: "p", O: "b"},
+		{Rel: "E", S: "a", P: "p", O: "b"}, // duplicate: no effect
+		{Rel: "E", S: "b", P: "p", O: "c"},
+		{Delete: true, Rel: "E", S: "x", P: "y", O: "z"}, // absent: no effect
+		{Delete: true, Rel: "E", S: "a", P: "p", O: "b"},
+	}
+	type eff struct {
+		del     bool
+		s, p, o string
+	}
+	var got []eff
+	res, err := s.ApplyBatchFunc(ops, func(op ts.Op, tr ts.Triple) {
+		got = append(got, eff{op.Delete, s.Name(tr[0]), s.Name(tr[1]), s.Name(tr[2])})
+	})
+	if err != nil {
+		t.Fatalf("ApplyBatchFunc: %v", err)
+	}
+	if res.Added != 2 || res.Removed != 1 {
+		t.Fatalf("result = %+v, want Added 2 Removed 1", res)
+	}
+	want := []eff{
+		{false, "a", "p", "b"},
+		{false, "b", "p", "c"},
+		{true, "a", "p", "b"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("effects = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("effect %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBulkLoaderRoundTrip builds a store the normal way, exports its runs,
+// reloads them through the BulkLoader, and asserts full equivalence —
+// dictionary, values, relations, and index access paths.
+func TestBulkLoaderRoundTrip(t *testing.T) {
+	src := ts.NewStore()
+	for i := 0; i < 200; i++ {
+		src.Add("E", fmt.Sprintf("n%d", i%40), fmt.Sprintf("p%d", i%7), fmt.Sprintf("n%d", (i*13)%40))
+	}
+	src.Add("F", "n1", "p0", "n2")
+	src.SetValue("n3", ts.Value{{Str: "hello"}, {Null: true}})
+
+	b := ts.NewBulkLoader()
+	names := make([]string, src.NumObjects())
+	for i := range names {
+		names[i] = src.Name(ts.ID(i))
+	}
+	if err := b.AddNames(names); err != nil {
+		t.Fatalf("AddNames: %v", err)
+	}
+	for i := 0; i < src.NumObjects(); i++ {
+		if v := src.Value(ts.ID(i)); v != nil {
+			if err := b.SetValueID(ts.ID(i), v); err != nil {
+				t.Fatalf("SetValueID: %v", err)
+			}
+		}
+	}
+	for _, rel := range src.RelationNames() {
+		r := src.Relation(rel)
+		err := b.SetRelationRuns(rel,
+			r.Index(ts.SPO).Triples(), r.Index(ts.POS).Triples(), r.Index(ts.OSP).Triples())
+		if err != nil {
+			t.Fatalf("SetRelationRuns(%s): %v", rel, err)
+		}
+	}
+	got := b.Store()
+
+	if got.NumObjects() != src.NumObjects() {
+		t.Fatalf("NumObjects = %d, want %d", got.NumObjects(), src.NumObjects())
+	}
+	for i := 0; i < src.NumObjects(); i++ {
+		id := ts.ID(i)
+		if got.Name(id) != src.Name(id) {
+			t.Fatalf("Name(%d) = %q, want %q", i, got.Name(id), src.Name(id))
+		}
+		if !got.Value(id).Equal(src.Value(id)) {
+			t.Fatalf("Value(%d) differs", i)
+		}
+	}
+	for _, rel := range src.RelationNames() {
+		sr, gr := src.Relation(rel), got.Relation(rel)
+		if !sr.Equal(gr) {
+			t.Fatalf("relation %s differs", rel)
+		}
+		if src.FormatRelation(sr) != got.FormatRelation(gr) {
+			t.Fatalf("relation %s renders differently", rel)
+		}
+		for _, perm := range []ts.Perm{ts.SPO, ts.POS, ts.OSP} {
+			for _, id := range sr.Index(perm).Leads() {
+				a, c := sr.Index(perm).Match(id), gr.Index(perm).Match(id)
+				if len(a) != len(c) {
+					t.Fatalf("relation %s %v Match(%d): %d vs %d", rel, perm, id, len(a), len(c))
+				}
+			}
+		}
+	}
+	// The loaded store is mutable and participates in the normal contract.
+	if _, err := got.ApplyBatch([]ts.Op{{Rel: "E", S: "new", P: "p0", O: "n1"}}); err != nil {
+		t.Fatalf("ApplyBatch on loaded store: %v", err)
+	}
+}
+
+// TestBulkLoaderRejectsBadRuns asserts the loader's validation: duplicate
+// names, unsorted runs, disagreeing lengths, dangling IDs.
+func TestBulkLoaderRejectsBadRuns(t *testing.T) {
+	b := ts.NewBulkLoader()
+	if err := b.AddNames([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	b = ts.NewBulkLoader()
+	if err := b.AddNames([]string{"a", "b", "c"}); err != nil {
+		t.Fatalf("AddNames: %v", err)
+	}
+	t0, t1 := ts.Triple{0, 1, 2}, ts.Triple{1, 1, 2}
+	if err := b.SetRelationRuns("E", []ts.Triple{t1, t0}, nil, nil); err == nil {
+		t.Fatal("unsorted/short runs accepted")
+	}
+	if err := b.SetRelationRuns("E",
+		[]ts.Triple{t0, t1},
+		[]ts.Triple{{1, 2, 0}, {1, 2, 1}},
+		[]ts.Triple{{2, 0, 1}, {2, 1, 1}}); err != nil {
+		t.Fatalf("valid runs rejected: %v", err)
+	}
+	if err := b.SetRelationRuns("E", nil, nil, nil); err == nil {
+		t.Fatal("double-install accepted")
+	}
+	bad := ts.Triple{0, 1, 9}
+	if err := b.SetRelationRuns("G",
+		[]ts.Triple{bad},
+		[]ts.Triple{{1, 9, 0}},
+		[]ts.Triple{{9, 0, 1}}); err == nil {
+		t.Fatal("dangling ID accepted")
+	}
+	if err := b.SetValueID(7, ts.Value{{Str: "x"}}); err == nil {
+		t.Fatal("value for unknown ID accepted")
+	}
+}

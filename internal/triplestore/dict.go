@@ -1,6 +1,9 @@
 package triplestore
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Dict interns object names to dense IDs. It is the dictionary-encoding
 // layer common to triplestore implementations: every URI or node name is
@@ -46,6 +49,34 @@ func (d *Dict) intern(name string) (ID, bool) {
 	d.byName[name] = id
 	d.names = append(d.names, name)
 	return id, true
+}
+
+// appendNew appends names in order, assigning each the next free ID,
+// under a single lock acquisition and a single hash per name — the bulk
+// path cold-start recovery takes for a checkpoint's dictionary, where
+// per-name Intern overhead (lock traffic, duplicate probe, incremental
+// map growth) dominates. The names must all be new: a duplicate is
+// detected after its slot has been overwritten, so on error the
+// dictionary is inconsistent and must be discarded by the caller.
+func (d *Dict) appendNew(names []string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.byName) == 0 {
+		d.byName = make(map[string]ID, len(names))
+	}
+	if n := len(d.names) + len(names); cap(d.names) < n {
+		grown := make([]string, len(d.names), n)
+		copy(grown, d.names)
+		d.names = grown
+	}
+	for _, name := range names {
+		d.byName[name] = ID(len(d.names))
+		if len(d.byName) != len(d.names)+1 {
+			return fmt.Errorf("triplestore: dict: duplicate name %q", name)
+		}
+		d.names = append(d.names, name)
+	}
+	return nil
 }
 
 // Lookup returns the ID for name, or NoID if it has not been interned.

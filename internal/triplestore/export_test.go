@@ -1,0 +1,13 @@
+package triplestore
+
+// NDJSONChunkOps exports the ingest chunk bound for tests.
+const NDJSONChunkOps = ndjsonChunkOps
+
+// SetNDJSONChunkHook installs an observer over the chunk sizes
+// ApplyNDJSON applies, returning a restore function. Tests use it to
+// assert the streaming ingest path never buffers more than one chunk.
+func SetNDJSONChunkHook(hook func(n int)) (restore func()) {
+	prev := ndjsonChunkHook
+	ndjsonChunkHook = hook
+	return func() { ndjsonChunkHook = prev }
+}

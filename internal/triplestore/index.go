@@ -101,6 +101,14 @@ type Index struct {
 // BuildIndex materializes the access path for r in the given permutation.
 // Prefer Relation.Index, which caches.
 func BuildIndex(r *Relation, perm Perm) *Index {
+	if r.set == nil { // run-backed: copy the sorted view, re-sort for the permutation
+		ts := append([]Triple(nil), r.sorted...)
+		if perm == SPO {
+			return &Index{perm: perm, triples: ts} // already in SPO key order
+		}
+		sort.Slice(ts, func(i, j int) bool { return perm.key(ts[i]).Less(perm.key(ts[j])) })
+		return &Index{perm: perm, triples: ts}
+	}
 	ts := make([]Triple, 0, len(r.set))
 	for t := range r.set {
 		ts = append(ts, t)

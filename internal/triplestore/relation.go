@@ -16,9 +16,16 @@ import (
 // mutation (panics), and the live store transparently clones it on the
 // next store-mediated write (copy-on-write), so snapshot readers never
 // observe a change.
+//
+// A relation may be run-backed: set == nil with the sorted view holding
+// the complete content (strictly sorted, duplicate-free). Bulk loading
+// from a checkpoint segment produces these — membership is answered by
+// binary search and the map is only materialized (ensureSet) when the
+// relation is first mutated, so cold-start recovery never pays for a
+// map it may never need.
 type Relation struct {
-	set    map[Triple]struct{}
-	frozen bool // set by Store.Snapshot; mutation panics, the store clones first
+	set    map[Triple]struct{} // nil ⇒ run-backed: sorted is authoritative
+	frozen bool                // set by Store.Snapshot; mutation panics, the store clones first
 
 	mu     sync.Mutex       // guards the lazy caches below
 	sorted []Triple         // cached sorted view; nil when stale
@@ -53,6 +60,7 @@ func (r *Relation) Add(t Triple) bool {
 	if r.frozen {
 		panic("triplestore: Add on a frozen (snapshot) relation")
 	}
+	r.ensureSet()
 	if _, ok := r.set[t]; ok {
 		return false
 	}
@@ -74,6 +82,7 @@ func (r *Relation) Remove(t Triple) bool {
 	if r.frozen {
 		panic("triplestore: Remove on a frozen (snapshot) relation")
 	}
+	r.ensureSet()
 	if _, ok := r.set[t]; !ok {
 		return false
 	}
@@ -84,14 +93,38 @@ func (r *Relation) Remove(t Triple) bool {
 	return true
 }
 
+// ensureSet materializes the membership map of a run-backed relation.
+// Callers must hold exclusive access (it is only reached from mutation
+// paths, which require that anyway).
+func (r *Relation) ensureSet() {
+	if r.set != nil {
+		return
+	}
+	set := make(map[Triple]struct{}, len(r.sorted))
+	for _, t := range r.sorted {
+		set[t] = struct{}{}
+	}
+	r.set = set
+}
+
 // Has reports membership of t.
 func (r *Relation) Has(t Triple) bool {
+	if r.set == nil {
+		ts := r.sorted
+		i := sort.Search(len(ts), func(i int) bool { return !ts[i].Less(t) })
+		return i < len(ts) && ts[i] == t
+	}
 	_, ok := r.set[t]
 	return ok
 }
 
 // Len returns the number of triples.
-func (r *Relation) Len() int { return len(r.set) }
+func (r *Relation) Len() int {
+	if r.set == nil {
+		return len(r.sorted)
+	}
+	return len(r.set)
+}
 
 // Triples returns the triples in lexicographic order. The returned slice
 // is cached and must not be modified.
@@ -129,6 +162,12 @@ func (r *Relation) Slice() []Triple {
 
 // ForEach calls f on every triple in unspecified order.
 func (r *Relation) ForEach(f func(Triple)) {
+	if r.set == nil {
+		for _, t := range r.sorted {
+			f(t)
+		}
+		return
+	}
 	for t := range r.set {
 		f(t)
 	}
@@ -140,10 +179,17 @@ func (r *Relation) ForEach(f func(Triple)) {
 // not re-sort — and the store's copy-on-write of a frozen relation keeps
 // its access paths warm.
 func (r *Relation) Clone() *Relation {
-	c := NewRelationCap(len(r.set))
-	for t := range r.set {
-		c.set[t] = struct{}{}
+	c := &Relation{}
+	if r.set != nil {
+		c.set = make(map[Triple]struct{}, len(r.set))
+		for t := range r.set {
+			c.set[t] = struct{}{}
+		}
 	}
+	// A run-backed clone stays run-backed: the shared sorted view is
+	// never mutated in place (Add/Remove materialize a private map and
+	// drop the cache), so copy-on-write of a bulk-loaded relation is a
+	// pointer copy until someone actually writes to the copy.
 	r.mu.Lock()
 	c.sorted = r.sorted
 	c.idx = r.idx
@@ -155,11 +201,11 @@ func (r *Relation) Clone() *Relation {
 // AddAll inserts every triple of s into r and reports how many were new.
 func (r *Relation) AddAll(s *Relation) int {
 	added := 0
-	for t := range s.set {
+	s.ForEach(func(t Triple) {
 		if r.Add(t) {
 			added++
 		}
-	}
+	})
 	return added
 }
 
@@ -173,11 +219,11 @@ func Union(a, b *Relation) *Relation {
 // Difference returns a new relation containing triples of a not in b.
 func Difference(a, b *Relation) *Relation {
 	r := NewRelationCap(a.Len())
-	for t := range a.set {
+	a.ForEach(func(t Triple) {
 		if !b.Has(t) {
 			r.Add(t)
 		}
-	}
+	})
 	return r
 }
 
@@ -188,11 +234,11 @@ func Intersection(a, b *Relation) *Relation {
 		small, large = large, small
 	}
 	r := NewRelationCap(small.Len())
-	for t := range small.set {
+	small.ForEach(func(t Triple) {
 		if large.Has(t) {
 			r.Add(t)
 		}
-	}
+	})
 	return r
 }
 
@@ -200,6 +246,14 @@ func Intersection(a, b *Relation) *Relation {
 func (r *Relation) Equal(s *Relation) bool {
 	if r.Len() != s.Len() {
 		return false
+	}
+	if r.set == nil {
+		for _, t := range r.sorted {
+			if !s.Has(t) {
+				return false
+			}
+		}
+		return true
 	}
 	for t := range r.set {
 		if !s.Has(t) {

@@ -70,17 +70,27 @@ func (r *Relation) Stats() RelStats {
 	if r.stats != nil {
 		return *r.stats
 	}
+	n := r.Len()
 	var counts [3]map[ID]int
 	for i := range counts {
-		counts[i] = make(map[ID]int, len(r.set))
+		counts[i] = make(map[ID]int, n)
 	}
-	for t := range r.set {
+	count := func(t Triple) {
 		counts[0][t[0]]++
 		counts[1][t[1]]++
 		counts[2][t[2]]++
 	}
+	if r.set == nil { // run-backed: the sorted view is the content
+		for _, t := range r.sorted {
+			count(t)
+		}
+	} else {
+		for t := range r.set {
+			count(t)
+		}
+	}
 	st := RelStats{
-		Triples:  len(r.set),
+		Triples:  n,
 		Distinct: [3]int{len(counts[0]), len(counts[1]), len(counts[2])},
 	}
 	for i, c := range counts {
