@@ -68,8 +68,9 @@ func main() {
 		cache   = flag.Int("cache", query.DefaultCacheSize, "plan-cache capacity (compiled plans kept; 0 disables)")
 		shards  = flag.Int("shards", 1, "hash-partition the store by subject into this many shards and execute partition-parallel (1 = flat store)")
 
-		dataDir = flag.String("data-dir", "", "durable storage directory (WAL + segments); a fresh dir may be seeded from -data or -fixture, an existing one must be opened alone")
-		walSync = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per batch) or none (page cache only)")
+		dataDir    = flag.String("data-dir", "", "durable storage directory (WAL + segments); a fresh dir may be seeded from -data or -fixture, an existing one must be opened alone")
+		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per batch) or none (page cache only)")
+		readBudget = flag.Int64("read-budget", -1, "bytes of relation data the open may materialize on the heap; the rest is served from mapped segment files (-1 unlimited, 0 fully cold; requires -data-dir)")
 
 		tokens     = flag.String("tokens", "", "bearer tokens as comma-separated token:role pairs (roles: read, admin); empty disables auth")
 		rateQPS    = flag.Float64("rate-qps", 0, "per-client rate limit in requests/second (0 disables)")
@@ -94,11 +95,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "trialserver: -data-dir is incompatible with -shards > 1 (the partition copies would bypass the WAL)")
 			os.Exit(1)
 		}
-		eng, desc, err = openDataDir(*dataDir, *walSync, *data, *rel, *fixture, *n)
+		eng, desc, err = openDataDir(*dataDir, *walSync, *data, *rel, *fixture, *n, *readBudget)
 		if err == nil {
 			store = eng.Store()
 		}
 	} else {
+		if *readBudget >= 0 {
+			fmt.Fprintln(os.Stderr, "trialserver: -read-budget requires -data-dir (an in-memory store has no segments to read from)")
+			os.Exit(1)
+		}
 		store, desc, err = buildStore(*data, *rel, *fixture, *n)
 	}
 	if err != nil {
@@ -165,12 +170,12 @@ func main() {
 // store must be opened alone: silently ignoring -data/-fixture would
 // look like the flags worked, and silently re-seeding would shadow the
 // durable state.
-func openDataDir(dir, walSync, data, rel, fixture string, n int) (storage.Engine, string, error) {
+func openDataDir(dir, walSync, data, rel, fixture string, n int, readBudget int64) (storage.Engine, string, error) {
 	policy, err := storage.ParseSyncPolicy(walSync)
 	if err != nil {
 		return nil, "", fmt.Errorf("-wal-sync: %w", err)
 	}
-	opts := []storage.Option{storage.WithSyncPolicy(policy)}
+	opts := []storage.Option{storage.WithSyncPolicy(policy), storage.WithReadBudget(readBudget)}
 	if storage.Exists(dir) {
 		if data != "" || fixture != "" {
 			return nil, "", fmt.Errorf("%s already holds a store; drop -data/-fixture to open it (or point -data-dir at a fresh directory to seed)", dir)

@@ -221,6 +221,32 @@ func TestGateFailures(t *testing.T) {
 // fixture-sized recipe of each baseline kind (the real scaleWorkloads
 // rows build million-triple stores and only run under `trialbench
 // -scale`).
+// TestBoundedRAMWorkload exercises the bounded-RAM runner mechanics at
+// fixture size (the real bounded-ram-1M row builds a million-triple
+// store and only runs under `trialbench -scale`): both legs probe the
+// same sampled leads, cross-check, and the row carries the 0.5 gate
+// that holds cold probes to within 2x of materialized ones.
+func TestBoundedRAMWorkload(t *testing.T) {
+	res, err := boundedRAMWorkload("bounded-ram-small",
+		genstore.PowerLawSocial(12, 500, 3000), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Family != "storage" || res.Baseline != "materialized-probes" {
+		t.Errorf("family/baseline = %s/%s", res.Family, res.Baseline)
+	}
+	if res.ResultSize <= 0 || res.EngineNs <= 0 || res.FlatEngineNs <= 0 || res.Speedup <= 0 {
+		t.Errorf("result=%d engine=%dns flat=%dns speedup=%f",
+			res.ResultSize, res.EngineNs, res.FlatEngineNs, res.Speedup)
+	}
+	if !res.Gated || res.GateMinSpeedup != 0.5 {
+		t.Errorf("gate metadata gated=%v min=%f, want gated at 0.5", res.Gated, res.GateMinSpeedup)
+	}
+	if res.Triples != 3000 {
+		t.Errorf("triples = %d, want 3000", res.Triples)
+	}
+}
+
 func TestRunScaleWorkload(t *testing.T) {
 	for _, w := range []scaleWorkload{
 		{

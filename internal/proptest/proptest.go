@@ -55,6 +55,11 @@ func Routes(s *triplestore.Store, shardCounts ...int) []Route {
 //   - "disk" evaluates over a store loaded from a segment checkpoint of
 //     s (storage.CreateFrom preserves the dictionary, so results render
 //     identically with no translation);
+//   - "disk-cold" evaluates over the same kind of checkpoint opened
+//     with a zero read budget: no relation is materialized, every index
+//     probe and scan goes through the block-indexed segment-read path,
+//     so the whole expression corpus differentially pins cold reads
+//     against the in-memory semantics;
 //   - "disk-recovered" replays s's content as WAL batches into a fresh
 //     directory, abandons the engine without flushing (the crash path)
 //     and reopens it, so evaluation runs over a crash-recovered store.
@@ -75,6 +80,14 @@ func RoutesWithDisk(tb testing.TB, s *triplestore.Store, shardCounts ...int) []R
 	}
 	tb.Cleanup(func() { ckpt.Close() })
 	routes = append(routes, Route{Label: "disk", Eval: engine.New(ckpt.Store()).Eval})
+
+	cold, err := storage.CreateFrom(filepath.Join(tb.TempDir(), "cold"),
+		s, storage.WithSyncPolicy(storage.SyncNone), storage.WithReadBudget(0))
+	if err != nil {
+		tb.Fatalf("proptest: cold checkpoint store: %v", err)
+	}
+	tb.Cleanup(func() { cold.Close() })
+	routes = append(routes, Route{Label: "disk-cold", Eval: engine.New(cold.Store()).Eval})
 
 	rec := recoveredEngine(tb, s)
 	tb.Cleanup(func() { rec.Close() })

@@ -146,6 +146,29 @@ func newServerMetrics(q *query.Querier, store *triplestore.Store,
 			func() float64 { return eng.Stats().RecoveryMillis })
 		reg.GaugeFunc("trial_storage_pinned_generations", "manifest generations pinned by snapshots",
 			func() float64 { return float64(eng.Stats().PinnedGenerations) })
+		// Residency: how much of the store is materialized on the heap
+		// versus served from mapped segment files (WithReadBudget; all
+		// zeros on an eager engine except the -1 budget gauge).
+		reg.GaugeFunc("trial_storage_read_budget_bytes", "residency byte budget (-1 unlimited, 0 fully cold)",
+			func() float64 { return float64(eng.Stats().Residency.Budget) })
+		reg.GaugeFunc("trial_storage_resident_bytes", "estimated heap bytes held by promoted relations",
+			func() float64 { return float64(eng.Stats().Residency.ResidentBytes) })
+		reg.GaugeFunc("trial_storage_resident_relations", "relations materialized in memory",
+			func() float64 { return float64(eng.Stats().Residency.ResidentRelations) })
+		reg.GaugeFunc("trial_storage_cold_relations", "relations served from segment files",
+			func() float64 { return float64(eng.Stats().Residency.ColdRelations) })
+		reg.CounterFunc("trial_storage_promotions_total", "cold relations promoted to memory",
+			func() uint64 { return eng.Stats().Residency.Promotions })
+		reg.CounterFunc("trial_storage_cold_probes_total", "point reads answered from segment blocks",
+			func() uint64 { return eng.Stats().Residency.ColdProbes })
+		reg.CounterFunc("trial_storage_cold_decodes_total", "uncached full-run decodes from segments",
+			func() uint64 { return eng.Stats().Residency.ColdDecodes })
+		reg.GaugeFunc("trial_storage_block_cache_bytes", "decoded segment blocks held by the probe cache",
+			func() float64 { return float64(eng.Stats().Residency.CacheBytes) })
+		reg.CounterFunc("trial_storage_block_cache_hits_total", "point probes served from cached blocks",
+			func() uint64 { return eng.Stats().Residency.CacheHits })
+		reg.CounterFunc("trial_storage_block_cache_misses_total", "point probes that had to decode a block",
+			func() uint64 { return eng.Stats().Residency.CacheMisses })
 	}
 
 	reg.GaugeFunc("trial_uptime_seconds", "seconds since server start",

@@ -22,6 +22,7 @@ type diskOptions struct {
 	syncPolicy SyncPolicy
 	flushBytes int64
 	compactAt  int
+	readBudget int64
 }
 
 // Option configures Open and CreateFrom.
@@ -48,8 +49,23 @@ func WithCompactAt(n int) Option {
 	return func(o *diskOptions) { o.compactAt = n }
 }
 
+// WithReadBudget bounds how many bytes of relation data Open may
+// materialize on the heap; the rest is served directly from mapped
+// segment files through the block-indexed segment-read path.
+//
+//	n < 0  unlimited (default): every relation is materialized at open
+//	       with warm access paths — the legacy eager fast path.
+//	n = 0  fully cold: reads never materialize; only mutation does.
+//	n > 0  relations are promoted to memory on repeated access while
+//	       their estimated resident bytes fit the budget.
+//
+// See ResidencyStats for observing the outcome.
+func WithReadBudget(n int64) Option {
+	return func(o *diskOptions) { o.readBudget = n }
+}
+
 func buildOptions(opts []Option) diskOptions {
-	o := diskOptions{syncPolicy: SyncAlways, flushBytes: 8 << 20, compactAt: 4}
+	o := diskOptions{syncPolicy: SyncAlways, flushBytes: 8 << 20, compactAt: 4, readBudget: -1}
 	for _, fn := range opts {
 		fn(&o)
 	}
@@ -85,6 +101,14 @@ type Disk struct {
 
 	compacting bool
 	wg         sync.WaitGroup
+
+	// Segment-read path state (lazy opens only, readBudget >= 0): the
+	// open-time segments whose mapped bytes back cold relations, and
+	// the residency tracker shared by their sources. The mappings stay
+	// valid until Close even if compaction deletes the files (POSIX
+	// unlink semantics; see mapFile).
+	openSegs []*segment
+	tracker  *residency
 
 	flushes     uint64
 	compactions uint64
@@ -130,11 +154,13 @@ func Open(dir string, opts ...Option) (*Disk, error) {
 		genFiles:  make(map[uint64][]string),
 	}
 
-	store, err := loadSegments(dir, man)
+	store, openSegs, tracker, err := loadSegments(dir, man, o.readBudget)
 	if err != nil {
 		return nil, err
 	}
 	e.store = store
+	e.openSegs = openSegs
+	e.tracker = tracker
 	e.durableDictLen = man.DictLen
 
 	walPath := filepath.Join(dir, man.WALFile)
@@ -175,10 +201,25 @@ func Open(dir string, opts ...Option) (*Disk, error) {
 }
 
 // loadSegments assembles the store covered by the manifest's segments.
-// A single tombstone-free checkpoint installs its pre-sorted runs as
+//
+// With a negative budget (the default) everything materializes eagerly:
+// a single tombstone-free checkpoint installs its pre-sorted runs as
 // ready-made access paths (the cold-start fast path); a segment stack
 // replays adds and tombstones oldest-to-newest into plain sets.
-func loadSegments(dir string, man *manifest) (*triplestore.Store, error) {
+//
+// With a non-negative budget the runs are NOT decoded: each relation is
+// installed source-backed over the mapped segment stack (see
+// segreader.go), and the returned segments and tracker are retained on
+// the engine for unmapping at Close and for residency stats.
+func loadSegments(dir string, man *manifest, budget int64) (*triplestore.Store, []*segment, *residency, error) {
+	if budget >= 0 {
+		return loadSegmentsLazy(dir, man, budget)
+	}
+	store, err := loadSegmentsEager(dir, man)
+	return store, nil, nil, err
+}
+
+func loadSegmentsEager(dir string, man *manifest) (*triplestore.Store, error) {
 	bl := triplestore.NewBulkLoader()
 	segs := make([]*segment, 0, len(man.Segments))
 	for _, ms := range man.Segments {
@@ -274,6 +315,101 @@ func loadSegments(dir string, man *manifest) (*triplestore.Store, error) {
 		return nil, fmt.Errorf("storage: segments cover %d names, manifest says %d", bl.NumNames(), man.DictLen)
 	}
 	return bl.Store(), nil
+}
+
+// loadSegmentsLazy assembles a store whose relations are served from
+// the mapped segment files instead of the heap. The dictionary and
+// value sections still load eagerly (interning needs them resolvable),
+// but no triple run is decoded here: each relation gets a segSource
+// over its per-segment layers, with later layers' tombstones folded
+// into earlier layers' filters.
+func loadSegmentsLazy(dir string, man *manifest, budget int64) (*triplestore.Store, []*segment, *residency, error) {
+	bl := triplestore.NewBulkLoader()
+	segs := make([]*segment, 0, len(man.Segments))
+	fail := func(err error) (*triplestore.Store, []*segment, *residency, error) {
+		for _, s := range segs {
+			if s.unmap != nil {
+				s.unmap()
+			}
+		}
+		return nil, nil, nil, err
+	}
+	type valState struct{ val triplestore.Value }
+	vals := make(map[triplestore.ID]valState)
+	relLayers := make(map[string][]segLayer)
+	relDels := make(map[string][][]triplestore.Triple)
+	var relOrder []string
+	for _, ms := range man.Segments {
+		seg, err := readSegmentLazy(filepath.Join(dir, ms.File))
+		if err != nil {
+			return fail(err)
+		}
+		segs = append(segs, seg)
+		if seg.seq != ms.Seq {
+			return fail(fmt.Errorf("storage: %s: segment seq %d, manifest says %d", ms.File, seg.seq, ms.Seq))
+		}
+		if seg.dictBase != bl.NumNames() {
+			return fail(fmt.Errorf("storage: %s: dict base %d, expected %d", seg.file, seg.dictBase, bl.NumNames()))
+		}
+		if err := bl.AddNames(seg.names); err != nil {
+			return fail(err)
+		}
+		for _, v := range seg.values {
+			vals[v.id] = valState{val: v.val} // newest segment wins
+		}
+		for ri := range seg.rels {
+			rel := &seg.rels[ri]
+			if _, ok := relLayers[rel.name]; !ok {
+				relOrder = append(relOrder, rel.name)
+			}
+			relLayers[rel.name] = append(relLayers[rel.name], segLayer{raws: &seg.rawRuns[ri]})
+			relDels[rel.name] = append(relDels[rel.name], rel.dels)
+		}
+	}
+	ids := make([]triplestore.ID, 0, len(vals))
+	for id := range vals {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if v := vals[id].val; v != nil {
+			if err := bl.SetValueID(id, v); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	tracker := newResidency(budget)
+	for _, name := range relOrder {
+		layers := relLayers[name]
+		dels := relDels[name]
+		// Fold each layer's tombstones into every EARLIER layer's filter:
+		// walking newest to oldest, cum is the union of dels strictly
+		// after the current layer. The maps are shared read-only.
+		var cum map[triplestore.Triple]struct{}
+		for i := len(layers) - 1; i >= 0; i-- {
+			layers[i].delsAfter = cum
+			if len(dels[i]) > 0 {
+				next := make(map[triplestore.Triple]struct{}, len(cum)+len(dels[i]))
+				for t := range cum {
+					next[t] = struct{}{}
+				}
+				for _, t := range dels[i] {
+					next[t] = struct{}{}
+				}
+				cum = next
+			}
+		}
+		src := newSegSource(name, layers)
+		src.res = &relResidency{tr: tracker, estBytes: int64(src.count) * bytesPerResidentTriple}
+		tracker.coldRels++
+		if err := bl.SetRelationSource(name, src); err != nil {
+			return fail(err)
+		}
+	}
+	if bl.NumNames() != man.DictLen {
+		return fail(fmt.Errorf("storage: segments cover %d names, manifest says %d", bl.NumNames(), man.DictLen))
+	}
+	return bl.Store(), segs, tracker, nil
 }
 
 // CreateFrom initializes dir (which must not already hold a store) with
@@ -659,11 +795,18 @@ func (e *Disk) startCompactionLocked() {
 	walSeq := e.wal.lastSeq
 	segSeq := e.man.NextSeg
 	e.man.NextSeg++ // reserve the file number; persisted at the swap
+	// Record which segments the checkpoint folds in: segments flushed
+	// while the checkpoint is being written are NOT covered by it and
+	// must survive the manifest swap (merge, not replace).
+	base := make(map[uint64]bool, len(e.man.Segments))
+	for _, s := range e.man.Segments {
+		base[s.Seq] = true
+	}
 	e.wg.Add(1)
-	go e.runCompaction(snap, walSeq, segSeq)
+	go e.runCompaction(snap, walSeq, segSeq, base)
 }
 
-func (e *Disk) runCompaction(snap *triplestore.Store, walSeq, segSeq uint64) {
+func (e *Disk) runCompaction(snap *triplestore.Store, walSeq, segSeq uint64, base map[uint64]bool) {
 	defer e.wg.Done()
 	sd := checkpointData(snap, segSeq, walSeq)
 	segFile := segFileName(segSeq)
@@ -682,7 +825,19 @@ func (e *Disk) runCompaction(snap *triplestore.Store, walSeq, segSeq uint64) {
 	}
 	newMan := *e.man
 	newMan.Gen++
-	newMan.Segments = []manifestSeg{{File: segFile, Seq: segSeq, Bytes: bytes, Triples: sd.triples()}}
+	// The checkpoint replaces exactly the segments that existed when its
+	// snapshot was taken. Segments flushed since (an explicit Flush racing
+	// the checkpoint write) hold newer overlay data the checkpoint does
+	// not contain: they stay in the manifest, stacked after the checkpoint
+	// (their seqs are higher, their dictBase chains off the checkpoint's
+	// dictionary length).
+	segs := []manifestSeg{{File: segFile, Seq: segSeq, Bytes: bytes, Triples: sd.triples()}}
+	for _, s := range e.man.Segments {
+		if !base[s.Seq] {
+			segs = append(segs, s)
+		}
+	}
+	newMan.Segments = segs
 	if err := writeManifest(e.dir, &newMan); err != nil {
 		os.Remove(segPath)
 		return
@@ -735,6 +890,11 @@ func (e *Disk) Stats() Stats {
 	for _, s := range e.man.Segments {
 		st.SegmentBytes += s.Bytes
 	}
+	if e.tracker != nil {
+		st.Residency = e.tracker.stats()
+	} else {
+		st.Residency.Budget = e.opts.readBudget
+	}
 	return st
 }
 
@@ -755,7 +915,22 @@ func (e *Disk) Close() error {
 	if cerr := e.wal.close(); err == nil {
 		err = cerr
 	}
+	e.unmapLocked()
 	return err
+}
+
+// unmapLocked releases the open-time segment mappings. Only safe once
+// no reader can reach a cold relation again: Close/Abandon have marked
+// the engine closed and drained background work, and the engine's
+// contract is that snapshots and pins do not outlive it.
+func (e *Disk) unmapLocked() {
+	for _, s := range e.openSegs {
+		if s.unmap != nil {
+			s.unmap()
+			s.unmap = nil
+		}
+	}
+	e.openSegs = nil
 }
 
 // Abandon closes the engine WITHOUT flushing the memtable: file handles
@@ -774,5 +949,7 @@ func (e *Disk) Abandon() error {
 	e.wg.Wait()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.wal.close()
+	err := e.wal.close()
+	e.unmapLocked()
+	return err
 }

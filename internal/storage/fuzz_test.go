@@ -2,6 +2,7 @@ package storage
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/triplestore"
@@ -48,6 +49,97 @@ func FuzzWALDecode(f *testing.F) {
 		}
 		if !reflect.DeepEqual(ent, ent2) {
 			t.Fatalf("semantic round-trip mismatch:\n %+v\n %+v", ent, ent2)
+		}
+	})
+}
+
+// FuzzSegmentMatch drives the block-indexed point read — segRun.matchLead
+// and its block-cached variant matchLeadCached, the primitives behind
+// every cold index probe — against a sorted-slice oracle. The fuzz
+// input is chewed into a triple set — three bytes per triple, IDs
+// folded into a small range so blocks collide and span — the
+// set is delta-encoded exactly as writeSegment would, and every ID in
+// range (present or not) is probed in all three permutations.
+func FuzzSegmentMatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{1, 2, 3, 1, 2, 4, 9, 9, 9})
+	long := make([]byte, 3*(segBlockSize+100)) // force a second block
+	for i := range long {
+		long[i] = byte(i * 7)
+	}
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const idRange = 23 // small: many lead collisions, multi-block runs
+		set := make(map[triplestore.Triple]struct{}, len(data)/3)
+		for i := 0; i+2 < len(data); i += 3 {
+			set[triplestore.Triple{
+				triplestore.ID(data[i]) % idRange,
+				triplestore.ID(data[i+1]) % idRange,
+				triplestore.ID(data[i+2]) % idRange,
+			}] = struct{}{}
+		}
+		ts := make([]triplestore.Triple, 0, len(set))
+		for tr := range set {
+			ts = append(ts, tr)
+		}
+		for perm := triplestore.Perm(0); perm < 3; perm++ {
+			sorted := append([]triplestore.Triple(nil), ts...)
+			sort.Slice(sorted, func(i, j int) bool {
+				return permKey(perm, sorted[i]).Less(permKey(perm, sorted[j]))
+			})
+			data, blocks := encodeRun(perm, sorted)
+			run := newSegRun(perm, len(sorted), blocks, data)
+			// A deliberately tiny cache cap forces eviction churn on larger
+			// inputs, exercising the clock sweep alongside plain hits.
+			cache := newBlockCache(3 * segBlockSize * 12)
+
+			if got, err := run.triples(); err != nil {
+				t.Fatalf("%v: full decode: %v", perm, err)
+			} else if !reflect.DeepEqual(got, sorted) && !(len(got) == 0 && len(sorted) == 0) {
+				t.Fatalf("%v: full decode mismatch", perm)
+			}
+			lead := perm.Lead()
+			for id := triplestore.ID(0); id < idRange+2; id++ {
+				var want []triplestore.Triple
+				for _, tr := range sorted {
+					if tr[lead] == id {
+						want = append(want, tr)
+					}
+				}
+				got, err := run.matchLead(id)
+				if err != nil {
+					t.Fatalf("%v: matchLead(%d): %v", perm, id, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%v: matchLead(%d): %d triples, oracle %d", perm, id, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%v: matchLead(%d)[%d]: %v, oracle %v", perm, id, i, got[i], want[i])
+					}
+				}
+				// The cached variant must agree probe-for-probe: once with a
+				// cold cache (decode-and-publish) and once warm (served from
+				// the published blocks, possibly as a zero-copy subslice).
+				for pass := 0; pass < 2; pass++ {
+					cgot, err := run.matchLeadCached(id, cache)
+					if err != nil {
+						t.Fatalf("%v: matchLeadCached(%d) pass %d: %v", perm, id, pass, err)
+					}
+					if len(cgot) != len(want) {
+						t.Fatalf("%v: matchLeadCached(%d) pass %d: %d triples, oracle %d",
+							perm, id, pass, len(cgot), len(want))
+					}
+					for i := range want {
+						if cgot[i] != want[i] {
+							t.Fatalf("%v: matchLeadCached(%d)[%d] pass %d: %v, oracle %v",
+								perm, id, i, pass, cgot[i], want[i])
+						}
+					}
+				}
+			}
 		}
 	})
 }

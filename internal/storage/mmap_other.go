@@ -1,0 +1,20 @@
+//go:build !unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile reads the file into the heap on platforms without a usable
+// mmap. The segment-read path still decodes lazily (only probed blocks
+// are converted to triples), but the raw bytes do count against the Go
+// heap here; unmap just drops the reference.
+func mapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: read segment: %w", err)
+	}
+	return data, func() {}, nil
+}

@@ -1,0 +1,44 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file at path read-only and returns its contents plus
+// an unmap function. The mapping is private to the process and survives
+// unlink (POSIX), so compaction may delete a segment file while cold
+// readers still hold its pages; the kernel reclaims them at unmap. The
+// returned bytes live outside the Go heap — a store served from mapped
+// segments does not charge its segment bytes against GOMEMLIMIT, which
+// is what lets a bounded-memory process query a dataset larger than its
+// heap ceiling.
+//
+// Empty files map to an empty slice with a no-op unmap (mmap of length
+// zero is an error on most platforms).
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: map segment: %w", err)
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: map segment: %w", err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("storage: map segment: %s too large", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: mmap %s: %w", path, err)
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/triplestore"
 )
@@ -262,12 +263,43 @@ type segRun struct {
 	count  int
 	blocks []segBlock
 	data   []byte
+	// cacheSlots holds the run's published block-cache entries, one
+	// atomic pointer per block (see blockcache.go). Allocated once at
+	// construction so the probe hit path reads it without coordination;
+	// copies of the segRun value share the backing array.
+	cacheSlots []atomic.Pointer[blockEntry]
+}
+
+// newSegRun builds a run header with its cache slots.
+func newSegRun(perm triplestore.Perm, count int, blocks []segBlock, data []byte) segRun {
+	return segRun{
+		perm: perm, count: count, blocks: blocks, data: data,
+		cacheSlots: make([]atomic.Pointer[blockEntry], len(blocks)),
+	}
 }
 
 // triples fully decodes the run.
 func (r *segRun) triples() ([]triplestore.Triple, error) {
 	rd := runDecoder{data: r.data, count: r.count}
 	return rd.decodeAll(r.perm, make([]triplestore.Triple, 0, r.count))
+}
+
+// decodeBlock decodes the bi-th block of the run (segBlockSize triples,
+// fewer for the last block) into subject-predicate-object triples in
+// perm key order. Blocks restart delta encoding at an absolute key, so
+// any block decodes independently of the ones before it.
+func (r *segRun) decodeBlock(bi int) ([]triplestore.Triple, error) {
+	start := bi * segBlockSize
+	n := segBlockSize
+	if start+n > r.count {
+		n = r.count - start
+	}
+	end := len(r.data)
+	if bi+1 < len(r.blocks) {
+		end = r.blocks[bi+1].off
+	}
+	rd := runDecoder{data: r.data[r.blocks[bi].off:end], count: n}
+	return rd.decodeAll(r.perm, make([]triplestore.Triple, 0, n))
 }
 
 // matchLead returns the run's triples whose leading component equals id,
@@ -313,13 +345,23 @@ func (r *segRun) matchLead(id triplestore.ID) ([]triplestore.Triple, error) {
 	return out, nil
 }
 
-// segment is a fully parsed segment file.
+// segment is a parsed segment file. An eager read (readSegment) decodes
+// every run into segmentData.rels[i].runs; a lazy read (readSegmentLazy)
+// leaves the runs nil and keeps only the raw delta-encoded bytes plus
+// their sparse block indexes (rawRuns), mapped from the file — the
+// segment-read path decodes blocks on demand from there. Tombstones and
+// the dictionary/value sections are decoded in both modes (they are
+// needed up front and are small relative to the runs).
 type segment struct {
 	segmentData
 	file  string
 	bytes int64
 	// raw runs (with block indexes) per relation, same order as rels.
 	rawRuns [][3]segRun
+	// unmap releases the file mapping backing rawRuns (lazy reads only;
+	// nil after an eager read). Call only once no reader can touch the
+	// raw bytes again — Disk.Close after draining background work.
+	unmap func()
 }
 
 // writeSegment renders sd into path (created fresh) and fsyncs it.
@@ -446,12 +488,36 @@ func (c *segCursor) take(n int) ([]byte, error) {
 	return out, nil
 }
 
-// readSegment loads and verifies the segment file at path.
+// readSegment loads and verifies the segment file at path, decoding
+// every run into memory (the eager path used by unbounded-budget opens).
 func readSegment(path string) (*segment, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: read segment: %w", err)
 	}
+	return parseSegment(path, raw, true, nil)
+}
+
+// readSegmentLazy maps the segment file and verifies its checksum but
+// does not decode the triple runs: the returned segment serves point
+// reads and on-demand decodes from the mapped bytes (see segSource).
+func readSegmentLazy(path string) (*segment, error) {
+	raw, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := parseSegment(path, raw, false, unmap)
+	if err != nil {
+		unmap()
+		return nil, err
+	}
+	return seg, nil
+}
+
+// parseSegment verifies and decodes a segment image. With eager set the
+// triple runs are fully decoded into rels[i].runs; otherwise only the
+// run headers (counts, block indexes, raw data windows) are retained.
+func parseSegment(path string, raw []byte, eager bool, unmap func()) (*segment, error) {
 	if len(raw) < len(segMagic)+4+8+8+4 || string(raw[:len(segMagic)]) != segMagic {
 		return nil, fmt.Errorf("storage: %s: not a segment file", path)
 	}
@@ -459,7 +525,7 @@ func readSegment(path string) (*segment, error) {
 	if crc32.Checksum(body, walCRC) != binary.LittleEndian.Uint32(tail) {
 		return nil, fmt.Errorf("storage: %s: segment checksum mismatch", path)
 	}
-	seg := &segment{file: path, bytes: int64(len(raw))}
+	seg := &segment{file: path, bytes: int64(len(raw)), unmap: unmap}
 	if v := binary.LittleEndian.Uint32(body[8:12]); v != segFormat {
 		return nil, fmt.Errorf("storage: %s: unsupported segment format %d", path, v)
 	}
@@ -595,12 +661,14 @@ func readSegment(path string) (*segment, error) {
 			if err != nil {
 				return nil, err
 			}
-			raws[perm] = segRun{perm: perm, count: count, blocks: blocks, data: data}
-			ts, err := raws[perm].triples()
-			if err != nil {
-				return nil, fmt.Errorf("storage: %s: relation %q %v run: %w", path, name, perm, err)
+			raws[perm] = newSegRun(perm, count, blocks, data)
+			if eager {
+				ts, err := raws[perm].triples()
+				if err != nil {
+					return nil, fmt.Errorf("storage: %s: relation %q %v run: %w", path, name, perm, err)
+				}
+				rel.runs[perm] = ts
 			}
-			rel.runs[perm] = ts
 		}
 		nDels, err := c.count()
 		if err != nil {
@@ -620,8 +688,8 @@ func readSegment(path string) (*segment, error) {
 			return nil, fmt.Errorf("storage: %s: relation %q tombstones: %w", path, name, err)
 		}
 		rel.dels = dels
-		for p := range rel.runs {
-			if len(rel.runs[p]) != len(rel.runs[0]) {
+		for p := range raws {
+			if raws[p].count != raws[0].count {
 				return nil, fmt.Errorf("storage: %s: relation %q run lengths disagree", path, name)
 			}
 		}

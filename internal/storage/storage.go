@@ -133,4 +133,35 @@ type Stats struct {
 	// PinnedGenerations counts manifest generations still retained by
 	// unreleased pins (the current one included).
 	PinnedGenerations int `json:"pinned_generations"`
+	// Residency describes the segment-read path's relation residency
+	// (zero-valued on Mem and on eager-loading Disk engines).
+	Residency ResidencyStats `json:"residency"`
+}
+
+// ResidencyStats describes which relations are materialized in memory
+// (resident) versus served directly from segment files (cold) under the
+// Disk engine's read budget (WithReadBudget).
+type ResidencyStats struct {
+	// Budget is the configured residency byte budget: -1 unlimited
+	// (eager materialization at open, the default), 0 fully cold, >0 a
+	// cap on promoted-relation bytes.
+	Budget int64 `json:"budget"`
+	// ResidentBytes estimates the heap held by promoted relations;
+	// ResidentRelations counts them. ColdRelations counts relations
+	// still served from segments.
+	ResidentBytes     int64 `json:"resident_bytes"`
+	ResidentRelations int   `json:"resident_relations"`
+	ColdRelations     int   `json:"cold_relations"`
+	// Promotions counts cold→resident transitions (access-count policy
+	// or forced by mutation). ColdProbes counts point reads answered
+	// from segment blocks; ColdDecodes counts full-run decodes served
+	// without caching.
+	Promotions  uint64 `json:"promotions"`
+	ColdProbes  uint64 `json:"cold_probes"`
+	ColdDecodes uint64 `json:"cold_decodes"`
+	// The decoded-block cache behind cold point probes: current bytes
+	// held (capped engine-wide) and lifetime hit/miss counts.
+	CacheBytes  int64  `json:"cache_bytes"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
 }

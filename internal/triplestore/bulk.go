@@ -93,6 +93,24 @@ func (b *BulkLoader) SetRelationRuns(name string, spo, pos, osp []Triple) error 
 	return b.installRelation(name, r)
 }
 
+// SetRelationSource installs the named relation served directly from a
+// storage-backed RunSource: no triples are decoded at load time, reads
+// route through the source until its residency policy (or the first
+// mutation) materializes the relation. The disk engine uses this to open
+// a store whose cold relations never enter memory. ID validity of the
+// source's triples is trusted to the storage checksums the source
+// verified at open, mirroring the cross-run trust of SetRelationRuns.
+func (b *BulkLoader) SetRelationSource(name string, src RunSource) error {
+	b.ensureOpen()
+	if name == "" {
+		return fmt.Errorf("triplestore: bulk load: empty relation name")
+	}
+	if src == nil {
+		return fmt.Errorf("triplestore: bulk load: relation %q: nil source", name)
+	}
+	return b.installRelation(name, &Relation{src: src})
+}
+
 // SetRelationSet installs the named relation from a plain triple set,
 // leaving access paths to build lazily. The multi-segment recovery path
 // (where adds and tombstones from several segments must be merged) uses
@@ -108,6 +126,14 @@ func (b *BulkLoader) SetRelationSet(name string, set map[Triple]struct{}) error 
 func (b *BulkLoader) installRelation(name string, r *Relation) error {
 	if _, ok := b.s.rels[name]; ok {
 		return fmt.Errorf("triplestore: bulk load: relation %q loaded twice", name)
+	}
+	if r.set == nil && r.src != nil {
+		// Source-backed: nothing is decoded at install time, so there is
+		// no content to range-check here; the source's open-time checksum
+		// verification covers it.
+		b.s.rels[name] = r
+		b.s.relNames = append(b.s.relNames, name)
+		return nil
 	}
 	max := ID(len(b.s.values))
 	check := func(t Triple) error {

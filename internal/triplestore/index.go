@@ -86,10 +86,18 @@ const maxIndexTail = 256
 // overlay (the tail) and merges it into the base run when it outgrows
 // maxIndexTail. Relations cache one Index per permutation, extend it
 // incrementally on Add, and drop it on Remove.
+//
+// An Index may instead be source-backed (src != nil): probes delegate to
+// a RunSource that decodes only the storage blocks each call touches,
+// so a cold (unmaterialized) relation still answers Match and Leads
+// without its full content ever entering memory. Source-backed indexes
+// are created fresh per Relation.Index call while the relation is cold
+// and are never mutated.
 type Index struct {
 	perm    Perm
-	triples []Triple // base run, sorted by perm.key order
-	tail    []Triple // recent additions, also sorted by perm.key order
+	triples []Triple  // base run, sorted by perm.key order
+	tail    []Triple  // recent additions, also sorted by perm.key order
+	src     RunSource // non-nil ⇒ delegate probes to storage
 
 	// leads caches the distinct leading-position values (Leads). The
 	// index is immutable, so the lazy build runs once per Index value;
@@ -101,6 +109,9 @@ type Index struct {
 // BuildIndex materializes the access path for r in the given permutation.
 // Prefer Relation.Index, which caches.
 func BuildIndex(r *Relation, perm Perm) *Index {
+	if r.set == nil && r.src != nil { // source-backed: decode in permutation order
+		return &Index{perm: perm, triples: r.src.Run(perm)}
+	}
 	if r.set == nil { // run-backed: copy the sorted view, re-sort for the permutation
 		ts := append([]Triple(nil), r.sorted...)
 		if perm == SPO {
@@ -131,6 +142,12 @@ func IndexTriples(ts []Triple, perm Perm) *Index {
 // not already be present). The receiver is not modified, so an Index
 // captured by a snapshot or an in-flight query stays consistent.
 func (ix *Index) withAdded(t Triple) *Index {
+	if ix.src != nil {
+		// Source-backed indexes are never cached on the relation, and the
+		// mutation path materializes (ensureSet) before touching indexes —
+		// reaching here means the residency seam is wired wrong.
+		panic("triplestore: withAdded on a source-backed index")
+	}
 	key := ix.perm.key(t)
 	pos := sort.Search(len(ix.tail), func(i int) bool { return !ix.perm.key(ix.tail[i]).Less(key) })
 	tail := make([]Triple, 0, len(ix.tail)+1)
@@ -166,12 +183,22 @@ func mergeRuns(perm Perm, a, b []Triple) []Triple {
 func (ix *Index) Perm() Perm { return ix.perm }
 
 // Len returns the number of indexed triples.
-func (ix *Index) Len() int { return len(ix.triples) + len(ix.tail) }
+func (ix *Index) Len() int {
+	if ix.src != nil {
+		return ix.src.Len()
+	}
+	return len(ix.triples) + len(ix.tail)
+}
 
 // Triples returns all indexed triples in permutation order. When the
 // index carries no overlay the base run is returned directly (do not
-// modify); otherwise base and tail are merged into a fresh slice.
+// modify); otherwise base and tail are merged into a fresh slice. On a
+// source-backed index each call decodes afresh — callers that iterate
+// repeatedly should hold the result.
 func (ix *Index) Triples() []Triple {
+	if ix.src != nil {
+		return ix.src.Run(ix.perm)
+	}
 	if len(ix.tail) == 0 {
 		return ix.triples
 	}
@@ -194,6 +221,9 @@ func matchRun(ts []Triple, lead int, id ID) []Triple {
 // index (do not modify); matches spanning the overlay are concatenated
 // into a fresh slice. The lookup is O(log n) plus the match count.
 func (ix *Index) Match(id ID) []Triple {
+	if ix.src != nil {
+		return ix.src.Match(ix.perm, id)
+	}
 	lead := ix.perm.Lead()
 	base := matchRun(ix.triples, lead, id)
 	if len(ix.tail) == 0 {
@@ -219,6 +249,10 @@ func (ix *Index) Match(id ID) []Triple {
 // use, cached on the (immutable) index, and must not be modified.
 func (ix *Index) Leads() []ID {
 	ix.leadsOnce.Do(func() {
+		if ix.src != nil {
+			ix.leads = ix.src.Leads(ix.perm)
+			return
+		}
 		ts := ix.Triples()
 		lead := ix.perm.Lead()
 		out := make([]ID, 0, len(ts)/2+1)
@@ -234,6 +268,9 @@ func (ix *Index) Leads() []ID {
 
 // MatchCount returns len(Match(id)) without concatenating overlay matches.
 func (ix *Index) MatchCount(id ID) int {
+	if ix.src != nil {
+		return len(ix.src.Match(ix.perm, id))
+	}
 	lead := ix.perm.Lead()
 	n := len(matchRun(ix.triples, lead, id))
 	if len(ix.tail) > 0 {
@@ -245,10 +282,23 @@ func (ix *Index) MatchCount(id ID) int {
 // Index returns the relation's access path for the given permutation,
 // building and caching it on first use. Store-mediated additions extend
 // the cached index incrementally (see Relation.Add); removals drop it.
+//
+// While a relation is source-backed and its residency policy forbids
+// retention, each call returns a fresh uncached delegating index: probes
+// go straight to storage and nothing sticks to the heap. Once the policy
+// promotes the relation, the next call materializes and caches as usual.
 func (r *Relation) Index(perm Perm) *Index {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if ix := r.idx[perm]; ix != nil {
+		return ix
+	}
+	if r.set == nil && r.src != nil {
+		if !r.src.Retain(false) {
+			return &Index{perm: perm, src: r.src}
+		}
+		ix := &Index{perm: perm, triples: r.src.Run(perm)}
+		r.idx[perm] = ix
 		return ix
 	}
 	ix := BuildIndex(r, perm)

@@ -23,8 +23,15 @@ import (
 // binary search and the map is only materialized (ensureSet) when the
 // relation is first mutated, so cold-start recovery never pays for a
 // map it may never need.
+//
+// A relation may further be source-backed: set == nil and sorted == nil
+// with src serving the content straight from storage (see RunSource).
+// Reads decode only what they touch; full decodes are cached only when
+// the source's residency policy allows, and the first mutation
+// materializes the membership map exactly like the run-backed case.
 type Relation struct {
-	set    map[Triple]struct{} // nil ⇒ run-backed: sorted is authoritative
+	set    map[Triple]struct{} // nil ⇒ run- or source-backed
+	src    RunSource           // non-nil ⇒ content may be served from storage
 	frozen bool                // set by Store.Snapshot; mutation panics, the store clones first
 
 	mu     sync.Mutex       // guards the lazy caches below
@@ -93,23 +100,61 @@ func (r *Relation) Remove(t Triple) bool {
 	return true
 }
 
-// ensureSet materializes the membership map of a run-backed relation.
-// Callers must hold exclusive access (it is only reached from mutation
-// paths, which require that anyway).
+// ensureSet materializes the membership map of a run- or source-backed
+// relation. Callers must hold exclusive access (it is only reached from
+// mutation paths, which require that anyway).
+//
+// The decode itself is transient as far as the residency tracker is
+// concerned: evaluators clone base relations and mutate the clones (a
+// reach fixpoint seeds from its base), and that working set belongs to
+// the query, not to the store. Only the store's own write path promotes
+// the underlying relation — see forceResident.
 func (r *Relation) ensureSet() {
 	if r.set != nil {
 		return
 	}
-	set := make(map[Triple]struct{}, len(r.sorted))
-	for _, t := range r.sorted {
+	ts := r.sorted
+	if r.src != nil {
+		if ts == nil {
+			ts = r.src.Run(SPO)
+		}
+		r.src = nil
+	}
+	set := make(map[Triple]struct{}, len(ts))
+	for _, t := range ts {
 		set[t] = struct{}{}
 	}
 	r.set = set
 }
 
+// forceResident promotes a source-backed relation in its source's
+// residency accounting. The store's write path calls it on the live
+// relation before mutating: the write is about to materialize the
+// relation on the heap (ensureSet), so the tracker must account for it
+// even past the budget. Evaluator clones sharing the same source never
+// call this — their materialized working set dies with the query and
+// must not flip the store's relation to resident.
+func (r *Relation) forceResident() {
+	if r.set == nil && r.src != nil {
+		r.src.Retain(true)
+	}
+}
+
 // Has reports membership of t.
 func (r *Relation) Has(t Triple) bool {
 	if r.set == nil {
+		if r.src != nil {
+			// Source-backed: probe the storage blocks covering t's
+			// subject. r.sorted is deliberately not consulted here — it
+			// may be cached concurrently under the relation's mutex, and
+			// the source answers without coordination.
+			for _, c := range r.src.Match(SPO, t[0]) {
+				if c == t {
+					return true
+				}
+			}
+			return false
+		}
 		ts := r.sorted
 		i := sort.Search(len(ts), func(i int) bool { return !ts[i].Less(t) })
 		return i < len(ts) && ts[i] == t
@@ -121,25 +166,22 @@ func (r *Relation) Has(t Triple) bool {
 // Len returns the number of triples.
 func (r *Relation) Len() int {
 	if r.set == nil {
+		if r.src != nil {
+			return r.src.Len()
+		}
 		return len(r.sorted)
 	}
 	return len(r.set)
 }
 
 // Triples returns the triples in lexicographic order. The returned slice
-// is cached and must not be modified.
+// must not be modified. It is cached — except on a source-backed
+// relation whose residency policy forbids retention, where each call
+// decodes a fresh (transient) slice.
 func (r *Relation) Triples() []Triple {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.sorted == nil {
-		sorted := make([]Triple, 0, len(r.set))
-		for t := range r.set {
-			sorted = append(sorted, t)
-		}
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
-		r.sorted = sorted
-	}
-	return r.sorted
+	return r.sortedLocked()
 }
 
 // Slice returns the triples in unspecified order: the cached sorted view
@@ -147,8 +189,8 @@ func (r *Relation) Triples() []Triple {
 // when the caller only iterates. The returned slice must not be modified.
 func (r *Relation) Slice() []Triple {
 	r.mu.Lock()
-	if r.sorted != nil {
-		s := r.sorted
+	if r.sorted != nil || (r.set == nil && r.src != nil) {
+		s := r.sortedLocked()
 		r.mu.Unlock()
 		return s
 	}
@@ -163,6 +205,17 @@ func (r *Relation) Slice() []Triple {
 // ForEach calls f on every triple in unspecified order.
 func (r *Relation) ForEach(f func(Triple)) {
 	if r.set == nil {
+		if r.src != nil {
+			// Decode under the mutex (caching per residency policy),
+			// iterate outside it: returned slices are immutable.
+			r.mu.Lock()
+			ts := r.sortedLocked()
+			r.mu.Unlock()
+			for _, t := range ts {
+				f(t)
+			}
+			return
+		}
 		for _, t := range r.sorted {
 			f(t)
 		}
@@ -186,12 +239,15 @@ func (r *Relation) Clone() *Relation {
 			c.set[t] = struct{}{}
 		}
 	}
-	// A run-backed clone stays run-backed: the shared sorted view is
-	// never mutated in place (Add/Remove materialize a private map and
-	// drop the cache), so copy-on-write of a bulk-loaded relation is a
-	// pointer copy until someone actually writes to the copy.
+	// A run-backed clone stays run-backed, and a source-backed clone
+	// stays source-backed (sources are immutable and safely shared): the
+	// shared sorted view is never mutated in place (Add/Remove
+	// materialize a private map and drop the cache), so copy-on-write of
+	// a bulk-loaded relation is a pointer copy until someone actually
+	// writes to the copy.
 	r.mu.Lock()
 	c.sorted = r.sorted
+	c.src = r.src
 	c.idx = r.idx
 	c.stats = r.stats
 	r.mu.Unlock()
@@ -248,7 +304,13 @@ func (r *Relation) Equal(s *Relation) bool {
 		return false
 	}
 	if r.set == nil {
-		for _, t := range r.sorted {
+		var ts []Triple
+		if r.src != nil {
+			ts = r.Triples() // locked: r.sorted may be cached concurrently
+		} else {
+			ts = r.sorted
+		}
+		for _, t := range ts {
 			if !s.Has(t) {
 				return false
 			}

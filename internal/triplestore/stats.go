@@ -80,8 +80,8 @@ func (r *Relation) Stats() RelStats {
 		counts[1][t[1]]++
 		counts[2][t[2]]++
 	}
-	if r.set == nil { // run-backed: the sorted view is the content
-		for _, t := range r.sorted {
+	if r.set == nil { // run- or source-backed: the sorted view is the content
+		for _, t := range r.sortedLocked() {
 			count(t)
 		}
 	} else {

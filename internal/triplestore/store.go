@@ -194,6 +194,12 @@ func (s *Store) mutableRelLocked(name string) *Relation {
 		r = r.Clone()
 		s.rels[name] = r
 	}
+	// A store-mediated write is about to materialize a source-backed
+	// relation (ensureSet); promote it in the residency accounting first
+	// so the tracker reflects the heap it is about to own. Evaluator
+	// clones materialize without this — their working set is the query's,
+	// not the store's.
+	r.forceResident()
 	return r
 }
 
